@@ -1,0 +1,176 @@
+//! Criterion micro-benchmarks of the mkl-lite GEMM paths.
+//!
+//! These measure the *host* cost of the software-emulated compute modes
+//! (quantisation, split decomposition, component products) — useful for
+//! library development. GPU-time questions go through the `xe-gpu` model
+//! instead (`fig3b`, `table6`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dcmesh_numerics::{c32, C32};
+use mkl_lite::{cgemm, sgemm, with_compute_mode, ComputeMode, Op};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn rand_f32(rng: &mut StdRng, len: usize) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn rand_c32(rng: &mut StdRng, len: usize) -> Vec<C32> {
+    (0..len).map(|_| c32(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+}
+
+fn bench_sgemm_modes(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let (m, n, k) = (128, 128, 512);
+    let a = rand_f32(&mut rng, m * k);
+    let b = rand_f32(&mut rng, k * n);
+    let mut out = vec![0.0f32; m * n];
+
+    let mut group = c.benchmark_group("sgemm_modes");
+    group.throughput(Throughput::Elements((m * n * k) as u64));
+    for mode in ComputeMode::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(mode.label()), &mode, |bch, &mode| {
+            bch.iter(|| {
+                with_compute_mode(mode, || {
+                    sgemm(
+                        Op::None,
+                        Op::None,
+                        m,
+                        n,
+                        k,
+                        1.0,
+                        black_box(&a),
+                        k,
+                        black_box(&b),
+                        n,
+                        0.0,
+                        &mut out,
+                        n,
+                    );
+                });
+                black_box(out[0]);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cgemm_modes(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(43);
+    // The remap_occ shape at laptop scale: panel GEMM with large k.
+    let (m, n, k) = (32, 96, 4096);
+    let a = rand_c32(&mut rng, m * k);
+    let b = rand_c32(&mut rng, k * n);
+    let mut out = vec![C32::zero(); m * n];
+
+    let mut group = c.benchmark_group("cgemm_modes");
+    group.throughput(Throughput::Elements((m * n * k) as u64));
+    for mode in ComputeMode::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(mode.label()), &mode, |bch, &mode| {
+            bch.iter(|| {
+                with_compute_mode(mode, || {
+                    cgemm(
+                        Op::None,
+                        Op::None,
+                        m,
+                        n,
+                        k,
+                        C32::one(),
+                        black_box(&a),
+                        k,
+                        black_box(&b),
+                        n,
+                        C32::zero(),
+                        &mut out,
+                        n,
+                    );
+                });
+                black_box(out[0]);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_projection_shapes(c: &mut Criterion) {
+    // The three GEMM shapes of one QD step at small scale: project
+    // (norb x norb x ngrid), expand (ngrid x norb x norb), subspace.
+    let mut rng = StdRng::seed_from_u64(44);
+    let (ngrid, norb) = (4096usize, 32usize);
+    let psi = rand_c32(&mut rng, ngrid * norb);
+    let coef = rand_c32(&mut rng, norb * norb);
+
+    let mut group = c.benchmark_group("qd_gemm_shapes");
+    group.bench_function("nlp_project", |bch| {
+        let mut out = vec![C32::zero(); norb * norb];
+        bch.iter(|| {
+            cgemm(
+                Op::ConjTrans,
+                Op::None,
+                norb,
+                norb,
+                ngrid,
+                C32::one(),
+                black_box(&psi),
+                norb,
+                black_box(&psi),
+                norb,
+                C32::zero(),
+                &mut out,
+                norb,
+            );
+            black_box(out[0]);
+        });
+    });
+    group.bench_function("nlp_expand", |bch| {
+        let mut out = psi.clone();
+        bch.iter(|| {
+            cgemm(
+                Op::None,
+                Op::None,
+                ngrid,
+                norb,
+                norb,
+                C32::one(),
+                black_box(&psi),
+                norb,
+                black_box(&coef),
+                norb,
+                C32::one(),
+                &mut out,
+                norb,
+            );
+            black_box(out[0]);
+        });
+    });
+    group.bench_function("subspace", |bch| {
+        let mut out = vec![C32::zero(); norb * norb];
+        bch.iter(|| {
+            cgemm(
+                Op::ConjTrans,
+                Op::None,
+                norb,
+                norb,
+                norb,
+                C32::one(),
+                black_box(&coef),
+                norb,
+                black_box(&coef),
+                norb,
+                C32::zero(),
+                &mut out,
+                norb,
+            );
+            black_box(out[0]);
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sgemm_modes, bench_cgemm_modes, bench_projection_shapes
+);
+criterion_main!(benches);

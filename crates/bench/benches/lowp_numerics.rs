@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks of the low-precision numeric substrate:
+//! BF16/TF32 quantisation and the split-precision decompositions — the
+//! per-element overhead the `FLOAT_TO_*` emulation pays on the host.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dcmesh_numerics::bf16;
+use dcmesh_numerics::split::split_slice;
+use dcmesh_numerics::tf32;
+use std::hint::black_box;
+
+fn bench_quantize(c: &mut Criterion) {
+    let src: Vec<f32> = (0..1 << 16).map(|i| (i as f32 * 0.37).sin() * 5.0).collect();
+    let mut dst = vec![0.0f32; src.len()];
+    let mut group = c.benchmark_group("quantize");
+    group.throughput(Throughput::Elements(src.len() as u64));
+    group.bench_function("bf16", |b| {
+        b.iter(|| {
+            bf16::quantize_slice(black_box(&src), &mut dst);
+            black_box(dst[17]);
+        })
+    });
+    group.bench_function("tf32", |b| {
+        b.iter(|| {
+            tf32::quantize_slice(black_box(&src), &mut dst);
+            black_box(dst[17]);
+        })
+    });
+    group.finish();
+}
+
+fn bench_split(c: &mut Criterion) {
+    let src: Vec<f32> = (0..1 << 16).map(|i| (i as f32 * 0.11).cos() * 3.0).collect();
+    let mut group = c.benchmark_group("split");
+    group.throughput(Throughput::Elements(src.len() as u64));
+    for depth in [2usize, 3] {
+        group.bench_function(format!("depth{depth}"), |b| {
+            let mut planes: Vec<Vec<f32>> = (0..depth).map(|_| vec![0.0; src.len()]).collect();
+            b.iter(|| {
+                let mut views: Vec<&mut [f32]> =
+                    planes.iter_mut().map(|p| p.as_mut_slice()).collect();
+                split_slice(black_box(&src), &mut views);
+                black_box(planes[0][3]);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_quantize, bench_split
+);
+criterion_main!(benches);

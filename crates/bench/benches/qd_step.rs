@@ -1,0 +1,58 @@
+//! Criterion benchmark of a full QD step (host execution, laptop deck):
+//! the end-to-end cost of propagation + nonlocal correction + BLASified
+//! observables per compute mode, plus the SCF refresh.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dcmesh_lfd::propagator::{qd_step, QdScratch};
+use dcmesh_lfd::state::cosine_potential;
+use dcmesh_lfd::{LaserPulse, LfdParams, LfdState, Mesh3};
+use dcmesh_qxmd::scf::scf_refresh;
+use mkl_lite::{with_compute_mode, ComputeMode};
+use std::hint::black_box;
+
+fn params() -> LfdParams {
+    LfdParams {
+        mesh: Mesh3::cubic(12, 0.6),
+        n_orb: 16,
+        n_occ: 8,
+        dt: 0.02,
+        vnl_strength: 0.2,
+        taylor_order: 4,
+        laser: LaserPulse { amplitude: 0.3, omega: 0.3, duration: 1e6, phase: 0.0 },
+        induced_coupling: 0.0,
+    }
+}
+
+fn bench_qd_step(c: &mut Criterion) {
+    let p = params();
+    let mut group = c.benchmark_group("qd_step");
+    for mode in ComputeMode::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(mode.label()), &mode, |bch, &mode| {
+            let mut st = LfdState::<f32>::initialize(&p, cosine_potential(&p.mesh, 0.2));
+            let mut scratch = QdScratch::new(&p);
+            bch.iter(|| {
+                let obs = with_compute_mode(mode, || qd_step(&p, &mut st, &mut scratch));
+                black_box(obs.ekin);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_scf_refresh(c: &mut Criterion) {
+    let p = params();
+    c.bench_function("scf_refresh_fp64", |bch| {
+        let mut st = LfdState::<f32>::initialize(&p, cosine_potential(&p.mesh, 0.2));
+        bch.iter(|| {
+            let rep = scf_refresh(&p, &mut st);
+            black_box(rep.defect_after);
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_qd_step, bench_scf_refresh
+);
+criterion_main!(benches);

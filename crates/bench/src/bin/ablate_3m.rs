@@ -1,0 +1,76 @@
+//! Ablation: 3M vs conventional (4M) complex multiplication.
+//!
+//! Measures the actual numerical difference between the two algorithms on
+//! real CGEMMs (same inputs, different rounding paths) and the modelled
+//! 4/3 compute reduction at paper scale — including where bandwidth eats
+//! the benefit.
+
+use dcmesh_bench::{markdown_table, write_report};
+use dcmesh_numerics::{c32, C32};
+use mkl_lite::device::{Domain, GemmDesc};
+use mkl_lite::{cgemm, with_compute_mode, ComputeMode, Op};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use xe_gpu::{XeStackModel, MAX_1550_STACK};
+
+fn main() {
+    // (a) Numerical comparison on a real CGEMM.
+    let mut rng = StdRng::seed_from_u64(11);
+    let (m, n, k) = (40usize, 40, 2048);
+    let a: Vec<C32> =
+        (0..m * k).map(|_| c32(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+    let b: Vec<C32> =
+        (0..k * n).map(|_| c32(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+    let run = |mode| {
+        let mut c = vec![C32::zero(); m * n];
+        with_compute_mode(mode, || {
+            cgemm(Op::None, Op::None, m, n, k, C32::one(), &a, k, &b, n, C32::zero(), &mut c, n);
+        });
+        c
+    };
+    let c4 = run(ComputeMode::Standard);
+    let c3 = run(ComputeMode::Complex3m);
+    let mut max_diff = 0.0f64;
+    let mut identical = true;
+    for (x, y) in c4.iter().zip(&c3) {
+        let d = (x.to_c64() - y.to_c64()).abs();
+        max_diff = max_diff.max(d);
+        identical &= x == y;
+    }
+    let scale = c4.iter().map(|z| z.to_c64().abs()).fold(0.0f64, f64::max);
+
+    // (b) Modelled time at the paper's shapes.
+    let model = XeStackModel::new(MAX_1550_STACK);
+    let shapes = [
+        ("remap sweep (m=128, bandwidth-bound)", (128usize, 3968usize, 262_144usize)),
+        ("nlp project 135-atom (compute-bound)", (1024, 1024, 884_736)),
+    ];
+    let mut rows = Vec::new();
+    for (name, (m, n, k)) in shapes {
+        let t4 = model.gemm_seconds(&GemmDesc {
+            domain: Domain::Complex32,
+            m,
+            n,
+            k,
+            mode: ComputeMode::Standard,
+        });
+        let t3 = model.gemm_seconds(&GemmDesc {
+            domain: Domain::Complex32,
+            m,
+            n,
+            k,
+            mode: ComputeMode::Complex3m,
+        });
+        rows.push(vec![name.to_string(), format!("{:.2} ms", t4 * 1e3), format!("{:.2} ms", t3 * 1e3), format!("{:.2}x", t4 / t3)]);
+    }
+    let table = markdown_table(&["GEMM", "4M time", "3M time", "speedup"], &rows);
+    println!("Ablation — 3M vs 4M complex multiplication\n");
+    println!("numerical: max |3M − 4M| = {max_diff:.3e} (output scale {scale:.2});");
+    println!("bit-identical: {identical} (must be false — different rounding paths)\n");
+    println!("{table}");
+    println!("\n3M trades one multiplication for extra additions: ≤ 4/3 speedup where");
+    println!("compute-bound, less where bandwidth dominates — and identical-accuracy-");
+    println!("class results with different cancellation behaviour (paper §III-B).");
+    assert!(!identical, "3M produced bit-identical output; path not exercised");
+    write_report("ablate_3m.md", &table).expect("report");
+}

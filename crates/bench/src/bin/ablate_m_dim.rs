@@ -1,0 +1,38 @@
+//! Ablation: the GEMM m-dimension bottleneck.
+//!
+//! The paper blames the 3.91x-observed-vs-16x-theoretical BF16 gap on
+//! "the relatively small m = 128 dimension" keeping the call bandwidth-
+//! bound. This sweep holds n and k at the remap_occ values and varies m,
+//! showing the speedup climbing toward the compute-bound ceiling as the
+//! panel fattens — and reporting where the roofline crossover sits.
+
+use dcmesh_bench::{markdown_table, write_report};
+use mkl_lite::device::{Domain, GemmDesc};
+use mkl_lite::ComputeMode;
+use xe_gpu::{XeStackModel, MAX_1550_STACK};
+
+fn main() {
+    let model = XeStackModel::new(MAX_1550_STACK);
+    let (n, k) = (3968usize, 262_144usize);
+    let mut rows = Vec::new();
+    for m in [32usize, 64, 128, 256, 512, 1024, 2048, 4096] {
+        let speedup = model.gemm_speedup_vs_fp32(Domain::Complex32, m, n, k, ComputeMode::FloatToBf16);
+        let d = GemmDesc { domain: Domain::Complex32, m, n, k, mode: ComputeMode::FloatToBf16 };
+        let bound = if model.gemm_memory_seconds(&d) > model.gemm_compute_seconds(&d) {
+            "memory"
+        } else {
+            "compute"
+        };
+        let marker = if m == 128 { "  <- paper's DCMESH shape" } else { "" };
+        rows.push(vec![
+            format!("{m}{marker}"),
+            format!("{:.2}x", speedup),
+            bound.to_string(),
+        ]);
+    }
+    let table = markdown_table(&["m", "BF16 speedup vs FP32", "BF16 bound by"], &rows);
+    println!("Ablation — m-dimension sweep at n = 3968, k = 64^3 (BF16)\n\n{table}");
+    println!("at m = 128 the BF16 call is HBM-bound (≈3.9x); growing m raises arithmetic");
+    println!("intensity until the XMX compute roof takes over.");
+    write_report("ablate_m_dim.md", &table).expect("report");
+}

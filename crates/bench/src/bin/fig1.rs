@@ -1,0 +1,89 @@
+//! Figure 1: accuracy of three output metrics (nexc, javg, ekin) as the
+//! deviation from FP32 over simulation time, for all five alternative
+//! compute modes.
+//!
+//! This executes the real dynamics per mode — the deviations are emergent
+//! numerics, not a model. By default a laptop-scale deck is used (the
+//! paper's full 135-atom run is a 2-day GPU job per mode); pass
+//! `--scale paper` to use the published sizes if you have the hardware
+//! budget, or `--steps N` to lengthen the default run.
+//!
+//! Output: one CSV per metric under `target/reports/` with a column per
+//! mode, ready for plotting — the same series the paper's Figure 1 plots.
+
+use dcmesh::analysis::{DeviationSeries, Metric};
+use dcmesh::config::{RunConfig, SystemPreset};
+use dcmesh::runner::run_simulation;
+use dcmesh_bench::write_report;
+use mkl_lite::{with_compute_mode, ComputeMode};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scale = arg_value(&args, "--scale").unwrap_or_else(|| "small".into());
+    let preset = match scale.as_str() {
+        "paper" => SystemPreset::Pto135,
+        "small" => SystemPreset::Pto135Small,
+        other => panic!("unknown --scale {other:?} (use small|paper)"),
+    };
+    let mut cfg = RunConfig::preset(preset);
+    if let Some(steps) = arg_value(&args, "--steps") {
+        cfg.total_qd_steps = steps.parse().expect("--steps N");
+    }
+    if scale == "small" {
+        // Keep the default harness CI-sized.
+        cfg.total_qd_steps = cfg.total_qd_steps.min(600);
+        cfg.record_every = 5;
+    }
+
+    eprintln!("Figure 1: {} / {} QD steps per mode", cfg.label, cfg.total_qd_steps);
+    eprintln!("reference run: FP32");
+    let reference = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg));
+
+    let mut series: Vec<(ComputeMode, [DeviationSeries; 3])> = Vec::new();
+    for mode in ComputeMode::ALTERNATIVE {
+        eprintln!("mode run: {}", mode.label());
+        let run = with_compute_mode(mode, || run_simulation::<f32>(&cfg));
+        let s = Metric::FIGURE1
+            .map(|m| DeviationSeries::build(m, &run.records, &reference.records));
+        series.push((mode, s));
+    }
+
+    for (idx, metric) in Metric::FIGURE1.iter().enumerate() {
+        let mut csv = String::from("time_fs");
+        for (mode, _) in &series {
+            csv.push_str(&format!(",{}", mode.label()));
+        }
+        csv.push('\n');
+        let n = series[0].1[idx].points.len();
+        for p in 0..n {
+            csv.push_str(&format!("{:.6}", series[0].1[idx].points[p].time_fs));
+            for (_, s) in &series {
+                csv.push_str(&format!(",{:.8e}", s[idx].points[p].abs_deviation));
+            }
+            csv.push('\n');
+        }
+        write_report(&format!("fig1_{}.csv", metric.name()), &csv).expect("report");
+    }
+
+    println!("\nFigure 1 summary — max |deviation from FP32|:");
+    println!("{:<12} {:>13} {:>13} {:>13}", "mode", "nexc", "javg", "ekin");
+    for (mode, s) in &series {
+        println!(
+            "{:<12} {:>13.4e} {:>13.4e} {:>13.4e}",
+            mode.label(),
+            s[0].max_abs(),
+            s[1].max_abs(),
+            s[2].max_abs()
+        );
+    }
+    println!("\npaper shape check: BF16 family worst and growing over time; TF32 between");
+    println!("BF16 and BF16x2; BF16x3 and Complex_3m near the FP32 trajectory.");
+    println!("note: at this reduced scale, trajectory divergence (chaos) eventually");
+    println!("amplifies every mode's seed to a similar saturation level; orderings are");
+    println!("cleanest over the first few hundred steps. The paper's 1024-orbital");
+    println!("system self-averages far more strongly.");
+}
+
+fn arg_value(args: &[String], key: &str) -> Option<String> {
+    args.iter().position(|a| a == key).and_then(|i| args.get(i + 1).cloned())
+}

@@ -1,0 +1,124 @@
+//! The whole study in one command.
+//!
+//! Regenerates every table and figure of the paper plus the ablations and
+//! extensions, writing a consolidated markdown report to
+//! `target/reports/study.md`. The accuracy figures run at laptop scale
+//! (pass `--full` to lengthen them); the performance artifacts are priced
+//! on the device model at the published sizes in milliseconds.
+//!
+//! ```text
+//! cargo run --release -p dcmesh-bench --bin study
+//! ```
+
+use dcmesh::analysis::{DeviationSeries, Metric};
+use dcmesh::config::{RunConfig, SystemPreset};
+use dcmesh::perf::{figure3a, figure3b, table6, FIG3B_ORBITALS};
+use dcmesh::runner::run_simulation;
+use dcmesh_bench::{markdown_table, write_report};
+use dcmesh_lfd::schedule::SystemShape;
+use dcmesh_numerics::FORMATS;
+use mkl_lite::{with_compute_mode, ComputeMode};
+use xe_gpu::MAX_1550_STACK;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let mut report = String::from("# DCMESH-rs — consolidated study report\n");
+
+    // ---- Tables I, II, IV: static artifacts ----
+    report.push_str("\n## Table I — theoretical peaks (1 stack)\n\n");
+    let rows: Vec<Vec<String>> = ["FP64", "FP32", "TF32", "BF16", "FP16", "INT8"]
+        .iter()
+        .map(|&p| {
+            let (peak, eng) = MAX_1550_STACK.table1_row(p).expect("known");
+            vec![p.into(), format!("{:.0} T/s", peak / 1e12), format!("{eng:?}")]
+        })
+        .collect();
+    report.push_str(&markdown_table(&["Precision", "Peak", "Engine"], &rows));
+
+    report.push_str("\n## Table II — compute modes\n\n");
+    let rows: Vec<Vec<String>> = ComputeMode::ALTERNATIVE
+        .iter()
+        .map(|m| {
+            vec![
+                m.label().into(),
+                m.env_value().expect("alt").into(),
+                format!("{:.2}x", m.theoretical_speedup()),
+            ]
+        })
+        .collect();
+    report.push_str(&markdown_table(&["Mode", "Env value", "Peak speedup"], &rows));
+
+    report.push_str("\n## Table IV — precision formats\n\n");
+    let rows: Vec<Vec<String>> = FORMATS
+        .iter()
+        .map(|f| vec![f.name.into(), f.exponent_bits.to_string(), f.mantissa_bits.to_string()])
+        .collect();
+    report.push_str(&markdown_table(&["Format", "Exp bits", "Mantissa bits"], &rows));
+
+    // ---- Figures 1-2: accuracy (real runs) ----
+    let mut cfg = RunConfig::preset(SystemPreset::Pto135Small);
+    cfg.total_qd_steps = if full { 21_000 } else { 600 };
+    cfg.record_every = 5;
+    eprintln!("accuracy runs ({} QD steps x 6 configurations)...", cfg.total_qd_steps);
+    let reference = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg));
+    report.push_str("\n## Figures 1-2 — max |deviation from FP32|\n\n");
+    let mut rows = Vec::new();
+    for mode in ComputeMode::ALTERNATIVE {
+        eprintln!("  mode {}...", mode.label());
+        let run = with_compute_mode(mode, || run_simulation::<f32>(&cfg));
+        let dev = |m: Metric| {
+            DeviationSeries::build(m, &run.records, &reference.records).max_abs()
+        };
+        rows.push(vec![
+            mode.label().into(),
+            format!("{:.3e}", dev(Metric::Nexc)),
+            format!("{:.3e}", dev(Metric::Javg)),
+            format!("{:.3e}", dev(Metric::Ekin)),
+        ]);
+    }
+    report.push_str(&markdown_table(&["Mode", "nexc", "javg", "ekin (Ha)"], &rows));
+
+    // ---- Figure 3a ----
+    for (name, shape) in [("40 atoms", SystemShape::pto40()), ("135 atoms", SystemShape::pto135())] {
+        report.push_str(&format!("\n## Figure 3a — {name}, 500 QD steps (modelled)\n\n"));
+        let rows: Vec<Vec<String>> = figure3a(shape)
+            .iter()
+            .map(|p| vec![p.label.into(), format!("{:.1} s", p.seconds_500_steps)])
+            .collect();
+        report.push_str(&markdown_table(&["Precision", "Time"], &rows));
+    }
+
+    // ---- Figure 3b + Table VI ----
+    report.push_str("\n## Figure 3b — per-call speedup vs N_orb (modelled)\n\n");
+    let headers: Vec<String> = std::iter::once("Mode".to_string())
+        .chain(FIG3B_ORBITALS.iter().map(|n| format!("N={n}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<String>> = ComputeMode::ALTERNATIVE
+        .iter()
+        .map(|&m| {
+            let mut row = vec![m.label().to_string()];
+            row.extend(figure3b(m).iter().map(|p| format!("{:.2}x", p.speedup)));
+            row
+        })
+        .collect();
+    report.push_str(&markdown_table(&header_refs, &rows));
+
+    report.push_str("\n## Table VI — max observed vs theoretical\n\n");
+    let rows: Vec<Vec<String>> = table6()
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.label().into(),
+                format!("{:.2}x", r.max_observed),
+                format!("{:.2}x", r.theoretical),
+            ]
+        })
+        .collect();
+    report.push_str(&markdown_table(&["Mode", "Observed", "Theoretical"], &rows));
+
+    println!("{report}");
+    write_report("study.md", &report).expect("report");
+    eprintln!("\n(run the individual bins — table7, fig1, fig2, ablate_*, ext_* — for the");
+    eprintln!("remaining artifacts and CSV series; see EXPERIMENTS.md for the index.)");
+}

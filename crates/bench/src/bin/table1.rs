@@ -1,0 +1,27 @@
+//! Table I: theoretical peak throughput for a single Max 1550 stack.
+
+use dcmesh_bench::{markdown_table, write_report};
+use xe_gpu::{Engine, MAX_1550_STACK};
+
+fn main() {
+    let d = MAX_1550_STACK;
+    let rows: Vec<Vec<String>> = ["FP64", "FP32", "TF32", "BF16", "FP16", "INT8"]
+        .iter()
+        .map(|&name| {
+            let (peak, engine) = d.table1_row(name).expect("known precision");
+            let unit = if name == "INT8" { "TOP/s" } else { "TFLOP/s" };
+            vec![
+                name.to_string(),
+                format!("{:.0} {unit}", peak / 1e12),
+                match engine {
+                    Engine::Vector => "Vector".into(),
+                    Engine::Matrix => "Matrix".into(),
+                },
+            ]
+        })
+        .collect();
+    let table = markdown_table(&["Precision", "Theoretical Peak", "Engines"], &rows);
+    println!("Table I — theoretical peak throughput for a single stack\n");
+    println!("{table}");
+    write_report("table1.md", &table).expect("report");
+}

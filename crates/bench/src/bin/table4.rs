@@ -1,0 +1,25 @@
+//! Table IV: exponent and mantissa bits for each precision format.
+
+use dcmesh_bench::{markdown_table, write_report};
+use dcmesh_numerics::FORMATS;
+
+fn main() {
+    let rows: Vec<Vec<String>> = FORMATS
+        .iter()
+        .map(|f| {
+            vec![
+                f.name.to_string(),
+                f.exponent_bits.to_string(),
+                f.mantissa_bits.to_string(),
+            ]
+        })
+        .collect();
+    let table = markdown_table(&["Precision", "Exponent Bits", "Mantissa Bits"], &rows);
+    println!("Table IV — precision formats studied\n");
+    println!("{table}");
+    println!("unit roundoff: ");
+    for f in FORMATS {
+        println!("  {:<5} {:.3e}", f.name, f.unit_roundoff());
+    }
+    write_report("table4.md", &table).expect("report");
+}

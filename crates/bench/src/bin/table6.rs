@@ -1,0 +1,29 @@
+//! Table VI: maximum observed speedup of BLAS routines vs the peak
+//! theoretical speedup, over the 40-atom orbital sweep (artifact A3).
+
+use dcmesh::perf::table6;
+use dcmesh_bench::{markdown_table, write_report};
+
+fn main() {
+    let rows: Vec<Vec<String>> = table6()
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.label().to_string(),
+                format!("{:.2}x", r.max_observed),
+                format!("{:.2}x", r.theoretical),
+            ]
+        })
+        .collect();
+    let table = markdown_table(
+        &["Compute Mode", "Max Observed Speedup", "Peak Theoretical Speedup"],
+        &rows,
+    );
+    println!("Table VI — max observed vs theoretical BLAS speedup (modelled)\n");
+    println!("{table}");
+    println!("paper reference point: BF16 max observed 3.91x vs 16x theoretical;");
+    println!("the gap comes from HBM bandwidth (m = 128 keeps the GEMM panel-shaped)");
+    println!("and sustained-power throttling of the XMX arrays — both explicit terms");
+    println!("in the xe-gpu device model.");
+    write_report("table6.md", &table).expect("report");
+}

@@ -1,0 +1,5 @@
+//! Shared helpers for the reproduction harness binaries.
+
+pub mod report;
+
+pub use report::{markdown_table, write_report};

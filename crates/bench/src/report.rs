@@ -1,0 +1,52 @@
+//! Small reporting helpers shared by the table/figure binaries.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Renders rows as a GitHub-flavoured markdown table.
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str("| ");
+    out.push_str(&headers.join(" | "));
+    out.push_str(" |\n|");
+    for _ in headers {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width mismatch");
+        out.push_str("| ");
+        out.push_str(&row.join(" | "));
+        out.push_str(" |\n");
+    }
+    out
+}
+
+/// Writes a report file under `target/reports/`, creating directories as
+/// needed, and echoes the path.
+pub fn write_report(name: &str, contents: &str) -> std::io::Result<()> {
+    let dir = Path::new("target/reports");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(contents.as_bytes())?;
+    eprintln!("[report written to {}]", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape() {
+        let t = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert_eq!(t, "| a | b |\n|---|---|\n| 1 | 2 |\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        markdown_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Global library configuration: compute mode and verbosity.
+//!
+//! Like oneMKL, the compute mode is process-global. It is initialised
+//! lazily from `MKL_BLAS_COMPUTE_MODE` and can be overridden at runtime
+//! (oneMKL's dedicated APIs). [`with_compute_mode`] provides scoped
+//! overrides for experiments that sweep all modes in one process — the
+//! paper had to re-launch the binary per mode; a library can do better.
+
+use crate::mode::ComputeMode;
+use crate::{COMPUTE_MODE_ENV, VERBOSE_ENV};
+use parking_lot::{Mutex, ReentrantMutex};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Sentinel meaning "not yet initialised from the environment".
+const MODE_UNSET: u8 = u8::MAX;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
+static VERBOSE: OnceLock<u8> = OnceLock::new();
+/// Serialises scoped overrides so concurrent `with_compute_mode` calls
+/// cannot interleave their save/restore pairs. Reentrant so a scoped
+/// closure may nest another override.
+static OVERRIDE_LOCK: ReentrantMutex<()> = ReentrantMutex::new(());
+/// Guards first-time environment initialisation.
+static INIT_LOCK: Mutex<()> = Mutex::new(());
+
+fn mode_to_u8(m: ComputeMode) -> u8 {
+    ComputeMode::ALL.iter().position(|&x| x == m).expect("mode in ALL") as u8
+}
+
+fn mode_from_u8(v: u8) -> ComputeMode {
+    ComputeMode::ALL[v as usize]
+}
+
+/// Returns the current global compute mode, initialising it from
+/// `MKL_BLAS_COMPUTE_MODE` on first use.
+///
+/// An unparsable environment value panics: silently computing at the wrong
+/// precision is the worst possible failure mode for a precision study.
+pub fn compute_mode() -> ComputeMode {
+    let v = MODE.load(Ordering::Acquire);
+    if v != MODE_UNSET {
+        return mode_from_u8(v);
+    }
+    let _g = INIT_LOCK.lock();
+    let v = MODE.load(Ordering::Acquire);
+    if v != MODE_UNSET {
+        return mode_from_u8(v);
+    }
+    let mode = match std::env::var(COMPUTE_MODE_ENV) {
+        Ok(s) => ComputeMode::from_env_value(&s)
+            .unwrap_or_else(|e| panic!("invalid {COMPUTE_MODE_ENV}: {e}")),
+        Err(_) => ComputeMode::Standard,
+    };
+    MODE.store(mode_to_u8(mode), Ordering::Release);
+    mode
+}
+
+/// Sets the global compute mode (overrides the environment).
+pub fn set_compute_mode(mode: ComputeMode) {
+    MODE.store(mode_to_u8(mode), Ordering::Release);
+}
+
+/// Clears any runtime override so the next call re-reads the environment.
+pub fn reset_compute_mode() {
+    MODE.store(MODE_UNSET, Ordering::Release);
+}
+
+/// Runs `f` with the compute mode temporarily set to `mode`, restoring the
+/// previous mode afterwards (also on panic). Scoped overrides are
+/// serialised process-wide, so two threads sweeping modes cannot corrupt
+/// each other's settings; nested overrides from the same thread are fine.
+pub fn with_compute_mode<R>(mode: ComputeMode, f: impl FnOnce() -> R) -> R {
+    let _guard = OVERRIDE_LOCK.lock();
+    let previous = compute_mode();
+    set_compute_mode(mode);
+    struct Restore(ComputeMode);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_compute_mode(self.0);
+        }
+    }
+    let _restore = Restore(previous);
+    f()
+}
+
+/// The `MKL_VERBOSE` level: 0 = off, 1 = log calls, 2 = log calls with
+/// timing detail (the paper uses `MKL_VERBOSE=2`).
+pub fn verbose_level() -> u8 {
+    *VERBOSE.get_or_init(|| {
+        std::env::var(VERBOSE_ENV)
+            .ok()
+            .and_then(|s| s.trim().parse::<u8>().ok())
+            .unwrap_or(0)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Note: tests share process-global state; each test restores Standard.
+
+    #[test]
+    fn set_and_get_roundtrip() {
+        for m in ComputeMode::ALL {
+            set_compute_mode(m);
+            assert_eq!(compute_mode(), m);
+        }
+        set_compute_mode(ComputeMode::Standard);
+    }
+
+    #[test]
+    fn scoped_override_restores() {
+        set_compute_mode(ComputeMode::Standard);
+        let inside = with_compute_mode(ComputeMode::FloatToTf32, compute_mode);
+        assert_eq!(inside, ComputeMode::FloatToTf32);
+        assert_eq!(compute_mode(), ComputeMode::Standard);
+    }
+
+    #[test]
+    fn scoped_override_restores_on_panic() {
+        set_compute_mode(ComputeMode::Standard);
+        let r = std::panic::catch_unwind(|| {
+            with_compute_mode(ComputeMode::FloatToBf16, || panic!("boom"))
+        });
+        assert!(r.is_err());
+        assert_eq!(compute_mode(), ComputeMode::Standard);
+    }
+
+    #[test]
+    fn nested_scoped_overrides() {
+        set_compute_mode(ComputeMode::Standard);
+        with_compute_mode(ComputeMode::FloatToBf16, || {
+            assert_eq!(compute_mode(), ComputeMode::FloatToBf16);
+            with_compute_mode(ComputeMode::Complex3m, || {
+                assert_eq!(compute_mode(), ComputeMode::Complex3m);
+            });
+            assert_eq!(compute_mode(), ComputeMode::FloatToBf16);
+        });
+        assert_eq!(compute_mode(), ComputeMode::Standard);
+    }
+}

@@ -1,0 +1,185 @@
+//! The dense accumulate kernel shared by every GEMM path.
+//!
+//! All higher-level routines reduce to `acc += A · B` on dense row-major
+//! operands (`A`: m×k, `B`: k×n, `acc`: m×n, no padding). The kernel uses
+//! the row-major *ikj* loop order — the C row being produced and the B row
+//! being streamed are both contiguous, so the inner loop auto-vectorises —
+//! and parallelises over row blocks of C with rayon. Accumulation happens
+//! in the element type (`f32` for the emulated systolic paths, which
+//! matches XMX hardware accumulating BF16/TF32 products in FP32).
+
+use dcmesh_numerics::Real;
+use rayon::prelude::*;
+
+/// Work (in scalar MACs) below which threading overhead dominates and the
+/// kernel runs sequentially.
+const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Rows of C per parallel task. Large enough to amortise task overhead,
+/// small enough to load-balance tall-skinny shapes.
+const ROW_BLOCK: usize = 16;
+
+/// Inner-dimension tile: keeps the active slice of B within L2 while a
+/// row block of C is updated.
+const K_BLOCK: usize = 256;
+
+/// `acc += a · b` for dense row-major operands.
+///
+/// * `a`: `m × k` (ld = k)
+/// * `b`: `k × n` (ld = n)
+/// * `acc`: `m × n` (ld = n), accumulated in place
+pub fn matmul_acc<T: Real>(a: &[T], b: &[T], acc: &mut [T], m: usize, n: usize, k: usize) {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert_eq!(acc.len(), m * n, "C shape mismatch");
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    if m * n * k < PAR_THRESHOLD {
+        for (i, crow) in acc.chunks_exact_mut(n).enumerate() {
+            row_update(&a[i * k..(i + 1) * k], b, crow, n, 0, k);
+        }
+        return;
+    }
+
+    acc.par_chunks_mut(ROW_BLOCK * n)
+        .enumerate()
+        .for_each(|(blk, cblk)| {
+            let i0 = blk * ROW_BLOCK;
+            // Tile over k so the streamed B panel stays cache-resident for
+            // all rows in the block.
+            let mut k0 = 0;
+            while k0 < k {
+                let k1 = (k0 + K_BLOCK).min(k);
+                for (ii, crow) in cblk.chunks_exact_mut(n).enumerate() {
+                    let i = i0 + ii;
+                    row_update(&a[i * k..(i + 1) * k], b, crow, n, k0, k1);
+                }
+                k0 = k1;
+            }
+        });
+}
+
+/// `crow += Σ_{kk in [k0,k1)} a_row[kk] * b[kk*n .. kk*n+n]`
+#[inline]
+fn row_update<T: Real>(a_row: &[T], b: &[T], crow: &mut [T], n: usize, k0: usize, k1: usize) {
+    for kk in k0..k1 {
+        let aik = a_row[kk];
+        if aik == T::ZERO {
+            continue;
+        }
+        let brow = &b[kk * n..kk * n + n];
+        for (c, &bv) in crow.iter_mut().zip(brow) {
+            *c += aik * bv;
+        }
+    }
+}
+
+/// Elementwise `y += alpha * x` over equal-length slices (used to combine
+/// product planes).
+pub fn axpy_slice<T: Real>(alpha: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    if alpha == T::ZERO {
+        return;
+    }
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += alpha * xv;
+    }
+}
+
+/// Reference (naive, sequential, jik-order) matmul for testing: returns
+/// `A · B` as a fresh matrix. Kept deliberately different in loop order
+/// from the production kernel so the two are independent implementations.
+pub fn matmul_reference<T: Real>(a: &[T], b: &[T], m: usize, n: usize, k: usize) -> Vec<T> {
+    assert_eq!(a.len(), m * k);
+    assert_eq!(b.len(), k * n);
+    let mut c = vec![T::ZERO; m * n];
+    for j in 0..n {
+        for i in 0..m {
+            let mut s = T::ZERO;
+            for kk in 0..k {
+                s += a[i * k + kk] * b[kk * n + j];
+            }
+            c[i * n + j] = s;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_matrix(rng: &mut StdRng, len: usize) -> Vec<f64> {
+        (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn matches_reference_small() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &(m, n, k) in &[(1, 1, 1), (2, 3, 4), (5, 5, 5), (7, 1, 9), (1, 8, 3)] {
+            let a = random_matrix(&mut rng, m * k);
+            let b = random_matrix(&mut rng, k * n);
+            let mut acc = vec![0.0; m * n];
+            matmul_acc(&a, &b, &mut acc, m, n, k);
+            let refc = matmul_reference(&a, &b, m, n, k);
+            for (x, y) in acc.iter().zip(&refc) {
+                assert!((x - y).abs() < 1e-12, "({m},{n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_parallel_path() {
+        // Big enough to exceed PAR_THRESHOLD and exercise k-tiling.
+        let (m, n, k) = (70, 65, 300);
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = random_matrix(&mut rng, m * k);
+        let b = random_matrix(&mut rng, k * n);
+        let mut acc = vec![0.0; m * n];
+        matmul_acc(&a, &b, &mut acc, m, n, k);
+        let refc = matmul_reference(&a, &b, m, n, k);
+        for (i, (x, y)) in acc.iter().zip(&refc).enumerate() {
+            assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()), "i={i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn accumulates_rather_than_overwrites() {
+        let a = [1.0f32, 0.0, 0.0, 1.0]; // I2
+        let b = [5.0f32, 6.0, 7.0, 8.0];
+        let mut acc = [100.0f32, 100.0, 100.0, 100.0];
+        matmul_acc(&a, &b, &mut acc, 2, 2, 2);
+        assert_eq!(acc, [105.0, 106.0, 107.0, 108.0]);
+    }
+
+    #[test]
+    fn zero_dims_are_noops() {
+        let mut acc: Vec<f32> = vec![3.0; 6];
+        // m == 0: A and C are empty, B still has its k*n elements.
+        matmul_acc(&[], &[0.0; 15], &mut acc[..0], 0, 3, 5);
+        // k == 0: nothing to accumulate.
+        matmul_acc(&[], &[], &mut acc, 2, 3, 0);
+        assert!(acc.iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn axpy_basics() {
+        let x = [1.0f32, 2.0, 3.0];
+        let mut y = [10.0f32, 20.0, 30.0];
+        axpy_slice(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+        axpy_slice(0.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "A shape mismatch")]
+    fn shape_mismatch_panics() {
+        let mut acc = vec![0.0f32; 4];
+        matmul_acc(&[1.0; 3], &[1.0; 4], &mut acc, 2, 2, 2);
+    }
+}

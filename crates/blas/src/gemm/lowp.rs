@@ -1,0 +1,174 @@
+//! Low-precision (systolic-emulated) real GEMM paths.
+//!
+//! In the `FLOAT_TO_*` modes, oneMKL converts FP32 inputs to BF16/TF32
+//! component matrices, multiplies the components on the XMX systolic
+//! arrays and accumulates in FP32. Because BF16×BF16 and TF32×TF32
+//! products are *exactly representable* in `f32` (8+8 and 11+11 significand
+//! bits both fit in 24), running the component products through the regular
+//! `f32` kernel reproduces the hardware arithmetic faithfully — the only
+//! freedom left is summation order, which BLAS never specifies anyway.
+//!
+//! Component products kept per mode (subscripts are split-term indices,
+//! 0 = leading):
+//!
+//! * BF16:   A₀B₀
+//! * BF16x2: A₀B₀ + A₀B₁ + A₁B₀            (3 of 4; drops A₁B₁ ~ 2⁻³²)
+//! * BF16x3: A₀B₀ + A₀B₁ + A₁B₀ + A₀B₂ + A₂B₀ + A₁B₁
+//!           (6 of 9; dropped terms are ~2⁻⁴⁰ and below)
+//! * TF32:   A₀B₀ with TF32 rounding
+
+use super::kernel::matmul_acc;
+use crate::mode::ComputeMode;
+use dcmesh_numerics::bf16::Bf16;
+use dcmesh_numerics::split::split_slice;
+use dcmesh_numerics::tf32::Tf32;
+
+/// The `(a_component, b_component)` product list for a given BF16 split
+/// depth, in decreasing order of magnitude.
+pub fn product_terms(depth: usize) -> &'static [(usize, usize)] {
+    match depth {
+        1 => &[(0, 0)],
+        2 => &[(0, 0), (0, 1), (1, 0)],
+        3 => &[(0, 0), (0, 1), (1, 0), (0, 2), (2, 0), (1, 1)],
+        _ => panic!("unsupported split depth {depth}"),
+    }
+}
+
+/// Splits a dense matrix into `depth` BF16 component planes.
+fn split_matrix(src: &[f32], depth: usize) -> Vec<Vec<f32>> {
+    let mut planes: Vec<Vec<f32>> = (0..depth).map(|_| vec![0.0f32; src.len()]).collect();
+    {
+        let mut views: Vec<&mut [f32]> = planes.iter_mut().map(|p| p.as_mut_slice()).collect();
+        split_slice(src, &mut views);
+    }
+    planes
+}
+
+/// `acc += op-materialised A · B` computed in the given low-precision mode.
+///
+/// `a` is dense `m × k`, `b` dense `k × n`, `acc` dense `m × n`; all
+/// row-major without padding (callers materialise `op()` first).
+pub fn matmul_acc_lowp(
+    mode: ComputeMode,
+    a: &[f32],
+    b: &[f32],
+    acc: &mut [f32],
+    m: usize,
+    n: usize,
+    k: usize,
+) {
+    match mode {
+        ComputeMode::Standard | ComputeMode::Complex3m => {
+            // Native FP32 element arithmetic (3M only changes the complex
+            // product structure, handled a level above).
+            matmul_acc(a, b, acc, m, n, k);
+        }
+        ComputeMode::FloatToTf32 => {
+            let ar: Vec<f32> = a.iter().map(|&x| Tf32::round_f32(x)).collect();
+            let br: Vec<f32> = b.iter().map(|&x| Tf32::round_f32(x)).collect();
+            matmul_acc(&ar, &br, acc, m, n, k);
+        }
+        ComputeMode::FloatToBf16 => {
+            let ar: Vec<f32> = a.iter().map(|&x| Bf16::round_f32(x)).collect();
+            let br: Vec<f32> = b.iter().map(|&x| Bf16::round_f32(x)).collect();
+            matmul_acc(&ar, &br, acc, m, n, k);
+        }
+        ComputeMode::FloatToBf16x2 | ComputeMode::FloatToBf16x3 => {
+            let depth = mode.split_depth().expect("split mode");
+            let ap = split_matrix(a, depth);
+            let bp = split_matrix(b, depth);
+            for &(ia, ib) in product_terms(depth) {
+                matmul_acc(&ap[ia], &bp[ib], acc, m, n, k);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::kernel::matmul_reference;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random(rng: &mut StdRng, len: usize) -> Vec<f32> {
+        (0..len).map(|_| rng.gen_range(0.1..1.0f32)).collect()
+    }
+
+    /// Max relative elementwise error of `mode` vs the f64 exact product.
+    fn mode_error(mode: ComputeMode, m: usize, n: usize, k: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = random(&mut rng, m * k);
+        let b = random(&mut rng, k * n);
+        let a64: Vec<f64> = a.iter().map(|&x| x as f64).collect();
+        let b64: Vec<f64> = b.iter().map(|&x| x as f64).collect();
+        let exact = matmul_reference(&a64, &b64, m, n, k);
+        let mut acc = vec![0.0f32; m * n];
+        matmul_acc_lowp(mode, &a, &b, &mut acc, m, n, k);
+        acc.iter()
+            .zip(&exact)
+            .map(|(&x, &y)| ((x as f64 - y) / y).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn standard_mode_is_plain_f32() {
+        let err = mode_error(ComputeMode::Standard, 16, 16, 32, 3);
+        assert!(err < 1e-5, "fp32 err {err}");
+    }
+
+    #[test]
+    fn error_ordering_bf16_tf32_x2_x3() {
+        // Positive inputs => no cancellation => §V-B bound applies and the
+        // mode ordering must be strict.
+        let (m, n, k) = (24, 24, 64);
+        let e_bf16 = mode_error(ComputeMode::FloatToBf16, m, n, k, 7);
+        let e_tf32 = mode_error(ComputeMode::FloatToTf32, m, n, k, 7);
+        let e_x2 = mode_error(ComputeMode::FloatToBf16x2, m, n, k, 7);
+        let e_x3 = mode_error(ComputeMode::FloatToBf16x3, m, n, k, 7);
+        assert!(e_bf16 > e_tf32, "bf16 {e_bf16} vs tf32 {e_tf32}");
+        assert!(e_tf32 > e_x2, "tf32 {e_tf32} vs x2 {e_x2}");
+        assert!(e_x2 > e_x3, "x2 {e_x2} vs x3 {e_x3}");
+        // And the absolute levels sit near the §V-B predictions.
+        assert!(e_bf16 < 2f64.powi(-6), "bf16 too wrong: {e_bf16}");
+        assert!(e_x3 < 1e-5, "x3 must be f32-class: {e_x3}");
+    }
+
+    #[test]
+    fn bf16_error_independent_of_matrix_size() {
+        // The paper's §V-B claim, verified on the real GEMM path: relative
+        // error does not grow with k for sign-uniform data.
+        let e_small = mode_error(ComputeMode::FloatToBf16, 8, 8, 16, 11);
+        let e_large = mode_error(ComputeMode::FloatToBf16, 8, 8, 1024, 11);
+        assert!(
+            e_large < e_small * 4.0,
+            "bf16 error grew with k: {e_small} -> {e_large}"
+        );
+    }
+
+    #[test]
+    fn split_products_match_documented_counts() {
+        assert_eq!(product_terms(1).len(), 1);
+        assert_eq!(product_terms(2).len(), 3);
+        assert_eq!(product_terms(3).len(), 6);
+        // Magnitude ordering: term (i, j) has weight ~2^{-8(i+j)}.
+        for terms in [product_terms(2), product_terms(3)] {
+            let weights: Vec<usize> = terms.iter().map(|&(i, j)| i + j).collect();
+            let mut sorted = weights.clone();
+            sorted.sort_unstable();
+            assert_eq!(weights, sorted, "terms must be in decreasing magnitude order");
+        }
+    }
+
+    #[test]
+    fn bf16_exact_for_bf16_inputs() {
+        // Inputs already representable in BF16 suffer no conversion loss,
+        // and products/accumulation are exact in f32 for small k.
+        let a = vec![1.5f32, 2.0, 0.25, 3.0];
+        let b = vec![0.5f32, 1.0, 2.0, 4.0];
+        let mut acc = vec![0.0f32; 4];
+        matmul_acc_lowp(ComputeMode::FloatToBf16, &a, &b, &mut acc, 2, 2, 2);
+        let exact = matmul_reference(&a, &b, 2, 2, 2);
+        assert_eq!(acc, exact);
+    }
+}

@@ -1,0 +1,673 @@
+//! Level-3 GEMM routines with alternative-compute-mode dispatch.
+//!
+//! All four precision/domain combinations are provided with the standard
+//! BLAS semantics `C ← α·op(A)·op(B) + β·C` on row-major matrices:
+//!
+//! * [`sgemm`] — `f32`; honours the `FLOAT_TO_*` modes.
+//! * [`dgemm`] — `f64`; alternative modes do not apply (as in oneMKL,
+//!   which only accelerates single-precision data types).
+//! * [`cgemm`] — complex `f32`; honours `FLOAT_TO_*` *and* `COMPLEX_3M`.
+//!   This is the routine DCMESH's nonlocal correction lives in.
+//! * [`zgemm`] — complex `f64`; honours `COMPLEX_3M` only.
+//!
+//! Every call is logged through [`crate::verbose`] when recording is on.
+
+pub mod kernel;
+pub mod lowp;
+
+use crate::config::compute_mode;
+use crate::device::{Domain, GemmDesc};
+use crate::layout::{check_matrix, materialize_op_complex, materialize_op_real, Op};
+use crate::mode::ComputeMode;
+use crate::verbose::logged;
+use dcmesh_numerics::{Complex, Real, C32, C64};
+use kernel::matmul_acc;
+use lowp::matmul_acc_lowp;
+
+/// Validates GEMM dimensions and returns the stored shapes of A and B.
+#[track_caller]
+fn stored_shapes(
+    transa: Op,
+    transb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> ((usize, usize), (usize, usize)) {
+    let a_shape = match transa {
+        Op::None => (m, k),
+        Op::Trans | Op::ConjTrans => (k, m),
+    };
+    let b_shape = match transb {
+        Op::None => (k, n),
+        Op::Trans | Op::ConjTrans => (n, k),
+    };
+    (a_shape, b_shape)
+}
+
+/// Single-precision real GEMM: `C ← α·op(A)·op(B) + β·C`.
+///
+/// Honours the global compute mode: in the `FLOAT_TO_*` modes the product
+/// is computed on BF16/TF32 component matrices with FP32 accumulation.
+#[allow(clippy::too_many_arguments)]
+pub fn sgemm(
+    transa: Op,
+    transb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c: &mut [f32],
+    ldc: usize,
+) {
+    let mode = compute_mode();
+    let desc = GemmDesc { domain: Domain::Real32, m, n, k, mode };
+    logged("SGEMM", transa, transb, desc, || {
+        real_gemm_impl(mode, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    });
+}
+
+/// Double-precision real GEMM. Alternative compute modes do not apply.
+#[allow(clippy::too_many_arguments)]
+pub fn dgemm(
+    transa: Op,
+    transb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f64,
+    a: &[f64],
+    lda: usize,
+    b: &[f64],
+    ldb: usize,
+    beta: f64,
+    c: &mut [f64],
+    ldc: usize,
+) {
+    let desc = GemmDesc { domain: Domain::Real64, m, n, k, mode: ComputeMode::Standard };
+    logged("DGEMM", transa, transb, desc, || {
+        real_gemm_impl(
+            ComputeMode::Standard,
+            transa,
+            transb,
+            m,
+            n,
+            k,
+            alpha,
+            a,
+            lda,
+            b,
+            ldb,
+            beta,
+            c,
+            ldc,
+        );
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn real_gemm_impl<T: Real + LowpDispatch>(
+    mode: ComputeMode,
+    transa: Op,
+    transb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    beta: T,
+    c: &mut [T],
+    ldc: usize,
+) {
+    let ((ar, ac), (br, bc)) = stored_shapes(transa, transb, m, n, k);
+    check_matrix("A", ar, ac, lda, a.len());
+    check_matrix("B", br, bc, ldb, b.len());
+    check_matrix("C", m, n, ldc, c.len());
+    if m == 0 || n == 0 {
+        return;
+    }
+
+    // Fast path: alpha == 0 only scales C.
+    if alpha == T::ZERO {
+        scale_rows(c, m, n, ldc, beta);
+        return;
+    }
+
+    let mut aop = Vec::new();
+    let mut bop = Vec::new();
+    materialize_op_real(transa, a, ar, ac, lda, &mut aop);
+    materialize_op_real(transb, b, br, bc, ldb, &mut bop);
+
+    let mut product = vec![T::ZERO; m * n];
+    T::matmul_dispatch(mode, &aop, &bop, &mut product, m, n, k);
+
+    combine_rows(c, &product, m, n, ldc, alpha, beta);
+}
+
+/// Mode dispatch hook: `f32` supports the low-precision paths, `f64` is
+/// always standard.
+trait LowpDispatch: Real {
+    fn matmul_dispatch(
+        mode: ComputeMode,
+        a: &[Self],
+        b: &[Self],
+        acc: &mut [Self],
+        m: usize,
+        n: usize,
+        k: usize,
+    );
+}
+
+impl LowpDispatch for f32 {
+    fn matmul_dispatch(
+        mode: ComputeMode,
+        a: &[f32],
+        b: &[f32],
+        acc: &mut [f32],
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
+        matmul_acc_lowp(mode, a, b, acc, m, n, k);
+    }
+}
+
+impl LowpDispatch for f64 {
+    fn matmul_dispatch(
+        _mode: ComputeMode,
+        a: &[f64],
+        b: &[f64],
+        acc: &mut [f64],
+        m: usize,
+        n: usize,
+        k: usize,
+    ) {
+        matmul_acc(a, b, acc, m, n, k);
+    }
+}
+
+/// `C_block *= beta` over the logical m×n window of a padded matrix.
+fn scale_rows<T: Real>(c: &mut [T], m: usize, n: usize, ldc: usize, beta: T) {
+    if beta == T::ONE {
+        return;
+    }
+    for i in 0..m {
+        for v in &mut c[i * ldc..i * ldc + n] {
+            // beta == 0 must overwrite (it may NOT read C, which can hold
+            // uninitialised NaNs under BLAS semantics).
+            *v = if beta == T::ZERO { T::ZERO } else { *v * beta };
+        }
+    }
+}
+
+/// `C ← α·P + β·C` over the logical window.
+fn combine_rows<T: Real>(
+    c: &mut [T],
+    product: &[T],
+    m: usize,
+    n: usize,
+    ldc: usize,
+    alpha: T,
+    beta: T,
+) {
+    for i in 0..m {
+        let crow = &mut c[i * ldc..i * ldc + n];
+        let prow = &product[i * n..i * n + n];
+        if beta == T::ZERO {
+            for (cv, &pv) in crow.iter_mut().zip(prow) {
+                *cv = alpha * pv;
+            }
+        } else {
+            for (cv, &pv) in crow.iter_mut().zip(prow) {
+                *cv = alpha * pv + beta * *cv;
+            }
+        }
+    }
+}
+
+/// Single-precision complex GEMM — the routine at the heart of the paper.
+///
+/// Honours every compute mode: `FLOAT_TO_*` modes quantise the real and
+/// imaginary planes and run the four-product complex structure on the
+/// emulated systolic arrays; `COMPLEX_3M` runs the three-multiplication
+/// structure at native FP32 element precision.
+#[allow(clippy::too_many_arguments)]
+pub fn cgemm(
+    transa: Op,
+    transb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: C32,
+    a: &[C32],
+    lda: usize,
+    b: &[C32],
+    ldb: usize,
+    beta: C32,
+    c: &mut [C32],
+    ldc: usize,
+) {
+    let mode = compute_mode();
+    let desc = GemmDesc { domain: Domain::Complex32, m, n, k, mode };
+    logged("CGEMM", transa, transb, desc, || {
+        complex_gemm_impl(mode, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    });
+}
+
+/// Double-precision complex GEMM. Honours `COMPLEX_3M` only.
+#[allow(clippy::too_many_arguments)]
+pub fn zgemm(
+    transa: Op,
+    transb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: C64,
+    a: &[C64],
+    lda: usize,
+    b: &[C64],
+    ldb: usize,
+    beta: C64,
+    c: &mut [C64],
+    ldc: usize,
+) {
+    let mode = match compute_mode() {
+        ComputeMode::Complex3m => ComputeMode::Complex3m,
+        _ => ComputeMode::Standard,
+    };
+    let desc = GemmDesc { domain: Domain::Complex64, m, n, k, mode };
+    logged("ZGEMM", transa, transb, desc, || {
+        complex_gemm_impl(mode, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn complex_gemm_impl<T: Real + LowpDispatch>(
+    mode: ComputeMode,
+    transa: Op,
+    transb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: Complex<T>,
+    a: &[Complex<T>],
+    lda: usize,
+    b: &[Complex<T>],
+    ldb: usize,
+    beta: Complex<T>,
+    c: &mut [Complex<T>],
+    ldc: usize,
+) {
+    let ((ar, ac), (br, bc)) = stored_shapes(transa, transb, m, n, k);
+    check_matrix("A", ar, ac, lda, a.len());
+    check_matrix("B", br, bc, ldb, b.len());
+    check_matrix("C", m, n, ldc, c.len());
+    if m == 0 || n == 0 {
+        return;
+    }
+    if alpha == Complex::zero() {
+        for i in 0..m {
+            for v in &mut c[i * ldc..i * ldc + n] {
+                *v = if beta == Complex::zero() { Complex::zero() } else { *v * beta };
+            }
+        }
+        return;
+    }
+
+    // Materialise op(A), op(B) and separate the planes.
+    let mut aop = Vec::new();
+    let mut bop = Vec::new();
+    materialize_op_complex(transa, a, ar, ac, lda, &mut aop);
+    materialize_op_complex(transb, b, br, bc, ldb, &mut bop);
+    let (mut are, mut aim) = (Vec::new(), Vec::new());
+    let (mut bre, mut bim) = (Vec::new(), Vec::new());
+    crate::layout::deinterleave(&aop, m, k, k, &mut are, &mut aim);
+    crate::layout::deinterleave(&bop, k, n, n, &mut bre, &mut bim);
+
+    let (pre, pim) = if mode == ComputeMode::Complex3m {
+        complex_product_3m(&are, &aim, &bre, &bim, m, n, k)
+    } else {
+        complex_product_4m(mode, &are, &aim, &bre, &bim, m, n, k)
+    };
+
+    // C ← α·P + β·C on the interleaved output.
+    for i in 0..m {
+        let crow = &mut c[i * ldc..i * ldc + n];
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let p = Complex { re: pre[i * n + j], im: pim[i * n + j] };
+            let ap = alpha.mul_4m(p);
+            *cv = if beta == Complex::zero() { ap } else { ap + beta.mul_4m(*cv) };
+        }
+    }
+}
+
+/// Conventional complex product structure: four real GEMMs
+/// (`Re = ArBr − AiBi`, `Im = ArBi + AiBr`), each component product
+/// running at the selected low-precision mode.
+fn complex_product_4m<T: Real + LowpDispatch>(
+    mode: ComputeMode,
+    are: &[T],
+    aim: &[T],
+    bre: &[T],
+    bim: &[T],
+    m: usize,
+    n: usize,
+    k: usize,
+) -> (Vec<T>, Vec<T>) {
+    let mut pre = vec![T::ZERO; m * n];
+    let mut pim = vec![T::ZERO; m * n];
+    // Re += Ar·Br ; Re −= Ai·Bi (via negated copy so the accumulate kernel
+    // stays add-only, like the hardware's signed-accumulate).
+    T::matmul_dispatch(mode, are, bre, &mut pre, m, n, k);
+    let aim_neg: Vec<T> = aim.iter().map(|&x| -x).collect();
+    T::matmul_dispatch(mode, &aim_neg, bim, &mut pre, m, n, k);
+    // Im += Ar·Bi ; Im += Ai·Br
+    T::matmul_dispatch(mode, are, bim, &mut pim, m, n, k);
+    T::matmul_dispatch(mode, aim, bre, &mut pim, m, n, k);
+    (pre, pim)
+}
+
+/// 3M complex product structure: three real GEMMs.
+///
+/// ```text
+/// T1 = (Ar + Ai)·Br;  T2 = Ar·(Bi − Br);  T3 = Ai·(Br + Bi)
+/// Re = T1 − T3;       Im = T1 + T2
+/// ```
+fn complex_product_3m<T: Real>(
+    are: &[T],
+    aim: &[T],
+    bre: &[T],
+    bim: &[T],
+    m: usize,
+    n: usize,
+    k: usize,
+) -> (Vec<T>, Vec<T>) {
+    let a_sum: Vec<T> = are.iter().zip(aim).map(|(&r, &i)| r + i).collect();
+    let b_diff: Vec<T> = bim.iter().zip(bre).map(|(&i, &r)| i - r).collect();
+    let b_sum: Vec<T> = bre.iter().zip(bim).map(|(&r, &i)| r + i).collect();
+
+    let mut t1 = vec![T::ZERO; m * n];
+    let mut t2 = vec![T::ZERO; m * n];
+    let mut t3 = vec![T::ZERO; m * n];
+    matmul_acc(&a_sum, bre, &mut t1, m, n, k);
+    matmul_acc(are, &b_diff, &mut t2, m, n, k);
+    matmul_acc(aim, &b_sum, &mut t3, m, n, k);
+
+    let pre: Vec<T> = t1.iter().zip(&t3).map(|(&x, &y)| x - y).collect();
+    let pim: Vec<T> = t1.iter().zip(&t2).map(|(&x, &y)| x + y).collect();
+    (pre, pim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{set_compute_mode, with_compute_mode};
+    use dcmesh_numerics::{c32, c64};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_c32(rng: &mut StdRng, len: usize) -> Vec<C32> {
+        (0..len).map(|_| c32(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    }
+
+    fn rand_c64(rng: &mut StdRng, len: usize) -> Vec<C64> {
+        (0..len).map(|_| c64(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    }
+
+    /// Naive reference cgemm in f64 for validation.
+    fn ref_cgemm(
+        transa: Op,
+        transb: Op,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: C64,
+        a: &[C64],
+        lda: usize,
+        b: &[C64],
+        ldb: usize,
+        beta: C64,
+        c: &mut [C64],
+        ldc: usize,
+    ) {
+        let geta = |i: usize, kk: usize| match transa {
+            Op::None => a[i * lda + kk],
+            Op::Trans => a[kk * lda + i],
+            Op::ConjTrans => a[kk * lda + i].conj(),
+        };
+        let getb = |kk: usize, j: usize| match transb {
+            Op::None => b[kk * ldb + j],
+            Op::Trans => b[j * ldb + kk],
+            Op::ConjTrans => b[j * ldb + kk].conj(),
+        };
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = C64::zero();
+                for kk in 0..k {
+                    s += geta(i, kk) * getb(kk, j);
+                }
+                let cv = &mut c[i * ldc + j];
+                *cv = alpha * s + beta * *cv;
+            }
+        }
+    }
+
+    #[test]
+    fn sgemm_matches_reference_all_ops() {
+        set_compute_mode(ComputeMode::Standard);
+        let mut rng = StdRng::seed_from_u64(5);
+        let (m, n, k) = (7, 9, 11);
+        for &ta in &[Op::None, Op::Trans] {
+            for &tb in &[Op::None, Op::Trans] {
+                let (a_shape, b_shape) = super::stored_shapes(ta, tb, m, n, k);
+                let a: Vec<f32> =
+                    (0..a_shape.0 * a_shape.1).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let b: Vec<f32> =
+                    (0..b_shape.0 * b_shape.1).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let mut c: Vec<f32> = (0..m * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let c0 = c.clone();
+                sgemm(ta, tb, m, n, k, 2.0, &a, a_shape.1, &b, b_shape.1, 0.5, &mut c, n);
+
+                // reference in f64
+                let a64: Vec<C64> = a.iter().map(|&x| c64(x as f64, 0.0)).collect();
+                let b64: Vec<C64> = b.iter().map(|&x| c64(x as f64, 0.0)).collect();
+                let mut c64v: Vec<C64> = c0.iter().map(|&x| c64(x as f64, 0.0)).collect();
+                ref_cgemm(
+                    ta,
+                    tb,
+                    m,
+                    n,
+                    k,
+                    c64(2.0, 0.0),
+                    &a64,
+                    a_shape.1,
+                    &b64,
+                    b_shape.1,
+                    c64(0.5, 0.0),
+                    &mut c64v,
+                    n,
+                );
+                for (i, (&x, &y)) in c.iter().zip(&c64v).enumerate() {
+                    assert!(
+                        (x as f64 - y.re).abs() < 1e-5,
+                        "op({ta:?},{tb:?}) i={i}: {x} vs {}",
+                        y.re
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cgemm_matches_reference_all_ops_and_modes() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let (m, n, k) = (6, 5, 8);
+        for &ta in &[Op::None, Op::Trans, Op::ConjTrans] {
+            for &tb in &[Op::None, Op::Trans, Op::ConjTrans] {
+                let (a_shape, b_shape) = super::stored_shapes(ta, tb, m, n, k);
+                let a = rand_c32(&mut rng, a_shape.0 * a_shape.1);
+                let b = rand_c32(&mut rng, b_shape.0 * b_shape.1);
+                let c0 = rand_c32(&mut rng, m * n);
+                let alpha = c32(1.25, -0.5);
+                let beta = c32(0.25, 0.75);
+
+                let a64: Vec<C64> = a.iter().map(|z| z.to_c64()).collect();
+                let b64: Vec<C64> = b.iter().map(|z| z.to_c64()).collect();
+                let mut cref: Vec<C64> = c0.iter().map(|z| z.to_c64()).collect();
+                ref_cgemm(
+                    ta,
+                    tb,
+                    m,
+                    n,
+                    k,
+                    alpha.to_c64(),
+                    &a64,
+                    a_shape.1,
+                    &b64,
+                    b_shape.1,
+                    beta.to_c64(),
+                    &mut cref,
+                    n,
+                );
+
+                for mode in ComputeMode::ALL {
+                    let tol = match mode {
+                        ComputeMode::FloatToBf16 => 0.1,
+                        ComputeMode::FloatToTf32 => 0.02,
+                        ComputeMode::FloatToBf16x2 => 1e-3,
+                        _ => 1e-4,
+                    };
+                    let mut c = c0.clone();
+                    with_compute_mode(mode, || {
+                        cgemm(ta, tb, m, n, k, alpha, &a, a_shape.1, &b, b_shape.1, beta, &mut c, n);
+                    });
+                    for (i, (x, y)) in c.iter().zip(&cref).enumerate() {
+                        let d = (x.to_c64() - *y).abs();
+                        assert!(
+                            d < tol,
+                            "{mode:?} op({ta:?},{tb:?}) i={i}: {:?} vs {:?} (d={d})",
+                            x,
+                            y
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zgemm_standard_and_3m_agree_to_f64_accuracy() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let (m, n, k) = (5, 6, 7);
+        let a = rand_c64(&mut rng, m * k);
+        let b = rand_c64(&mut rng, k * n);
+        let mut c_std = vec![C64::zero(); m * n];
+        let mut c_3m = vec![C64::zero(); m * n];
+        with_compute_mode(ComputeMode::Standard, || {
+            zgemm(Op::None, Op::None, m, n, k, C64::one(), &a, k, &b, n, C64::zero(), &mut c_std, n);
+        });
+        with_compute_mode(ComputeMode::Complex3m, || {
+            zgemm(Op::None, Op::None, m, n, k, C64::one(), &a, k, &b, n, C64::zero(), &mut c_3m, n);
+        });
+        let mut max_d = 0.0f64;
+        let mut any_diff = false;
+        for (x, y) in c_std.iter().zip(&c_3m) {
+            let d = (*x - *y).abs();
+            max_d = max_d.max(d);
+            if x != y {
+                any_diff = true;
+            }
+        }
+        assert!(max_d < 1e-13, "3M deviates too much: {max_d}");
+        // The two algorithms round differently; identical output would
+        // suggest 3M was not actually taken.
+        assert!(any_diff, "3M path produced bit-identical results — suspicious");
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan() {
+        set_compute_mode(ComputeMode::Standard);
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 4.0];
+        let mut c = [f32::NAN];
+        sgemm(Op::None, Op::None, 1, 1, 2, 1.0, &a, 2, &b, 1, 0.0, &mut c, 1);
+        assert_eq!(c[0], 11.0);
+
+        let mut cz = [c32(f32::NAN, f32::NAN)];
+        let az = [c32(1.0, 0.0)];
+        let bz = [c32(2.0, 0.0)];
+        cgemm(Op::None, Op::None, 1, 1, 1, C32::one(), &az, 1, &bz, 1, C32::zero(), &mut cz, 1);
+        assert_eq!(cz[0], c32(2.0, 0.0));
+    }
+
+    #[test]
+    fn alpha_zero_skips_product() {
+        set_compute_mode(ComputeMode::Standard);
+        // A deliberately contains NaN: with alpha == 0 BLAS must not touch it.
+        let a = [f32::NAN];
+        let b = [f32::NAN];
+        let mut c = [7.0f32];
+        sgemm(Op::None, Op::None, 1, 1, 1, 0.0, &a, 1, &b, 1, 2.0, &mut c, 1);
+        assert_eq!(c[0], 14.0);
+    }
+
+    #[test]
+    fn leading_dimension_padding_respected() {
+        set_compute_mode(ComputeMode::Standard);
+        // C has ldc = 3 with a padding column that must survive untouched.
+        let a = [1.0f32, 0.0, 0.0, 1.0];
+        let b = [1.0f32, 2.0, 3.0, 4.0];
+        let mut c = [0.0f32, 0.0, -9.0, 0.0, 0.0, -9.0];
+        sgemm(Op::None, Op::None, 2, 2, 2, 1.0, &a, 2, &b, 2, 0.0, &mut c, 3);
+        assert_eq!(c, [1.0, 2.0, -9.0, 3.0, 4.0, -9.0]);
+    }
+
+    #[test]
+    fn dgemm_ignores_low_precision_modes() {
+        let a = vec![0.123456789012345f64; 16];
+        let b = vec![0.987654321098765f64; 16];
+        let run = |mode| {
+            let mut c = vec![0.0f64; 16];
+            with_compute_mode(mode, || {
+                dgemm(Op::None, Op::None, 4, 4, 4, 1.0, &a, 4, &b, 4, 0.0, &mut c, 4);
+            });
+            c
+        };
+        assert_eq!(run(ComputeMode::Standard), run(ComputeMode::FloatToBf16));
+    }
+
+    #[test]
+    fn cgemm_bf16_less_accurate_than_tf32() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let (m, n, k) = (8, 8, 32);
+        let a = rand_c32(&mut rng, m * k);
+        let b = rand_c32(&mut rng, k * n);
+        let mut exact = vec![C64::zero(); m * n];
+        let a64: Vec<C64> = a.iter().map(|z| z.to_c64()).collect();
+        let b64: Vec<C64> = b.iter().map(|z| z.to_c64()).collect();
+        ref_cgemm(Op::None, Op::None, m, n, k, C64::one(), &a64, k, &b64, n, C64::zero(), &mut exact, n);
+
+        let err = |mode| {
+            let mut c = vec![C32::zero(); m * n];
+            with_compute_mode(mode, || {
+                cgemm(Op::None, Op::None, m, n, k, C32::one(), &a, k, &b, n, C32::zero(), &mut c, n);
+            });
+            c.iter()
+                .zip(&exact)
+                .map(|(x, y)| (x.to_c64() - *y).abs())
+                .fold(0.0, f64::max)
+        };
+        let e_bf16 = err(ComputeMode::FloatToBf16);
+        let e_tf32 = err(ComputeMode::FloatToTf32);
+        let e_x3 = err(ComputeMode::FloatToBf16x3);
+        assert!(e_bf16 > e_tf32, "bf16 {e_bf16} <= tf32 {e_tf32}");
+        assert!(e_tf32 > e_x3, "tf32 {e_tf32} <= x3 {e_x3}");
+    }
+}

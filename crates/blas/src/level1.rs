@@ -1,0 +1,170 @@
+//! Level-1 BLAS helpers used by the LFD propagator.
+//!
+//! These are not affected by the alternative compute modes (oneMKL's modes
+//! apply to level-3 routines only), but DCMESH's non-BLASified mesh kernels
+//! are built on them, so they live here for a single linear-algebra story.
+
+use dcmesh_numerics::{Complex, Real};
+
+/// `y ← α·x + y` (real).
+pub fn axpy<T: Real>(alpha: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    if alpha == T::ZERO {
+        return;
+    }
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += alpha * xv;
+    }
+}
+
+/// `y ← α·x + y` (complex, complex α).
+pub fn caxpy<T: Real>(alpha: Complex<T>, x: &[Complex<T>], y: &mut [Complex<T>]) {
+    assert_eq!(x.len(), y.len(), "caxpy length mismatch");
+    if alpha == Complex::zero() {
+        return;
+    }
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += alpha.mul_4m(xv);
+    }
+}
+
+/// `x ← α·x` (real).
+pub fn scal<T: Real>(alpha: T, x: &mut [T]) {
+    for v in x {
+        *v *= alpha;
+    }
+}
+
+/// `x ← α·x` (complex, complex α).
+pub fn cscal<T: Real>(alpha: Complex<T>, x: &mut [Complex<T>]) {
+    for v in x {
+        *v = alpha.mul_4m(*v);
+    }
+}
+
+/// Real dot product `xᵀ·y`.
+pub fn dot<T: Real>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "dot length mismatch");
+    let mut s = T::ZERO;
+    for (&a, &b) in x.iter().zip(y) {
+        s += a * b;
+    }
+    s
+}
+
+/// Conjugated complex dot product `x†·y` (BLAS `dotc`).
+pub fn dotc<T: Real>(x: &[Complex<T>], y: &[Complex<T>]) -> Complex<T> {
+    assert_eq!(x.len(), y.len(), "dotc length mismatch");
+    let mut s = Complex::zero();
+    for (&a, &b) in x.iter().zip(y) {
+        s += a.conj().mul_4m(b);
+    }
+    s
+}
+
+/// Unconjugated complex dot product `xᵀ·y` (BLAS `dotu`).
+pub fn dotu<T: Real>(x: &[Complex<T>], y: &[Complex<T>]) -> Complex<T> {
+    assert_eq!(x.len(), y.len(), "dotu length mismatch");
+    let mut s = Complex::zero();
+    for (&a, &b) in x.iter().zip(y) {
+        s += a.mul_4m(b);
+    }
+    s
+}
+
+/// Euclidean norm of a real vector, with scaling against overflow.
+pub fn nrm2<T: Real>(x: &[T]) -> T {
+    let mut scale = T::ZERO;
+    let mut ssq = T::ONE;
+    for &v in x {
+        if v == T::ZERO {
+            continue;
+        }
+        let a = v.abs();
+        if scale < a {
+            let r = scale / a;
+            ssq = T::ONE + ssq * r * r;
+            scale = a;
+        } else {
+            let r = a / scale;
+            ssq += r * r;
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// Euclidean norm of a complex vector.
+pub fn cnrm2<T: Real>(x: &[Complex<T>]) -> T {
+    // View as a real vector of twice the length.
+    nrm2(dcmesh_numerics::complex::as_interleaved(x))
+}
+
+/// Sum of |Re| + |Im| (BLAS `asum` for complex vectors).
+pub fn casum<T: Real>(x: &[Complex<T>]) -> T {
+    let mut s = T::ZERO;
+    for z in x {
+        s += z.re.abs() + z.im.abs();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcmesh_numerics::{c64, C64};
+
+    #[test]
+    fn axpy_and_scal() {
+        let x = [1.0f64, 2.0, 3.0];
+        let mut y = [1.0f64, 1.0, 1.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [3.0, 5.0, 7.0]);
+        scal(0.5, &mut y);
+        assert_eq!(y, [1.5, 2.5, 3.5]);
+    }
+
+    #[test]
+    fn dotc_conjugates_left_argument() {
+        let x = [c64(0.0, 1.0)];
+        let y = [c64(0.0, 1.0)];
+        // <i, i> = conj(i)*i = -i*i = 1
+        assert_eq!(dotc(&x, &y), c64(1.0, 0.0));
+        // dotu: i*i = -1
+        assert_eq!(dotu(&x, &y), c64(-1.0, 0.0));
+    }
+
+    #[test]
+    fn nrm2_overflow_safe() {
+        let x = [3.0e200_f64, 4.0e200];
+        assert!((nrm2(&x) - 5.0e200).abs() < 1e188);
+        let y: [f64; 0] = [];
+        assert_eq!(nrm2(&y), 0.0);
+    }
+
+    #[test]
+    fn cnrm2_matches_manual() {
+        let x = [c64(3.0, 0.0), c64(0.0, 4.0)];
+        assert!((cnrm2(&x) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn casum_sums_components() {
+        let x = [c64(1.0, -2.0), c64(-3.0, 4.0)];
+        assert_eq!(casum(&x), 10.0);
+    }
+
+    #[test]
+    fn caxpy_complex_alpha() {
+        let x = [C64::one()];
+        let mut y = [C64::zero()];
+        caxpy(c64(0.0, 2.0), &x, &mut y);
+        assert_eq!(y[0], c64(0.0, 2.0));
+    }
+
+    #[test]
+    fn cscal_rotates() {
+        let mut x = [c64(1.0, 0.0)];
+        cscal(c64(0.0, 1.0), &mut x);
+        assert_eq!(x[0], c64(0.0, 1.0));
+    }
+}

@@ -1,0 +1,253 @@
+//! The alternative BLAS compute modes (paper Table II).
+
+use core::fmt;
+use core::str::FromStr;
+
+/// A BLAS level-3 compute mode, mirroring oneMKL's
+/// `MKL_BLAS_COMPUTE_MODE` settings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum ComputeMode {
+    /// Standard IEEE arithmetic at the routine's native precision
+    /// (the paper's FP32/FP64 baselines).
+    #[default]
+    Standard,
+    /// `FLOAT_TO_BF16`: inputs truncated to one BF16 term, FP32 accumulate.
+    FloatToBf16,
+    /// `FLOAT_TO_BF16X2`: inputs split into two BF16 terms, the three
+    /// leading cross products kept, FP32 accumulate.
+    FloatToBf16x2,
+    /// `FLOAT_TO_BF16X3`: inputs split into three BF16 terms, the six
+    /// leading cross products kept, FP32 accumulate. Accuracy comparable
+    /// to standard single precision.
+    FloatToBf16x3,
+    /// `FLOAT_TO_TF32`: inputs rounded to TF32, FP32 accumulate.
+    FloatToTf32,
+    /// `COMPLEX_3M`: 3-multiplication complex product (three real GEMMs
+    /// instead of four), same input precision.
+    Complex3m,
+}
+
+impl ComputeMode {
+    /// All modes in paper Table II order (plus the Standard baseline first).
+    pub const ALL: [ComputeMode; 6] = [
+        ComputeMode::Standard,
+        ComputeMode::FloatToBf16,
+        ComputeMode::FloatToBf16x2,
+        ComputeMode::FloatToBf16x3,
+        ComputeMode::FloatToTf32,
+        ComputeMode::Complex3m,
+    ];
+
+    /// The five *alternative* modes studied by the paper (everything except
+    /// the Standard baseline).
+    pub const ALTERNATIVE: [ComputeMode; 5] = [
+        ComputeMode::FloatToBf16,
+        ComputeMode::FloatToBf16x2,
+        ComputeMode::FloatToBf16x3,
+        ComputeMode::FloatToTf32,
+        ComputeMode::Complex3m,
+    ];
+
+    /// The `MKL_BLAS_COMPUTE_MODE` value selecting this mode, or `None`
+    /// for the default mode.
+    pub fn env_value(self) -> Option<&'static str> {
+        match self {
+            ComputeMode::Standard => None,
+            ComputeMode::FloatToBf16 => Some("FLOAT_TO_BF16"),
+            ComputeMode::FloatToBf16x2 => Some("FLOAT_TO_BF16X2"),
+            ComputeMode::FloatToBf16x3 => Some("FLOAT_TO_BF16X3"),
+            ComputeMode::FloatToTf32 => Some("FLOAT_TO_TF32"),
+            ComputeMode::Complex3m => Some("COMPLEX_3M"),
+        }
+    }
+
+    /// Short display name as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ComputeMode::Standard => "FP32",
+            ComputeMode::FloatToBf16 => "BF16",
+            ComputeMode::FloatToBf16x2 => "BF16x2",
+            ComputeMode::FloatToBf16x3 => "BF16x3",
+            ComputeMode::FloatToTf32 => "TF32",
+            ComputeMode::Complex3m => "Complex_3m",
+        }
+    }
+
+    /// Peak theoretical speedup of a level-3 routine in this mode relative
+    /// to FP32 on the vector engines (paper Table II).
+    ///
+    /// BF16 runs on the matrix engines at 16× FP32 vector throughput; the
+    /// x2/x3 splits pay 3 and 6 component products, giving 16/3× and
+    /// (16/6 = 8/3)×. TF32 systolic peak is 8× FP32. `COMPLEX_3M` keeps
+    /// the element precision but removes a quarter of the real
+    /// multiplications, for 4/3×.
+    pub fn theoretical_speedup(self) -> f64 {
+        match self {
+            ComputeMode::Standard => 1.0,
+            ComputeMode::FloatToBf16 => 16.0,
+            ComputeMode::FloatToBf16x2 => 16.0 / 3.0,
+            ComputeMode::FloatToBf16x3 => 8.0 / 3.0,
+            ComputeMode::FloatToTf32 => 8.0,
+            ComputeMode::Complex3m => 4.0 / 3.0,
+        }
+    }
+
+    /// Number of BF16/TF32 split terms per input value (`None` when the
+    /// mode does not re-represent its inputs).
+    pub fn split_depth(self) -> Option<usize> {
+        match self {
+            ComputeMode::FloatToBf16 => Some(1),
+            ComputeMode::FloatToBf16x2 => Some(2),
+            ComputeMode::FloatToBf16x3 => Some(3),
+            ComputeMode::FloatToTf32 => Some(1),
+            ComputeMode::Standard | ComputeMode::Complex3m => None,
+        }
+    }
+
+    /// Number of component-matrix products a real GEMM in this mode
+    /// executes on the (emulated) systolic arrays.
+    pub fn component_products(self) -> usize {
+        match self {
+            ComputeMode::Standard | ComputeMode::Complex3m => 1,
+            ComputeMode::FloatToBf16 | ComputeMode::FloatToTf32 => 1,
+            ComputeMode::FloatToBf16x2 => 3,
+            ComputeMode::FloatToBf16x3 => 6,
+        }
+    }
+
+    /// Effective significand bits carried by the mode's input
+    /// representation (implicit bit included); drives the accuracy
+    /// ordering observed in the paper.
+    pub fn effective_mantissa_bits(self) -> u32 {
+        match self {
+            ComputeMode::Standard | ComputeMode::Complex3m => 24,
+            ComputeMode::FloatToBf16 => 8,
+            ComputeMode::FloatToBf16x2 => 16,
+            ComputeMode::FloatToBf16x3 => 24,
+            ComputeMode::FloatToTf32 => 11,
+        }
+    }
+
+    /// True for the modes that execute on the XMX matrix engines.
+    pub fn uses_matrix_engines(self) -> bool {
+        self.split_depth().is_some()
+    }
+
+    /// Parses the `MKL_BLAS_COMPUTE_MODE` environment value. Empty or
+    /// unset strings mean [`ComputeMode::Standard`]. Unknown values are an
+    /// error (oneMKL silently ignores them; we prefer to fail loudly).
+    pub fn from_env_value(value: &str) -> Result<ComputeMode, ParseModeError> {
+        let v = value.trim();
+        if v.is_empty() {
+            return Ok(ComputeMode::Standard);
+        }
+        for mode in ComputeMode::ALTERNATIVE {
+            if mode.env_value().is_some_and(|e| e.eq_ignore_ascii_case(v)) {
+                return Ok(mode);
+            }
+        }
+        if v.eq_ignore_ascii_case("STANDARD") {
+            return Ok(ComputeMode::Standard);
+        }
+        Err(ParseModeError { value: v.to_string() })
+    }
+}
+
+impl fmt::Display for ComputeMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for ComputeMode {
+    type Err = ParseModeError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        // Accept both env-variable spellings and figure labels.
+        ComputeMode::from_env_value(s).or_else(|e| {
+            ComputeMode::ALL
+                .into_iter()
+                .find(|m| m.label().eq_ignore_ascii_case(s.trim()))
+                .ok_or(e)
+        })
+    }
+}
+
+/// Error returned for an unrecognised compute-mode string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseModeError {
+    /// The offending value.
+    pub value: String,
+}
+
+impl fmt::Display for ParseModeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown MKL_BLAS_COMPUTE_MODE value: {:?}", self.value)
+    }
+}
+
+impl std::error::Error for ParseModeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ii_env_values() {
+        assert_eq!(ComputeMode::FloatToBf16.env_value(), Some("FLOAT_TO_BF16"));
+        assert_eq!(ComputeMode::FloatToBf16x2.env_value(), Some("FLOAT_TO_BF16X2"));
+        assert_eq!(ComputeMode::FloatToBf16x3.env_value(), Some("FLOAT_TO_BF16X3"));
+        assert_eq!(ComputeMode::FloatToTf32.env_value(), Some("FLOAT_TO_TF32"));
+        assert_eq!(ComputeMode::Complex3m.env_value(), Some("COMPLEX_3M"));
+        assert_eq!(ComputeMode::Standard.env_value(), None);
+    }
+
+    #[test]
+    fn table_ii_theoretical_speedups() {
+        assert_eq!(ComputeMode::FloatToBf16.theoretical_speedup(), 16.0);
+        assert!((ComputeMode::FloatToBf16x2.theoretical_speedup() - 16.0 / 3.0).abs() < 1e-12);
+        assert!((ComputeMode::FloatToBf16x3.theoretical_speedup() - 8.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ComputeMode::FloatToTf32.theoretical_speedup(), 8.0);
+        assert!((ComputeMode::Complex3m.theoretical_speedup() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_env_parse() {
+        for mode in ComputeMode::ALTERNATIVE {
+            let parsed = ComputeMode::from_env_value(mode.env_value().unwrap()).unwrap();
+            assert_eq!(parsed, mode);
+        }
+        assert_eq!(ComputeMode::from_env_value("").unwrap(), ComputeMode::Standard);
+        assert_eq!(
+            ComputeMode::from_env_value("float_to_bf16").unwrap(),
+            ComputeMode::FloatToBf16
+        );
+        assert!(ComputeMode::from_env_value("FLOAT_TO_FP8").is_err());
+    }
+
+    #[test]
+    fn labels_parse_too() {
+        assert_eq!("BF16x3".parse::<ComputeMode>().unwrap(), ComputeMode::FloatToBf16x3);
+        assert_eq!("Complex_3m".parse::<ComputeMode>().unwrap(), ComputeMode::Complex3m);
+        assert_eq!("FP32".parse::<ComputeMode>().unwrap(), ComputeMode::Standard);
+    }
+
+    #[test]
+    fn split_depth_and_products_consistent() {
+        // x2 keeps 3 of 4 cross products, x3 keeps 6 of 9.
+        assert_eq!(ComputeMode::FloatToBf16x2.component_products(), 3);
+        assert_eq!(ComputeMode::FloatToBf16x3.component_products(), 6);
+        // Speedup = systolic peak ratio / products.
+        let x2 = ComputeMode::FloatToBf16x2;
+        assert!((x2.theoretical_speedup() - 16.0 / x2.component_products() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_ordering_matches_paper() {
+        use ComputeMode::*;
+        let bits = |m: ComputeMode| m.effective_mantissa_bits();
+        assert!(bits(FloatToBf16) < bits(FloatToTf32));
+        assert!(bits(FloatToTf32) < bits(FloatToBf16x2));
+        assert!(bits(FloatToBf16x2) < bits(FloatToBf16x3));
+        assert_eq!(bits(FloatToBf16x3), bits(Standard));
+    }
+}

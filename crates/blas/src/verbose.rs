@@ -1,0 +1,237 @@
+//! `MKL_VERBOSE`-style call logging.
+//!
+//! The paper extracts per-call BLAS timings and matrix dimensions from
+//! `MKL_VERBOSE=2` output (Tables VI/VII, Figure 3b). This module provides
+//! the equivalent: every level-3 call appends a [`CallRecord`] carrying the
+//! routine name, `op` letters, `m/n/k`, the active compute mode, the
+//! measured host wall time, and — when a device model is installed — the
+//! modelled GPU execution time.
+//!
+//! Recording is enabled either by `MKL_VERBOSE >= 1` in the environment or
+//! programmatically via [`set_recording`]; harnesses use the latter so they
+//! work without touching the environment. Printing of per-call lines (the
+//! actual `MKL_VERBOSE` behaviour) happens at env level >= 1.
+
+use crate::config::verbose_level;
+use crate::device::{Domain, GemmDesc};
+use crate::mode::ComputeMode;
+use crate::Op;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// One logged BLAS call.
+#[derive(Clone, Debug)]
+pub struct CallRecord {
+    /// BLAS routine name (`SGEMM`, `CGEMM`, ...).
+    pub routine: &'static str,
+    /// `op(A)` letter.
+    pub transa: char,
+    /// `op(B)` letter.
+    pub transb: char,
+    /// Rows of C.
+    pub m: usize,
+    /// Columns of C.
+    pub n: usize,
+    /// Inner dimension.
+    pub k: usize,
+    /// Compute mode in effect.
+    pub mode: ComputeMode,
+    /// Element domain.
+    pub domain: Domain,
+    /// Host wall time of the (emulated) computation.
+    pub wall: Duration,
+    /// Modelled device execution time, if a device model is installed.
+    pub device_seconds: Option<f64>,
+}
+
+impl CallRecord {
+    /// The timing that experiments should use: modelled device time when
+    /// available, host wall time otherwise.
+    pub fn effective_seconds(&self) -> f64 {
+        self.device_seconds.unwrap_or_else(|| self.wall.as_secs_f64())
+    }
+
+    /// Formats the record like an `MKL_VERBOSE` line.
+    pub fn to_verbose_line(&self) -> String {
+        let dev = match self.device_seconds {
+            Some(s) => format!(" dev:{:.3}ms", s * 1e3),
+            None => String::new(),
+        };
+        format!(
+            "MKL_VERBOSE {}({},{},{},{},{}) mode:{} {:.3}ms{}",
+            self.routine,
+            self.transa,
+            self.transb,
+            self.m,
+            self.n,
+            self.k,
+            self.mode.env_value().unwrap_or("STANDARD"),
+            self.wall.as_secs_f64() * 1e3,
+            dev
+        )
+    }
+}
+
+static RECORDING: AtomicBool = AtomicBool::new(false);
+static LOG: Mutex<Vec<CallRecord>> = Mutex::new(Vec::new());
+
+/// Enables or disables in-memory call recording.
+pub fn set_recording(on: bool) {
+    RECORDING.store(on, Ordering::Release);
+}
+
+/// True when calls are being recorded (programmatic or via `MKL_VERBOSE`).
+pub fn recording() -> bool {
+    RECORDING.load(Ordering::Acquire) || verbose_level() >= 1
+}
+
+/// Appends a record (called by the GEMM wrappers).
+pub(crate) fn record(rec: CallRecord) {
+    if verbose_level() >= 1 {
+        eprintln!("{}", rec.to_verbose_line());
+    }
+    LOG.lock().push(rec);
+}
+
+/// Removes and returns all recorded calls.
+pub fn drain() -> Vec<CallRecord> {
+    std::mem::take(&mut *LOG.lock())
+}
+
+/// Returns a copy of the recorded calls without clearing.
+pub fn snapshot() -> Vec<CallRecord> {
+    LOG.lock().clone()
+}
+
+/// Clears the log.
+pub fn clear() {
+    LOG.lock().clear();
+}
+
+/// Aggregate statistics over a set of call records (per-routine totals, as
+/// the paper computes from its `MKL_VERBOSE` dumps).
+#[derive(Clone, Debug, Default)]
+pub struct CallSummary {
+    /// Number of calls.
+    pub calls: usize,
+    /// Sum of effective times in seconds.
+    pub total_seconds: f64,
+    /// Sum of real multiply-accumulate operations.
+    pub total_macs: f64,
+}
+
+impl CallSummary {
+    /// Mean effective seconds per call.
+    pub fn mean_seconds(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.total_seconds / self.calls as f64
+        }
+    }
+}
+
+/// Summarises records, grouped by routine name.
+pub fn summarize(records: &[CallRecord]) -> Vec<(&'static str, CallSummary)> {
+    let mut out: Vec<(&'static str, CallSummary)> = Vec::new();
+    for r in records {
+        let desc = GemmDesc { domain: r.domain, m: r.m, n: r.n, k: r.k, mode: r.mode };
+        let entry = match out.iter_mut().find(|(name, _)| *name == r.routine) {
+            Some((_, s)) => s,
+            None => {
+                out.push((r.routine, CallSummary::default()));
+                &mut out.last_mut().expect("just pushed").1
+            }
+        };
+        entry.calls += 1;
+        entry.total_seconds += r.effective_seconds();
+        entry.total_macs += desc.real_macs();
+    }
+    out
+}
+
+/// Helper used by the GEMM wrappers: wraps a computation with timing and
+/// logging. Returns the closure's result.
+pub(crate) fn logged<R>(
+    routine: &'static str,
+    transa: Op,
+    transb: Op,
+    desc: GemmDesc,
+    f: impl FnOnce() -> R,
+) -> R {
+    if !recording() {
+        return f();
+    }
+    let start = std::time::Instant::now();
+    let out = f();
+    let wall = start.elapsed();
+    record(CallRecord {
+        routine,
+        transa: transa.letter(),
+        transb: transb.letter(),
+        m: desc.m,
+        n: desc.n,
+        k: desc.k,
+        mode: desc.mode,
+        domain: desc.domain,
+        wall,
+        device_seconds: crate::device::modelled_gemm_time(&desc),
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(routine: &'static str, secs: f64) -> CallRecord {
+        CallRecord {
+            routine,
+            transa: 'N',
+            transb: 'N',
+            m: 2,
+            n: 3,
+            k: 4,
+            mode: ComputeMode::Standard,
+            domain: Domain::Real32,
+            wall: Duration::from_secs_f64(secs),
+            device_seconds: None,
+        }
+    }
+
+    #[test]
+    fn verbose_line_format() {
+        let mut r = rec("CGEMM", 0.001);
+        r.mode = ComputeMode::FloatToBf16;
+        r.device_seconds = Some(0.0005);
+        let line = r.to_verbose_line();
+        assert!(line.contains("CGEMM(N,N,2,3,4)"), "{line}");
+        assert!(line.contains("FLOAT_TO_BF16"), "{line}");
+        assert!(line.contains("dev:0.500ms"), "{line}");
+    }
+
+    #[test]
+    fn summarize_groups_by_routine() {
+        let recs = vec![rec("SGEMM", 1.0), rec("CGEMM", 2.0), rec("SGEMM", 3.0)];
+        let sum = summarize(&recs);
+        assert_eq!(sum.len(), 2);
+        let sgemm = &sum.iter().find(|(n, _)| *n == "SGEMM").unwrap().1;
+        assert_eq!(sgemm.calls, 2);
+        assert!((sgemm.total_seconds - 4.0).abs() < 1e-12);
+        assert!((sgemm.mean_seconds() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_time_prefers_device() {
+        let mut r = rec("SGEMM", 1.0);
+        assert_eq!(r.effective_seconds(), 1.0);
+        r.device_seconds = Some(0.25);
+        assert_eq!(r.effective_seconds(), 0.25);
+    }
+
+    #[test]
+    fn empty_summary_mean_is_zero() {
+        assert_eq!(CallSummary::default().mean_seconds(), 0.0);
+    }
+}

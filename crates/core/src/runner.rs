@@ -1,0 +1,339 @@
+//! The production run loop.
+//!
+//! Mirrors DCMESH's multiple-time-scale splitting: the wave function is
+//! initialised by SCF at FP64, then each MD step runs 500 QD steps of LFD
+//! (at FP32 plus the active BLAS compute mode — or all-FP64), executes the
+//! FP64 SCF refresh, and advances the ions on the shadow potential. The
+//! per-QD-step observables form the run record that the Figure 1/2
+//! analysis consumes.
+
+use crate::config::RunConfig;
+use dcmesh_lfd::nonlocal::LfdScalar;
+use dcmesh_lfd::policy::PrecisionPolicy;
+use dcmesh_lfd::propagator::{qd_step_with_policy, QdScratch};
+use dcmesh_lfd::{LfdState, StepObservables};
+use dcmesh_qxmd::scf::{initial_scf, scf_refresh};
+use dcmesh_qxmd::shadow::{shadow_drift, sync_with_shadow, TransferLedger};
+use dcmesh_qxmd::{pto_supercell, MdIntegrator};
+use mkl_lite::ComputeMode;
+
+/// Everything a finished run produced.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Label echoed from the configuration plus the compute mode.
+    pub label: String,
+    /// Compute mode the BLAS calls ran in.
+    pub mode: ComputeMode,
+    /// Per-QD-step observables (every `record_every`-th step).
+    pub records: Vec<StepObservables>,
+    /// Orthonormality defect absorbed by each SCF refresh — the
+    /// accumulated low-precision drift per 500-step burst.
+    pub scf_drift: Vec<f64>,
+    /// Shadow-matrix drift sampled at each MD boundary.
+    pub shadow_drift: Vec<f64>,
+    /// Ionic temperature (K) per MD step.
+    pub ion_temperature: Vec<f64>,
+    /// CPU↔GPU transfer ledger (shadow-dynamics accounting).
+    pub transfers: TransferLedger,
+}
+
+impl RunResult {
+    /// The last recorded observables.
+    pub fn last(&self) -> &StepObservables {
+        self.records.last().expect("run produced no records")
+    }
+}
+
+/// Runs the full simulation at element width `T` (`f32` for the paper's
+/// mixed-precision configurations, `f64` for its FP64 baseline) under the
+/// *currently active* compute mode. Sweeps use
+/// [`mkl_lite::with_compute_mode`] around this call.
+pub fn run_simulation<T: LfdScalar>(cfg: &RunConfig) -> RunResult {
+    run_simulation_with_policy::<T>(cfg, &PrecisionPolicy::Ambient)
+}
+
+/// [`run_simulation`] with a per-call-site [`PrecisionPolicy`] — each of
+/// the nine BLAS calls per QD step runs in the mode the policy assigns
+/// it. This is the mixed-precision configuration space the paper's
+/// env-var methodology could not reach (§IV-D).
+pub fn run_simulation_with_policy<T: LfdScalar>(
+    cfg: &RunConfig,
+    policy: &PrecisionPolicy,
+) -> RunResult {
+    cfg.validate().expect("invalid configuration");
+    let params = cfg.lfd_params();
+    params.validate();
+
+    // QXMD side: ions and their potential on the mesh.
+    let mut system = pto_supercell(cfg.supercell);
+    let vloc: Vec<T> = system.local_potential(&params.mesh, cfg.vloc_depth);
+
+    // LFD side: wave functions, initialised by SCF (FP64).
+    let mut state = LfdState::<T>::initialize(&params, vloc);
+    initial_scf(&params, &mut state, 3, 1e-10);
+
+    let mut md = MdIntegrator::new(&system, cfg.qd_steps_per_md as f64 * cfg.dt, cfg.ehrenfest_softening);
+    let mut scratch = QdScratch::new(&params);
+
+    let mode = mkl_lite::compute_mode();
+    let mut result = RunResult {
+        label: format!("{}/{}", cfg.label, mode.label()),
+        mode,
+        records: Vec::with_capacity(cfg.total_qd_steps / cfg.record_every + 1),
+        scf_drift: Vec::new(),
+        shadow_drift: Vec::new(),
+        ion_temperature: Vec::new(),
+        transfers: TransferLedger::default(),
+    };
+
+    let mut steps_done = 0usize;
+    let mut last_nexc = 0.0f64;
+    while steps_done < cfg.total_qd_steps {
+        let burst = cfg.qd_steps_per_md.min(cfg.total_qd_steps - steps_done);
+        // --- LFD: one burst of QD steps on the "GPU" ---
+        for s in 0..burst {
+            let obs = qd_step_with_policy(&params, &mut state, &mut scratch, policy);
+            last_nexc = obs.nexc;
+            if (steps_done + s) % cfg.record_every == 0 {
+                result.records.push(obs);
+            }
+        }
+        steps_done += burst;
+
+        // --- boundary: shadow sync, FP64 SCF refresh, ionic step ---
+        result.shadow_drift.push(shadow_drift(&state, params.n_orb));
+        sync_with_shadow(&mut result.transfers, params.mesh.len(), params.n_orb, system.len());
+
+        let report = scf_refresh(&params, &mut state);
+        result.scf_drift.push(report.defect_before);
+
+        let excitation_fraction = (last_nexc / params.n_electrons()).clamp(0.0, 1.0);
+        md.step(&mut system, excitation_fraction);
+        result.ion_temperature.push(md.temperature(&system));
+
+        // Ion motion updates the potential the electrons feel.
+        let new_vloc: Vec<T> = system.local_potential(&params.mesh, cfg.vloc_depth);
+        state.vloc = new_vloc;
+    }
+    result
+}
+
+
+/// Runs the simulation with periodic checkpointing: a
+/// [`crate::checkpoint::Checkpoint`] is written to `dir/dcmesh-<step>.ck`
+/// at every MD boundary, and — if a newer checkpoint for this deck shape
+/// already exists in `dir` — the run **resumes** from it instead of
+/// starting over. Resumed runs continue bit-for-bit identically to an
+/// uninterrupted run (guaranteed by the checkpoint tests), so the paper's
+/// 2-day-per-mode accuracy runs survive job-time limits without
+/// corrupting the deviation analysis.
+///
+/// Returns the run result covering only the steps executed *in this
+/// invocation* (records from before the resume point live in the earlier
+/// invocation's output).
+pub fn run_with_checkpoints<T: LfdScalar>(
+    cfg: &RunConfig,
+    policy: &PrecisionPolicy,
+    dir: &std::path::Path,
+) -> std::io::Result<RunResult> {
+    use crate::checkpoint::Checkpoint;
+
+    cfg.validate().expect("invalid configuration");
+    let params = cfg.lfd_params();
+    params.validate();
+    std::fs::create_dir_all(dir)?;
+
+    // Look for the newest resumable checkpoint.
+    let mut newest: Option<(u64, std::path::PathBuf)> = None;
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if let Some(step) = name
+            .strip_prefix("dcmesh-")
+            .and_then(|r| r.strip_suffix(".ck"))
+            .and_then(|r| r.parse::<u64>().ok())
+        {
+            if newest.as_ref().is_none_or(|(s, _)| step > *s) {
+                newest = Some((step, path));
+            }
+        }
+    }
+
+    let (mut system, mut state, mut steps_done) = match newest {
+        Some((_, path)) => match Checkpoint::<T>::load(&path) {
+            Ok(ck) if ck.validate(&params).is_ok() => {
+                (ck.system, ck.state, ck.steps_done as usize)
+            }
+            _ => fresh_start::<T>(cfg, &params),
+        },
+        None => fresh_start::<T>(cfg, &params),
+    };
+
+    let mut md = MdIntegrator::new(
+        &system,
+        cfg.qd_steps_per_md as f64 * cfg.dt,
+        cfg.ehrenfest_softening,
+    );
+    let mut scratch = QdScratch::new(&params);
+    let mode = mkl_lite::compute_mode();
+    let mut result = RunResult {
+        label: format!("{}/{}", cfg.label, mode.label()),
+        mode,
+        records: Vec::new(),
+        scf_drift: Vec::new(),
+        shadow_drift: Vec::new(),
+        ion_temperature: Vec::new(),
+        transfers: TransferLedger::default(),
+    };
+
+    let mut last_nexc = 0.0f64;
+    while steps_done < cfg.total_qd_steps {
+        let burst = cfg.qd_steps_per_md.min(cfg.total_qd_steps - steps_done);
+        for s in 0..burst {
+            let obs = qd_step_with_policy(&params, &mut state, &mut scratch, policy);
+            last_nexc = obs.nexc;
+            if (steps_done + s) % cfg.record_every == 0 {
+                result.records.push(obs);
+            }
+        }
+        steps_done += burst;
+
+        result.shadow_drift.push(shadow_drift(&state, params.n_orb));
+        sync_with_shadow(&mut result.transfers, params.mesh.len(), params.n_orb, system.len());
+        let report = scf_refresh(&params, &mut state);
+        result.scf_drift.push(report.defect_before);
+
+        let excitation_fraction = (last_nexc / params.n_electrons()).clamp(0.0, 1.0);
+        md.step(&mut system, excitation_fraction);
+        result.ion_temperature.push(md.temperature(&system));
+        state.vloc = system.local_potential(&params.mesh, cfg.vloc_depth);
+
+        // Checkpoint the boundary state.
+        let ck = Checkpoint {
+            state: state.clone(),
+            system: system.clone(),
+            steps_done: steps_done as u64,
+        };
+        ck.save(&dir.join(format!("dcmesh-{steps_done}.ck")))?;
+    }
+    Ok(result)
+}
+
+fn fresh_start<T: LfdScalar>(
+    cfg: &RunConfig,
+    params: &dcmesh_lfd::LfdParams,
+) -> (dcmesh_qxmd::AtomicSystem, LfdState<T>, usize) {
+    let system = pto_supercell(cfg.supercell);
+    let vloc: Vec<T> = system.local_potential(&params.mesh, cfg.vloc_depth);
+    let mut state = LfdState::<T>::initialize(params, vloc);
+    initial_scf(params, &mut state, 3, 1e-10);
+    (system, state, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemPreset;
+    use mkl_lite::{set_compute_mode, with_compute_mode};
+
+    fn tiny_config() -> RunConfig {
+        let mut cfg = RunConfig::preset(SystemPreset::Pto40Small);
+        cfg.mesh_points = 10;
+        cfg.n_orb = 8;
+        cfg.n_occ = 4;
+        cfg.total_qd_steps = 60;
+        cfg.qd_steps_per_md = 20;
+        cfg.laser_duration_fs = 0.03;
+        cfg.laser_amplitude = 0.4;
+        cfg
+    }
+
+    #[test]
+    fn run_produces_complete_record() {
+        set_compute_mode(ComputeMode::Standard);
+        let cfg = tiny_config();
+        let r = run_simulation::<f32>(&cfg);
+        assert_eq!(r.records.len(), 60);
+        assert_eq!(r.scf_drift.len(), 3);
+        assert_eq!(r.ion_temperature.len(), 3);
+        assert_eq!(r.last().step, 60);
+        // Monotone time axis.
+        for w in r.records.windows(2) {
+            assert!(w[1].time_fs > w[0].time_fs);
+        }
+        // Shadow dynamics kept transfers far below one full Ψ round trip.
+        let psi_bytes = (cfg.mesh_points.pow(3) * cfg.n_orb * 8) as u64;
+        assert!(r.transfers.total() < psi_bytes, "transfers {}", r.transfers.total());
+    }
+
+    #[test]
+    fn laser_run_is_physical() {
+        set_compute_mode(ComputeMode::Standard);
+        let cfg = tiny_config();
+        let r = run_simulation::<f64>(&cfg);
+        let first = &r.records[0];
+        let last = r.last();
+        assert!(last.nexc > first.nexc, "no excitation built up");
+        assert!(last.nexc < 2.0 * cfg.n_occ as f64, "nexc exceeds electron count");
+        assert!(last.ekin > 0.0);
+        assert!(r.records.iter().all(|o| o.nexc >= -1e-6), "negative nexc");
+    }
+
+    #[test]
+    fn modes_produce_distinct_but_close_observables() {
+        let cfg = tiny_config();
+        let base = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg));
+        let bf16 = with_compute_mode(ComputeMode::FloatToBf16, || run_simulation::<f32>(&cfg));
+        let d_ekin = (base.last().ekin - bf16.last().ekin).abs();
+        assert!(d_ekin > 0.0, "BF16 produced identical kinetic energy");
+        let rel = d_ekin / base.last().ekin.abs().max(1e-30);
+        assert!(rel < 0.1, "BF16 kinetic energy deviates {rel}");
+    }
+
+    #[test]
+    fn record_every_thins_output() {
+        set_compute_mode(ComputeMode::Standard);
+        let mut cfg = tiny_config();
+        cfg.record_every = 5;
+        let r = run_simulation::<f32>(&cfg);
+        assert_eq!(r.records.len(), 12);
+    }
+
+    #[test]
+    fn scf_drift_nonzero_under_low_precision() {
+        let cfg = tiny_config();
+        let r = with_compute_mode(ComputeMode::FloatToBf16, || run_simulation::<f32>(&cfg));
+        assert!(
+            r.scf_drift.iter().all(|&d| d > 0.0),
+            "BF16 bursts should leave measurable drift: {:?}",
+            r.scf_drift
+        );
+    }
+
+    #[test]
+    fn checkpointed_run_matches_straight_run() {
+        set_compute_mode(ComputeMode::Standard);
+        let cfg = tiny_config(); // 60 steps, 20 per MD
+        let policy = dcmesh_lfd::PrecisionPolicy::Ambient;
+        let straight = run_simulation::<f32>(&cfg);
+
+        let dir = std::env::temp_dir().join(format!("dcmesh-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // First invocation: stop after 40 steps by shortening the deck.
+        let mut first_leg = cfg.clone();
+        first_leg.total_qd_steps = 40;
+        run_with_checkpoints::<f32>(&first_leg, &policy, &dir).expect("first leg");
+        // Second invocation: full deck resumes from the 40-step checkpoint.
+        let second = run_with_checkpoints::<f32>(&cfg, &policy, &dir).expect("second leg");
+        assert_eq!(second.records.len(), 20, "resume should run only the tail");
+
+        // The tail must match the straight run bit-for-bit.
+        for (got, want) in second.records.iter().zip(&straight.records[40..]) {
+            assert_eq!(got.step, want.step);
+            assert_eq!(got.ekin.to_bits(), want.ekin.to_bits(), "step {}", got.step);
+            assert_eq!(got.nexc.to_bits(), want.nexc.to_bits(), "step {}", got.step);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,184 @@
+//! Optical response from the current trace.
+//!
+//! The physical payoff of Maxwell–Ehrenfest dynamics is spectroscopy:
+//! the Fourier transform of the laser-induced average current gives the
+//! system's optical response (in the dipole limit, the absorption
+//! spectrum is `∝ ω·Im[ĵ(ω)/Ê(ω)]`). This module provides the damped
+//! discrete Fourier analysis TDDFT codes apply to their `javg` traces —
+//! and gives the precision study a *spectral* observable: peak positions
+//! are far more robust to BLAS precision than pointwise trajectories,
+//! which is exactly what a practitioner wants to know before enabling
+//! BF16.
+
+use dcmesh_lfd::laser::AU_PER_FS;
+use dcmesh_lfd::StepObservables;
+
+/// A single-sided amplitude spectrum.
+#[derive(Clone, Debug)]
+pub struct Spectrum {
+    /// Angular frequencies (Hartree / ħ, i.e. a.u.).
+    pub omega: Vec<f64>,
+    /// `|ĵ(ω)|` at each frequency.
+    pub amplitude: Vec<f64>,
+}
+
+impl Spectrum {
+    /// The frequency of the strongest peak.
+    pub fn peak_omega(&self) -> f64 {
+        let (idx, _) = self
+            .amplitude
+            .iter()
+            .enumerate()
+            .fold((0usize, f64::MIN), |best, (i, &a)| if a > best.1 { (i, a) } else { best });
+        self.omega[idx]
+    }
+
+    /// The peak amplitude.
+    pub fn peak_amplitude(&self) -> f64 {
+        self.amplitude.iter().cloned().fold(0.0, f64::max)
+    }
+}
+
+/// Computes the damped Fourier amplitude of a uniformly sampled signal.
+///
+/// `dt` in a.u.; `damping` is the exponential window rate `γ` (a.u.⁻¹)
+/// that regularises the finite observation time (Lorentzian broadening
+/// `γ` in the spectrum).
+pub fn damped_fourier(signal: &[f64], dt: f64, omegas: &[f64], damping: f64) -> Spectrum {
+    assert!(dt > 0.0 && dt.is_finite(), "bad sampling step");
+    assert!(damping >= 0.0, "damping must be non-negative");
+    let amplitude = omegas
+        .iter()
+        .map(|&w| {
+            let mut re = 0.0f64;
+            let mut im = 0.0f64;
+            for (i, &x) in signal.iter().enumerate() {
+                let t = i as f64 * dt;
+                let win = (-damping * t).exp();
+                re += x * win * (w * t).cos();
+                im += x * win * (w * t).sin();
+            }
+            (re * re + im * im).sqrt() * dt
+        })
+        .collect();
+    Spectrum { omega: omegas.to_vec(), amplitude }
+}
+
+/// Builds the current spectrum of a run record over `n_omega` frequencies
+/// up to `omega_max` (a.u.). The record must be uniformly sampled
+/// (`record_every` constant), which it is by construction.
+pub fn current_spectrum(
+    records: &[StepObservables],
+    n_omega: usize,
+    omega_max: f64,
+    damping: f64,
+) -> Spectrum {
+    assert!(records.len() >= 4, "need a few samples for a spectrum");
+    assert!(n_omega >= 2 && omega_max > 0.0);
+    let dt = (records[1].time_fs - records[0].time_fs) * AU_PER_FS;
+    // Subtract the mean so the DC component does not mask real peaks.
+    let mean = records.iter().map(|r| r.javg).sum::<f64>() / records.len() as f64;
+    let signal: Vec<f64> = records.iter().map(|r| r.javg - mean).collect();
+    let omegas: Vec<f64> =
+        (0..n_omega).map(|i| omega_max * (i + 1) as f64 / n_omega as f64).collect();
+    damped_fourier(&signal, dt, &omegas, damping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_records(omega0: f64, steps: usize, dt_au: f64) -> Vec<StepObservables> {
+        (0..steps)
+            .map(|i| {
+                let t = i as f64 * dt_au;
+                StepObservables {
+                    step: i as u64 + 1,
+                    time_fs: t / AU_PER_FS,
+                    ekin: 0.0,
+                    epot: 0.0,
+                    etot: 0.0,
+                    eexc: 0.0,
+                    nexc: 0.0,
+                    aext: 0.0,
+                    javg: (omega0 * t).sin() + 0.3,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sinusoid_peaks_at_its_frequency() {
+        let omega0 = 0.35;
+        let recs = synthetic_records(omega0, 4000, 0.05);
+        let spec = current_spectrum(&recs, 200, 1.0, 0.002);
+        let peak = spec.peak_omega();
+        assert!(
+            (peak - omega0).abs() < 0.02,
+            "peak at {peak}, expected {omega0}"
+        );
+    }
+
+    #[test]
+    fn dc_offset_removed() {
+        // A constant signal must produce a (near-)flat, tiny spectrum.
+        let recs = synthetic_records(0.0, 1000, 0.05); // sin(0)=0 => javg = 0.3 const
+        let spec = current_spectrum(&recs, 50, 1.0, 0.002);
+        assert!(spec.peak_amplitude() < 1e-9, "DC leaked: {}", spec.peak_amplitude());
+    }
+
+    #[test]
+    fn two_tone_resolves_both() {
+        let (w1, w2) = (0.2f64, 0.6f64);
+        let recs: Vec<StepObservables> = (0..6000)
+            .map(|i| {
+                let t = i as f64 * 0.05;
+                StepObservables {
+                    step: i as u64 + 1,
+                    time_fs: t / AU_PER_FS,
+                    ekin: 0.0,
+                    epot: 0.0,
+                    etot: 0.0,
+                    eexc: 0.0,
+                    nexc: 0.0,
+                    aext: 0.0,
+                    javg: (w1 * t).sin() + 0.5 * (w2 * t).sin(),
+                }
+            })
+            .collect();
+        let spec = current_spectrum(&recs, 400, 1.0, 0.002);
+        // Local maxima near both tones.
+        let amp_near = |w: f64| {
+            spec.omega
+                .iter()
+                .zip(&spec.amplitude)
+                .filter(|(&o, _)| (o - w).abs() < 0.03)
+                .map(|(_, &a)| a)
+                .fold(0.0, f64::max)
+        };
+        let background = spec
+            .omega
+            .iter()
+            .zip(&spec.amplitude)
+            .filter(|(&o, _)| (o - w1).abs() > 0.1 && (o - w2).abs() > 0.1)
+            .map(|(_, &a)| a)
+            .fold(0.0, f64::max);
+        assert!(amp_near(w1) > 3.0 * background, "w1 peak lost");
+        assert!(amp_near(w2) > 2.0 * background, "w2 peak lost");
+    }
+
+    #[test]
+    fn damping_broadens_but_preserves_peak() {
+        let recs = synthetic_records(0.4, 3000, 0.05);
+        let sharp = current_spectrum(&recs, 300, 1.0, 0.001);
+        let broad = current_spectrum(&recs, 300, 1.0, 0.02);
+        assert!((sharp.peak_omega() - broad.peak_omega()).abs() < 0.05);
+        assert!(broad.peak_amplitude() < sharp.peak_amplitude());
+    }
+
+    #[test]
+    #[should_panic(expected = "need a few samples")]
+    fn too_short_record_rejected() {
+        current_spectrum(&[], 10, 1.0, 0.01);
+    }
+}

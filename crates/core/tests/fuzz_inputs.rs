@@ -1,0 +1,86 @@
+//! Failure-injection and fuzz-style tests: the framework's input
+//! surfaces (decks, checkpoints, CSV) must reject malformed data with
+//! errors, never panic, and never silently accept corruption.
+
+use bytes::Bytes;
+use dcmesh::checkpoint::Checkpoint;
+use dcmesh::config::RunConfig;
+use dcmesh::output::read_csv;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn deck_parser_never_panics(text in "\\PC{0,400}") {
+        // Arbitrary printable input: Ok or Err, never a panic.
+        let _ = RunConfig::parse(&text);
+    }
+
+    #[test]
+    fn deck_parser_never_panics_on_structured_garbage(
+        key in "[a-z_]{1,20}",
+        value in "\\PC{0,30}",
+    ) {
+        let text = format!("system = pto40-small\n{key} = {value}\n");
+        let _ = RunConfig::parse(&text);
+    }
+
+    #[test]
+    fn checkpoint_decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = Checkpoint::<f32>::decode(Bytes::from(data.clone()));
+        let _ = Checkpoint::<f64>::decode(Bytes::from(data));
+    }
+
+    #[test]
+    fn checkpoint_decoder_rejects_header_bitflips(
+        flip_byte in 0usize..32,
+        flip_bit in 0u8..8,
+    ) {
+        // Build a real checkpoint, corrupt one header bit, decode.
+        use dcmesh_lfd::state::cosine_potential;
+        use dcmesh_lfd::{LaserPulse, LfdParams, LfdState, Mesh3};
+        let p = LfdParams {
+            mesh: Mesh3::cubic(9, 0.5),
+            n_orb: 2,
+            n_occ: 1,
+            dt: 0.02,
+            vnl_strength: 0.1,
+            taylor_order: 2,
+            laser: LaserPulse::off(),
+            induced_coupling: 0.0,
+        };
+        let state = LfdState::<f32>::initialize(&p, cosine_potential(&p.mesh, 0.1));
+        let ck = Checkpoint { state, system: dcmesh_qxmd::pto_supercell(1), steps_done: 0 };
+        let mut raw = ck.encode().to_vec();
+        if flip_byte < raw.len() {
+            raw[flip_byte] ^= 1 << flip_bit;
+        }
+        // Must not panic; magic/version/width flips must error.
+        let result = Checkpoint::<f32>::decode(Bytes::from(raw));
+        if flip_byte < 13 {
+            prop_assert!(result.is_err(), "header corruption at byte {flip_byte} accepted");
+        }
+    }
+
+    #[test]
+    fn csv_reader_never_panics(text in "\\PC{0,400}") {
+        let _ = read_csv(&text);
+    }
+
+    #[test]
+    fn csv_reader_never_panics_with_valid_header(body in "\\PC{0,200}") {
+        let text = format!("step,time_fs,ekin,epot,etot,eexc,nexc,aext,javg\n{body}");
+        let _ = read_csv(&text);
+    }
+}
+
+#[test]
+fn deck_parser_good_and_bad_examples() {
+    assert!(RunConfig::parse("system = pto40-small").is_ok());
+    assert!(RunConfig::parse("").is_err());
+    assert!(RunConfig::parse("system = pto9000").is_err());
+    assert!(RunConfig::parse("system = pto40\ndt = banana").is_err());
+    assert!(RunConfig::parse("system = pto40\ndt = -1").is_err());
+    assert!(RunConfig::parse("system = pto40\nrecord_every = 0").is_err());
+}

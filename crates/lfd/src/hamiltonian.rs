@@ -1,0 +1,294 @@
+//! The local Hamiltonian on the finite-difference mesh.
+//!
+//! `H(t) = −½∇² − i A(t) ∂z + (V_loc + ½A²)` in the velocity gauge, with
+//! the Laplacian and z-gradient discretised by 8th-order central
+//! differences on the periodic mesh. These are the "simple data
+//! parallelism" kernels of LFD (paper §IV-D) — everything here is a mesh
+//! sweep, parallelised over grid slabs with rayon; nothing here is BLAS.
+
+use crate::mesh::Mesh3;
+use dcmesh_numerics::{Complex, Real};
+use rayon::prelude::*;
+
+/// 8th-order central-difference coefficients for the second derivative:
+/// `f''(0) ≈ Σ_s C2[|s|]·f(s·h) / h²` for `s = −4..4`.
+pub const C2: [f64; 5] = [
+    -205.0 / 72.0,
+    8.0 / 5.0,
+    -1.0 / 5.0,
+    8.0 / 315.0,
+    -1.0 / 560.0,
+];
+
+/// 8th-order central-difference coefficients for the first derivative:
+/// `f'(0) ≈ Σ_{s>0} C1[s]·(f(s·h) − f(−s·h)) / h`.
+pub const C1: [f64; 5] = [0.0, 4.0 / 5.0, -1.0 / 5.0, 4.0 / 105.0, -1.0 / 280.0];
+
+/// Stencil radius.
+pub const RADIUS: usize = 4;
+
+/// Applies `out = H(t)·ψ` for the whole orbital set.
+///
+/// * `psi`, `out`: row-major `N_grid × n_orb`.
+/// * `vloc`: local potential, length `N_grid`.
+/// * `a_total`: total vector potential (external + induced) at `t`.
+pub fn apply_h<T: Real>(
+    mesh: &Mesh3,
+    n_orb: usize,
+    vloc: &[T],
+    a_total: f64,
+    psi: &[Complex<T>],
+    out: &mut [Complex<T>],
+) {
+    let ngrid = mesh.len();
+    assert_eq!(psi.len(), ngrid * n_orb, "psi shape mismatch");
+    assert_eq!(out.len(), ngrid * n_orb, "out shape mismatch");
+    assert_eq!(vloc.len(), ngrid, "vloc shape mismatch");
+    assert!(
+        mesh.nx > 2 * RADIUS && mesh.ny > 2 * RADIUS && mesh.nz > 2 * RADIUS,
+        "mesh smaller than twice the stencil radius"
+    );
+
+    let h2_inv = 1.0 / (mesh.spacing * mesh.spacing);
+    let h_inv = 1.0 / mesh.spacing;
+    let half_a2 = T::from_f64(0.5 * a_total * a_total);
+    // −½ ∇²  →  scale C2 by −½/h².
+    let lap_c: [T; 5] = core::array::from_fn(|s| T::from_f64(-0.5 * C2[s] * h2_inv));
+    // −iA ∂z →  gradient coefficients scaled by A/h; the −i factor is
+    // applied per element below.
+    let grad_c: [T; 5] = core::array::from_fn(|s| T::from_f64(C1[s] * a_total * h_inv));
+    let apply_gradient = a_total != 0.0;
+
+    let (nx, ny, nz) = (mesh.nx, mesh.ny, mesh.nz);
+    let slab = ny * nz * n_orb; // one x-plane of the state
+
+    out.par_chunks_mut(slab).enumerate().for_each(|(ix, out_slab)| {
+        // Periodic x-neighbour plane offsets for this slab.
+        let xoff: [usize; 2 * RADIUS + 1] =
+            core::array::from_fn(|i| Mesh3::wrap(ix, i as isize - RADIUS as isize, nx));
+        for iy in 0..ny {
+            let yoff: [usize; 2 * RADIUS + 1] =
+                core::array::from_fn(|i| Mesh3::wrap(iy, i as isize - RADIUS as isize, ny));
+            for iz in 0..nz {
+                let zoff: [usize; 2 * RADIUS + 1] =
+                    core::array::from_fn(|i| Mesh3::wrap(iz, i as isize - RADIUS as isize, nz));
+                let g = (ix * ny + iy) * nz + iz;
+                let row = &mut out_slab[(iy * nz + iz) * n_orb..(iy * nz + iz + 1) * n_orb];
+                let center = &psi[g * n_orb..(g + 1) * n_orb];
+
+                // Central terms: potential + ½A² + 3·C2[0] Laplacian tap.
+                let diag = vloc[g] + half_a2;
+                let lap0 = lap_c[0] * T::from_f64(3.0);
+                for (o, r) in row.iter_mut().enumerate() {
+                    *r = center[o].scale(diag + lap0);
+                }
+
+                // Off-centre Laplacian taps along the three axes.
+                for s in 1..=RADIUS {
+                    let c = lap_c[s];
+                    let neighbours = [
+                        ((xoff[RADIUS + s] * ny + iy) * nz + iz),
+                        ((xoff[RADIUS - s] * ny + iy) * nz + iz),
+                        ((ix * ny + yoff[RADIUS + s]) * nz + iz),
+                        ((ix * ny + yoff[RADIUS - s]) * nz + iz),
+                        ((ix * ny + iy) * nz + zoff[RADIUS + s]),
+                        ((ix * ny + iy) * nz + zoff[RADIUS - s]),
+                    ];
+                    for gg in neighbours {
+                        let src = &psi[gg * n_orb..(gg + 1) * n_orb];
+                        for (o, r) in row.iter_mut().enumerate() {
+                            *r += src[o].scale(c);
+                        }
+                    }
+                }
+
+                // −iA ∂z: antisymmetric z taps, multiplied by −i.
+                if apply_gradient {
+                    for s in 1..=RADIUS {
+                        let c = grad_c[s];
+                        let gp = (ix * ny + iy) * nz + zoff[RADIUS + s];
+                        let gm = (ix * ny + iy) * nz + zoff[RADIUS - s];
+                        let plus = &psi[gp * n_orb..(gp + 1) * n_orb];
+                        let minus = &psi[gm * n_orb..(gm + 1) * n_orb];
+                        for (o, r) in row.iter_mut().enumerate() {
+                            let d = (plus[o] - minus[o]).scale(c);
+                            // −i·d = (d.im, −d.re)
+                            *r += Complex { re: d.im, im: -d.re };
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Applies only the kinetic operator `out = −½∇²·ψ` (used by
+/// `calc_energy`).
+pub fn apply_kinetic<T: Real>(
+    mesh: &Mesh3,
+    n_orb: usize,
+    psi: &[Complex<T>],
+    out: &mut [Complex<T>],
+) {
+    let zero_v = vec![T::ZERO; mesh.len()];
+    apply_h(mesh, n_orb, &zero_v, 0.0, psi, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcmesh_numerics::C64;
+
+    /// Plane wave e^{i 2π m·r/L} on the mesh, one orbital.
+    fn plane_wave(mesh: &Mesh3, m: (i32, i32, i32)) -> Vec<C64> {
+        let mut psi = vec![C64::zero(); mesh.len()];
+        for g in 0..mesh.len() {
+            let (ix, iy, iz) = mesh.coords(g);
+            let phase = core::f64::consts::TAU
+                * (m.0 as f64 * ix as f64 / mesh.nx as f64
+                    + m.1 as f64 * iy as f64 / mesh.ny as f64
+                    + m.2 as f64 * iz as f64 / mesh.nz as f64);
+            psi[g] = Complex::cis(phase);
+        }
+        psi
+    }
+
+    #[test]
+    fn kinetic_eigenvalue_of_plane_wave() {
+        // −½∇² e^{ikz} = ½k² e^{ikz}; 8th-order FD reproduces ½k² to
+        // O((kh)^8).
+        let mesh = Mesh3::cubic(24, 0.5);
+        let m = (0, 0, 2);
+        let k = core::f64::consts::TAU * 2.0 / (24.0 * 0.5);
+        let psi = plane_wave(&mesh, m);
+        let mut out = vec![C64::zero(); psi.len()];
+        apply_kinetic(&mesh, 1, &psi, &mut out);
+        let expect = 0.5 * k * k;
+        for g in 0..mesh.len() {
+            let val = out[g] * psi[g].conj(); // |psi|=1 so this is out/psi
+            assert!(
+                (val.re - expect).abs() < 5e-5 * expect && val.im.abs() < 1e-9,
+                "g={g}: {val:?} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_term_eigenvalue() {
+        // −iA ∂z e^{ikz} = A·k e^{ikz}.
+        let mesh = Mesh3::cubic(24, 0.5);
+        let a = 0.37;
+        let m = (0, 0, 1);
+        let k = core::f64::consts::TAU / (24.0 * 0.5);
+        let psi = plane_wave(&mesh, m);
+        let mut h_psi = vec![C64::zero(); psi.len()];
+        let vzero = vec![0.0f64; mesh.len()];
+        apply_h(&mesh, 1, &vzero, a, &psi, &mut h_psi);
+        let expect = 0.5 * k * k + a * k + 0.5 * a * a;
+        for g in (0..mesh.len()).step_by(97) {
+            let val = h_psi[g] * psi[g].conj();
+            assert!(
+                (val.re - expect).abs() < 5e-5 * expect.abs() && val.im.abs() < 1e-9,
+                "g={g}: {val:?} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn hermiticity_on_random_state() {
+        // <φ|Hψ> == conj(<ψ|Hφ>) for the discrete operator.
+        let mesh = Mesh3::cubic(10, 0.7);
+        let n = mesh.len();
+        let mk = |seed: u64| -> Vec<C64> {
+            (0..n)
+                .map(|g| {
+                    let x = ((g as u64).wrapping_mul(6364136223846793005).wrapping_add(seed))
+                        >> 33;
+                    let a = (x % 1000) as f64 / 500.0 - 1.0;
+                    let b = ((x / 1000) % 1000) as f64 / 500.0 - 1.0;
+                    dcmesh_numerics::c64(a, b)
+                })
+                .collect()
+        };
+        let phi = mk(1);
+        let psi = mk(2);
+        let vloc: Vec<f64> = (0..n).map(|g| ((g % 7) as f64) * 0.1 - 0.3).collect();
+        let mut h_psi = vec![C64::zero(); n];
+        let mut h_phi = vec![C64::zero(); n];
+        apply_h(&mesh, 1, &vloc, 0.23, &psi, &mut h_psi);
+        apply_h(&mesh, 1, &vloc, 0.23, &phi, &mut h_phi);
+        let dot = |a: &[C64], b: &[C64]| -> C64 {
+            a.iter().zip(b).fold(C64::zero(), |s, (x, y)| s + x.conj() * *y)
+        };
+        let lhs = dot(&phi, &h_psi);
+        let rhs = dot(&h_phi, &psi).conj();
+        assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()), "{lhs:?} vs {rhs:?}");
+    }
+
+    #[test]
+    fn constant_function_has_zero_laplacian() {
+        let mesh = Mesh3::cubic(12, 0.4);
+        let psi = vec![C64::one(); mesh.len()];
+        let mut out = vec![C64::zero(); mesh.len()];
+        apply_kinetic(&mesh, 1, &psi, &mut out);
+        for (g, v) in out.iter().enumerate() {
+            assert!(v.abs() < 1e-11, "g={g}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn multi_orbital_matches_single() {
+        // Applying H to a 2-orbital state must equal per-orbital results.
+        let mesh = Mesh3::cubic(10, 0.5);
+        let n = mesh.len();
+        let p0 = plane_wave(&mesh, (1, 0, 0));
+        let p1 = plane_wave(&mesh, (0, 1, 1));
+        let vloc: Vec<f64> = (0..n).map(|g| (g % 5) as f64 * 0.07).collect();
+        // Interleave.
+        let mut both = vec![C64::zero(); n * 2];
+        for g in 0..n {
+            both[g * 2] = p0[g];
+            both[g * 2 + 1] = p1[g];
+        }
+        let mut out_both = vec![C64::zero(); n * 2];
+        apply_h(&mesh, 2, &vloc, 0.1, &both, &mut out_both);
+        let mut out0 = vec![C64::zero(); n];
+        let mut out1 = vec![C64::zero(); n];
+        apply_h(&mesh, 1, &vloc, 0.1, &p0, &mut out0);
+        apply_h(&mesh, 1, &vloc, 0.1, &p1, &mut out1);
+        for g in 0..n {
+            assert!((out_both[g * 2] - out0[g]).abs() < 1e-12);
+            assert!((out_both[g * 2 + 1] - out1[g]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stencil radius")]
+    fn tiny_mesh_rejected() {
+        let mesh = Mesh3::cubic(6, 0.5);
+        let psi = vec![C64::zero(); mesh.len()];
+        let mut out = psi.clone();
+        apply_kinetic(&mesh, 1, &psi, &mut out);
+    }
+
+    #[test]
+    fn anisotropic_mesh_kinetic_eigenvalues() {
+        // Non-cubic mesh: exercises the index arithmetic with distinct
+        // nx/ny/nz. A plane wave with one quantum along each axis has
+        // kinetic energy ½(kx² + ky² + kz²) with axis-dependent k.
+        let mesh = Mesh3 { nx: 10, ny: 12, nz: 14, spacing: 0.5 };
+        let m = (1, 1, 1);
+        let psi = plane_wave(&mesh, m);
+        let mut out = vec![C64::zero(); psi.len()];
+        apply_kinetic(&mesh, 1, &psi, &mut out);
+        let k = |n: usize| core::f64::consts::TAU / (n as f64 * mesh.spacing);
+        let expect = 0.5 * (k(10).powi(2) + k(12).powi(2) + k(14).powi(2));
+        for g in (0..mesh.len()).step_by(61) {
+            let val = out[g] * psi[g].conj();
+            assert!(
+                (val.re - expect).abs() < 5e-4 * expect && val.im.abs() < 1e-9,
+                "g={g}: {val:?} vs {expect}"
+            );
+        }
+    }
+}

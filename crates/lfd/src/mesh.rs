@@ -1,0 +1,113 @@
+//! The periodic 3-D finite-difference mesh.
+
+/// A periodic Cartesian mesh with uniform spacing.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mesh3 {
+    /// Points along x.
+    pub nx: usize,
+    /// Points along y.
+    pub ny: usize,
+    /// Points along z.
+    pub nz: usize,
+    /// Grid spacing in bohr.
+    pub spacing: f64,
+}
+
+impl Mesh3 {
+    /// A cubic mesh (the paper's 64³ and 96³ grids).
+    pub fn cubic(n: usize, spacing: f64) -> Mesh3 {
+        Mesh3 { nx: n, ny: n, nz: n, spacing }
+    }
+
+    /// Total number of grid points (the paper's `N_grid`).
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// True if the mesh has no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Volume element `h³` in bohr³.
+    pub fn dv(&self) -> f64 {
+        self.spacing * self.spacing * self.spacing
+    }
+
+    /// Cell volume.
+    pub fn volume(&self) -> f64 {
+        self.dv() * self.len() as f64
+    }
+
+    /// Flat index of `(ix, iy, iz)`; z is the fastest-varying axis.
+    #[inline]
+    pub fn index(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        debug_assert!(ix < self.nx && iy < self.ny && iz < self.nz);
+        (ix * self.ny + iy) * self.nz + iz
+    }
+
+    /// Coordinates of a flat index.
+    #[inline]
+    pub fn coords(&self, idx: usize) -> (usize, usize, usize) {
+        let iz = idx % self.nz;
+        let iy = (idx / self.nz) % self.ny;
+        let ix = idx / (self.nz * self.ny);
+        (ix, iy, iz)
+    }
+
+    /// Periodic wrap of a signed offset along an axis of length `n`.
+    #[inline]
+    pub fn wrap(i: usize, off: isize, n: usize) -> usize {
+        let m = n as isize;
+        (((i as isize + off) % m + m) % m) as usize
+    }
+
+    /// Physical position of a grid point (cell corner at the origin).
+    pub fn position(&self, idx: usize) -> (f64, f64, f64) {
+        let (ix, iy, iz) = self.coords(idx);
+        (ix as f64 * self.spacing, iy as f64 * self.spacing, iz as f64 * self.spacing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_coords_roundtrip() {
+        let m = Mesh3 { nx: 3, ny: 4, nz: 5, spacing: 0.5 };
+        for idx in 0..m.len() {
+            let (x, y, z) = m.coords(idx);
+            assert_eq!(m.index(x, y, z), idx);
+        }
+    }
+
+    #[test]
+    fn z_is_fastest_axis() {
+        let m = Mesh3::cubic(4, 1.0);
+        assert_eq!(m.index(0, 0, 1) - m.index(0, 0, 0), 1);
+        assert_eq!(m.index(0, 1, 0) - m.index(0, 0, 0), 4);
+        assert_eq!(m.index(1, 0, 0) - m.index(0, 0, 0), 16);
+    }
+
+    #[test]
+    fn wrap_is_periodic() {
+        assert_eq!(Mesh3::wrap(0, -1, 8), 7);
+        assert_eq!(Mesh3::wrap(7, 1, 8), 0);
+        assert_eq!(Mesh3::wrap(3, -11, 8), 0);
+        assert_eq!(Mesh3::wrap(3, 16, 8), 3);
+    }
+
+    #[test]
+    fn paper_grid_sizes() {
+        // Table V: 64^3 for 40 atoms, 96^3 for 135 atoms.
+        assert_eq!(Mesh3::cubic(64, 0.25).len(), 262_144);
+        assert_eq!(Mesh3::cubic(96, 0.25).len(), 884_736);
+    }
+
+    #[test]
+    fn volume_scales_with_spacing() {
+        let m = Mesh3::cubic(10, 0.5);
+        assert!((m.volume() - 1000.0 * 0.125).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the LFD physics invariants: the quantities
+//! exact quantum dynamics conserves must survive our discretisation (to
+//! integrator accuracy) for *any* admissible parameter set, not just the
+//! hand-picked test decks.
+
+use dcmesh_lfd::propagator::{qd_step, QdScratch};
+use dcmesh_lfd::state::cosine_potential;
+use dcmesh_lfd::{LaserPulse, LfdParams, LfdState, Mesh3};
+use mkl_lite::{with_compute_mode, ComputeMode};
+use proptest::prelude::*;
+
+fn params_strategy() -> impl Strategy<Value = LfdParams> {
+    (
+        9usize..12,          // mesh points per axis
+        2usize..8,           // n_orb
+        0.3f64..0.8,         // spacing
+        0.0f64..0.5,         // vnl strength
+        0.0f64..0.5,         // laser amplitude
+        0.05f64..0.6,        // potential depth (through cosine_potential)
+    )
+        .prop_map(|(mesh_n, n_orb, spacing, vnl, amp, _depth)| LfdParams {
+            mesh: Mesh3::cubic(mesh_n, spacing),
+            n_orb,
+            n_occ: (n_orb / 2).max(1),
+            dt: 0.02,
+            vnl_strength: vnl,
+            taylor_order: 4,
+            laser: LaserPulse { amplitude: amp, omega: 0.4, duration: 50.0, phase: 0.0 },
+            induced_coupling: 0.0,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn electron_count_conserved(p in params_strategy(), depth in 0.05f64..0.5) {
+        with_compute_mode(ComputeMode::Standard, || {
+            let mut st = LfdState::<f64>::initialize(&p, cosine_potential(&p.mesh, depth));
+            let mut scratch = QdScratch::new(&p);
+            for _ in 0..10 {
+                qd_step(&p, &mut st, &mut scratch);
+            }
+            let n = st.electron_count(&p);
+            prop_assert!(
+                (n - p.n_electrons()).abs() < 1e-7 * p.n_electrons().max(1.0),
+                "count {} vs {}", n, p.n_electrons()
+            );
+            Ok(())
+        })?;
+    }
+
+    #[test]
+    fn nexc_physical_bounds(p in params_strategy(), depth in 0.05f64..0.5) {
+        with_compute_mode(ComputeMode::Standard, || {
+            let mut st = LfdState::<f64>::initialize(&p, cosine_potential(&p.mesh, depth));
+            let mut scratch = QdScratch::new(&p);
+            for _ in 0..8 {
+                let obs = qd_step(&p, &mut st, &mut scratch);
+                prop_assert!(obs.nexc >= -1e-9, "negative nexc {}", obs.nexc);
+                prop_assert!(obs.nexc <= p.n_electrons() + 1e-9, "nexc over count");
+                prop_assert!(obs.ekin.is_finite() && obs.javg.is_finite());
+            }
+            Ok(())
+        })?;
+    }
+
+    #[test]
+    fn all_modes_stay_finite_and_close(p in params_strategy(), depth in 0.05f64..0.5) {
+        // Robustness sweep: no mode may blow up or drift grossly from the
+        // FP32 trajectory over a short burst.
+        let run = |mode: ComputeMode| -> f64 {
+            with_compute_mode(mode, || {
+                let mut st = LfdState::<f32>::initialize(&p, cosine_potential(&p.mesh, depth));
+                let mut scratch = QdScratch::new(&p);
+                let mut last = 0.0;
+                for _ in 0..6 {
+                    last = qd_step(&p, &mut st, &mut scratch).ekin;
+                }
+                last
+            })
+        };
+        let reference = run(ComputeMode::Standard);
+        prop_assert!(reference.is_finite());
+        for mode in ComputeMode::ALTERNATIVE {
+            let v = run(mode);
+            prop_assert!(v.is_finite(), "{mode:?} diverged");
+            let rel = (v - reference).abs() / (1.0 + reference.abs());
+            prop_assert!(rel < 0.05, "{mode:?} ekin off by {rel}");
+        }
+    }
+
+    #[test]
+    fn time_axis_and_step_counter(p in params_strategy(), depth in 0.05f64..0.5) {
+        with_compute_mode(ComputeMode::Standard, || {
+            let mut st = LfdState::<f64>::initialize(&p, cosine_potential(&p.mesh, depth));
+            let mut scratch = QdScratch::new(&p);
+            let mut prev_t = -1.0;
+            for i in 1..=5u64 {
+                let obs = qd_step(&p, &mut st, &mut scratch);
+                prop_assert_eq!(obs.step, i);
+                prop_assert!(obs.time_fs > prev_t);
+                prev_t = obs.time_fs;
+            }
+            Ok(())
+        })?;
+    }
+}

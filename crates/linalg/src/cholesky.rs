@@ -1,0 +1,192 @@
+//! Cholesky factorisation of Hermitian positive-definite matrices.
+//!
+//! Used by QXMD for overlap-matrix inversion during orthonormalisation
+//! (the `S = L L†` route, the cheap alternative to Löwdin).
+
+use dcmesh_numerics::{c64, C64};
+
+/// Error for a non-positive-definite input.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Pivot index at which the factorisation broke down.
+    pub pivot: usize,
+}
+
+impl core::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "matrix is not positive definite (pivot {})", self.pivot)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// Computes the lower-triangular `L` with `A = L L†` for Hermitian
+/// positive-definite `A` (row-major `n × n`). The strict upper triangle of
+/// the result is zero.
+pub fn cholesky_factor(a: &[C64], n: usize) -> Result<Vec<C64>, NotPositiveDefinite> {
+    assert_eq!(a.len(), n * n, "cholesky: shape mismatch");
+    let mut l = vec![C64::zero(); n * n];
+    for j in 0..n {
+        // Diagonal entry.
+        let mut d = a[j * n + j].re;
+        for k in 0..j {
+            d -= l[j * n + k].norm_sqr();
+        }
+        if !(d > 0.0) || !d.is_finite() {
+            return Err(NotPositiveDefinite { pivot: j });
+        }
+        let dj = d.sqrt();
+        l[j * n + j] = c64(dj, 0.0);
+        // Column below the diagonal.
+        for i in (j + 1)..n {
+            let mut s = a[i * n + j];
+            for k in 0..j {
+                s -= l[i * n + k].mul_4m(l[j * n + k].conj());
+            }
+            l[i * n + j] = s.scale(1.0 / dj);
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `A x = b` given the Cholesky factor `L` of `A` (forward then
+/// back substitution). `b` is overwritten with the solution.
+pub fn cholesky_solve(l: &[C64], n: usize, b: &mut [C64]) {
+    assert_eq!(l.len(), n * n);
+    assert_eq!(b.len(), n);
+    // L y = b
+    for i in 0..n {
+        let mut s = b[i];
+        for k in 0..i {
+            s -= l[i * n + k].mul_4m(b[k]);
+        }
+        b[i] = s.scale(1.0 / l[i * n + i].re);
+    }
+    // L† x = y
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for k in (i + 1)..n {
+            s -= l[k * n + i].conj().mul_4m(b[k]);
+        }
+        b[i] = s.scale(1.0 / l[i * n + i].re);
+    }
+}
+
+
+/// Right-solves `X · L† = A` in place on the rows of `a` (`rows × n`,
+/// row-major), for the lower-triangular `L` of a Cholesky factorisation.
+/// This is the BLAS `trsm(right, lower, conj-trans)` case — the workhorse
+/// of Cholesky-based orthonormalisation.
+pub fn trsm_right_lower_conjtrans(l: &[C64], n: usize, a: &mut [C64], rows: usize) {
+    assert_eq!(l.len(), n * n, "trsm: factor shape mismatch");
+    assert_eq!(a.len(), rows * n, "trsm: rhs shape mismatch");
+    // L† is upper triangular with entries U[k][j] = conj(L[j][k]); forward
+    // substitution across each row's columns.
+    for r in 0..rows {
+        let row = &mut a[r * n..(r + 1) * n];
+        for j in 0..n {
+            let mut s = row[j];
+            for k in 0..j {
+                s -= row[k].mul_4m(l[j * n + k].conj());
+            }
+            row[j] = s.scale(1.0 / l[j * n + j].re);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{dagger, hermitian_from_fn, matmul, max_abs_diff};
+
+    /// A well-conditioned HPD matrix: B†B + n·I.
+    fn hpd(n: usize) -> Vec<C64> {
+        let b = hermitian_from_fn(n, |i, j| c64(((i * 5 + j * 3) % 7) as f64 / 7.0, ((i + 2 * j) % 5) as f64 / 5.0));
+        let bh = dagger(&b, n, n);
+        let mut a = matmul(&bh, &b, n, n, n);
+        for i in 0..n {
+            a[i * n + i] += c64(n as f64, 0.0);
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        for n in [1usize, 2, 5, 12] {
+            let a = hpd(n);
+            let l = cholesky_factor(&a, n).expect("HPD");
+            let lh = dagger(&l, n, n);
+            let back = matmul(&l, &lh, n, n, n);
+            assert!(max_abs_diff(&a, &back) < 1e-10, "n={n}");
+            // Strict upper triangle of L is zero; diagonal real positive.
+            for i in 0..n {
+                assert!(l[i * n + i].re > 0.0 && l[i * n + i].im == 0.0);
+                for j in (i + 1)..n {
+                    assert_eq!(l[i * n + j], C64::zero());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn solve_inverts() {
+        let n = 8;
+        let a = hpd(n);
+        let l = cholesky_factor(&a, n).expect("HPD");
+        let x_true: Vec<C64> = (0..n).map(|i| c64(i as f64 - 2.0, 0.5 * i as f64)).collect();
+        // b = A x
+        let mut b = vec![C64::zero(); n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += a[i * n + j].mul_4m(x_true[j]);
+            }
+        }
+        cholesky_solve(&l, n, &mut b);
+        for (got, want) in b.iter().zip(&x_true) {
+            assert!((*got - *want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_rejected() {
+        let a = vec![c64(1.0, 0.0), c64(2.0, 0.0), c64(2.0, 0.0), c64(1.0, 0.0)];
+        let err = cholesky_factor(&a, 2).unwrap_err();
+        assert_eq!(err.pivot, 1);
+    }
+
+    #[test]
+    fn negative_diagonal_rejected_at_first_pivot() {
+        let a = vec![c64(-1.0, 0.0)];
+        assert_eq!(cholesky_factor(&a, 1).unwrap_err().pivot, 0);
+    }
+
+    #[test]
+    fn trsm_right_solves() {
+        let n = 6;
+        let a = hpd(n);
+        let l = cholesky_factor(&a, n).expect("HPD");
+        // X·L† = B with known X.
+        let rows = 3;
+        let x_true: Vec<C64> = (0..rows * n)
+            .map(|i| c64(0.3 * i as f64 - 1.0, 0.11 * i as f64))
+            .collect();
+        // B = X·L†
+        let mut b = vec![C64::zero(); rows * n];
+        for r in 0..rows {
+            for j in 0..n {
+                let mut s = C64::zero();
+                for k in 0..n {
+                    // (L†)[k][j] = conj(L[j][k]) (upper triangular)
+                    if k <= j {
+                        s += x_true[r * n + k].mul_4m(l[j * n + k].conj());
+                    }
+                }
+                b[r * n + j] = s;
+            }
+        }
+        trsm_right_lower_conjtrans(&l, n, &mut b, rows);
+        for (g, w) in b.iter().zip(&x_true) {
+            assert!((*g - *w).abs() < 1e-10, "{g:?} vs {w:?}");
+        }
+    }
+}

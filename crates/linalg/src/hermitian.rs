@@ -1,0 +1,249 @@
+//! Hermitian eigendecomposition via cyclic Jacobi with complex rotations.
+//!
+//! Jacobi is the right tool for the SCF subspace problems: the matrices
+//! are modest (N_orb × N_orb), unconditional numerical stability matters
+//! more than asymptotic speed (this *is* the error-resetting step the
+//! whole precision study leans on), and the method delivers small
+//! eigenvalue error and nearly orthonormal eigenvectors by construction.
+//!
+//! Each rotation exactly diagonalises one 2×2 Hermitian block
+//! `[[α, β], [β̄, γ]]` with the closed-form unitary
+//! `R = [v | w]`, `v = (β, r−δ)/‖·‖`, `w = (−(r−δ), β̄)/‖·‖` where
+//! `δ = (α−γ)/2`, `r = √(δ² + |β|²)`; sweeps repeat until the
+//! off-diagonal Frobenius mass is negligible.
+
+use dcmesh_numerics::{c64, C64};
+
+/// Result of [`eigh`]: eigenvalues ascending, eigenvectors as columns.
+#[derive(Clone, Debug)]
+pub struct EighResult {
+    /// Eigenvalues in ascending order.
+    pub eigenvalues: Vec<f64>,
+    /// Row-major `n × n` matrix whose **columns** are the corresponding
+    /// orthonormal eigenvectors.
+    pub eigenvectors: Vec<C64>,
+}
+
+/// Off-diagonal squared Frobenius mass.
+fn off_diagonal_mass(a: &[C64], n: usize) -> f64 {
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                s += a[i * n + j].norm_sqr();
+            }
+        }
+    }
+    s
+}
+
+/// Eigendecomposition of a Hermitian matrix (row-major `n × n`).
+///
+/// The input must be Hermitian to machine precision; the strictly lower
+/// triangle is ignored in favour of the conjugated upper triangle, so
+/// tiny asymmetries are harmless. Panics if convergence is not reached
+/// (which for Jacobi on Hermitian input indicates NaN/Inf data).
+pub fn eigh(a: &[C64], n: usize) -> EighResult {
+    assert_eq!(a.len(), n * n, "eigh: matrix shape mismatch");
+    if n == 0 {
+        return EighResult { eigenvalues: Vec::new(), eigenvectors: Vec::new() };
+    }
+
+    // Work on a symmetrised copy.
+    let mut m = vec![C64::zero(); n * n];
+    for i in 0..n {
+        m[i * n + i] = c64(a[i * n + i].re, 0.0);
+        for j in (i + 1)..n {
+            let v = a[i * n + j];
+            m[i * n + j] = v;
+            m[j * n + i] = v.conj();
+        }
+    }
+    for z in &m {
+        assert!(z.is_finite(), "eigh: non-finite input entry");
+    }
+
+    let mut v = crate::ops::identity(n);
+    let scale: f64 = m.iter().map(|z| z.norm_sqr()).sum::<f64>().max(1e-300);
+    let tol = scale * 1e-28;
+
+    const MAX_SWEEPS: usize = 64;
+    let mut converged = false;
+    for _ in 0..MAX_SWEEPS {
+        if off_diagonal_mass(&m, n) <= tol {
+            converged = true;
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let beta = m[p * n + q];
+                if beta.norm_sqr() <= tol / (n * n) as f64 {
+                    continue;
+                }
+                let alpha = m[p * n + p].re;
+                let gamma = m[q * n + q].re;
+                let delta = (alpha - gamma) / 2.0;
+                let r = (delta * delta + beta.norm_sqr()).sqrt();
+                // Eigenvector (β, r−δ) of the 2x2 block for λ = (α+γ)/2 + r.
+                // Pick the branch avoiding cancellation when δ > 0.
+                let (v1, v2) = if delta >= 0.0 {
+                    // r − δ may cancel; use (β(r+δ), |β|²)/… equivalent form.
+                    (beta.scale(r + delta), c64(beta.norm_sqr(), 0.0))
+                } else {
+                    (beta, c64(r - delta, 0.0))
+                };
+                let norm = (v1.norm_sqr() + v2.norm_sqr()).sqrt();
+                if norm == 0.0 {
+                    continue;
+                }
+                let v1 = v1.scale(1.0 / norm);
+                let v2 = v2.scale(1.0 / norm);
+                // Unitary R columns: u = (v1, v2), w = (−v̄2, v̄1).
+                let w1 = -v2.conj();
+                let w2 = v1.conj();
+
+                // A ← R† A R: first columns (A R), then rows (R† ·).
+                for i in 0..n {
+                    let aip = m[i * n + p];
+                    let aiq = m[i * n + q];
+                    m[i * n + p] = aip.mul_4m(v1) + aiq.mul_4m(v2);
+                    m[i * n + q] = aip.mul_4m(w1) + aiq.mul_4m(w2);
+                }
+                for j in 0..n {
+                    let apj = m[p * n + j];
+                    let aqj = m[q * n + j];
+                    m[p * n + j] = v1.conj().mul_4m(apj) + v2.conj().mul_4m(aqj);
+                    m[q * n + j] = w1.conj().mul_4m(apj) + w2.conj().mul_4m(aqj);
+                }
+                // Clean the annihilated pair and enforce real diagonal.
+                m[p * n + q] = C64::zero();
+                m[q * n + p] = C64::zero();
+                m[p * n + p] = c64(m[p * n + p].re, 0.0);
+                m[q * n + q] = c64(m[q * n + q].re, 0.0);
+
+                // V ← V R (columns p, q).
+                for i in 0..n {
+                    let vip = v[i * n + p];
+                    let viq = v[i * n + q];
+                    v[i * n + p] = vip.mul_4m(v1) + viq.mul_4m(v2);
+                    v[i * n + q] = vip.mul_4m(w1) + viq.mul_4m(w2);
+                }
+            }
+        }
+    }
+    assert!(
+        converged || off_diagonal_mass(&m, n) <= tol * 1e4,
+        "eigh: Jacobi failed to converge"
+    );
+
+    // Extract and sort ascending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let evals: Vec<f64> = (0..n).map(|i| m[i * n + i].re).collect();
+    order.sort_by(|&i, &j| evals[i].partial_cmp(&evals[j]).expect("finite eigenvalues"));
+
+    let eigenvalues: Vec<f64> = order.iter().map(|&i| evals[i]).collect();
+    let mut eigenvectors = vec![C64::zero(); n * n];
+    for (new_col, &old_col) in order.iter().enumerate() {
+        for i in 0..n {
+            eigenvectors[i * n + new_col] = v[i * n + old_col];
+        }
+    }
+    EighResult { eigenvalues, eigenvectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{hermitian_from_fn, matmul, max_abs_diff, unitarity_defect};
+
+    fn reconstruct(r: &EighResult, n: usize) -> Vec<C64> {
+        // A = V diag(λ) V†
+        let mut vl = r.eigenvectors.clone();
+        for i in 0..n {
+            for j in 0..n {
+                vl[i * n + j] = vl[i * n + j].scale(r.eigenvalues[j]);
+            }
+        }
+        let vh = crate::ops::dagger(&r.eigenvectors, n, n);
+        matmul(&vl, &vh, n, n, n)
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let n = 4;
+        let mut a = vec![C64::zero(); n * n];
+        for (i, lam) in [3.0, -1.0, 2.0, 0.5].iter().enumerate() {
+            a[i * n + i] = c64(*lam, 0.0);
+        }
+        let r = eigh(&a, n);
+        assert_eq!(r.eigenvalues, vec![-1.0, 0.5, 2.0, 3.0]);
+        assert!(unitarity_defect(&r.eigenvectors, n) < 1e-14);
+    }
+
+    #[test]
+    fn known_2x2_complex() {
+        // [[0, -i], [i, 0]] has eigenvalues ±1.
+        let a = vec![c64(0.0, 0.0), c64(0.0, -1.0), c64(0.0, 1.0), c64(0.0, 0.0)];
+        let r = eigh(&a, 2);
+        assert!((r.eigenvalues[0] + 1.0).abs() < 1e-14);
+        assert!((r.eigenvalues[1] - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality() {
+        for n in [1usize, 2, 3, 8, 24] {
+            let a = hermitian_from_fn(n, |i, j| {
+                let x = ((3 * i + 7 * j + 1) % 13) as f64 / 13.0 - 0.5;
+                let y = if i == j { 0.0 } else { ((5 * i + 2 * j) % 11) as f64 / 11.0 - 0.5 };
+                c64(x, y)
+            });
+            let r = eigh(&a, n);
+            assert!(unitarity_defect(&r.eigenvectors, n) < 1e-12, "n={n}");
+            let back = reconstruct(&r, n);
+            assert!(max_abs_diff(&a, &back) < 1e-11, "n={n}");
+            for w in r.eigenvalues.windows(2) {
+                assert!(w[0] <= w[1], "eigenvalues not sorted: {:?}", r.eigenvalues);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_preserved() {
+        let n = 16;
+        let a = hermitian_from_fn(n, |i, j| c64((i * j % 7) as f64, (i as f64 - j as f64) / 4.0));
+        let tr: f64 = (0..n).map(|i| a[i * n + i].re).sum();
+        let r = eigh(&a, n);
+        let sum: f64 = r.eigenvalues.iter().sum();
+        assert!((tr - sum).abs() < 1e-10 * (1.0 + tr.abs()));
+    }
+
+    #[test]
+    fn degenerate_eigenvalues_handled() {
+        // 3x3 with a double eigenvalue: A = diag(1,1,2) rotated.
+        let n = 3;
+        let a = hermitian_from_fn(n, |i, j| {
+            // Projector-based: A = I + P where P = vv†, v = (1,1,1)/sqrt 3.
+            let base = if i == j { 1.0 } else { 0.0 };
+            c64(base + 1.0 / 3.0, 0.0)
+        });
+        let r = eigh(&a, n);
+        // Eigenvalues: 1 (x2) and 2.
+        assert!((r.eigenvalues[0] - 1.0).abs() < 1e-12);
+        assert!((r.eigenvalues[1] - 1.0).abs() < 1e-12);
+        assert!((r.eigenvalues[2] - 2.0).abs() < 1e-12);
+        assert!(unitarity_defect(&r.eigenvectors, n) < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let r = eigh(&[], 0);
+        assert!(r.eigenvalues.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        let a = vec![c64(f64::NAN, 0.0)];
+        eigh(&a, 1);
+    }
+}

@@ -1,0 +1,27 @@
+//! `dcmesh-linalg`: dense double-precision linear algebra for the CPU
+//! (QXMD) side of DCMESH.
+//!
+//! The paper's accuracy mechanism hinges on a *full-precision* SCF refresh
+//! every 500 QD steps: the wave function is re-orthonormalised and
+//! re-diagonalised in FP64, which stops the low-precision BLAS error from
+//! accumulating. This crate provides that substrate:
+//!
+//! * [`hermitian::eigh`] — eigendecomposition of a Hermitian complex
+//!   matrix (cyclic Jacobi with complex rotations: unconditionally stable,
+//!   and the subspace matrices here are small).
+//! * [`orth`] — modified Gram–Schmidt and Löwdin (S^{-1/2}) symmetric
+//!   orthonormalisation.
+//! * [`cholesky`] — Hermitian positive-definite factorisation and solves.
+//! * [`ops`] — small dense helpers shared by the above.
+//!
+//! Matrices are row-major `Vec<C64>` slices with explicit dimension, the
+//! same convention as `mkl-lite`.
+
+pub mod cholesky;
+pub mod hermitian;
+pub mod ops;
+pub mod orth;
+
+pub use cholesky::{cholesky_factor, cholesky_solve, trsm_right_lower_conjtrans};
+pub use hermitian::{eigh, EighResult};
+pub use orth::{cholesky_orthonormalize, lowdin_orthonormalize, modified_gram_schmidt};

@@ -1,0 +1,132 @@
+//! Small dense helpers over row-major `C64` matrices.
+
+use dcmesh_numerics::{c64, C64};
+use mkl_lite::{zgemm, Op};
+
+/// Returns the `n × n` identity.
+pub fn identity(n: usize) -> Vec<C64> {
+    let mut m = vec![C64::zero(); n * n];
+    for i in 0..n {
+        m[i * n + i] = C64::one();
+    }
+    m
+}
+
+/// Dense product `A · B` for `A: m×k`, `B: k×n` (row-major, no padding).
+pub fn matmul(a: &[C64], b: &[C64], m: usize, k: usize, n: usize) -> Vec<C64> {
+    let mut c = vec![C64::zero(); m * n];
+    zgemm(Op::None, Op::None, m, n, k, C64::one(), a, k, b, n, C64::zero(), &mut c, n);
+    c
+}
+
+/// Dense product `A† · B` for `A: k×m`, `B: k×n`.
+pub fn matmul_hermitian_left(a: &[C64], b: &[C64], m: usize, k: usize, n: usize) -> Vec<C64> {
+    let mut c = vec![C64::zero(); m * n];
+    zgemm(Op::ConjTrans, Op::None, m, n, k, C64::one(), a, m, b, n, C64::zero(), &mut c, n);
+    c
+}
+
+/// Conjugate transpose of an `m × n` matrix.
+pub fn dagger(a: &[C64], m: usize, n: usize) -> Vec<C64> {
+    assert_eq!(a.len(), m * n);
+    let mut out = vec![C64::zero(); n * m];
+    for i in 0..m {
+        for j in 0..n {
+            out[j * m + i] = a[i * n + j].conj();
+        }
+    }
+    out
+}
+
+/// Max elementwise modulus of `A − B`.
+pub fn max_abs_diff(a: &[C64], b: &[C64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+}
+
+/// Frobenius norm.
+pub fn frobenius_norm(a: &[C64]) -> f64 {
+    a.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+}
+
+/// Max deviation of `A` from Hermitian symmetry (`|A − A†|_max`).
+pub fn hermitian_defect(a: &[C64], n: usize) -> f64 {
+    assert_eq!(a.len(), n * n);
+    let mut d = 0.0f64;
+    for i in 0..n {
+        for j in i..n {
+            d = d.max((a[i * n + j] - a[j * n + i].conj()).abs());
+        }
+    }
+    d
+}
+
+/// Max deviation of `Q` (n×n) from unitarity (`|Q†Q − I|_max`).
+pub fn unitarity_defect(q: &[C64], n: usize) -> f64 {
+    let qhq = matmul_hermitian_left(q, q, n, n, n);
+    max_abs_diff(&qhq, &identity(n))
+}
+
+/// Builds a random Hermitian matrix from a deterministic counter sequence
+/// (test helper, but used by benches too so it lives in the library).
+pub fn hermitian_from_fn(n: usize, mut f: impl FnMut(usize, usize) -> C64) -> Vec<C64> {
+    let mut a = vec![C64::zero(); n * n];
+    for i in 0..n {
+        for j in i..n {
+            let v = f(i, j);
+            if i == j {
+                a[i * n + i] = c64(v.re, 0.0);
+            } else {
+                a[i * n + j] = v;
+                a[j * n + i] = v.conj();
+            }
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_unitary() {
+        assert_eq!(unitarity_defect(&identity(5), 5), 0.0);
+    }
+
+    #[test]
+    fn dagger_involution() {
+        let a: Vec<C64> = (0..6).map(|i| c64(i as f64, -(i as f64) * 0.5)).collect();
+        let back = dagger(&dagger(&a, 2, 3), 3, 2);
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a: Vec<C64> = (0..9).map(|i| c64(i as f64, 1.0)).collect();
+        let p = matmul(&a, &identity(3), 3, 3, 3);
+        assert!(max_abs_diff(&a, &p) < 1e-14);
+    }
+
+    #[test]
+    fn hermitian_from_fn_is_hermitian() {
+        let a = hermitian_from_fn(6, |i, j| c64((i + j) as f64, (i as f64) - (j as f64)));
+        assert_eq!(hermitian_defect(&a, 6), 0.0);
+    }
+
+    #[test]
+    fn matmul_hermitian_left_matches_manual() {
+        // A: 2x2, B: 2x2 — check A†B by hand.
+        let a = [c64(1.0, 1.0), c64(0.0, 0.0), c64(0.0, 0.0), c64(2.0, 0.0)];
+        let b = [c64(3.0, 0.0), c64(0.0, 0.0), c64(0.0, 0.0), c64(0.0, 4.0)];
+        let c = matmul_hermitian_left(&a, &b, 2, 2, 2);
+        assert_eq!(c[0], c64(3.0, -3.0)); // conj(1+i)*3
+        assert_eq!(c[3], c64(0.0, 8.0)); // conj(2)*4i
+    }
+
+    #[test]
+    fn frobenius_matches_manual() {
+        let a = [c64(3.0, 0.0), c64(0.0, 4.0)];
+        assert!((frobenius_norm(&a) - 5.0).abs() < 1e-15);
+    }
+}

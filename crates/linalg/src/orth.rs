@@ -1,0 +1,289 @@
+//! Orthonormalisation of wave-function column sets.
+//!
+//! QXMD's SCF refresh re-orthonormalises the propagated orbitals at FP64
+//! before the Rayleigh–Ritz step. Two standard schemes are provided:
+//!
+//! * **Modified Gram–Schmidt** — sequential, numerically robust for
+//!   mildly ill-conditioned sets; changes the span order-dependently.
+//! * **Löwdin (symmetric) orthonormalisation** — `Ψ ← Ψ S^{-1/2}` with
+//!   `S = Ψ†Ψ`; the unique orthonormal set closest to the input in the
+//!   Frobenius sense, which is why quantum-dynamics codes prefer it (it
+//!   perturbs the propagated state least).
+//!
+//! Matrices are row-major `rows × cols`, orbitals stored as **columns**.
+
+use crate::cholesky::{cholesky_factor, trsm_right_lower_conjtrans};
+use crate::hermitian::eigh;
+use crate::ops::matmul_hermitian_left;
+use dcmesh_numerics::C64;
+
+/// In-place modified Gram–Schmidt on the columns of `a` (`rows × cols`).
+///
+/// Returns the number of columns that were numerically dependent (their
+/// norm collapsed below `tol` after projection; they are replaced with
+/// zeros rather than noise).
+pub fn modified_gram_schmidt(a: &mut [C64], rows: usize, cols: usize, tol: f64) -> usize {
+    assert_eq!(a.len(), rows * cols, "mgs: shape mismatch");
+    let mut dropped = 0;
+    for j in 0..cols {
+        // Project out previously orthonormalised columns.
+        for prev in 0..j {
+            let mut dot = C64::zero(); // <prev, j>
+            for i in 0..rows {
+                dot += a[i * cols + prev].conj().mul_4m(a[i * cols + j]);
+            }
+            for i in 0..rows {
+                let p = a[i * cols + prev].mul_4m(dot);
+                a[i * cols + j] -= p;
+            }
+        }
+        let norm: f64 = (0..rows).map(|i| a[i * cols + j].norm_sqr()).sum::<f64>().sqrt();
+        if norm <= tol {
+            for i in 0..rows {
+                a[i * cols + j] = C64::zero();
+            }
+            dropped += 1;
+        } else {
+            let inv = 1.0 / norm;
+            for i in 0..rows {
+                a[i * cols + j] = a[i * cols + j].scale(inv);
+            }
+        }
+    }
+    dropped
+}
+
+/// Löwdin symmetric orthonormalisation: `A ← A·S^{-1/2}`, `S = A†A`.
+///
+/// Panics if the overlap matrix is numerically singular (smallest
+/// eigenvalue below `1e-12` of the largest): a collapsed orbital set
+/// indicates the propagation has already failed and must not be papered
+/// over.
+pub fn lowdin_orthonormalize(a: &mut [C64], rows: usize, cols: usize) {
+    assert_eq!(a.len(), rows * cols, "lowdin: shape mismatch");
+    if cols == 0 {
+        return;
+    }
+    // S = A†A (cols × cols), Hermitian positive semi-definite.
+    let s = matmul_hermitian_left(a, a, cols, rows, cols);
+    let eig = eigh(&s, cols);
+    let max_ev = eig.eigenvalues.last().copied().unwrap_or(0.0);
+    assert!(
+        eig.eigenvalues[0] > 1e-12 * max_ev.max(1e-300),
+        "lowdin: overlap matrix numerically singular (min ev {}, max ev {max_ev})",
+        eig.eigenvalues[0]
+    );
+
+    // S^{-1/2} = V diag(1/√λ) V†
+    let n = cols;
+    let v = &eig.eigenvectors;
+    let mut s_inv_half = vec![C64::zero(); n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = C64::zero();
+            for k in 0..n {
+                let w = 1.0 / eig.eigenvalues[k].sqrt();
+                acc += v[i * n + k].scale(w).mul_4m(v[j * n + k].conj());
+            }
+            s_inv_half[i * n + j] = acc;
+        }
+    }
+
+    // A ← A · S^{-1/2}, row by row (each row of A is independent).
+    let mut row_buf = vec![C64::zero(); n];
+    for r in 0..rows {
+        let row = &a[r * n..(r + 1) * n];
+        for (j, out) in row_buf.iter_mut().enumerate() {
+            let mut acc = C64::zero();
+            for k in 0..n {
+                acc += row[k].mul_4m(s_inv_half[k * n + j]);
+            }
+            *out = acc;
+        }
+        a[r * n..(r + 1) * n].copy_from_slice(&row_buf);
+    }
+}
+
+
+/// Cholesky orthonormalisation: `A ← A·L^{-†}` with `S = A†A = L·L†`.
+///
+/// Cheaper than Löwdin (one factorisation + triangular solve instead of
+/// an eigendecomposition) and the usual production choice when the
+/// minimal-perturbation property is not needed. Panics if the overlap is
+/// not numerically positive definite.
+pub fn cholesky_orthonormalize(a: &mut [C64], rows: usize, cols: usize) {
+    assert_eq!(a.len(), rows * cols, "cholesky orth: shape mismatch");
+    if cols == 0 {
+        return;
+    }
+    let s = matmul_hermitian_left(a, a, cols, rows, cols);
+    let l = cholesky_factor(&s, cols)
+        .unwrap_or_else(|e| panic!("cholesky orth: overlap not positive definite ({e})"));
+    trsm_right_lower_conjtrans(&l, cols, a, rows);
+}
+
+/// Measures `|A†A − I|_max` of a column set — 0 for perfectly orthonormal.
+pub fn orthonormality_defect(a: &[C64], rows: usize, cols: usize) -> f64 {
+    let s = matmul_hermitian_left(a, a, cols, rows, cols);
+    let mut d = 0.0f64;
+    for i in 0..cols {
+        for j in 0..cols {
+            let target = if i == j { C64::one() } else { C64::zero() };
+            d = d.max((s[i * cols + j] - target).abs());
+        }
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dcmesh_numerics::c64;
+
+    fn skewed_columns(rows: usize, cols: usize) -> Vec<C64> {
+        let mut a = vec![C64::zero(); rows * cols];
+        for i in 0..rows {
+            for j in 0..cols {
+                let t = (i as f64 + 1.0) * (j as f64 + 1.0);
+                a[i * cols + j] = c64((t * 0.37).sin() + 0.1, (t * 0.11).cos() * 0.3);
+            }
+        }
+        a
+    }
+
+    #[test]
+    fn mgs_orthonormalises() {
+        let (rows, cols) = (40, 6);
+        let mut a = skewed_columns(rows, cols);
+        let dropped = modified_gram_schmidt(&mut a, rows, cols, 1e-12);
+        assert_eq!(dropped, 0);
+        assert!(orthonormality_defect(&a, rows, cols) < 1e-12);
+    }
+
+    #[test]
+    fn mgs_detects_dependent_columns() {
+        let rows = 10;
+        let cols = 3;
+        let mut a = vec![C64::zero(); rows * cols];
+        for i in 0..rows {
+            a[i * cols] = c64(1.0, 0.0);
+            a[i * cols + 1] = c64(2.0, 0.0); // parallel to column 0
+            a[i * cols + 2] = c64(i as f64, 1.0);
+        }
+        let dropped = modified_gram_schmidt(&mut a, rows, cols, 1e-10);
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn lowdin_orthonormalises() {
+        let (rows, cols) = (50, 8);
+        let mut a = skewed_columns(rows, cols);
+        lowdin_orthonormalize(&mut a, rows, cols);
+        assert!(orthonormality_defect(&a, rows, cols) < 1e-11);
+    }
+
+    #[test]
+    fn lowdin_is_minimal_perturbation_vs_mgs() {
+        // For a nearly orthonormal input, Löwdin's output stays closer to
+        // the input than Gram–Schmidt's (its defining property).
+        let (rows, cols) = (30, 5);
+        let mut base = skewed_columns(rows, cols);
+        modified_gram_schmidt(&mut base, rows, cols, 1e-12);
+        // Perturb slightly.
+        let mut perturbed = base.clone();
+        for (idx, z) in perturbed.iter_mut().enumerate() {
+            let e = ((idx * 2654435761) % 1000) as f64 / 1000.0 - 0.5;
+            *z += c64(1e-3 * e, -5e-4 * e);
+        }
+        let mut via_lowdin = perturbed.clone();
+        lowdin_orthonormalize(&mut via_lowdin, rows, cols);
+        let mut via_mgs = perturbed.clone();
+        modified_gram_schmidt(&mut via_mgs, rows, cols, 1e-12);
+        let dist = |x: &[C64]| -> f64 {
+            x.iter().zip(&perturbed).map(|(a, b)| (*a - *b).norm_sqr()).sum::<f64>().sqrt()
+        };
+        assert!(
+            dist(&via_lowdin) <= dist(&via_mgs) + 1e-12,
+            "lowdin {} vs mgs {}",
+            dist(&via_lowdin),
+            dist(&via_mgs)
+        );
+    }
+
+    #[test]
+    fn lowdin_preserves_span() {
+        // Orthonormalising [e1, e1 + 0.1 e2] must keep span{e1, e2}.
+        let rows = 4;
+        let cols = 2;
+        let mut a = vec![C64::zero(); rows * cols];
+        a[0] = c64(1.0, 0.0); // col 0 = e1
+        a[1] = c64(1.0, 0.0); // col 1 = e1 + 0.1 e2
+        a[cols + 1] = c64(0.1, 0.0);
+        lowdin_orthonormalize(&mut a, rows, cols);
+        assert!(orthonormality_defect(&a, rows, cols) < 1e-12);
+        // Rows 2, 3 (outside the span) stay zero.
+        for i in 2..rows {
+            for j in 0..cols {
+                assert_eq!(a[i * cols + j], C64::zero());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn lowdin_rejects_rank_deficient() {
+        let rows = 6;
+        let cols = 2;
+        let mut a = vec![C64::zero(); rows * cols];
+        for i in 0..rows {
+            a[i * cols] = c64(1.0, 0.0);
+            a[i * cols + 1] = c64(1.0, 0.0);
+        }
+        lowdin_orthonormalize(&mut a, rows, cols);
+    }
+
+    #[test]
+    fn cholesky_orthonormalises() {
+        let (rows, cols) = (40, 7);
+        let mut a = skewed_columns(rows, cols);
+        cholesky_orthonormalize(&mut a, rows, cols);
+        assert!(orthonormality_defect(&a, rows, cols) < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_orth_preserves_span() {
+        // Same span as Lowdin: project one result onto the other's
+        // orthogonal complement -> zero.
+        let (rows, cols) = (30, 4);
+        let mut via_chol = skewed_columns(rows, cols);
+        let mut via_lowdin = via_chol.clone();
+        cholesky_orthonormalize(&mut via_chol, rows, cols);
+        lowdin_orthonormalize(&mut via_lowdin, rows, cols);
+        // Overlap matrix between the two bases must be unitary.
+        let mut overlap = vec![C64::zero(); cols * cols];
+        for i in 0..cols {
+            for j in 0..cols {
+                let mut s = C64::zero();
+                for r in 0..rows {
+                    s += via_chol[r * cols + i].conj().mul_4m(via_lowdin[r * cols + j]);
+                }
+                overlap[i * cols + j] = s;
+            }
+        }
+        let defect = crate::ops::unitarity_defect(&overlap, cols);
+        assert!(defect < 1e-10, "span differs: unitarity defect {defect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive definite")]
+    fn cholesky_orth_rejects_rank_deficient() {
+        let rows = 6;
+        let cols = 2;
+        let mut a = vec![C64::zero(); rows * cols];
+        for i in 0..rows {
+            a[i * cols] = c64(1.0, 0.0);
+            a[i * cols + 1] = c64(1.0, 0.0);
+        }
+        cholesky_orthonormalize(&mut a, rows, cols);
+    }
+}

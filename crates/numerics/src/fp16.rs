@@ -1,0 +1,242 @@
+//! IEEE-754 binary16 (half precision).
+//!
+//! FP16 appears in the paper's Table I (419 TFLOP/s on the XMX engines,
+//! same as BF16) and Table IV context: 5 exponent bits, 10 mantissa bits.
+//! oneMKL's `FLOAT_TO_*` modes do not include an FP16 variant — its
+//! narrow exponent range (max ≈ 65504) makes silent overflow too easy for
+//! general BLAS inputs, which is itself an instructive datapoint this
+//! type lets tests demonstrate. Unlike BF16/TF32, correct conversion
+//! must handle gradual underflow into denormals and exponent re-biasing.
+
+/// An IEEE binary16 value stored as its 16-bit pattern
+/// (1 sign, 5 exponent, 10 mantissa bits).
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
+#[repr(transparent)]
+pub struct Fp16(pub u16);
+
+impl Fp16 {
+    /// Positive zero.
+    pub const ZERO: Fp16 = Fp16(0);
+    /// One.
+    pub const ONE: Fp16 = Fp16(0x3C00);
+    /// Machine epsilon: 2⁻¹⁰.
+    pub const EPSILON: f32 = 0.000_976_562_5;
+    /// Largest finite value: 65504.
+    pub const MAX: f32 = 65_504.0;
+    /// Smallest positive normal value: 2⁻¹⁴.
+    pub const MIN_POSITIVE: f32 = 6.103_515_625e-5;
+    /// Smallest positive denormal: 2⁻²⁴.
+    pub const MIN_DENORMAL: f32 = 5.960_464_477_539_063e-8;
+    /// Number of explicit mantissa bits.
+    pub const MANTISSA_BITS: u32 = 10;
+    /// Number of exponent bits.
+    pub const EXPONENT_BITS: u32 = 5;
+
+    /// Converts an `f32` with round-to-nearest-even, including gradual
+    /// underflow to denormals and overflow to infinity.
+    pub fn from_f32(x: f32) -> Fp16 {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let abs = bits & 0x7FFF_FFFF;
+
+        if abs > 0x7F80_0000 {
+            // NaN: quieten, keep a payload bit.
+            return Fp16(sign | 0x7E00);
+        }
+        if abs >= 0x4780_0000 {
+            // |x| >= 65520 rounds to infinity (65504 + half ulp).
+            return Fp16(sign | 0x7C00);
+        }
+        if abs < 0x3280_0000 {
+            // |x| < 2^-26: far below half the smallest denormal — zero.
+            // (Values in [2^-26, 2^-25] round correctly through the
+            // denormal path below, including the tie at exactly 2^-25.)
+            return Fp16(sign);
+        }
+
+        let exp = ((abs >> 23) as i32) - 127; // unbiased f32 exponent
+        if exp < -14 {
+            // Denormal range: value = m · 2^-24 with m in [0, 1024).
+            // Shift the 24-bit significand (with implicit 1) right.
+            let significand = (abs & 0x007F_FFFF) | 0x0080_0000; // 24 bits
+            let shift = (-14 - exp) as u32 + 13; // down to 10-bit field
+            if shift >= 32 {
+                return Fp16(sign);
+            }
+            let kept = significand >> shift;
+            let rem_mask = (1u32 << shift) - 1;
+            let rem = significand & rem_mask;
+            let half = 1u32 << (shift - 1);
+            let mut m = kept;
+            if rem > half || (rem == half && (kept & 1) == 1) {
+                m += 1;
+            }
+            // m may carry into the normal range (m == 1024): that is the
+            // correct smallest normal.
+            return Fp16(sign | m as u16);
+        }
+
+        // Normal range: re-bias and round the low 13 mantissa bits.
+        let unrounded = (((exp + 15) as u32) << 10) | ((abs >> 13) & 0x03FF);
+        let rem = abs & 0x1FFF;
+        let mut h = unrounded;
+        if rem > 0x1000 || (rem == 0x1000 && (h & 1) == 1) {
+            h += 1; // may carry into the exponent — still correct (and
+                    // into infinity at the very top, handled by the
+                    // early-out above)
+        }
+        Fp16(sign | h as u16)
+    }
+
+    /// Converts to `f32` (exact).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = ((self.0 >> 10) & 0x1F) as u32;
+        let man = (self.0 & 0x03FF) as u32;
+        let bits = match (exp, man) {
+            (0, 0) => sign,
+            (0, m) => {
+                // Denormal: normalise into f32.
+                let lead = 31 - m.leading_zeros(); // position of leading 1
+                let shift = 10 - lead;
+                // value = m·2^-24 = 2^{lead-24}·(1.xxx): exponent field
+                // 127 + lead - 24.
+                let f32_exp = 127 - 14 - shift;
+                let f32_man = (m << (shift + 13)) & 0x007F_FFFF;
+                sign | (f32_exp << 23) | f32_man
+            }
+            (0x1F, 0) => sign | 0x7F80_0000,
+            (0x1F, m) => sign | 0x7F80_0000 | (m << 13) | 0x0040_0000,
+            (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Rounds an `f32` to the nearest FP16 and returns it as an `f32`.
+    pub fn round_f32(x: f32) -> f32 {
+        Fp16::from_f32(x).to_f32()
+    }
+
+    /// True if NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    /// True if ±infinity.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+
+    /// Raw bit pattern.
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+}
+
+impl core::fmt::Debug for Fp16 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Fp16({})", self.to_f32())
+    }
+}
+
+impl core::fmt::Display for Fp16 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_roundtrip() {
+        for x in [0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, 6.103_515_625e-5, -0.25] {
+            assert_eq!(Fp16::round_f32(x), x, "{x} must be fp16-exact");
+        }
+    }
+
+    #[test]
+    fn integers_up_to_2048_exact() {
+        for i in -2048..=2048 {
+            let x = i as f32;
+            assert_eq!(Fp16::round_f32(x), x, "integer {i}");
+        }
+        // 2049 is not representable (11 significand bits needed).
+        assert_ne!(Fp16::round_f32(2049.0), 2049.0);
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        assert!(Fp16::from_f32(65520.0).is_infinite());
+        assert!(Fp16::from_f32(1.0e6).is_infinite());
+        assert!(Fp16::from_f32(-1.0e6).is_infinite());
+        assert_eq!(Fp16::round_f32(65519.9), 65504.0);
+        // ... which BF16 survives easily — the range trade-off in one line.
+        assert!(crate::Bf16::from_f32(1.0e6).is_finite());
+    }
+
+    #[test]
+    fn denormal_range_handled() {
+        // 2^-24 is the smallest denormal.
+        assert_eq!(Fp16::round_f32(Fp16::MIN_DENORMAL), Fp16::MIN_DENORMAL);
+        // Half of it rounds to zero (tie to even).
+        assert_eq!(Fp16::round_f32(Fp16::MIN_DENORMAL / 2.0), 0.0);
+        // 1.5 denormals round to 2 denormals.
+        assert_eq!(
+            Fp16::round_f32(1.5 * Fp16::MIN_DENORMAL),
+            2.0 * Fp16::MIN_DENORMAL
+        );
+        // A mid-range denormal roundtrips.
+        let x = 37.0 * Fp16::MIN_DENORMAL;
+        assert_eq!(Fp16::round_f32(x), x);
+    }
+
+    #[test]
+    fn round_to_nearest_even_at_one() {
+        assert_eq!(Fp16::round_f32(1.0 + Fp16::EPSILON / 2.0), 1.0);
+        assert_eq!(
+            Fp16::round_f32(1.0 + 1.5 * Fp16::EPSILON),
+            1.0 + 2.0 * Fp16::EPSILON
+        );
+    }
+
+    #[test]
+    fn nan_preserved() {
+        assert!(Fp16::from_f32(f32::NAN).is_nan());
+        assert!(Fp16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn exhaustive_roundtrip_all_patterns() {
+        // Every fp16 bit pattern must roundtrip through f32 exactly.
+        for bits in 0..=u16::MAX {
+            let h = Fp16(bits);
+            let x = h.to_f32();
+            if h.is_nan() {
+                assert!(x.is_nan());
+                continue;
+            }
+            let back = Fp16::from_f32(x);
+            assert_eq!(back.0, bits, "pattern {bits:#06x} -> {x} -> {:#06x}", back.0);
+        }
+    }
+
+    #[test]
+    fn conversion_error_bounded_in_normal_range() {
+        let mut x = 1.0e-4f32;
+        while x < 6.0e4 {
+            let r = Fp16::round_f32(x);
+            let rel = ((r - x) / x).abs();
+            assert!(rel <= 2f32.powi(-11), "x={x} rel={rel}");
+            x *= 3.7;
+        }
+    }
+
+    #[test]
+    fn same_mantissa_as_tf32_narrower_range_than_bf16() {
+        // The Table IV relationships.
+        assert_eq!(Fp16::MANTISSA_BITS, crate::Tf32::MANTISSA_BITS);
+        assert!(Fp16::EXPONENT_BITS < crate::Bf16::EXPONENT_BITS);
+    }
+}

@@ -1,0 +1,252 @@
+//! Split-precision decomposition of `f32` into sums of BF16 terms.
+//!
+//! oneMKL's `FLOAT_TO_BF16X2` / `FLOAT_TO_BF16X3` modes represent each
+//! single-precision input as a sum of two or three bfloat16 values:
+//!
+//! ```text
+//! x ≈ hi + mid + lo,   hi  = bf16(x)
+//!                      mid = bf16(x - hi)
+//!                      lo  = bf16(x - hi - mid)
+//! ```
+//!
+//! Each extra term recovers roughly 8 more mantissa bits, so the three-term
+//! split carries ~24 bits — comparable to a full `f32` mantissa — which is
+//! why the paper observes BF16x3 accuracy "comparable to standard
+//! single-precision arithmetic". A GEMM on split inputs multiplies the
+//! component matrices pairwise on the systolic arrays and accumulates in
+//! FP32; the x2 mode uses 3 of the 4 cross products (dropping `mid·mid`
+//! and below), the x3 mode uses the 6 leading products of 9 — hence the
+//! (16/3)x and (8/3)x theoretical speedups in paper Table II.
+
+use crate::bf16::Bf16;
+
+/// A two-term BF16 split of an `f32` value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Split2 {
+    /// Leading term: `bf16(x)`.
+    pub hi: f32,
+    /// Correction term: `bf16(x - hi)`.
+    pub lo: f32,
+}
+
+/// A three-term BF16 split of an `f32` value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Split3 {
+    /// Leading term: `bf16(x)`.
+    pub hi: f32,
+    /// First correction: `bf16(x - hi)`.
+    pub mid: f32,
+    /// Second correction: `bf16(x - hi - mid)`.
+    pub lo: f32,
+}
+
+impl Split2 {
+    /// Decomposes `x` into two BF16 terms.
+    #[inline]
+    pub fn new(x: f32) -> Split2 {
+        let hi = Bf16::round_f32(x);
+        let lo = if hi.is_finite() {
+            Bf16::round_f32(x - hi)
+        } else {
+            0.0
+        };
+        Split2 { hi, lo }
+    }
+
+    /// Reconstructs the (approximate) original value.
+    #[inline]
+    pub fn value(self) -> f32 {
+        self.hi + self.lo
+    }
+}
+
+impl Split3 {
+    /// Decomposes `x` into three BF16 terms.
+    #[inline]
+    pub fn new(x: f32) -> Split3 {
+        let hi = Bf16::round_f32(x);
+        if !hi.is_finite() {
+            return Split3 { hi, mid: 0.0, lo: 0.0 };
+        }
+        let r1 = x - hi;
+        let mid = Bf16::round_f32(r1);
+        let lo = Bf16::round_f32(r1 - mid);
+        Split3 { hi, mid, lo }
+    }
+
+    /// Reconstructs the (approximate) original value.
+    #[inline]
+    pub fn value(self) -> f32 {
+        self.hi + self.mid + self.lo
+    }
+}
+
+/// Splits a slice into `depth` (1, 2 or 3) BF16 component slices.
+///
+/// `components` must contain `depth` slices, each the length of `src`.
+/// Component 0 is the leading term; later components are successively
+/// smaller corrections. All components are BF16-representable values
+/// stored as `f32`, ready to feed an emulated systolic GEMM.
+pub fn split_slice(src: &[f32], components: &mut [&mut [f32]]) {
+    let depth = components.len();
+    assert!(
+        (1..=3).contains(&depth),
+        "split depth must be 1, 2 or 3, got {depth}"
+    );
+    for c in components.iter() {
+        assert_eq!(c.len(), src.len(), "component length mismatch");
+    }
+    match depth {
+        1 => {
+            for (d, &s) in components[0].iter_mut().zip(src) {
+                *d = Bf16::round_f32(s);
+            }
+        }
+        2 => {
+            // Split borrows: components[0] and components[1] simultaneously.
+            let (head, tail) = components.split_at_mut(1);
+            let (c0, c1) = (&mut *head[0], &mut *tail[0]);
+            for i in 0..src.len() {
+                let s = Split2::new(src[i]);
+                c0[i] = s.hi;
+                c1[i] = s.lo;
+            }
+        }
+        3 => {
+            let (head, tail) = components.split_at_mut(1);
+            let (mid_s, lo_s) = tail.split_at_mut(1);
+            let (c0, c1, c2) = (&mut *head[0], &mut *mid_s[0], &mut *lo_s[0]);
+            for i in 0..src.len() {
+                let s = Split3::new(src[i]);
+                c0[i] = s.hi;
+                c1[i] = s.mid;
+                c2[i] = s.lo;
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+/// Worst-case relative representation error of a `depth`-term BF16 split,
+/// ignoring denormals (§V-B of the paper: dropping all but `n` mantissa
+/// bits induces at most a `2^{-n-1}` relative input perturbation).
+pub fn split_relative_error_bound(depth: usize) -> f32 {
+    // Each BF16 term contributes 8 effective mantissa bits (7 explicit + 1
+    // implicit); the residual after `depth` terms is bounded by half an ulp
+    // of the last term.
+    match depth {
+        1 => 2f32.powi(-8),
+        2 => 2f32.powi(-16),
+        3 => 2f32.powi(-24),
+        _ => panic!("split depth must be 1, 2 or 3, got {depth}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel_err(x: f32, approx: f32) -> f32 {
+        if x == 0.0 {
+            approx.abs()
+        } else {
+            ((approx - x) / x).abs()
+        }
+    }
+
+    #[test]
+    fn split2_recovers_16_bits() {
+        let vals = [core::f32::consts::PI, 0.1, -1234.5678, 3.77e-6, 8.9e12];
+        for &x in &vals {
+            let s = Split2::new(x);
+            assert!(
+                rel_err(x, s.value()) <= split_relative_error_bound(2),
+                "x={x} err={}",
+                rel_err(x, s.value())
+            );
+        }
+    }
+
+    #[test]
+    fn split3_is_near_exact_for_f32() {
+        // Three BF16 terms carry >= 24 mantissa bits, so reconstruction is
+        // exact for almost all f32 values (residual below half an f32 ulp).
+        let vals = [core::f32::consts::E, -0.333_333_34, 99999.99, 1.0e-20];
+        for &x in &vals {
+            let s = Split3::new(x);
+            assert!(
+                rel_err(x, s.value()) <= split_relative_error_bound(3),
+                "x={x} hi={} mid={} lo={}",
+                s.hi,
+                s.mid,
+                s.lo
+            );
+        }
+    }
+
+    #[test]
+    fn splits_are_bf16_representable() {
+        let x = 7.123_456_7e-3_f32;
+        let s = Split3::new(x);
+        for (name, t) in [("hi", s.hi), ("mid", s.mid), ("lo", s.lo)] {
+            assert_eq!(Bf16::round_f32(t), t, "{name} term not bf16-exact");
+        }
+    }
+
+    #[test]
+    fn terms_decrease_in_magnitude() {
+        let x = 1.234_567_8_f32;
+        let s = Split3::new(x);
+        assert!(s.hi.abs() > s.mid.abs() || s.mid == 0.0);
+        assert!(s.mid.abs() > s.lo.abs() || s.lo == 0.0);
+    }
+
+    #[test]
+    fn exact_bf16_values_have_zero_tail() {
+        let x = 1.5f32; // exactly representable in bf16
+        let s = Split3::new(x);
+        assert_eq!(s.hi, 1.5);
+        assert_eq!(s.mid, 0.0);
+        assert_eq!(s.lo, 0.0);
+    }
+
+    #[test]
+    fn split_slice_depths_match_scalar() {
+        let src: Vec<f32> = (0..97).map(|i| ((i * 37) as f32).cos() * 42.0).collect();
+        // depth 1
+        let mut a = vec![0.0; src.len()];
+        split_slice(&src, &mut [&mut a]);
+        for (i, &v) in a.iter().enumerate() {
+            assert_eq!(v, Bf16::round_f32(src[i]));
+        }
+        // depth 2
+        let (mut h, mut l) = (vec![0.0; src.len()], vec![0.0; src.len()]);
+        split_slice(&src, &mut [&mut h, &mut l]);
+        for i in 0..src.len() {
+            let s = Split2::new(src[i]);
+            assert_eq!((h[i], l[i]), (s.hi, s.lo), "i={i}");
+        }
+        // depth 3
+        let (mut h3, mut m3, mut l3) =
+            (vec![0.0; src.len()], vec![0.0; src.len()], vec![0.0; src.len()]);
+        split_slice(&src, &mut [&mut h3, &mut m3, &mut l3]);
+        for i in 0..src.len() {
+            let s = Split3::new(src[i]);
+            assert_eq!((h3[i], m3[i], l3[i]), (s.hi, s.mid, s.lo), "i={i}");
+        }
+    }
+
+    #[test]
+    fn infinity_split_has_zero_corrections() {
+        let s = Split3::new(f32::MAX); // rounds to +inf in bf16
+        assert!(s.hi.is_infinite());
+        assert_eq!(s.mid, 0.0);
+        assert_eq!(s.lo, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "split depth")]
+    fn zero_depth_panics() {
+        split_slice(&[1.0], &mut []);
+    }
+}

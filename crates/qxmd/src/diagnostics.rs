@@ -1,0 +1,180 @@
+//! Classical MD diagnostics: radial distribution and displacement
+//! analysis.
+//!
+//! Standard tooling for judging whether the ionic subsystem behaves
+//! physically over a run — the lattice should stay crystalline at low
+//! excitation and disorder progressively as the Ehrenfest coupling pumps
+//! laser energy into the phonons.
+
+use crate::lattice::AtomicSystem;
+use crate::species::Species;
+
+/// A radial distribution function g(r) histogram.
+#[derive(Clone, Debug)]
+pub struct Rdf {
+    /// Bin centres in bohr.
+    pub r: Vec<f64>,
+    /// g(r) values (normalised to 1 at the ideal-gas density).
+    pub g: Vec<f64>,
+}
+
+/// Computes g(r) over all pairs (optionally restricted to one species
+/// pair), with minimum-image distances up to `r_max < box/2`.
+pub fn radial_distribution(
+    system: &AtomicSystem,
+    pair: Option<(Species, Species)>,
+    r_max: f64,
+    bins: usize,
+) -> Rdf {
+    assert!(bins >= 1, "need at least one bin");
+    assert!(
+        r_max > 0.0 && r_max <= system.box_length / 2.0,
+        "r_max must lie in (0, box/2]"
+    );
+    let n = system.len();
+    let dr = r_max / bins as f64;
+    let mut counts = vec![0usize; bins];
+    let mut n_selected_pairs = 0usize;
+
+    let selected = |a: Species, b: Species| match pair {
+        None => true,
+        Some((x, y)) => (a == x && b == y) || (a == y && b == x),
+    };
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !selected(system.species[i], system.species[j]) {
+                continue;
+            }
+            n_selected_pairs += 1;
+            let d = system.min_image(i, j);
+            let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+            if r < r_max {
+                counts[(r / dr) as usize] += 1;
+            }
+        }
+    }
+
+    let volume = system.box_length.powi(3);
+    // Ideal-gas pair density for the selected pair set.
+    let pair_density = n_selected_pairs as f64 / volume;
+    let mut r_out = Vec::with_capacity(bins);
+    let mut g_out = Vec::with_capacity(bins);
+    for (b, &c) in counts.iter().enumerate() {
+        let r_lo = b as f64 * dr;
+        let r_hi = r_lo + dr;
+        let shell = 4.0 / 3.0 * core::f64::consts::PI * (r_hi.powi(3) - r_lo.powi(3));
+        r_out.push(r_lo + dr / 2.0);
+        g_out.push(if pair_density > 0.0 { c as f64 / (shell * pair_density) } else { 0.0 });
+    }
+    Rdf { r: r_out, g: g_out }
+}
+
+/// Mean-square displacement of the current positions from a reference
+/// snapshot (minimum image), in bohr².
+pub fn mean_square_displacement(system: &AtomicSystem, reference: &[f64]) -> f64 {
+    assert_eq!(reference.len(), system.positions.len(), "reference size mismatch");
+    let n = system.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let l = system.box_length;
+    let mut acc = 0.0;
+    for i in 0..3 * n {
+        let mut d = system.positions[i] - reference[i];
+        d -= l * (d / l).round();
+        acc += d * d;
+    }
+    acc / n as f64
+}
+
+/// The Lindemann ratio: RMS displacement over the nearest-neighbour
+/// distance — the classic melting indicator (≈0.1 at melting).
+pub fn lindemann_ratio(system: &AtomicSystem, reference: &[f64], neighbour_distance: f64) -> f64 {
+    mean_square_displacement(system, reference).sqrt() / neighbour_distance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::{pto_supercell, PTO_LATTICE_BOHR};
+
+    #[test]
+    fn perfect_lattice_rdf_has_sharp_peaks() {
+        let s = pto_supercell(2);
+        let rdf = radial_distribution(&s, None, s.box_length / 2.0, 60);
+        // The ideal perovskite has discrete shells: most bins empty, a few
+        // strongly peaked.
+        let occupied = rdf.g.iter().filter(|&&g| g > 0.0).count();
+        assert!(occupied < rdf.g.len() / 2, "too many occupied bins: {occupied}");
+        let peak = rdf.g.iter().cloned().fold(0.0f64, f64::max);
+        assert!(peak > 3.0, "no sharp shell structure: peak {peak}");
+    }
+
+    #[test]
+    fn ti_o_first_shell_at_half_lattice_constant() {
+        // Ti sits at the cell centre, O on face centres: nearest Ti-O
+        // distance is a/2.
+        let s = pto_supercell(2);
+        let rdf = radial_distribution(&s, Some((Species::Ti, Species::O)), 6.0, 120);
+        let (idx, _) = rdf
+            .g
+            .iter()
+            .enumerate()
+            .fold((0, 0.0f64), |best, (i, &g)| if g > best.1 { (i, g) } else { best });
+        let peak_r = rdf.r[idx];
+        assert!(
+            (peak_r - PTO_LATTICE_BOHR / 2.0).abs() < 0.2,
+            "Ti-O first shell at {peak_r}, expected {}",
+            PTO_LATTICE_BOHR / 2.0
+        );
+    }
+
+    #[test]
+    fn msd_zero_for_identical_positions() {
+        let s = pto_supercell(2);
+        assert_eq!(mean_square_displacement(&s, &s.positions.clone()), 0.0);
+    }
+
+    #[test]
+    fn msd_counts_uniform_shift_periodically() {
+        let mut s = pto_supercell(2);
+        let reference = s.positions.clone();
+        for p in s.positions.iter_mut() {
+            *p = (*p + 0.5).rem_euclid(s.box_length);
+        }
+        // Each coordinate moved 0.5 -> MSD = 3 * 0.25.
+        let msd = mean_square_displacement(&s, &reference);
+        assert!((msd - 0.75).abs() < 1e-9, "{msd}");
+        // A full box-length shift is no displacement at all (periodic).
+        let mut s2 = pto_supercell(2);
+        for p in s2.positions.iter_mut() {
+            *p = (*p + s2.box_length).rem_euclid(s2.box_length);
+        }
+        assert!(mean_square_displacement(&s2, &reference) < 1e-18);
+    }
+
+    #[test]
+    fn lindemann_grows_with_disorder() {
+        let s0 = pto_supercell(2);
+        let reference = s0.positions.clone();
+        let nn = PTO_LATTICE_BOHR / 2.0;
+        let mut s = s0.clone();
+        for (i, p) in s.positions.iter_mut().enumerate() {
+            *p += 0.1 * ((i % 7) as f64 / 7.0 - 0.5);
+        }
+        let small = lindemann_ratio(&s, &reference, nn);
+        for (i, p) in s.positions.iter_mut().enumerate() {
+            *p += 0.6 * ((i % 5) as f64 / 5.0 - 0.5);
+        }
+        let large = lindemann_ratio(&s, &reference, nn);
+        assert!(large > small && small > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "r_max")]
+    fn rdf_beyond_half_box_rejected() {
+        let s = pto_supercell(2);
+        radial_distribution(&s, None, s.box_length, 10);
+    }
+}

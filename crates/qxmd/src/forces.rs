@@ -1,0 +1,199 @@
+//! Ionic forces: short-range pair potential with Ehrenfest coupling.
+//!
+//! Between SCF refreshes the ions move on a classical *shadow* potential:
+//! a Born–Mayer repulsion plus a screened-Coulomb attraction between
+//! unlike charges, softened by the electronic excitation level (laser
+//! heating weakens the bonds — the Ehrenfest back-coupling, here in its
+//! simplest bond-softening form). Full Hellmann–Feynman forces would need
+//! Ψ on the host; the shadow form is what lets DCMESH avoid that
+//! transfer.
+
+use crate::lattice::AtomicSystem;
+use crate::species::Species;
+
+/// Output of one force evaluation.
+#[derive(Clone, Debug)]
+pub struct ForceField {
+    /// Forces in a.u., flattened like positions.
+    pub forces: Vec<f64>,
+    /// Classical potential energy (Hartree).
+    pub potential: f64,
+}
+
+/// Pair interaction cutoff (bohr).
+pub const CUTOFF: f64 = 12.0;
+
+/// Effective point charges for the screened electrostatic term (formal
+/// charges scaled by 0.4, a common shell-model compromise).
+fn charge(sp: Species) -> f64 {
+    match sp {
+        Species::Pb => 2.0 * 0.4,
+        Species::Ti => 4.0 * 0.4,
+        Species::O => -2.0 * 0.4,
+    }
+}
+
+/// Screening length (bohr) of the Yukawa electrostatic term.
+const SCREENING: f64 = 6.0;
+
+/// Pair energy and radial derivative at separation `r` (unshifted).
+fn pair_terms(si: Species, sj: Species, r: f64, soft: f64) -> (f64, f64) {
+    // Born–Mayer repulsion: A·exp(−r/ρ) with mixed parameters.
+    let a_ij = (si.repulsion_a() * sj.repulsion_a()).sqrt();
+    let rho_ij = 0.5 * (si.repulsion_rho() + sj.repulsion_rho());
+    let rep = a_ij * (-r / rho_ij).exp();
+    // Screened Coulomb (Yukawa): q_i·q_j·exp(−r/λ)/r, softened.
+    let qq = charge(si) * charge(sj) * soft;
+    let yuk = qq * (-r / SCREENING).exp() / r;
+    let d_rep = -rep / rho_ij;
+    let d_yuk = -yuk * (1.0 / r + 1.0 / SCREENING);
+    (rep + yuk, d_rep + d_yuk)
+}
+
+/// Evaluates forces and potential energy.
+///
+/// `excitation_fraction` ∈ [0, 1] is `nexc / n_electrons`; the attractive
+/// part of the potential is scaled by `(1 − softening·excitation)`,
+/// transferring laser energy into the lattice (bond softening).
+///
+/// The sum runs over *all* periodic images within the cutoff (the ±1
+/// shell suffices because `CUTOFF < 2·box`), not minimum image only —
+/// minimum image tie-breaks at exactly L/2 would break the ideal
+/// lattice's inversion symmetry. The pair energy is shifted to zero at
+/// the cutoff so the potential is continuous.
+pub fn evaluate(
+    system: &AtomicSystem,
+    excitation_fraction: f64,
+    softening: f64,
+) -> ForceField {
+    let n = system.len();
+    let l = system.box_length;
+    assert!(
+        CUTOFF < 2.0 * l,
+        "cutoff {CUTOFF} needs more than the ±1 image shell for box {l}"
+    );
+    let mut forces = vec![0.0f64; 3 * n];
+    let mut potential = 0.0f64;
+    let soft = (1.0 - softening * excitation_fraction).max(0.0);
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (si, sj) = (system.species[i], system.species[j]);
+            // Energy shift making U(CUTOFF) = 0 for this species pair.
+            let (u_cut, _) = pair_terms(si, sj, CUTOFF, soft);
+            let base: [f64; 3] = core::array::from_fn(|c| {
+                system.positions[3 * j + c] - system.positions[3 * i + c]
+            });
+            for sx in -1i32..=1 {
+                for sy in -1i32..=1 {
+                    for sz in -1i32..=1 {
+                        let d = [
+                            base[0] + sx as f64 * l,
+                            base[1] + sy as f64 * l,
+                            base[2] + sz as f64 * l,
+                        ];
+                        let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                        if r2 > CUTOFF * CUTOFF || r2 < 1e-12 {
+                            continue;
+                        }
+                        let r = r2.sqrt();
+                        let (u, du) = pair_terms(si, sj, r, soft);
+                        potential += u - u_cut;
+                        let f_over_r = -du / r;
+                        for c in 0..3 {
+                            // d = r_j − r_i (+image); repulsion pushes j
+                            // along +d.
+                            forces[3 * j + c] += f_over_r * d[c];
+                            forces[3 * i + c] -= f_over_r * d[c];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ForceField { forces, potential }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lattice::pto_supercell;
+
+    #[test]
+    fn newton_third_law() {
+        let s = pto_supercell(2);
+        let ff = evaluate(&s, 0.0, 0.0);
+        for c in 0..3 {
+            let total: f64 = (0..s.len()).map(|i| ff.forces[3 * i + c]).sum();
+            assert!(total.abs() < 1e-9, "net force component {c} = {total}");
+        }
+    }
+
+    #[test]
+    fn perfect_lattice_forces_vanish_by_symmetry() {
+        // Every atom in the ideal perovskite sits on an inversion-symmetric
+        // site of the periodic supercell, so forces cancel.
+        let s = pto_supercell(2);
+        let ff = evaluate(&s, 0.0, 0.0);
+        let max = ff.forces.iter().fold(0.0f64, |m, &f| m.max(f.abs()));
+        assert!(max < 1e-9, "ideal lattice max force {max}");
+    }
+
+    #[test]
+    fn displaced_atom_is_pulled_back_or_pushed() {
+        let mut s = pto_supercell(2);
+        let ff0 = evaluate(&s, 0.0, 0.0);
+        s.positions[0] += 0.3; // displace first Pb along x
+        let ff = evaluate(&s, 0.0, 0.0);
+        assert!(
+            ff.forces[0].abs() > 1e-4,
+            "displacement produced no restoring force: {}",
+            ff.forces[0]
+        );
+        assert!(ff.potential > ff0.potential, "displacement must raise the energy");
+    }
+
+    #[test]
+    fn force_is_negative_energy_gradient() {
+        let mut s = pto_supercell(2);
+        s.positions[4] += 0.21; // break symmetry first
+        let h = 1e-5;
+        let idx = 3; // x of the second atom
+        let f_analytic = evaluate(&s, 0.0, 0.0).forces[idx];
+        s.positions[idx] += h;
+        let e_plus = evaluate(&s, 0.0, 0.0).potential;
+        s.positions[idx] -= 2.0 * h;
+        let e_minus = evaluate(&s, 0.0, 0.0).potential;
+        s.positions[idx] += h;
+        let f_numeric = -(e_plus - e_minus) / (2.0 * h);
+        assert!(
+            (f_analytic - f_numeric).abs() < 1e-6 * (1.0 + f_numeric.abs()),
+            "{f_analytic} vs {f_numeric}"
+        );
+    }
+
+    #[test]
+    fn excitation_softens_binding() {
+        let mut s = pto_supercell(2);
+        s.positions[0] += 0.4;
+        let cold = evaluate(&s, 0.0, 0.5);
+        let hot = evaluate(&s, 0.5, 0.5);
+        // Softening scales the (mostly attractive) Yukawa term down, so
+        // the two energies must differ.
+        assert_ne!(cold.potential, hot.potential);
+    }
+
+    #[test]
+    fn cutoff_limits_interaction() {
+        // Two isolated atoms beyond the cutoff feel nothing.
+        let s = AtomicSystem {
+            species: vec![Species::O, Species::O],
+            positions: vec![0.0, 0.0, 0.0, 13.0, 0.0, 0.0],
+            velocities: vec![0.0; 6],
+            box_length: 40.0,
+        };
+        let ff = evaluate(&s, 0.0, 0.0);
+        assert_eq!(ff.potential, 0.0);
+        assert!(ff.forces.iter().all(|&f| f == 0.0));
+    }
+}

@@ -1,0 +1,133 @@
+//! Power and energy-to-solution model.
+//!
+//! The paper names power limits as one of the two reasons observed
+//! speedups fall short of theory ("power limitations are tied to hardware
+//! design"). This module makes the power side explicit: each kernel draws
+//! a fraction of the stack's TDP depending on which resource it saturates,
+//! and energy-to-solution is the time-weighted integral. Since the
+//! accelerated modes light up the (hungrier) XMX arrays but finish sooner,
+//! whether BF16 saves *energy* as well as time is a quantitative question
+//! — answered by the `ext_energy` harness.
+
+use crate::device::Engine;
+use crate::kernels::{KernelDesc, StreamKernel};
+use crate::perf::XeStackModel;
+use mkl_lite::device::GemmDesc;
+
+/// Power-draw description of one stack.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerModel {
+    /// Thermal design power of the stack, watts (Max 1550: 600 W/card,
+    /// two stacks).
+    pub tdp: f64,
+    /// Idle/leakage floor as a fraction of TDP.
+    pub idle_fraction: f64,
+    /// Draw of a vector-engine-saturated kernel (fraction of TDP).
+    pub vector_fraction: f64,
+    /// Draw of an XMX-saturated kernel — the systolic arrays run at the
+    /// power cap, which is precisely why their sustained clocks drop.
+    pub matrix_fraction: f64,
+    /// Draw of an HBM-bandwidth-bound kernel.
+    pub memory_fraction: f64,
+}
+
+/// One stack of the Max 1550.
+pub const MAX_1550_STACK_POWER: PowerModel = PowerModel {
+    tdp: 300.0,
+    idle_fraction: 0.15,
+    vector_fraction: 0.80,
+    matrix_fraction: 1.00,
+    memory_fraction: 0.62,
+};
+
+impl PowerModel {
+    /// Average watts drawn by a GEMM, from which resource bounds it.
+    pub fn gemm_watts(&self, model: &XeStackModel, desc: &GemmDesc) -> f64 {
+        let memory_bound = model.gemm_memory_seconds(desc) > model.gemm_compute_seconds(desc);
+        let fraction = if memory_bound {
+            self.memory_fraction
+        } else {
+            match model.spec.engine_for_mode(desc.mode) {
+                Engine::Vector => self.vector_fraction,
+                Engine::Matrix => self.matrix_fraction,
+            }
+        };
+        self.tdp * fraction.max(self.idle_fraction)
+    }
+
+    /// Average watts drawn by a streaming kernel (bandwidth-bound by
+    /// construction).
+    pub fn stream_watts(&self, _kernel: &StreamKernel) -> f64 {
+        self.tdp * self.memory_fraction
+    }
+
+    /// Energy in joules to execute a schedule once.
+    pub fn schedule_energy_joules(&self, model: &XeStackModel, schedule: &[KernelDesc]) -> f64 {
+        schedule
+            .iter()
+            .map(|k| match k {
+                KernelDesc::Gemm(_, d) => model.gemm_seconds(d) * self.gemm_watts(model, d),
+                KernelDesc::Stream(s) => model.stream_seconds(s) * self.stream_watts(s),
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MAX_1550_STACK;
+    use mkl_lite::device::Domain;
+    use mkl_lite::ComputeMode;
+
+    fn model() -> XeStackModel {
+        XeStackModel::new(MAX_1550_STACK)
+    }
+
+    #[test]
+    fn matrix_engines_draw_more_than_vector() {
+        let pm = MAX_1550_STACK_POWER;
+        let mdl = model();
+        // Compute-bound shapes for both engines.
+        let big = |mode| GemmDesc { domain: Domain::Complex32, m: 4096, n: 4096, k: 262_144, mode };
+        let w_vec = pm.gemm_watts(&mdl, &big(ComputeMode::Standard));
+        let w_mat = pm.gemm_watts(&mdl, &big(ComputeMode::FloatToBf16));
+        assert!(w_mat > w_vec, "XMX must draw more: {w_mat} vs {w_vec}");
+        assert!(w_mat <= pm.tdp, "cannot exceed TDP");
+    }
+
+    #[test]
+    fn memory_bound_draws_less() {
+        let pm = MAX_1550_STACK_POWER;
+        let mdl = model();
+        // m = 128 BF16 call is bandwidth-bound (paper's shape).
+        let bw = GemmDesc {
+            domain: Domain::Complex32,
+            m: 128,
+            n: 3968,
+            k: 262_144,
+            mode: ComputeMode::FloatToBf16,
+        };
+        let w = pm.gemm_watts(&mdl, &bw);
+        assert!((w - pm.tdp * pm.memory_fraction).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_positive_and_time_consistent() {
+        let pm = MAX_1550_STACK_POWER;
+        let mdl = model();
+        let d = GemmDesc {
+            domain: Domain::Complex32,
+            m: 1024,
+            n: 1024,
+            k: 262_144,
+            mode: ComputeMode::Standard,
+        };
+        let sched = vec![KernelDesc::Gemm("g", d)];
+        let e = pm.schedule_energy_joules(&mdl, &sched);
+        let t = mdl.gemm_seconds(&d);
+        assert!(e > 0.0);
+        assert!(e >= t * pm.tdp * pm.idle_fraction);
+        assert!(e <= t * pm.tdp);
+    }
+}

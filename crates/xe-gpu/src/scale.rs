@@ -1,0 +1,247 @@
+//! Multi-stack and multi-node scaling model.
+//!
+//! The paper's future work: "we would like to continue our work with
+//! DCMESH in the analysis of how alternative BLAS precision modes impact
+//! accuracy and performance in multi-stack and multi-node runs". This
+//! module extends the single-stack device model to `S` stacks connected
+//! by Xe-Link (and nodes by an HDR-class fabric), under the natural
+//! domain decomposition for LFD:
+//!
+//! * the **grid** is sliced along x, each stack holding `N_grid/S × N_orb`
+//!   of Ψ;
+//! * **stencil sweeps** parallelise perfectly up to a halo exchange of
+//!   `RADIUS` boundary planes per sweep;
+//! * **grid-sized GEMMs** (`k = N_grid`) become local GEMMs with
+//!   `k/S` plus a ring all-reduce of the subspace result (`n_orb²`
+//!   complex entries);
+//! * **subspace GEMMs** are replicated on every stack (no comm, no
+//!   speedup).
+//!
+//! The interesting emergent effect: as `S` grows the local GEMM k-extent
+//! shrinks and the calls slide down the roofline, so the *BF16 advantage
+//! itself decays with scale* — a concrete, testable prediction for the
+//! authors' future work.
+
+use crate::device::DeviceSpec;
+use crate::kernels::KernelDesc;
+use crate::perf::XeStackModel;
+
+/// Interconnect description.
+#[derive(Clone, Copy, Debug)]
+pub struct Fabric {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Point-to-point bandwidth per direction, bytes/second.
+    pub bandwidth: f64,
+    /// Per-message latency, seconds.
+    pub latency: f64,
+}
+
+/// Xe-Link between stacks of the same card / node (aggregate per stack).
+pub const XE_LINK: Fabric = Fabric {
+    name: "Xe-Link",
+    bandwidth: 300.0e9,
+    latency: 2.0e-6,
+};
+
+/// HDR-200 InfiniBand class fabric between nodes.
+pub const HDR_FABRIC: Fabric = Fabric {
+    name: "HDR-200",
+    bandwidth: 25.0e9,
+    latency: 5.0e-6,
+};
+
+/// A cluster of identical stacks.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiStackModel {
+    /// Per-stack model.
+    pub stack: XeStackModel,
+    /// Number of stacks.
+    pub n_stacks: usize,
+    /// Interconnect between them.
+    pub fabric: Fabric,
+}
+
+impl MultiStackModel {
+    /// Builds a model of `n_stacks` stacks of `spec` joined by `fabric`.
+    pub fn new(spec: DeviceSpec, n_stacks: usize, fabric: Fabric) -> MultiStackModel {
+        assert!(n_stacks >= 1, "need at least one stack");
+        MultiStackModel { stack: XeStackModel::new(spec), n_stacks, fabric }
+    }
+
+    /// Time of a ring all-reduce of `bytes` across the stacks.
+    pub fn allreduce_seconds(&self, bytes: f64) -> f64 {
+        if self.n_stacks == 1 {
+            return 0.0;
+        }
+        let s = self.n_stacks as f64;
+        // Ring: 2(S−1)/S of the payload crosses each link, 2(S−1) steps.
+        2.0 * (s - 1.0) / s * bytes / self.fabric.bandwidth
+            + 2.0 * (s - 1.0) * self.fabric.latency
+    }
+
+    /// Time of the per-sweep halo exchange for a stencil of the given
+    /// radius over an `n_grid × n_orb` complex state sliced along x.
+    pub fn halo_seconds(&self, n_grid: usize, n_orb: usize, elem_bytes: f64, radius: usize) -> f64 {
+        if self.n_stacks == 1 {
+            return 0.0;
+        }
+        // Cross-section of the x-slicing: N_grid^(2/3) points per plane.
+        let plane_points = (n_grid as f64).powf(2.0 / 3.0);
+        let bytes = 2.0 * radius as f64 * plane_points * n_orb as f64 * elem_bytes;
+        bytes / self.fabric.bandwidth + 2.0 * self.fabric.latency
+    }
+
+    /// Prices one device kernel under the decomposition.
+    ///
+    /// `n_grid`/`n_orb`/`elem_bytes` describe the full (undecomposed)
+    /// state, needed for the communication terms.
+    pub fn kernel_seconds(
+        &self,
+        kernel: &KernelDesc,
+        n_grid: usize,
+        n_orb: usize,
+        elem_bytes: f64,
+    ) -> f64 {
+        let s = self.n_stacks;
+        match kernel {
+            KernelDesc::Stream(k) => {
+                // Perfectly sliced sweep + halo.
+                let mut local = *k;
+                local.bytes /= s as f64;
+                local.flops /= s as f64;
+                self.stack.stream_seconds(&local)
+                    + self.halo_seconds(n_grid, n_orb, elem_bytes, crate::kernels::STENCIL_HALO_RADIUS)
+            }
+            KernelDesc::Gemm(_, desc) => {
+                if desc.k == n_grid {
+                    // Grid-contracted GEMM: local k/S + all-reduce of the
+                    // m×n complex result.
+                    let mut local = *desc;
+                    local.k = (desc.k / s).max(1);
+                    let result_bytes = (desc.m * desc.n) as f64 * elem_bytes;
+                    self.stack.gemm_seconds(&local) + self.allreduce_seconds(result_bytes)
+                } else if desc.m == n_grid {
+                    // Grid-sized output (nlp_expand): rows are sliced, the
+                    // small B operand is already replicated. No comm.
+                    let mut local = *desc;
+                    local.m = (desc.m / s).max(1);
+                    self.stack.gemm_seconds(&local)
+                } else {
+                    // Subspace GEMM: replicated on every stack.
+                    self.stack.gemm_seconds(desc)
+                }
+            }
+        }
+    }
+
+    /// Prices a full schedule (one QD step).
+    pub fn schedule_seconds(
+        &self,
+        schedule: &[KernelDesc],
+        n_grid: usize,
+        n_orb: usize,
+        elem_bytes: f64,
+    ) -> f64 {
+        schedule
+            .iter()
+            .map(|k| self.kernel_seconds(k, n_grid, n_orb, elem_bytes))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MAX_1550_STACK;
+    use mkl_lite::device::{Domain, GemmDesc};
+    use mkl_lite::ComputeMode;
+
+    fn cluster(s: usize, fabric: Fabric) -> MultiStackModel {
+        MultiStackModel::new(MAX_1550_STACK, s, fabric)
+    }
+
+    fn project_gemm() -> GemmDesc {
+        GemmDesc {
+            domain: Domain::Complex32,
+            m: 1024,
+            n: 1024,
+            k: 96 * 96 * 96,
+            mode: ComputeMode::Standard,
+        }
+    }
+
+    #[test]
+    fn single_stack_matches_base_model() {
+        let m = cluster(1, XE_LINK);
+        let d = project_gemm();
+        let k = KernelDesc::Gemm("p", d);
+        let t_multi = m.kernel_seconds(&k, d.k, 1024, 8.0);
+        assert_eq!(t_multi, m.stack.gemm_seconds(&d));
+        assert_eq!(m.allreduce_seconds(1e9), 0.0);
+    }
+
+    #[test]
+    fn grid_gemm_scales_down_with_stacks() {
+        let d = project_gemm();
+        let k = KernelDesc::Gemm("p", d);
+        let t1 = cluster(1, XE_LINK).kernel_seconds(&k, d.k, 1024, 8.0);
+        let t2 = cluster(2, XE_LINK).kernel_seconds(&k, d.k, 1024, 8.0);
+        let t8 = cluster(8, XE_LINK).kernel_seconds(&k, d.k, 1024, 8.0);
+        assert!(t2 < t1 && t8 < t2, "no scaling: {t1} {t2} {t8}");
+        // ... but sublinearly (communication + shrinking k efficiency).
+        assert!(t8 > t1 / 8.0, "superlinear scaling is impossible here");
+    }
+
+    #[test]
+    fn subspace_gemm_does_not_scale() {
+        let d = GemmDesc {
+            domain: Domain::Complex32,
+            m: 1024,
+            n: 1024,
+            k: 1024,
+            mode: ComputeMode::Standard,
+        };
+        let k = KernelDesc::Gemm("sub", d);
+        let t1 = cluster(1, XE_LINK).kernel_seconds(&k, 884_736, 1024, 8.0);
+        let t8 = cluster(8, XE_LINK).kernel_seconds(&k, 884_736, 1024, 8.0);
+        assert_eq!(t1, t8, "replicated subspace work must not change");
+    }
+
+    #[test]
+    fn slower_fabric_costs_more() {
+        let d = project_gemm();
+        let k = KernelDesc::Gemm("p", d);
+        let fast = cluster(4, XE_LINK).kernel_seconds(&k, d.k, 1024, 8.0);
+        let slow = cluster(4, HDR_FABRIC).kernel_seconds(&k, d.k, 1024, 8.0);
+        assert!(slow > fast, "HDR must be slower than Xe-Link: {slow} vs {fast}");
+    }
+
+    #[test]
+    fn allreduce_cost_grows_with_stacks_and_bytes() {
+        let m4 = cluster(4, XE_LINK);
+        let m8 = cluster(8, XE_LINK);
+        assert!(m8.allreduce_seconds(1e8) > m4.allreduce_seconds(1e8));
+        assert!(m4.allreduce_seconds(2e8) > m4.allreduce_seconds(1e8));
+    }
+
+    #[test]
+    fn bf16_advantage_decays_with_scale() {
+        // The emergent future-work prediction: at high stack counts the
+        // local GEMMs shrink and communication grows, so BF16's per-step
+        // advantage over FP32 declines.
+        let speedup_at = |s: usize| {
+            let mk = |mode| {
+                let d = GemmDesc { mode, ..project_gemm() };
+                cluster(s, XE_LINK).kernel_seconds(&KernelDesc::Gemm("p", d), d.k, 1024, 8.0)
+            };
+            mk(ComputeMode::Standard) / mk(ComputeMode::FloatToBf16)
+        };
+        let s1 = speedup_at(1);
+        let s16 = speedup_at(16);
+        assert!(
+            s16 < s1,
+            "BF16 advantage should decay with scale: {s1} -> {s16}"
+        );
+    }
+}

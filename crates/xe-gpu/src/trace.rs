@@ -1,0 +1,182 @@
+//! A unitrace-style kernel tracer over the simulated device timeline.
+//!
+//! The paper uses Intel PTI-GPU's `unitrace -k` to record per-kernel
+//! GPU-side (Level-Zero) timings and reads the "Total L0 Time" off the top
+//! of the dump (artifact A1). This tracer plays that role for the device
+//! model: kernels are appended with their modelled durations on a
+//! monotonically advancing simulated clock, and the dump offers the same
+//! aggregates — total device time and a per-kernel breakdown.
+
+use parking_lot::Mutex;
+
+/// One kernel execution on the simulated timeline.
+#[derive(Clone, Debug)]
+pub struct KernelEvent {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Start timestamp on the simulated device clock, seconds.
+    pub start: f64,
+    /// Duration, seconds.
+    pub duration: f64,
+}
+
+/// Per-kernel aggregate, like a unitrace summary row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelSummary {
+    /// Kernel name.
+    pub name: &'static str,
+    /// Number of executions.
+    pub calls: usize,
+    /// Total device seconds.
+    pub total: f64,
+}
+
+/// Thread-safe simulated-timeline tracer.
+#[derive(Default)]
+pub struct Tracer {
+    inner: Mutex<TracerInner>,
+}
+
+#[derive(Default)]
+struct TracerInner {
+    clock: f64,
+    events: Vec<KernelEvent>,
+}
+
+impl Tracer {
+    /// Creates an empty tracer with the clock at zero.
+    pub fn new() -> Self {
+        Tracer::default()
+    }
+
+    /// Records a kernel of `duration` seconds, advancing the clock.
+    /// Returns the kernel's start timestamp.
+    pub fn record(&self, name: &'static str, duration: f64) -> f64 {
+        assert!(duration >= 0.0 && duration.is_finite(), "bad kernel duration {duration}");
+        let mut inner = self.inner.lock();
+        let start = inner.clock;
+        inner.clock += duration;
+        inner.events.push(KernelEvent { name, start, duration });
+        start
+    }
+
+    /// Total simulated device time ("Total L0 Time").
+    pub fn total_seconds(&self) -> f64 {
+        self.inner.lock().clock
+    }
+
+    /// Number of recorded kernel events.
+    pub fn event_count(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    /// Returns a copy of the raw event list.
+    pub fn events(&self) -> Vec<KernelEvent> {
+        self.inner.lock().events.clone()
+    }
+
+    /// Per-kernel aggregates, sorted by descending total time.
+    pub fn summary(&self) -> Vec<KernelSummary> {
+        let inner = self.inner.lock();
+        let mut rows: Vec<KernelSummary> = Vec::new();
+        for ev in &inner.events {
+            match rows.iter_mut().find(|r| r.name == ev.name) {
+                Some(r) => {
+                    r.calls += 1;
+                    r.total += ev.duration;
+                }
+                None => rows.push(KernelSummary { name: ev.name, calls: 1, total: ev.duration }),
+            }
+        }
+        rows.sort_by(|a, b| b.total.partial_cmp(&a.total).expect("finite totals"));
+        rows
+    }
+
+    /// Clears all events and resets the clock.
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock();
+        inner.clock = 0.0;
+        inner.events.clear();
+    }
+
+    /// Formats a unitrace-style dump: total first, then the breakdown.
+    pub fn dump(&self) -> String {
+        let mut out = format!("Total L0 Time: {:.6} s\n", self.total_seconds());
+        out.push_str("Kernel                              Calls      Total(s)\n");
+        for row in self.summary() {
+            out.push_str(&format!("{:<36}{:>5}  {:>12.6}\n", row.name, row.calls, row.total));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let t = Tracer::new();
+        let s0 = t.record("a", 1.0);
+        let s1 = t.record("b", 2.0);
+        let s2 = t.record("a", 0.5);
+        assert_eq!((s0, s1, s2), (0.0, 1.0, 3.0));
+        assert_eq!(t.total_seconds(), 3.5);
+        assert_eq!(t.event_count(), 3);
+    }
+
+    #[test]
+    fn summary_aggregates_and_sorts() {
+        let t = Tracer::new();
+        t.record("gemm", 5.0);
+        t.record("stencil", 1.0);
+        t.record("stencil", 1.5);
+        let s = t.summary();
+        assert_eq!(s[0].name, "gemm");
+        assert_eq!(s[1], KernelSummary { name: "stencil", calls: 2, total: 2.5 });
+    }
+
+    #[test]
+    fn dump_leads_with_total() {
+        let t = Tracer::new();
+        t.record("x", 0.25);
+        let d = t.dump();
+        assert!(d.starts_with("Total L0 Time: 0.250000 s"), "{d}");
+        assert!(d.contains('x'));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let t = Tracer::new();
+        t.record("x", 1.0);
+        t.reset();
+        assert_eq!(t.total_seconds(), 0.0);
+        assert_eq!(t.event_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad kernel duration")]
+    fn negative_duration_rejected() {
+        Tracer::new().record("x", -1.0);
+    }
+
+    #[test]
+    fn tracer_is_thread_safe() {
+        let t = std::sync::Arc::new(Tracer::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        t.record("k", 0.001);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        assert_eq!(t.event_count(), 800);
+        assert!((t.total_seconds() - 0.8).abs() < 1e-9);
+    }
+}

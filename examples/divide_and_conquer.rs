@@ -1,0 +1,83 @@
+//! The divide-and-conquer electronic solver — the "DC" in DCMESH.
+//!
+//! Solves a multi-well ground state two ways: globally (Chebyshev-filtered
+//! subspace iteration over the whole mesh) and by divide-and-conquer
+//! (locally dense solves on buffered domains, globally sparse assembly
+//! through partition weights), then shows the §II-C scaling argument as
+//! an operation count.
+//!
+//! ```text
+//! cargo run --release --example divide_and_conquer
+//! ```
+
+use dcmesh_lfd::divide::{
+    dc_ground_state, dc_operation_count, decompose, well_per_domain_potential, DcConfig,
+};
+use dcmesh_lfd::eigensolve::lowest_eigenpairs;
+use dcmesh_lfd::Mesh3;
+
+fn main() {
+    let mesh = Mesh3::cubic(12, 0.8);
+    let cfg = DcConfig { divisions: 2, buffer: 2, states_per_domain: 2, solver_iterations: 250 };
+    let vloc = well_per_domain_potential(&mesh, &cfg, 2.0, 1.2);
+    let n_elec = 16;
+
+    println!(
+        "system: {} mesh points, {} Gaussian wells, {n_elec} electrons",
+        mesh.len(),
+        cfg.divisions.pow(3)
+    );
+
+    let domains = decompose(&mesh, &cfg);
+    println!(
+        "decomposition: {} domains, core {}^3 + buffer {} -> local boxes {}^3",
+        domains.len(),
+        domains[0].core_size[0],
+        cfg.buffer,
+        domains[0].sub_mesh.nx
+    );
+
+    println!("\nglobal solve (CheFSI over the full mesh)...");
+    let global = lowest_eigenpairs(&mesh, &vloc, n_elec / 2, 300, 1e-10, None);
+    let global_band: f64 = global.eigenvalues.iter().map(|e| 2.0 * e).sum();
+    println!(
+        "  lowest eigenvalues: {:?}",
+        global.eigenvalues.iter().map(|e| format!("{e:.3}")).collect::<Vec<_>>()
+    );
+    println!("  band energy: {global_band:.4} Ha ({} iterations)", global.iterations);
+
+    println!("\ndivide-and-conquer solve...");
+    let dc = dc_ground_state(&mesh, &vloc, n_elec, &cfg);
+    println!(
+        "  domain-0 local spectrum: {:?}",
+        dc.local[0].eigenvalues.iter().map(|e| format!("{e:.3}")).collect::<Vec<_>>()
+    );
+    println!("  Fermi level: {:.4} Ha", dc.fermi);
+    println!("  band energy: {:.4} Ha", dc.band_energy);
+    println!("  electrons assembled: {:.6}", dc.electrons);
+    println!(
+        "  DC vs global band energy: {:.2}% relative deviation",
+        100.0 * (dc.band_energy - global_band).abs() / global_band.abs()
+    );
+
+    println!("\nscaling (H-application point-updates, same iteration budget):");
+    println!(
+        "{:>10} {:>14} {:>14} {:>8}",
+        "mesh", "DC ops", "global ops", "ratio"
+    );
+    for (n, d, states) in [(12usize, 2usize, 32usize), (24, 4, 256), (48, 8, 2048), (96, 16, 16384)] {
+        let m = Mesh3::cubic(n, 0.8);
+        let c = DcConfig { divisions: d, ..cfg };
+        let (dc_ops, gl_ops) = dc_operation_count(&m, &c, states);
+        println!(
+            "{:>7}^3 {:>14.3e} {:>14.3e} {:>8.1}x",
+            n,
+            dc_ops,
+            gl_ops,
+            gl_ops / dc_ops
+        );
+    }
+    println!("\nfixed-size local problems make DC linear in system size while the");
+    println!("global solve grows quadratically (N_orb tracks N_grid) — the paper's");
+    println!("§II-C scalability claim in one table.");
+}

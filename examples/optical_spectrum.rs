@@ -1,0 +1,51 @@
+//! Optical spectrum of the laser-driven system — and its robustness to
+//! BLAS precision.
+//!
+//! Runs the small deck under FP32 and BF16, Fourier-analyses the current
+//! traces, and compares the spectra: peak *positions* survive the
+//! low-precision BLAS essentially unchanged even where pointwise
+//! trajectories have already diverged — the spectral version of the
+//! paper's "accuracy is retained in key output parameters".
+//!
+//! ```text
+//! cargo run --release --example optical_spectrum
+//! ```
+
+use dcmesh::config::{RunConfig, SystemPreset};
+use dcmesh::runner::run_simulation;
+use dcmesh::spectrum::current_spectrum;
+use mkl_lite::{with_compute_mode, ComputeMode};
+
+fn main() {
+    let mut cfg = RunConfig::preset(SystemPreset::Pto40Small);
+    cfg.total_qd_steps = 1200;
+    cfg.qd_steps_per_md = 400;
+    cfg.laser_duration_fs = 0.12; // short kick, then free oscillation
+    cfg.laser_amplitude = 0.3;
+
+    println!("running FP32 and BF16 trajectories ({} QD steps each)...", cfg.total_qd_steps);
+    let fp32 = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg));
+    let bf16 = with_compute_mode(ComputeMode::FloatToBf16, || run_simulation::<f32>(&cfg));
+
+    let n_omega = 240;
+    let omega_max = 3.0;
+    let damping = 0.01;
+    let s32 = current_spectrum(&fp32.records, n_omega, omega_max, damping);
+    let s16 = current_spectrum(&bf16.records, n_omega, omega_max, damping);
+
+    println!("\n{:>10} {:>14} {:>14}", "omega(Ha)", "|j(w)| FP32", "|j(w)| BF16");
+    for i in (0..n_omega).step_by(12) {
+        println!(
+            "{:>10.3} {:>14.4e} {:>14.4e}",
+            s32.omega[i], s32.amplitude[i], s16.amplitude[i]
+        );
+    }
+
+    let p32 = s32.peak_omega();
+    let p16 = s16.peak_omega();
+    println!("\ndominant resonance: FP32 at ω = {p32:.4} Ha, BF16 at ω = {p16:.4} Ha");
+    println!("peak shift from BF16 BLAS: {:.2e} Ha ({:.3}%)", (p32 - p16).abs(), 100.0 * (p32 - p16).abs() / p32);
+    println!("\nspectral observables are far more tolerant of low-precision BLAS than");
+    println!("pointwise trajectories — resonance positions are set by the Hamiltonian,");
+    println!("which the SCF refresh keeps clean at FP64.");
+}

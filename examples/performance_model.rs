@@ -1,0 +1,51 @@
+//! Performance model walk-through: Figure 3 and Table VI at paper scale.
+//!
+//! Prices the full 40- and 135-atom systems on the Xe-HPC device model —
+//! no wave-function arithmetic is executed — and prints a unitrace-style
+//! kernel dump for the 135-atom FP32 run.
+//!
+//! ```text
+//! cargo run --release --example performance_model
+//! ```
+
+use dcmesh::perf::{figure3a, figure3b, table6, unitrace_500_steps, FIG3B_ORBITALS};
+use dcmesh_lfd::schedule::{LfdPrecision, SystemShape};
+use mkl_lite::ComputeMode;
+
+fn main() {
+    println!("== Figure 3a: time for 500 QD steps (modelled, one Max 1550 stack) ==");
+    for (name, shape) in [("40 atoms", SystemShape::pto40()), ("135 atoms", SystemShape::pto135())] {
+        println!("\n  {name}:");
+        for p in figure3a(shape) {
+            println!("    {:<12} {:>10.1} s", p.label, p.seconds_500_steps);
+        }
+    }
+
+    println!("\n== Figure 3b: BLAS speedup vs FP32, 40-atom remap_occ sweep ==");
+    print!("  {:<12}", "mode");
+    for n in FIG3B_ORBITALS {
+        print!(" {:>9}", format!("N={n}"));
+    }
+    println!();
+    for mode in ComputeMode::ALTERNATIVE {
+        print!("  {:<12}", mode.label());
+        for p in figure3b(mode) {
+            print!(" {:>9.2}", p.speedup);
+        }
+        println!();
+    }
+
+    println!("\n== Table VI: max observed vs theoretical speedup ==");
+    for row in table6() {
+        println!(
+            "  {:<12} observed {:>5.2}x   theoretical {:>6.2}x",
+            row.mode.label(),
+            row.max_observed,
+            row.theoretical
+        );
+    }
+
+    println!("\n== unitrace-style dump: 135 atoms, FP32, 500 QD steps ==");
+    let tracer = unitrace_500_steps(SystemShape::pto135(), LfdPrecision::Fp32(ComputeMode::Standard));
+    println!("{}", tracer.dump());
+}

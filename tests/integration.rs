@@ -1,0 +1,217 @@
+//! Cross-crate integration tests: deck → runner → analysis pipeline,
+//! device-model installation, and the no-code-change mode switching the
+//! paper's methodology rests on.
+
+use dcmesh::analysis::{DeviationSeries, Metric};
+use dcmesh::config::{RunConfig, SystemPreset};
+use dcmesh::output::{read_csv, write_csv};
+use dcmesh::runner::run_simulation;
+use mkl_lite::{verbose, with_compute_mode, ComputeMode};
+
+fn tiny() -> RunConfig {
+    let mut cfg = RunConfig::preset(SystemPreset::Pto40Small);
+    cfg.mesh_points = 10;
+    cfg.n_orb = 8;
+    cfg.n_occ = 4;
+    cfg.total_qd_steps = 40;
+    cfg.qd_steps_per_md = 20;
+    cfg.laser_duration_fs = 0.02;
+    cfg.laser_amplitude = 0.4;
+    cfg
+}
+
+#[test]
+fn full_pipeline_deck_to_deviations() {
+    let deck = "
+        system = pto40-small
+        mesh = 10
+        norb = 8
+        nocc = 4
+        total_qd_steps = 40
+        qd_steps_per_md = 20
+        laser_duration_fs = 0.02
+        laser_amplitude = 0.4
+    ";
+    let cfg = RunConfig::parse(deck).expect("deck parses");
+    let reference = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg));
+    let bf16 = with_compute_mode(ComputeMode::FloatToBf16, || run_simulation::<f32>(&cfg));
+
+    for metric in Metric::FIGURE1 {
+        let series = DeviationSeries::build(metric, &bf16.records, &reference.records);
+        assert!(
+            series.max_abs() > 0.0,
+            "{} shows no BF16 deviation at all",
+            metric.name()
+        );
+        // Scale against the metric's peak magnitude (pointwise relative
+        // error is ill-posed for observables passing through zero).
+        let scale = reference
+            .records
+            .iter()
+            .map(|o| metric.get(o).abs())
+            .fold(0.0f64, f64::max)
+            .max(1e-30);
+        assert!(
+            series.max_abs() / scale < 0.2,
+            "{} BF16 deviation implausibly large: {} of scale {scale}",
+            metric.name(),
+            series.max_abs()
+        );
+    }
+}
+
+#[test]
+fn csv_roundtrip_preserves_run_record() {
+    let cfg = tiny();
+    let run = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg));
+    let mut buf = Vec::new();
+    write_csv(&mut buf, &run.records).expect("write");
+    let back = read_csv(std::str::from_utf8(&buf).expect("utf8")).expect("parse");
+    assert_eq!(back.len(), run.records.len());
+    for (a, b) in back.iter().zip(&run.records) {
+        assert_eq!(a.step, b.step);
+        assert!((a.nexc - b.nexc).abs() <= 1e-10 * (1.0 + b.nexc.abs()));
+    }
+}
+
+#[test]
+fn device_model_prices_every_blas_call() {
+    xe_gpu::install_default_model();
+    let cfg = tiny();
+    verbose::clear();
+    verbose::set_recording(true);
+    let _ = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg));
+    verbose::set_recording(false);
+    let calls = verbose::drain();
+    mkl_lite::device::clear_device_model();
+
+    assert!(!calls.is_empty());
+    let cgemms: Vec<_> = calls.iter().filter(|c| c.routine == "CGEMM").collect();
+    assert_eq!(
+        cgemms.len(),
+        cfg.total_qd_steps * 9,
+        "expected 9 CGEMMs per QD step"
+    );
+    for c in &cgemms {
+        assert!(c.device_seconds.is_some(), "call missing modelled device time");
+        assert!(c.device_seconds.unwrap() > 0.0);
+    }
+}
+
+#[test]
+fn identical_runs_are_bitwise_reproducible() {
+    // Determinism underpins the whole deviation methodology: the same
+    // deck under the same mode must reproduce exactly.
+    let cfg = tiny();
+    let a = with_compute_mode(ComputeMode::FloatToTf32, || run_simulation::<f32>(&cfg));
+    let b = with_compute_mode(ComputeMode::FloatToTf32, || run_simulation::<f32>(&cfg));
+    assert_eq!(a.records.len(), b.records.len());
+    for (x, y) in a.records.iter().zip(&b.records) {
+        assert_eq!(x.ekin.to_bits(), y.ekin.to_bits(), "step {}", x.step);
+        assert_eq!(x.nexc.to_bits(), y.nexc.to_bits(), "step {}", x.step);
+        assert_eq!(x.javg.to_bits(), y.javg.to_bits(), "step {}", x.step);
+    }
+}
+
+#[test]
+fn fp64_run_matches_fp32_closely_but_not_exactly() {
+    let cfg = tiny();
+    let r32 = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg));
+    let r64 = with_compute_mode(ComputeMode::Standard, || run_simulation::<f64>(&cfg));
+    let last32 = r32.last();
+    let last64 = r64.last();
+    let rel = (last32.ekin - last64.ekin).abs() / last64.ekin.abs().max(1e-30);
+    assert!(rel < 1e-3, "FP32 vs FP64 kinetic energy differs by {rel}");
+    assert_ne!(last32.ekin, last64.ekin, "precision change had no effect at all");
+}
+
+#[test]
+fn paper_full_scale_decks_validate() {
+    // The full-scale decks must construct (we never execute them on CPU,
+    // but the performance model consumes their dimensions).
+    for preset in [SystemPreset::Pto40, SystemPreset::Pto135] {
+        let cfg = RunConfig::preset(preset);
+        cfg.validate().expect("paper deck invalid");
+        let p = cfg.lfd_params();
+        p.validate();
+        assert_eq!(cfg.total_qd_steps, 21_000);
+    }
+}
+
+#[test]
+fn shipped_config_files_parse() {
+    for name in ["pto40.in", "pto135.in", "pto40-small.in", "pto135-small.in"] {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../configs/");
+        let text = std::fs::read_to_string(format!("{path}{name}"))
+            .unwrap_or_else(|e| panic!("missing config {name}: {e}"));
+        let cfg = RunConfig::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        cfg.validate().unwrap();
+    }
+}
+
+#[test]
+fn schedule_matches_executed_blas_calls_exactly() {
+    // The device model prices the schedule; the propagator executes the
+    // numerics. Both must describe the *same* nine BLAS calls — same
+    // order, shapes and per-site compute modes — or the performance
+    // figures would be priced for a different program than the one that
+    // produced the accuracy figures.
+    use dcmesh_lfd::policy::PrecisionPolicy;
+    use dcmesh_lfd::propagator::{qd_step_with_policy, QdScratch};
+    use dcmesh_lfd::schedule::{qd_step_schedule_with_policy, LfdPrecision, SystemShape};
+    use dcmesh_lfd::state::cosine_potential;
+    use dcmesh_lfd::{LaserPulse, LfdParams, LfdState, Mesh3};
+    use xe_gpu::KernelDesc;
+
+    let params = LfdParams {
+        mesh: Mesh3::cubic(9, 0.6),
+        n_orb: 6,
+        n_occ: 3,
+        dt: 0.02,
+        vnl_strength: 0.2,
+        taylor_order: 4,
+        laser: LaserPulse::off(),
+        induced_coupling: 0.0,
+    };
+    let policy = PrecisionPolicy::fast_propagation(ComputeMode::FloatToBf16);
+
+    // Execute one QD step with call recording.
+    let mut st = LfdState::<f32>::initialize(&params, cosine_potential(&params.mesh, 0.2));
+    let mut scratch = QdScratch::new(&params);
+    with_compute_mode(ComputeMode::Standard, || {
+        qd_step_with_policy(&params, &mut st, &mut scratch, &policy); // warm-up
+        verbose::clear();
+        verbose::set_recording(true);
+        qd_step_with_policy(&params, &mut st, &mut scratch, &policy);
+        verbose::set_recording(false);
+    });
+    let calls = verbose::drain();
+
+    // The schedule's GEMM entries, in order.
+    let shape = SystemShape::of(&params);
+    let schedule = qd_step_schedule_with_policy(
+        shape,
+        LfdPrecision::Fp32(ComputeMode::Standard),
+        &policy,
+    );
+    let gemms: Vec<_> = schedule
+        .iter()
+        .filter_map(|k| match k {
+            KernelDesc::Gemm(name, desc) => Some((*name, *desc)),
+            _ => None,
+        })
+        .collect();
+
+    assert_eq!(calls.len(), gemms.len(), "call count vs schedule");
+    for (i, (call, (name, desc))) in calls.iter().zip(&gemms).enumerate() {
+        assert_eq!(
+            (call.m, call.n, call.k),
+            (desc.m, desc.n, desc.k),
+            "call {i} ({name}): executed shape differs from schedule"
+        );
+        assert_eq!(
+            call.mode, desc.mode,
+            "call {i} ({name}): executed mode differs from schedule"
+        );
+    }
+}
