@@ -1,0 +1,207 @@
+//! Offline API-subset shim for the `bytes` crate (see
+//! `shims/README.md`): `Bytes`/`BytesMut` plus the little-endian
+//! `Buf`/`BufMut` accessors the checkpoint codec uses.
+
+use std::ops::{Bound, RangeBounds};
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl Bytes {
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when nothing remains.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the unread bytes out.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    /// A sub-view of the unread bytes.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let rest = &self.data[self.pos..];
+        let start = match range.start_bound() {
+            Bound::Included(&s) => s,
+            Bound::Excluded(&s) => s + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&e) => e + 1,
+            Bound::Excluded(&e) => e,
+            Bound::Unbounded => rest.len(),
+        };
+        Bytes { data: rest[start..end].to_vec(), pos: 0 }
+    }
+}
+
+/// Sequential read access to a byte buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads `dst.len()` bytes, advancing the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.remaining(), "buffer underflow");
+        dst.copy_from_slice(&self.data[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
+}
+
+/// A growable byte buffer.
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, pos: 0 }
+    }
+}
+
+/// Sequential write access to a byte buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_u32_le(v.to_bits());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = BytesMut::new();
+        w.put_u8(7);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(u64::MAX - 3);
+        w.put_f32_le(1.5);
+        w.put_f64_le(-2.25);
+        w.put_slice(b"xyz");
+        let mut r = w.freeze();
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 3);
+        assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_f64_le(), -2.25);
+        let mut s = [0u8; 3];
+        r.copy_to_slice(&mut s);
+        assert_eq!(&s, b"xyz");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_and_to_vec() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(b.slice(..3).to_vec(), vec![0, 1, 2]);
+        assert_eq!(b.slice(2..4).to_vec(), vec![2, 3]);
+        assert_eq!(b.len(), 6);
+    }
+}

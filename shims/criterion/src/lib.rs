@@ -1,0 +1,226 @@
+//! Offline API-subset shim for the `criterion` crate (see
+//! `shims/README.md`).
+//!
+//! Runs each benchmark closure a small fixed number of iterations and
+//! prints the mean wall-clock time — no statistics, warm-up, or report
+//! files. Bench binaries built with `harness = false` only execute
+//! their benchmarks when invoked with `--bench` (as `cargo bench`
+//! does), so `cargo test` runs them as instant no-ops.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] for parity with criterion.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(&format!("bench/{id}"), self.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_bench(&format!("bench/{id}"), self.sample_size, |b| f(b, input));
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the logical workload per iteration (ignored by the shim).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.criterion.sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.criterion.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterised benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A function-plus-parameter id.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Logical throughput declaration (accepted, not used).
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    total_nanos: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, running it once per sample.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.total_nanos += start.elapsed().as_nanos();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_bench(label: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples, total_nanos: 0, iters: 0 };
+    f(&mut b);
+    if b.iters > 0 {
+        let mean = b.total_nanos / b.iters as u128;
+        println!("{label}: mean {} ns over {} iters", mean, b.iters);
+    } else {
+        println!("{label}: no iterations run");
+    }
+}
+
+/// True when the binary was launched as a benchmark (`cargo bench`
+/// passes `--bench`).
+pub fn invoked_as_bench() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Declares a benchmark group; both the simple form
+/// `criterion_group!(benches, f1, f2)` and the configured form
+/// `criterion_group!(name = benches; config = ...; targets = f1, f2)`
+/// are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` for a `harness = false` bench binary. Benchmarks
+/// run only under `cargo bench` (`--bench` present); otherwise the
+/// binary exits immediately so `cargo test` stays fast.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if $crate::invoked_as_bench() {
+                $($group();)+
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(16));
+        group.bench_function("sum", |b| b.iter(|| (0..16u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(8usize), &8usize, |b, &n| {
+            b.iter(|| (0..n as u64).product::<u64>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn runs_groups_and_benches() {
+        let mut c = Criterion::default().sample_size(3);
+        sample_bench(&mut c);
+        c.bench_function("top-level", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    criterion_group!(simple_form, sample_bench);
+    criterion_group!(
+        name = configured_form;
+        config = Criterion::default().sample_size(2);
+        targets = sample_bench,
+    );
+
+    #[test]
+    fn group_macros_compile_and_run() {
+        simple_form();
+        configured_form();
+    }
+}

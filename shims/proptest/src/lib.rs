@@ -1,0 +1,619 @@
+//! Offline API-subset shim for the `proptest` crate (see
+//! `shims/README.md`).
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`]/[`prop_assert!`]/[`prop_oneof!`] macros, a [`Strategy`]
+//! trait over numeric ranges, tuples, `prop_map`/`prop_flat_map`,
+//! [`strategy::Just`], [`collection::vec`], [`sample::select`],
+//! [`arbitrary::any`], and simple character-class string patterns.
+//! Cases are generated from a per-test deterministic seed; there is no
+//! shrinking and `proptest-regressions` files are ignored.
+
+pub mod test_runner {
+    use core::fmt;
+
+    /// Per-test configuration (subset: case count).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    /// A failed property assertion.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Builds a failure with a message.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic generator driving case generation (splitmix64).
+    #[derive(Clone, Debug)]
+    pub struct Rng64 {
+        state: u64,
+    }
+
+    impl Rng64 {
+        /// Seeds from a test name (FNV-1a), so every test gets a stable,
+        /// distinct stream.
+        pub fn from_name(name: &str) -> Rng64 {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            Rng64 { state: h | 1 }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform `usize` in `[lo, hi]`.
+        pub fn size_in(&mut self, lo: usize, hi: usize) -> usize {
+            assert!(lo <= hi);
+            lo + self.below((hi - lo + 1) as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::Rng64;
+
+    /// A generator of test values.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut Rng64) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a second strategy from each generated value.
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut Rng64) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut Rng64) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut Rng64) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Runtime choice between same-valued strategies ([`crate::prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Fn(&mut Rng64) -> T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds from boxed generator closures.
+        pub fn new(options: Vec<Box<dyn Fn(&mut Rng64) -> T>>) -> Union<T> {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng64) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            (self.options[i])(rng)
+        }
+    }
+
+    macro_rules! float_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng64) -> $t {
+                    let u = rng.unit_f64();
+                    (self.start as f64 + u * (self.end as f64 - self.start as f64)) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng64) -> $t {
+                    let (a, b) = (*self.start() as f64, *self.end() as f64);
+                    (a + rng.unit_f64() * (b - a)) as $t
+                }
+            }
+        )*};
+    }
+    float_strategy!(f32, f64);
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng64) -> $t {
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    assert!(span > 0, "empty range");
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut Rng64) -> $t {
+                    let (a, b) = (*self.start() as i128, *self.end() as i128);
+                    let span = (b - a) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (a + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut Rng64) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+        (A, B, C, D, E, F, G)
+        (A, B, C, D, E, F, G, H)
+    }
+
+    /// `&str` patterns act as string strategies. Supported shapes:
+    /// `\PC{lo,hi}` (printable characters) and `[chars]{lo,hi}` with
+    /// `a-z` ranges inside the class; anything else generates the
+    /// pattern text verbatim.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut Rng64) -> String {
+            match parse_pattern(self) {
+                Some((pool, lo, hi)) => {
+                    let len = rng.size_in(lo, hi);
+                    (0..len).map(|_| pool[rng.below(pool.len() as u64) as usize]).collect()
+                }
+                None => (*self).to_string(),
+            }
+        }
+    }
+
+    fn parse_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let open = pat.rfind('{')?;
+        let reps = pat.strip_suffix('}')?.get(open + 1..)?;
+        let (lo, hi) = match reps.split_once(',') {
+            Some((a, b)) => (a.parse().ok()?, b.parse().ok()?),
+            None => {
+                let n = reps.parse().ok()?;
+                (n, n)
+            }
+        };
+        let class = &pat[..open];
+        let pool = if class == "\\PC" {
+            // Printable (non-control) characters: ASCII plus a few
+            // multi-byte code points to exercise UTF-8 handling.
+            let mut p: Vec<char> = (0x20u8..0x7F).map(char::from).collect();
+            p.extend(['é', 'λ', '中', '🦀']);
+            p
+        } else {
+            let inner = class.strip_prefix('[')?.strip_suffix(']')?;
+            let chars: Vec<char> = inner.chars().collect();
+            let mut p = Vec::new();
+            let mut i = 0;
+            while i < chars.len() {
+                if i + 2 < chars.len() && chars[i + 1] == '-' {
+                    let (a, b) = (chars[i] as u32, chars[i + 2] as u32);
+                    for c in a..=b {
+                        p.extend(char::from_u32(c));
+                    }
+                    i += 3;
+                } else {
+                    p.push(chars[i]);
+                    i += 1;
+                }
+            }
+            p
+        };
+        if pool.is_empty() {
+            return None;
+        }
+        Some((pool, lo, hi))
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::Rng64;
+
+    /// Length specifications accepted by [`vec`].
+    pub trait SizeRange {
+        /// Inclusive `(lo, hi)` bounds.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl SizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self)
+        }
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            assert!(self.start < self.end, "empty size range");
+            (self.start, self.end - 1)
+        }
+    }
+
+    impl SizeRange for core::ops::RangeInclusive<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (*self.start(), *self.end())
+        }
+    }
+
+    /// Generates `Vec`s of `elem` values.
+    pub struct VecStrategy<S> {
+        elem: S,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// A `Vec` strategy with the given element strategy and length.
+    pub fn vec<S: Strategy>(elem: S, size: impl SizeRange) -> VecStrategy<S> {
+        let (lo, hi) = size.bounds();
+        VecStrategy { elem, lo, hi }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Rng64) -> Vec<S::Value> {
+            let len = rng.size_in(self.lo, self.hi);
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::strategy::Strategy;
+    use super::test_runner::Rng64;
+
+    /// Uniform choice from a fixed list.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    /// A strategy choosing uniformly from `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select from empty list");
+        Select(options)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng64) -> T {
+            self.0[rng.below(self.0.len() as u64) as usize].clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::test_runner::Rng64;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut Rng64) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut Rng64) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut Rng64) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    /// Whole-domain strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut Rng64) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+/// The common imports (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Namespaced access (`prop::sample::select`, `prop::collection::vec`).
+    pub mod prop {
+        pub use crate::{collection, sample};
+    }
+}
+
+/// Defines property tests: `proptest! { #[test] fn name(x in strat) {..} }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident($($args:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::Config = $cfg;
+            let mut __rng = $crate::test_runner::Rng64::from_name(stringify!($name));
+            for __case in 0..__cfg.cases {
+                $crate::__proptest_bind!(__rng [] $($args)*);
+                let __outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(__e) = __outcome {
+                    ::std::panic!("proptest {} failed (case {}): {}", stringify!($name), __case, __e);
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+// Argument-list muncher: splits `pat in strategy, pat in strategy, ...`
+// on top-level commas (patterns are single token trees in practice:
+// an identifier or a parenthesised tuple).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident [$($acc:tt)*]) => {
+        $crate::__proptest_emit!($rng $($acc)*)
+    };
+    ($rng:ident [$($acc:tt)*] $pat:tt in $($rest:tt)*) => {
+        $crate::__proptest_strat!($rng [$($acc)*] ($pat) [] $($rest)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_strat {
+    ($rng:ident [$($acc:tt)*] ($pat:tt) [$($s:tt)*] , $($rest:tt)*) => {
+        $crate::__proptest_bind!($rng [$($acc)* (($pat) [$($s)*])] $($rest)*)
+    };
+    ($rng:ident [$($acc:tt)*] ($pat:tt) [$($s:tt)*]) => {
+        $crate::__proptest_bind!($rng [$($acc)* (($pat) [$($s)*])])
+    };
+    ($rng:ident [$($acc:tt)*] ($pat:tt) [$($s:tt)*] $t:tt $($rest:tt)*) => {
+        $crate::__proptest_strat!($rng [$($acc)*] ($pat) [$($s)* $t] $($rest)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_emit {
+    ($rng:ident $((($pat:tt) [$($s:tt)*]))*) => {
+        $(let $pat = $crate::strategy::Strategy::generate(&($($s)*), &mut $rng);)*
+    };
+}
+
+/// Asserts inside a `proptest!` body, failing the case (not panicking
+/// directly) so the harness can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(*__l == *__r, "assertion failed: {:?} != {:?}", __l, __r);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$a, &$b);
+        $crate::prop_assert!(*__l == *__r, $($fmt)+);
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        let mut __options: ::std::vec::Vec<
+            ::std::boxed::Box<dyn ::std::ops::Fn(&mut $crate::test_runner::Rng64) -> _>,
+        > = ::std::vec::Vec::new();
+        $({
+            let __s = $s;
+            __options.push(::std::boxed::Box::new(move |__r: &mut $crate::test_runner::Rng64| {
+                $crate::strategy::Strategy::generate(&__s, __r)
+            }));
+        })+
+        $crate::strategy::Union::new(__options)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_vec() {
+        let mut rng = crate::test_runner::Rng64::from_name("t1");
+        let s = (1usize..5, -1.0f64..1.0);
+        for _ in 0..100 {
+            let (n, x) = s.generate(&mut rng);
+            assert!((1..5).contains(&n));
+            assert!((-1.0..1.0).contains(&x));
+        }
+        let v = crate::collection::vec(any::<u8>(), 0..8).generate(&mut rng);
+        assert!(v.len() < 8);
+        let w = crate::collection::vec(0u32..3, 5usize).generate(&mut rng);
+        assert_eq!(w.len(), 5);
+    }
+
+    #[test]
+    fn string_patterns() {
+        let mut rng = crate::test_runner::Rng64::from_name("t2");
+        for _ in 0..50 {
+            let s = "[a-z_]{1,20}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 20);
+            assert!(s.chars().all(|c| c == '_' || c.is_ascii_lowercase()), "{s:?}");
+            let p = "\\PC{0,40}".generate(&mut rng);
+            assert!(p.chars().count() <= 40);
+            assert!(p.chars().all(|c| !c.is_control()), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn flat_map_and_select() {
+        let mut rng = crate::test_runner::Rng64::from_name("t3");
+        let s = (1usize..4).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(0.0f32..1.0, n))
+        });
+        for _ in 0..50 {
+            let (n, v) = s.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+        let pick = crate::sample::select(vec![3, 5, 7]);
+        for _ in 0..20 {
+            assert!([3, 5, 7].contains(&pick.generate(&mut rng)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(x in 0u64..100, (a, b) in (0.0f64..1.0, 1.0f64..2.0)) {
+            prop_assert!(x < 100);
+            prop_assert!(a < b, "a {a} not below b {b}");
+            prop_assert_eq!(x, x);
+        }
+
+        #[test]
+        fn oneof_covers_both_signs(x in prop_oneof![(1.0f32..2.0), (1.0f32..2.0).prop_map(|v| -v)]) {
+            prop_assert!(x.abs() >= 1.0 && x.abs() < 2.0);
+        }
+    }
+}

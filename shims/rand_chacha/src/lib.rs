@@ -1,0 +1,3 @@
+//! Offline shim for `rand_chacha` (see `shims/README.md`). No source in
+//! this workspace uses the crate; the shim exists so the dependency
+//! resolves without network access.

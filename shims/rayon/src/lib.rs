@@ -1,0 +1,63 @@
+//! Offline *sequential* shim for the `rayon` crate (see
+//! `shims/README.md`).
+//!
+//! The `par_*` entry points used by this workspace are provided with
+//! identical signatures but execute on the calling thread. All real call
+//! sites either write disjoint chunks or perform order-insensitive
+//! reductions, so results are identical to the parallel versions.
+
+/// The traits the workspace imports via `use rayon::prelude::*`.
+pub mod prelude {
+    /// `into_par_iter()` — sequential shim returning the std iterator.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Returns the (sequential) iterator.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// `par_chunks_mut()` — sequential shim over `chunks_mut`.
+    pub trait ParallelSliceMut<T> {
+        /// Mutable chunks of `size` elements.
+        fn par_chunks_mut(&mut self, size: usize) -> core::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> core::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+    }
+
+    /// `par_iter_mut()` — sequential shim over `iter_mut`.
+    pub trait IntoParallelRefMutIterator<T> {
+        /// Mutable element iterator.
+        fn par_iter_mut(&mut self) -> core::slice::IterMut<'_, T>;
+    }
+
+    impl<T> IntoParallelRefMutIterator<T> for [T] {
+        fn par_iter_mut(&mut self) -> core::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn shims_behave_like_std() {
+        let sum: usize = (0..10usize).into_par_iter().map(|x| x * 2).sum();
+        assert_eq!(sum, 90);
+
+        let mut v = vec![0usize; 6];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        assert_eq!(v, [0, 1, 2, 3, 4, 5]);
+
+        let mut w = vec![0usize; 6];
+        w.par_chunks_mut(2).enumerate().for_each(|(i, c)| c.fill(i));
+        assert_eq!(w, [0, 0, 1, 1, 2, 2]);
+    }
+}
