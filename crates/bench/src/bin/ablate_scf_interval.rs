@@ -13,7 +13,7 @@ use dcmesh::runner::run_simulation;
 use dcmesh_bench::{markdown_table, write_report};
 use mkl_lite::{with_compute_mode, ComputeMode};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = {
         let mut cfg = RunConfig::preset(SystemPreset::Pto40Small);
         cfg.mesh_points = 10;
@@ -30,8 +30,9 @@ fn main() {
     for &interval in &intervals {
         let mut cfg = base.clone();
         cfg.qd_steps_per_md = interval;
-        let reference = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg));
-        let bf16 = with_compute_mode(ComputeMode::FloatToBf16, || run_simulation::<f32>(&cfg));
+        let reference =
+            with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg))?;
+        let bf16 = with_compute_mode(ComputeMode::FloatToBf16, || run_simulation::<f32>(&cfg))?;
         let max_drift = bf16.scf_drift.iter().cloned().fold(0.0f64, f64::max);
         let ekin_dev =
             DeviationSeries::build(Metric::Ekin, &bf16.records, &reference.records).final_abs();
@@ -57,4 +58,5 @@ fn main() {
     println!("the drift each refresh absorbs grows with the interval: the FP64 refresh");
     println!("is what keeps low-precision error bounded (paper §V).");
     write_report("ablate_scf_interval.md", &table).expect("report");
+    Ok(())
 }

@@ -25,7 +25,7 @@ use dcmesh_lfd::PrecisionPolicy;
 use mkl_lite::{with_compute_mode, ComputeMode};
 use xe_gpu::{XeStackModel, MAX_1550_STACK};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cfg = RunConfig::preset(SystemPreset::Pto40Small);
     cfg.mesh_points = 10;
     cfg.n_orb = 10;
@@ -36,7 +36,7 @@ fn main() {
     cfg.laser_amplitude = 0.35;
 
     eprintln!("reference run (FP32)...");
-    let reference = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg));
+    let reference = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg))?;
 
     let policies: [(&str, PrecisionPolicy); 4] = [
         ("BF16 uniform", PrecisionPolicy::uniform(ComputeMode::FloatToBf16)),
@@ -71,7 +71,7 @@ fn main() {
         eprintln!("policy run: {name}...");
         let run = with_compute_mode(ComputeMode::Standard, || {
             run_simulation_with_policy::<f32>(&cfg, policy)
-        });
+        })?;
         let ekin_dev =
             DeviationSeries::build(Metric::Ekin, &run.records, &reference.records).max_abs();
         let nexc_dev =
@@ -100,4 +100,5 @@ fn main() {
     println!("dominate BLAS time) while the *measured* observables are computed at full");
     println!("FP32; the trajectory itself still carries BF16 propagation error.");
     write_report("ext_mixed_precision.md", &table).expect("report");
+    Ok(())
 }

@@ -17,7 +17,7 @@ use dcmesh::runner::run_simulation;
 use dcmesh_bench::write_report;
 use mkl_lite::{with_compute_mode, ComputeMode};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let scale = arg_value(&args, "--scale").unwrap_or_else(|| "small".into());
     let preset = match scale.as_str() {
@@ -37,12 +37,12 @@ fn main() {
 
     eprintln!("Figure 1: {} / {} QD steps per mode", cfg.label, cfg.total_qd_steps);
     eprintln!("reference run: FP32");
-    let reference = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg));
+    let reference = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg))?;
 
     let mut series: Vec<(ComputeMode, [DeviationSeries; 3])> = Vec::new();
     for mode in ComputeMode::ALTERNATIVE {
         eprintln!("mode run: {}", mode.label());
-        let run = with_compute_mode(mode, || run_simulation::<f32>(&cfg));
+        let run = with_compute_mode(mode, || run_simulation::<f32>(&cfg))?;
         let s = Metric::FIGURE1
             .map(|m| DeviationSeries::build(m, &run.records, &reference.records));
         series.push((mode, s));
@@ -82,6 +82,7 @@ fn main() {
     println!("amplifies every mode's seed to a similar saturation level; orderings are");
     println!("cleanest over the first few hundred steps. The paper's 1024-orbital");
     println!("system self-averages far more strongly.");
+    Ok(())
 }
 
 fn arg_value(args: &[String], key: &str) -> Option<String> {

@@ -20,7 +20,7 @@ use dcmesh_numerics::FORMATS;
 use mkl_lite::{with_compute_mode, ComputeMode};
 use xe_gpu::MAX_1550_STACK;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full = std::env::args().any(|a| a == "--full");
     let mut report = String::from("# DCMESH-rs — consolidated study report\n");
 
@@ -60,12 +60,12 @@ fn main() {
     cfg.total_qd_steps = if full { 21_000 } else { 600 };
     cfg.record_every = 5;
     eprintln!("accuracy runs ({} QD steps x 6 configurations)...", cfg.total_qd_steps);
-    let reference = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg));
+    let reference = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg))?;
     report.push_str("\n## Figures 1-2 — max |deviation from FP32|\n\n");
     let mut rows = Vec::new();
     for mode in ComputeMode::ALTERNATIVE {
         eprintln!("  mode {}...", mode.label());
-        let run = with_compute_mode(mode, || run_simulation::<f32>(&cfg));
+        let run = with_compute_mode(mode, || run_simulation::<f32>(&cfg))?;
         let dev = |m: Metric| {
             DeviationSeries::build(m, &run.records, &reference.records).max_abs()
         };
@@ -121,4 +121,5 @@ fn main() {
     write_report("study.md", &report).expect("report");
     eprintln!("\n(run the individual bins — table7, fig1, fig2, ablate_*, ext_* — for the");
     eprintln!("remaining artifacts and CSV series; see EXPERIMENTS.md for the index.)");
+    Ok(())
 }

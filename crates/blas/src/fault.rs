@@ -1,0 +1,292 @@
+//! Deterministic fault injection into GEMM outputs.
+//!
+//! Supports the robustness test harness: a seeded [`FaultPlan`]
+//! corrupts one output element of chosen GEMM calls — flipping a
+//! mantissa bit, or overwriting with NaN/Inf — so that detection,
+//! rollback and precision-escalation paths can be exercised
+//! reproducibly, with no randomness at run time.
+//!
+//! Every GEMM call in the process increments a monotonic call counter
+//! (cheap relaxed atomic; faults themselves cost nothing while no plan
+//! is installed). A plan's triggers are indexed *relative to the
+//! counter value at install time*, so a test gets stable indices
+//! regardless of what ran earlier in the process. The counter is never
+//! reset: after a rollback the re-run's calls have fresh indices, so a
+//! [`Trigger::Once`] fault does not re-fire on the retry.
+//!
+//! Sites can be scoped to a routine (`"CGEMM"`) and/or to the compute
+//! mode active at call time. Mode scoping models a fault specific to
+//! the low-precision matrix engines: after the supervisor escalates to
+//! a stronger mode the fault stops firing.
+
+use crate::mode::ComputeMode;
+use dcmesh_numerics::Complex;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// What to do to the targeted output element.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// XOR one mantissa bit of the value (bit index taken modulo the
+    /// mantissa width of the element type).
+    FlipMantissaBit(u32),
+    /// Overwrite with NaN.
+    Nan,
+    /// Overwrite with +Inf.
+    Inf,
+}
+
+/// When a fault site fires, in GEMM calls counted from plan install.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Trigger {
+    /// Exactly at the given relative call index.
+    Once(u64),
+    /// At every `offset + i·period` relative call index.
+    Every {
+        /// Distance between firings (must be non-zero to ever fire).
+        period: u64,
+        /// First relative call index that fires.
+        offset: u64,
+    },
+}
+
+impl Trigger {
+    fn fires(self, rel_call: u64) -> bool {
+        match self {
+            Trigger::Once(k) => rel_call == k,
+            Trigger::Every { period, offset } => {
+                period > 0 && rel_call >= offset && (rel_call - offset).is_multiple_of(period)
+            }
+        }
+    }
+}
+
+/// One fault-injection rule.
+#[derive(Clone, Debug)]
+pub struct FaultSite {
+    /// When the site fires.
+    pub trigger: Trigger,
+    /// The corruption applied.
+    pub kind: FaultKind,
+    /// Restrict to one routine name (`"SGEMM"`, `"CGEMM"`, ...); `None`
+    /// matches all.
+    pub routine: Option<&'static str>,
+    /// Restrict to calls made while this compute mode is active; `None`
+    /// matches all modes.
+    pub mode: Option<ComputeMode>,
+}
+
+impl FaultSite {
+    /// A site firing once at relative call `call`.
+    pub fn once(call: u64, kind: FaultKind) -> FaultSite {
+        FaultSite { trigger: Trigger::Once(call), kind, routine: None, mode: None }
+    }
+
+    /// A site firing every `period` calls starting at relative call 0.
+    pub fn every(period: u64, kind: FaultKind) -> FaultSite {
+        FaultSite { trigger: Trigger::Every { period, offset: 0 }, kind, routine: None, mode: None }
+    }
+
+    /// Restricts the site to one routine.
+    pub fn on_routine(mut self, routine: &'static str) -> FaultSite {
+        self.routine = Some(routine);
+        self
+    }
+
+    /// Restricts the site to calls made under `mode`.
+    pub fn in_mode(mut self, mode: ComputeMode) -> FaultSite {
+        self.mode = Some(mode);
+        self
+    }
+}
+
+/// A seeded, deterministic set of fault sites.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    sites: Vec<FaultSite>,
+}
+
+impl FaultPlan {
+    /// An empty plan; the seed picks which output element each firing
+    /// corrupts.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan { seed, sites: Vec::new() }
+    }
+
+    /// Adds a site (builder style).
+    pub fn with_site(mut self, site: FaultSite) -> FaultPlan {
+        self.sites.push(site);
+        self
+    }
+
+    /// The configured sites.
+    pub fn sites(&self) -> &[FaultSite] {
+        &self.sites
+    }
+}
+
+struct Installed {
+    plan: FaultPlan,
+    base_call: u64,
+}
+
+static INSTALLED: Mutex<Option<Installed>> = Mutex::new(None);
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static CALLS: AtomicU64 = AtomicU64::new(0);
+static INJECTED: AtomicU64 = AtomicU64::new(0);
+
+/// Installs `plan`, replacing any previous one. Trigger indices count
+/// GEMM calls from this moment.
+pub fn install_fault_plan(plan: FaultPlan) {
+    let mut guard = INSTALLED.lock();
+    *guard = Some(Installed { plan, base_call: CALLS.load(Ordering::Relaxed) });
+    ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Removes the installed plan (normal, fault-free operation).
+pub fn clear_fault_plan() {
+    let mut guard = INSTALLED.lock();
+    *guard = None;
+    ACTIVE.store(false, Ordering::Relaxed);
+}
+
+/// True while a plan is installed.
+pub fn fault_plan_installed() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Total GEMM calls made by this process.
+pub fn gemm_call_count() -> u64 {
+    CALLS.load(Ordering::Relaxed)
+}
+
+/// Total faults injected by this process.
+pub fn injected_fault_count() -> u64 {
+    INJECTED.load(Ordering::Relaxed)
+}
+
+/// Element types a fault can corrupt.
+pub trait FaultTarget: Copy {
+    /// The value after applying `kind`; `entropy` breaks ties (e.g.
+    /// which complex component to hit).
+    fn corrupted(self, kind: FaultKind, entropy: u64) -> Self;
+}
+
+impl FaultTarget for f32 {
+    fn corrupted(self, kind: FaultKind, _entropy: u64) -> f32 {
+        match kind {
+            FaultKind::FlipMantissaBit(bit) => f32::from_bits(self.to_bits() ^ (1 << (bit % 23))),
+            FaultKind::Nan => f32::NAN,
+            FaultKind::Inf => f32::INFINITY,
+        }
+    }
+}
+
+impl FaultTarget for f64 {
+    fn corrupted(self, kind: FaultKind, _entropy: u64) -> f64 {
+        match kind {
+            FaultKind::FlipMantissaBit(bit) => {
+                f64::from_bits(self.to_bits() ^ (1u64 << (bit % 52)))
+            }
+            FaultKind::Nan => f64::NAN,
+            FaultKind::Inf => f64::INFINITY,
+        }
+    }
+}
+
+impl<T: FaultTarget> FaultTarget for Complex<T> {
+    fn corrupted(mut self, kind: FaultKind, entropy: u64) -> Complex<T> {
+        if entropy & 1 == 0 {
+            self.re = self.re.corrupted(kind, entropy >> 1);
+        } else {
+            self.im = self.im.corrupted(kind, entropy >> 1);
+        }
+        self
+    }
+}
+
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Counts the call and applies any matching fault sites to the logical
+/// m×n window of `c`. Invoked by every GEMM wrapper after the product.
+pub(crate) fn post_gemm<T: FaultTarget>(
+    routine: &'static str,
+    c: &mut [T],
+    m: usize,
+    n: usize,
+    ldc: usize,
+) {
+    let call = CALLS.fetch_add(1, Ordering::Relaxed);
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return;
+    }
+    let guard = INSTALLED.lock();
+    let Some(installed) = guard.as_ref() else { return };
+    let rel_call = call.saturating_sub(installed.base_call);
+    let mode = crate::config::compute_mode();
+    for site in &installed.plan.sites {
+        if !site.trigger.fires(rel_call)
+            || site.routine.is_some_and(|r| r != routine)
+            || site.mode.is_some_and(|sm| sm != mode)
+            || m == 0
+            || n == 0
+        {
+            continue;
+        }
+        let h = mix(installed.plan.seed ^ mix(call));
+        let (i, j) = (h as usize % m, (h >> 20) as usize % n);
+        c[i * ldc + j] = c[i * ldc + j].corrupted(site.kind, h >> 40);
+        INJECTED.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triggers_fire_at_expected_indices() {
+        assert!(Trigger::Once(3).fires(3));
+        assert!(!Trigger::Once(3).fires(4));
+        let every = Trigger::Every { period: 5, offset: 2 };
+        for call in 0..20 {
+            assert_eq!(every.fires(call), call >= 2 && (call - 2) % 5 == 0, "call {call}");
+        }
+        assert!(!Trigger::Every { period: 0, offset: 0 }.fires(0));
+    }
+
+    #[test]
+    fn corruption_kinds() {
+        let x = 1.5f32;
+        assert!(x.corrupted(FaultKind::Nan, 0).is_nan());
+        assert_eq!(x.corrupted(FaultKind::Inf, 0), f32::INFINITY);
+        let flipped = x.corrupted(FaultKind::FlipMantissaBit(22), 0);
+        assert!(flipped != x && flipped.is_finite());
+        // Flipping the same bit twice restores the value.
+        assert_eq!(flipped.corrupted(FaultKind::FlipMantissaBit(22), 0), x);
+        // Complex corruption hits exactly one component.
+        let z = Complex { re: 1.0f32, im: 2.0f32 };
+        let zc = z.corrupted(FaultKind::Nan, 0);
+        assert!(zc.re.is_nan() ^ zc.im.is_nan());
+        let zc1 = z.corrupted(FaultKind::Nan, 1);
+        assert!(zc1.im.is_nan() && !zc1.re.is_nan());
+    }
+
+    #[test]
+    fn site_builders_scope_correctly() {
+        let site = FaultSite::once(7, FaultKind::Nan)
+            .on_routine("CGEMM")
+            .in_mode(ComputeMode::FloatToBf16);
+        assert_eq!(site.trigger, Trigger::Once(7));
+        assert_eq!(site.routine, Some("CGEMM"));
+        assert_eq!(site.mode, Some(ComputeMode::FloatToBf16));
+        let plan = FaultPlan::new(42).with_site(site).with_site(FaultSite::every(3, FaultKind::Inf));
+        assert_eq!(plan.sites().len(), 2);
+    }
+}

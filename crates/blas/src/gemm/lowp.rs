@@ -14,7 +14,7 @@
 //! * BF16:   A₀B₀
 //! * BF16x2: A₀B₀ + A₀B₁ + A₁B₀            (3 of 4; drops A₁B₁ ~ 2⁻³²)
 //! * BF16x3: A₀B₀ + A₀B₁ + A₁B₀ + A₀B₂ + A₂B₀ + A₁B₁
-//!           (6 of 9; dropped terms are ~2⁻⁴⁰ and below)
+//!   (6 of 9; dropped terms are ~2⁻⁴⁰ and below)
 //! * TF32:   A₀B₀ with TF32 rounding
 
 use super::kernel::matmul_acc;

@@ -69,6 +69,7 @@ pub fn sgemm(
     logged("SGEMM", transa, transb, desc, || {
         real_gemm_impl(mode, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
     });
+    crate::fault::post_gemm("SGEMM", c, m, n, ldc);
 }
 
 /// Double-precision real GEMM. Alternative compute modes do not apply.
@@ -107,6 +108,7 @@ pub fn dgemm(
             ldc,
         );
     });
+    crate::fault::post_gemm("DGEMM", c, m, n, ldc);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -259,6 +261,7 @@ pub fn cgemm(
     logged("CGEMM", transa, transb, desc, || {
         complex_gemm_impl(mode, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
     });
+    crate::fault::post_gemm("CGEMM", c, m, n, ldc);
 }
 
 /// Double-precision complex GEMM. Honours `COMPLEX_3M` only.
@@ -286,6 +289,7 @@ pub fn zgemm(
     logged("ZGEMM", transa, transb, desc, || {
         complex_gemm_impl(mode, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
     });
+    crate::fault::post_gemm("ZGEMM", c, m, n, ldc);
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -351,6 +355,7 @@ fn complex_gemm_impl<T: Real + LowpDispatch>(
 /// Conventional complex product structure: four real GEMMs
 /// (`Re = ArBr − AiBi`, `Im = ArBi + AiBr`), each component product
 /// running at the selected low-precision mode.
+#[allow(clippy::too_many_arguments)]
 fn complex_product_4m<T: Real + LowpDispatch>(
     mode: ComputeMode,
     are: &[T],
@@ -422,6 +427,7 @@ mod tests {
     }
 
     /// Naive reference cgemm in f64 for validation.
+    #[allow(clippy::too_many_arguments)]
     fn ref_cgemm(
         transa: Op,
         transb: Op,

@@ -103,6 +103,7 @@ fn xy_lens(trans: Op, m: usize, n: usize) -> (usize, usize) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn gemv_real<T: Real>(
     trans: Op,
     m: usize,
@@ -137,6 +138,7 @@ fn gemv_real<T: Real>(
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn gemv_complex<T: Real>(
     trans: Op,
     m: usize,

@@ -48,6 +48,7 @@
 
 pub mod config;
 pub mod device;
+pub mod fault;
 pub mod gemm;
 pub mod herk;
 pub mod layout;
@@ -57,6 +58,7 @@ pub mod mode;
 pub mod verbose;
 
 pub use config::{compute_mode, reset_compute_mode, set_compute_mode, with_compute_mode};
+pub use fault::{clear_fault_plan, install_fault_plan, FaultKind, FaultPlan, FaultSite, Trigger};
 pub use gemm::{cgemm, dgemm, sgemm, zgemm};
 pub use herk::{cherk, zherk, Uplo};
 pub use level2::{cgemv, dgemv, sgemv, zgemv};

@@ -133,6 +133,45 @@ impl ComputeMode {
         self.split_depth().is_some()
     }
 
+    /// The default precision-escalation ladder walked by the run
+    /// supervisor when a burst diverges: each entry is re-tried under
+    /// the next one, ending at the Standard (FP32) baseline.
+    pub const ESCALATION_LADDER: [ComputeMode; 5] = [
+        ComputeMode::FloatToBf16,
+        ComputeMode::FloatToBf16x2,
+        ComputeMode::FloatToBf16x3,
+        ComputeMode::FloatToTf32,
+        ComputeMode::Standard,
+    ];
+
+    /// Position of this mode on the escalation ladder; higher ranks are
+    /// escalation targets of lower ones. [`ComputeMode::Complex3m`] is
+    /// off-ladder: it keeps native element precision but its 3M
+    /// structure can cancel catastrophically, so it ranks one step
+    /// below Standard (alongside TF32).
+    pub fn escalation_rank(self) -> usize {
+        match self {
+            ComputeMode::FloatToBf16 => 0,
+            ComputeMode::FloatToBf16x2 => 1,
+            ComputeMode::FloatToBf16x3 => 2,
+            ComputeMode::FloatToTf32 | ComputeMode::Complex3m => 3,
+            ComputeMode::Standard => 4,
+        }
+    }
+
+    /// The next-stronger mode on the escalation ladder, or `None` when
+    /// already at the Standard baseline. `Complex3m` escalates directly
+    /// to Standard (dropping the 3M structure).
+    pub fn next_stronger(self) -> Option<ComputeMode> {
+        match self {
+            ComputeMode::Complex3m => Some(ComputeMode::Standard),
+            _ => {
+                let pos = ComputeMode::ESCALATION_LADDER.iter().position(|&m| m == self)?;
+                ComputeMode::ESCALATION_LADDER.get(pos + 1).copied()
+            }
+        }
+    }
+
     /// Parses the `MKL_BLAS_COMPUTE_MODE` environment value. Empty or
     /// unset strings mean [`ComputeMode::Standard`]. Unknown values are an
     /// error (oneMKL silently ignores them; we prefer to fail loudly).
@@ -239,6 +278,24 @@ mod tests {
         // Speedup = systolic peak ratio / products.
         let x2 = ComputeMode::FloatToBf16x2;
         assert!((x2.theoretical_speedup() - 16.0 / x2.component_products() as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn escalation_ladder_ends_at_standard() {
+        assert_eq!(*ComputeMode::ESCALATION_LADDER.last().unwrap(), ComputeMode::Standard);
+        assert_eq!(ComputeMode::Standard.next_stronger(), None);
+        assert_eq!(ComputeMode::Complex3m.next_stronger(), Some(ComputeMode::Standard));
+        // Walking next_stronger from the weakest rung visits the whole ladder.
+        let mut walked = vec![ComputeMode::FloatToBf16];
+        while let Some(next) = walked.last().unwrap().next_stronger() {
+            walked.push(next);
+        }
+        assert_eq!(walked, ComputeMode::ESCALATION_LADDER);
+        // Ranks strictly increase along the ladder.
+        for pair in ComputeMode::ESCALATION_LADDER.windows(2) {
+            assert!(pair[0].escalation_rank() < pair[1].escalation_rank());
+        }
+        assert!(ComputeMode::Complex3m.escalation_rank() < ComputeMode::Standard.escalation_rank());
     }
 
     #[test]

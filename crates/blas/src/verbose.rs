@@ -49,7 +49,7 @@ impl CallRecord {
     /// The timing that experiments should use: modelled device time when
     /// available, host wall time otherwise.
     pub fn effective_seconds(&self) -> f64 {
-        self.device_seconds.unwrap_or_else(|| self.wall.as_secs_f64())
+        self.device_seconds.unwrap_or(self.wall.as_secs_f64())
     }
 
     /// Formats the record like an `MKL_VERBOSE` line.

@@ -1,6 +1,6 @@
 //! Property-based tests for the GEMM routines.
 
-use dcmesh_numerics::{c32, c64, C32, C64};
+use dcmesh_numerics::{c32, C32, C64};
 use mkl_lite::{cgemm, config::with_compute_mode, sgemm, ComputeMode, Op};
 use proptest::prelude::*;
 

@@ -17,8 +17,21 @@ use std::fmt;
 
 /// File magic: "DCMESHCK".
 const MAGIC: &[u8; 8] = b"DCMESHCK";
-/// Format version.
-const VERSION: u32 = 1;
+/// Format version. Version 2 added the payload checksum; version-1
+/// files (which could not detect payload corruption) are rejected.
+const VERSION: u32 = 2;
+
+/// FNV-1a/64 over the payload — detects any bit flip in the body, so a
+/// corrupted checkpoint is quarantined at load instead of silently
+/// seeding a wrong-but-plausible resumed trajectory.
+fn fnv1a64(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
 
 /// A complete restart point.
 #[derive(Clone, Debug)]
@@ -159,12 +172,10 @@ fn species_from_tag(t: u8) -> Result<Species, CheckpointError> {
 }
 
 impl<T: Real> Checkpoint<T> {
-    /// Serialises to bytes.
+    /// Serialises to bytes: an 8-byte magic, version, element width and
+    /// payload checksum, then the checksummed payload.
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::new();
-        buf.put_slice(MAGIC);
-        buf.put_u32_le(VERSION);
-        buf.put_u8(width_of::<T>());
         buf.put_u64_le(self.steps_done);
 
         // Electronic state.
@@ -190,12 +201,20 @@ impl<T: Real> Checkpoint<T> {
         put_f64_slice(&mut buf, &sys.velocities);
         buf.put_f64_le(sys.box_length);
 
-        buf.freeze()
+        let payload = buf.freeze();
+        let mut framed = BytesMut::new();
+        framed.put_slice(MAGIC);
+        framed.put_u32_le(VERSION);
+        framed.put_u8(width_of::<T>());
+        framed.put_u64_le(fnv1a64(payload.as_ref()));
+        framed.put_slice(payload.as_ref());
+        framed.freeze()
     }
 
-    /// Deserialises, validating magic, version and element width.
+    /// Deserialises, validating magic, version, element width and the
+    /// payload checksum.
     pub fn decode(mut buf: Bytes) -> Result<Checkpoint<T>, CheckpointError> {
-        if buf.remaining() < MAGIC.len() + 4 + 1 + 8 {
+        if buf.remaining() < MAGIC.len() + 4 + 1 + 8 + 8 {
             return Err(err("file too short"));
         }
         let mut magic = [0u8; 8];
@@ -212,6 +231,14 @@ impl<T: Real> Checkpoint<T> {
             return Err(err(format!(
                 "element width mismatch: file has {width}-byte reals, caller expects {}",
                 width_of::<T>()
+            )));
+        }
+        let checksum = buf.get_u64_le();
+        let actual = fnv1a64(buf.as_ref());
+        if checksum != actual {
+            return Err(err(format!(
+                "payload checksum mismatch (stored {checksum:#018x}, computed {actual:#018x}) — \
+                 file is corrupt"
             )));
         }
         let steps_done = buf.get_u64_le();
@@ -379,6 +406,24 @@ mod tests {
         raw[0] ^= 0xFF;
         let e = Checkpoint::<f32>::decode(Bytes::from(raw)).unwrap_err();
         assert!(e.0.contains("magic"), "{e}");
+    }
+
+    #[test]
+    fn payload_bitflip_detected() {
+        let (_, ck) = make_checkpoint();
+        let header = MAGIC.len() + 4 + 1 + 8;
+        let mut raw = ck.encode().to_vec();
+        // Flip a single bit deep inside the wave-function payload — a
+        // plausible value that only the checksum can catch.
+        let idx = header + (raw.len() - header) / 2;
+        raw[idx] ^= 0x01;
+        let e = Checkpoint::<f32>::decode(Bytes::from(raw)).unwrap_err();
+        assert!(e.0.contains("checksum"), "{e}");
+        // A flipped checksum field itself is likewise rejected.
+        let mut raw2 = ck.encode().to_vec();
+        raw2[header - 1] ^= 0x80;
+        let e2 = Checkpoint::<f32>::decode(Bytes::from(raw2)).unwrap_err();
+        assert!(e2.0.contains("checksum"), "{e2}");
     }
 
     #[test]

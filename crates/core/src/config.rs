@@ -210,7 +210,7 @@ impl RunConfig {
         if self.record_every == 0 {
             return err("record_every must be positive".into());
         }
-        if !(self.dt > 0.0) {
+        if self.dt.is_nan() || self.dt <= 0.0 {
             return err(format!("bad dt {}", self.dt));
         }
         Ok(())

@@ -1,0 +1,121 @@
+//! Structured run errors.
+//!
+//! Production runs previously panicked on bad input, missing records or
+//! unrecoverable numerics. Every failure a run can hit is now a
+//! [`RunError`] variant, threaded through the runner, the sweep harness
+//! and the supervisor, so callers (the bench binaries, batch drivers)
+//! can distinguish "fix your deck" from "the numerics diverged" from
+//! "the filesystem failed" without parsing panic messages.
+
+use crate::checkpoint::CheckpointError;
+use crate::config::DeckError;
+use crate::health::HealthViolation;
+use mkl_lite::ComputeMode;
+use std::fmt;
+
+/// Any failure of a simulation run.
+#[derive(Debug)]
+pub enum RunError {
+    /// The deck failed validation before the run started.
+    InvalidConfig(DeckError),
+    /// Checkpoint I/O failed (directory creation, write, rename).
+    Io(std::io::Error),
+    /// A checkpoint decoded but could not be used.
+    Checkpoint(CheckpointError),
+    /// The numerical health monitor detected divergence.
+    Diverged {
+        /// QD step at which the violation was detected.
+        step: u64,
+        /// Compute mode active when it happened.
+        mode: ComputeMode,
+        /// What tripped.
+        violation: HealthViolation,
+    },
+    /// The supervisor ran out of escalation ladder or retry budget.
+    EscalationExhausted {
+        /// QD step of the final, fatal violation.
+        step: u64,
+        /// The strongest mode tried.
+        mode: ComputeMode,
+        /// The violation that still fired there.
+        violation: HealthViolation,
+        /// Re-run attempts consumed.
+        attempts: u32,
+    },
+    /// A fault-injection crash point fired (testing only): the run
+    /// stopped as if the process had died, checkpoints intact.
+    SimulatedCrash {
+        /// QD steps completed (and checkpointed) before the crash.
+        steps_done: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+            RunError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            RunError::Checkpoint(e) => write!(f, "{e}"),
+            RunError::Diverged { step, mode, violation } => {
+                write!(f, "run diverged at QD step {step} under {mode}: {violation}")
+            }
+            RunError::EscalationExhausted { step, mode, violation, attempts } => write!(
+                f,
+                "escalation exhausted after {attempts} attempts; still diverging at QD step \
+                 {step} under {mode}: {violation}"
+            ),
+            RunError::SimulatedCrash { steps_done } => {
+                write!(f, "simulated crash after {steps_done} QD steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::InvalidConfig(e) => Some(e),
+            RunError::Io(e) => Some(e),
+            RunError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeckError> for RunError {
+    fn from(e: DeckError) -> Self {
+        RunError::InvalidConfig(e)
+    }
+}
+
+impl From<std::io::Error> for RunError {
+    fn from(e: std::io::Error) -> Self {
+        RunError::Io(e)
+    }
+}
+
+impl From<CheckpointError> for RunError {
+    fn from(e: CheckpointError) -> Self {
+        RunError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = RunError::Diverged {
+            step: 42,
+            mode: ComputeMode::FloatToBf16,
+            violation: HealthViolation::NonFinite { what: "nexc", step: 42 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("42") && s.contains("BF16") && s.contains("nexc"), "{s}");
+
+        let io: RunError = std::io::Error::other("disk on fire").into();
+        assert!(io.to_string().contains("disk on fire"));
+        assert!(std::error::Error::source(&io).is_some());
+    }
+}

@@ -27,23 +27,36 @@
 //! use dcmesh::runner::run_simulation;
 //! use mkl_lite::{with_compute_mode, ComputeMode};
 //!
+//! # fn main() -> Result<(), dcmesh::RunError> {
 //! // The paper's experiment in four lines: the same deck under FP32 and
 //! // under the BF16 compute mode, ready for deviation analysis.
 //! let cfg = RunConfig::preset(SystemPreset::Pto40Small);
-//! let reference = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg));
-//! let bf16 = with_compute_mode(ComputeMode::FloatToBf16, || run_simulation::<f32>(&cfg));
-//! println!("Δekin = {:e}", (reference.last().ekin - bf16.last().ekin).abs());
+//! let reference = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg))?;
+//! let bf16 = with_compute_mode(ComputeMode::FloatToBf16, || run_simulation::<f32>(&cfg))?;
+//! let (a, b) = (reference.last().unwrap(), bf16.last().unwrap());
+//! println!("Δekin = {:e}", (a.ekin - b.ekin).abs());
+//! # Ok(())
+//! # }
 //! ```
 
 pub mod analysis;
 pub mod checkpoint;
 pub mod config;
+pub mod error;
+pub mod health;
 pub mod output;
 pub mod perf;
 pub mod runner;
 pub mod spectrum;
+pub mod supervisor;
 pub mod sweep;
 
 pub use checkpoint::Checkpoint;
 pub use config::{RunConfig, SystemPreset};
-pub use runner::{run_simulation, run_simulation_with_policy, run_with_checkpoints, RunResult};
+pub use error::RunError;
+pub use health::{HealthConfig, HealthMonitor, HealthViolation};
+pub use runner::{
+    run_simulation, run_simulation_with_policy, run_with_checkpoints,
+    run_with_checkpoints_crashing, CrashPlan, RunResult,
+};
+pub use supervisor::{run_supervised, EscalationEvent, SupervisedRun, SupervisorConfig};

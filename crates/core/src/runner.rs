@@ -6,16 +6,24 @@
 //! FP64 SCF refresh, and advances the ions on the shadow potential. The
 //! per-QD-step observables form the run record that the Figure 1/2
 //! analysis consumes.
+//!
+//! Every entry point returns [`RunError`] instead of panicking, and the
+//! shared burst body ([`run_burst`]) optionally feeds a
+//! [`HealthMonitor`] so the [`crate::supervisor`] can detect divergence
+//! mid-burst and roll back.
 
 use crate::config::RunConfig;
+use crate::error::RunError;
+use crate::health::HealthMonitor;
 use dcmesh_lfd::nonlocal::LfdScalar;
 use dcmesh_lfd::policy::PrecisionPolicy;
 use dcmesh_lfd::propagator::{qd_step_with_policy, QdScratch};
-use dcmesh_lfd::{LfdState, StepObservables};
+use dcmesh_lfd::{LfdParams, LfdState, StepObservables};
 use dcmesh_qxmd::scf::{initial_scf, scf_refresh};
 use dcmesh_qxmd::shadow::{shadow_drift, sync_with_shadow, TransferLedger};
-use dcmesh_qxmd::{pto_supercell, MdIntegrator};
+use dcmesh_qxmd::{pto_supercell, AtomicSystem, MdIntegrator};
 use mkl_lite::ComputeMode;
+use std::path::Path;
 
 /// Everything a finished run produced.
 #[derive(Clone, Debug)]
@@ -38,17 +46,129 @@ pub struct RunResult {
 }
 
 impl RunResult {
-    /// The last recorded observables.
-    pub fn last(&self) -> &StepObservables {
-        self.records.last().expect("run produced no records")
+    pub(crate) fn new(label: &str, mode: ComputeMode, capacity: usize) -> RunResult {
+        RunResult {
+            label: format!("{label}/{}", mode.label()),
+            mode,
+            records: Vec::with_capacity(capacity),
+            scf_drift: Vec::new(),
+            shadow_drift: Vec::new(),
+            ion_temperature: Vec::new(),
+            transfers: TransferLedger::default(),
+        }
     }
+
+    /// The last recorded observables, or `None` for a run that recorded
+    /// nothing (e.g. a resume that found the deck already complete).
+    pub fn last(&self) -> Option<&StepObservables> {
+        self.records.last()
+    }
+}
+
+/// Lengths of the result vectors plus the transfer ledger — enough to
+/// roll a [`RunResult`] back to an MD-boundary snapshot.
+pub(crate) struct ResultMark {
+    records: usize,
+    scf_drift: usize,
+    shadow_drift: usize,
+    ion_temperature: usize,
+    transfers: TransferLedger,
+}
+
+impl ResultMark {
+    pub(crate) fn take(result: &RunResult) -> ResultMark {
+        ResultMark {
+            records: result.records.len(),
+            scf_drift: result.scf_drift.len(),
+            shadow_drift: result.shadow_drift.len(),
+            ion_temperature: result.ion_temperature.len(),
+            transfers: result.transfers,
+        }
+    }
+
+    pub(crate) fn restore(&self, result: &mut RunResult) {
+        result.records.truncate(self.records);
+        result.scf_drift.truncate(self.scf_drift);
+        result.shadow_drift.truncate(self.shadow_drift);
+        result.ion_temperature.truncate(self.ion_temperature);
+        result.transfers = self.transfers;
+    }
+}
+
+/// One MD burst: `qd_steps_per_md` QD steps (with record thinning),
+/// then the boundary work — shadow sync, FP64 SCF refresh, ionic step,
+/// potential update. The operation order is exactly the historical run
+/// loop's, so checkpointed and supervised runs stay bit-for-bit
+/// compatible with straight runs.
+///
+/// With a monitor attached, each step's observables are checked
+/// *before* they are recorded (a diverged step never enters the run
+/// record) and the boundary drift figures are checked after the SCF
+/// refresh reports them.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_burst<T: LfdScalar>(
+    cfg: &RunConfig,
+    params: &LfdParams,
+    policy: &PrecisionPolicy,
+    system: &mut AtomicSystem,
+    state: &mut LfdState<T>,
+    md: &mut MdIntegrator,
+    scratch: &mut QdScratch<T>,
+    steps_done: &mut usize,
+    last_nexc: &mut f64,
+    result: &mut RunResult,
+    mut monitor: Option<&mut HealthMonitor>,
+) -> Result<(), RunError> {
+    let burst = cfg.qd_steps_per_md.min(cfg.total_qd_steps - *steps_done);
+
+    // --- LFD: one burst of QD steps on the "GPU" ---
+    for s in 0..burst {
+        let obs = qd_step_with_policy(params, state, scratch, policy);
+        if let Some(mon) = monitor.as_deref_mut() {
+            mon.check_step(&obs).map_err(|violation| RunError::Diverged {
+                step: obs.step,
+                mode: mkl_lite::compute_mode(),
+                violation,
+            })?;
+        }
+        *last_nexc = obs.nexc;
+        if (*steps_done + s).is_multiple_of(cfg.record_every) {
+            result.records.push(obs);
+        }
+    }
+    *steps_done += burst;
+
+    // --- boundary: shadow sync, FP64 SCF refresh, ionic step ---
+    let drift = shadow_drift(state, params.n_orb);
+    result.shadow_drift.push(drift);
+    sync_with_shadow(&mut result.transfers, params.mesh.len(), params.n_orb, system.len());
+
+    let report = scf_refresh(params, state);
+    result.scf_drift.push(report.defect_before);
+    if let Some(mon) = monitor.as_mut() {
+        mon.check_boundary(report.defect_before, drift).map_err(|violation| {
+            RunError::Diverged {
+                step: *steps_done as u64,
+                mode: mkl_lite::compute_mode(),
+                violation,
+            }
+        })?;
+    }
+
+    let excitation_fraction = (*last_nexc / params.n_electrons()).clamp(0.0, 1.0);
+    md.step(system, excitation_fraction);
+    result.ion_temperature.push(md.temperature(system));
+
+    // Ion motion updates the potential the electrons feel.
+    state.vloc = system.local_potential(&params.mesh, cfg.vloc_depth);
+    Ok(())
 }
 
 /// Runs the full simulation at element width `T` (`f32` for the paper's
 /// mixed-precision configurations, `f64` for its FP64 baseline) under the
 /// *currently active* compute mode. Sweeps use
 /// [`mkl_lite::with_compute_mode`] around this call.
-pub fn run_simulation<T: LfdScalar>(cfg: &RunConfig) -> RunResult {
+pub fn run_simulation<T: LfdScalar>(cfg: &RunConfig) -> Result<RunResult, RunError> {
     run_simulation_with_policy::<T>(cfg, &PrecisionPolicy::Ambient)
 }
 
@@ -59,65 +179,53 @@ pub fn run_simulation<T: LfdScalar>(cfg: &RunConfig) -> RunResult {
 pub fn run_simulation_with_policy<T: LfdScalar>(
     cfg: &RunConfig,
     policy: &PrecisionPolicy,
-) -> RunResult {
-    cfg.validate().expect("invalid configuration");
+) -> Result<RunResult, RunError> {
+    cfg.validate()?;
     let params = cfg.lfd_params();
     params.validate();
 
-    // QXMD side: ions and their potential on the mesh.
-    let mut system = pto_supercell(cfg.supercell);
-    let vloc: Vec<T> = system.local_potential(&params.mesh, cfg.vloc_depth);
-
-    // LFD side: wave functions, initialised by SCF (FP64).
-    let mut state = LfdState::<T>::initialize(&params, vloc);
-    initial_scf(&params, &mut state, 3, 1e-10);
-
-    let mut md = MdIntegrator::new(&system, cfg.qd_steps_per_md as f64 * cfg.dt, cfg.ehrenfest_softening);
+    let (mut system, mut state, mut steps_done) = fresh_start::<T>(cfg, &params);
+    let mut md = MdIntegrator::new(
+        &system,
+        cfg.qd_steps_per_md as f64 * cfg.dt,
+        cfg.ehrenfest_softening,
+    );
     let mut scratch = QdScratch::new(&params);
 
     let mode = mkl_lite::compute_mode();
-    let mut result = RunResult {
-        label: format!("{}/{}", cfg.label, mode.label()),
-        mode,
-        records: Vec::with_capacity(cfg.total_qd_steps / cfg.record_every + 1),
-        scf_drift: Vec::new(),
-        shadow_drift: Vec::new(),
-        ion_temperature: Vec::new(),
-        transfers: TransferLedger::default(),
-    };
+    let mut result =
+        RunResult::new(&cfg.label, mode, cfg.total_qd_steps / cfg.record_every + 1);
 
-    let mut steps_done = 0usize;
     let mut last_nexc = 0.0f64;
     while steps_done < cfg.total_qd_steps {
-        let burst = cfg.qd_steps_per_md.min(cfg.total_qd_steps - steps_done);
-        // --- LFD: one burst of QD steps on the "GPU" ---
-        for s in 0..burst {
-            let obs = qd_step_with_policy(&params, &mut state, &mut scratch, policy);
-            last_nexc = obs.nexc;
-            if (steps_done + s) % cfg.record_every == 0 {
-                result.records.push(obs);
-            }
-        }
-        steps_done += burst;
-
-        // --- boundary: shadow sync, FP64 SCF refresh, ionic step ---
-        result.shadow_drift.push(shadow_drift(&state, params.n_orb));
-        sync_with_shadow(&mut result.transfers, params.mesh.len(), params.n_orb, system.len());
-
-        let report = scf_refresh(&params, &mut state);
-        result.scf_drift.push(report.defect_before);
-
-        let excitation_fraction = (last_nexc / params.n_electrons()).clamp(0.0, 1.0);
-        md.step(&mut system, excitation_fraction);
-        result.ion_temperature.push(md.temperature(&system));
-
-        // Ion motion updates the potential the electrons feel.
-        let new_vloc: Vec<T> = system.local_potential(&params.mesh, cfg.vloc_depth);
-        state.vloc = new_vloc;
+        run_burst(
+            cfg,
+            &params,
+            policy,
+            &mut system,
+            &mut state,
+            &mut md,
+            &mut scratch,
+            &mut steps_done,
+            &mut last_nexc,
+            &mut result,
+            None,
+        )?;
     }
-    result
+    Ok(result)
 }
 
+/// When (if ever) a checkpointed run should pretend the process died:
+/// after the Nth checkpoint write of this invocation, the run stops with
+/// [`RunError::SimulatedCrash`], checkpoints intact on disk. The default
+/// never crashes. Exists so restart-robustness tests exercise the real
+/// resume path instead of hand-built checkpoint files.
+#[derive(Clone, Debug, Default)]
+pub struct CrashPlan {
+    /// Crash after this many MD-boundary checkpoint writes (counted per
+    /// invocation, not per deck); `None` disables.
+    pub crash_after_bursts: Option<u32>,
+}
 
 /// Runs the simulation with periodic checkpointing: a
 /// [`crate::checkpoint::Checkpoint`] is written to `dir/dcmesh-<step>.ck`
@@ -128,44 +236,39 @@ pub fn run_simulation_with_policy<T: LfdScalar>(
 /// 2-day-per-mode accuracy runs survive job-time limits without
 /// corrupting the deviation analysis.
 ///
+/// A checkpoint that fails to load (truncated, corrupted, wrong deck) is
+/// **quarantined** — renamed to `<name>.ck.bad` with a warning — and the
+/// next-newest checkpoint is tried, falling back to a fresh start only
+/// when none survive.
+///
 /// Returns the run result covering only the steps executed *in this
 /// invocation* (records from before the resume point live in the earlier
 /// invocation's output).
 pub fn run_with_checkpoints<T: LfdScalar>(
     cfg: &RunConfig,
     policy: &PrecisionPolicy,
-    dir: &std::path::Path,
-) -> std::io::Result<RunResult> {
+    dir: &Path,
+) -> Result<RunResult, RunError> {
+    run_with_checkpoints_crashing::<T>(cfg, policy, dir, &CrashPlan::default())
+}
+
+/// [`run_with_checkpoints`] with a [`CrashPlan`] — the fault-injection
+/// entry point restart tests use to kill the run at a chosen boundary.
+pub fn run_with_checkpoints_crashing<T: LfdScalar>(
+    cfg: &RunConfig,
+    policy: &PrecisionPolicy,
+    dir: &Path,
+    crash: &CrashPlan,
+) -> Result<RunResult, RunError> {
     use crate::checkpoint::Checkpoint;
 
-    cfg.validate().expect("invalid configuration");
+    cfg.validate()?;
     let params = cfg.lfd_params();
     params.validate();
     std::fs::create_dir_all(dir)?;
 
-    // Look for the newest resumable checkpoint.
-    let mut newest: Option<(u64, std::path::PathBuf)> = None;
-    for entry in std::fs::read_dir(dir)? {
-        let path = entry?.path();
-        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
-        if let Some(step) = name
-            .strip_prefix("dcmesh-")
-            .and_then(|r| r.strip_suffix(".ck"))
-            .and_then(|r| r.parse::<u64>().ok())
-        {
-            if newest.as_ref().is_none_or(|(s, _)| step > *s) {
-                newest = Some((step, path));
-            }
-        }
-    }
-
-    let (mut system, mut state, mut steps_done) = match newest {
-        Some((_, path)) => match Checkpoint::<T>::load(&path) {
-            Ok(ck) if ck.validate(&params).is_ok() => {
-                (ck.system, ck.state, ck.steps_done as usize)
-            }
-            _ => fresh_start::<T>(cfg, &params),
-        },
+    let (mut system, mut state, mut steps_done) = match scan_and_load::<T>(dir, &params)? {
+        Some(resumed) => resumed,
         None => fresh_start::<T>(cfg, &params),
     };
 
@@ -176,37 +279,24 @@ pub fn run_with_checkpoints<T: LfdScalar>(
     );
     let mut scratch = QdScratch::new(&params);
     let mode = mkl_lite::compute_mode();
-    let mut result = RunResult {
-        label: format!("{}/{}", cfg.label, mode.label()),
-        mode,
-        records: Vec::new(),
-        scf_drift: Vec::new(),
-        shadow_drift: Vec::new(),
-        ion_temperature: Vec::new(),
-        transfers: TransferLedger::default(),
-    };
+    let mut result = RunResult::new(&cfg.label, mode, 0);
 
     let mut last_nexc = 0.0f64;
+    let mut bursts_this_invocation = 0u32;
     while steps_done < cfg.total_qd_steps {
-        let burst = cfg.qd_steps_per_md.min(cfg.total_qd_steps - steps_done);
-        for s in 0..burst {
-            let obs = qd_step_with_policy(&params, &mut state, &mut scratch, policy);
-            last_nexc = obs.nexc;
-            if (steps_done + s) % cfg.record_every == 0 {
-                result.records.push(obs);
-            }
-        }
-        steps_done += burst;
-
-        result.shadow_drift.push(shadow_drift(&state, params.n_orb));
-        sync_with_shadow(&mut result.transfers, params.mesh.len(), params.n_orb, system.len());
-        let report = scf_refresh(&params, &mut state);
-        result.scf_drift.push(report.defect_before);
-
-        let excitation_fraction = (last_nexc / params.n_electrons()).clamp(0.0, 1.0);
-        md.step(&mut system, excitation_fraction);
-        result.ion_temperature.push(md.temperature(&system));
-        state.vloc = system.local_potential(&params.mesh, cfg.vloc_depth);
+        run_burst(
+            cfg,
+            &params,
+            policy,
+            &mut system,
+            &mut state,
+            &mut md,
+            &mut scratch,
+            &mut steps_done,
+            &mut last_nexc,
+            &mut result,
+            None,
+        )?;
 
         // Checkpoint the boundary state.
         let ck = Checkpoint {
@@ -215,11 +305,66 @@ pub fn run_with_checkpoints<T: LfdScalar>(
             steps_done: steps_done as u64,
         };
         ck.save(&dir.join(format!("dcmesh-{steps_done}.ck")))?;
+
+        bursts_this_invocation += 1;
+        if crash.crash_after_bursts == Some(bursts_this_invocation) {
+            return Err(RunError::SimulatedCrash { steps_done: steps_done as u64 });
+        }
     }
     Ok(result)
 }
 
-fn fresh_start<T: LfdScalar>(
+/// Scans `dir` for `dcmesh-<step>.ck` files and loads the newest that
+/// decodes and matches the deck. Failures are quarantined (renamed to
+/// `.ck.bad`) so a corrupt newest checkpoint cannot wedge every future
+/// resume, and older checkpoints are tried in turn.
+pub(crate) fn scan_and_load<T: LfdScalar>(
+    dir: &Path,
+    params: &LfdParams,
+) -> Result<Option<(AtomicSystem, LfdState<T>, usize)>, RunError> {
+    use crate::checkpoint::Checkpoint;
+
+    let mut found: Vec<(u64, std::path::PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if let Some(step) = name
+            .strip_prefix("dcmesh-")
+            .and_then(|r| r.strip_suffix(".ck"))
+            .and_then(|r| r.parse::<u64>().ok())
+        {
+            found.push((step, path));
+        }
+    }
+    found.sort_by_key(|e| std::cmp::Reverse(e.0));
+
+    for (_, path) in found {
+        let problem = match Checkpoint::<T>::load(&path) {
+            Ok(ck) => match ck.validate(params) {
+                Ok(()) => return Ok(Some((ck.system, ck.state, ck.steps_done as usize))),
+                Err(e) => e.to_string(),
+            },
+            Err(e) => e.to_string(),
+        };
+        quarantine(&path, &problem);
+    }
+    Ok(None)
+}
+
+/// Renames a bad checkpoint out of the resume scan's pattern space.
+fn quarantine(path: &Path, why: &str) {
+    let bad = path.with_extension("ck.bad");
+    eprintln!(
+        "warning: quarantining unusable checkpoint {} -> {}: {why}",
+        path.display(),
+        bad.display()
+    );
+    if let Err(e) = std::fs::rename(path, &bad) {
+        eprintln!("warning: could not quarantine {}: {e}", path.display());
+    }
+}
+
+pub(crate) fn fresh_start<T: LfdScalar>(
     cfg: &RunConfig,
     params: &dcmesh_lfd::LfdParams,
 ) -> (dcmesh_qxmd::AtomicSystem, LfdState<T>, usize) {
@@ -252,11 +397,11 @@ mod tests {
     fn run_produces_complete_record() {
         set_compute_mode(ComputeMode::Standard);
         let cfg = tiny_config();
-        let r = run_simulation::<f32>(&cfg);
+        let r = run_simulation::<f32>(&cfg).expect("run");
         assert_eq!(r.records.len(), 60);
         assert_eq!(r.scf_drift.len(), 3);
         assert_eq!(r.ion_temperature.len(), 3);
-        assert_eq!(r.last().step, 60);
+        assert_eq!(r.last().expect("records").step, 60);
         // Monotone time axis.
         for w in r.records.windows(2) {
             assert!(w[1].time_fs > w[0].time_fs);
@@ -267,12 +412,26 @@ mod tests {
     }
 
     #[test]
+    fn invalid_config_is_an_error_not_a_panic() {
+        let mut cfg = tiny_config();
+        cfg.n_occ = cfg.n_orb + 1;
+        let e = run_simulation::<f32>(&cfg).unwrap_err();
+        assert!(matches!(e, RunError::InvalidConfig(_)), "{e}");
+    }
+
+    #[test]
+    fn empty_result_has_no_last_record() {
+        let r = RunResult::new("x", ComputeMode::Standard, 0);
+        assert!(r.last().is_none());
+    }
+
+    #[test]
     fn laser_run_is_physical() {
         set_compute_mode(ComputeMode::Standard);
         let cfg = tiny_config();
-        let r = run_simulation::<f64>(&cfg);
+        let r = run_simulation::<f64>(&cfg).expect("run");
         let first = &r.records[0];
-        let last = r.last();
+        let last = r.last().expect("records");
         assert!(last.nexc > first.nexc, "no excitation built up");
         assert!(last.nexc < 2.0 * cfg.n_occ as f64, "nexc exceeds electron count");
         assert!(last.ekin > 0.0);
@@ -282,11 +441,16 @@ mod tests {
     #[test]
     fn modes_produce_distinct_but_close_observables() {
         let cfg = tiny_config();
-        let base = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg));
-        let bf16 = with_compute_mode(ComputeMode::FloatToBf16, || run_simulation::<f32>(&cfg));
-        let d_ekin = (base.last().ekin - bf16.last().ekin).abs();
+        let base =
+            with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg))
+                .expect("fp32 run");
+        let bf16 =
+            with_compute_mode(ComputeMode::FloatToBf16, || run_simulation::<f32>(&cfg))
+                .expect("bf16 run");
+        let base_ekin = base.last().expect("records").ekin;
+        let d_ekin = (base_ekin - bf16.last().expect("records").ekin).abs();
         assert!(d_ekin > 0.0, "BF16 produced identical kinetic energy");
-        let rel = d_ekin / base.last().ekin.abs().max(1e-30);
+        let rel = d_ekin / base_ekin.abs().max(1e-30);
         assert!(rel < 0.1, "BF16 kinetic energy deviates {rel}");
     }
 
@@ -295,14 +459,15 @@ mod tests {
         set_compute_mode(ComputeMode::Standard);
         let mut cfg = tiny_config();
         cfg.record_every = 5;
-        let r = run_simulation::<f32>(&cfg);
+        let r = run_simulation::<f32>(&cfg).expect("run");
         assert_eq!(r.records.len(), 12);
     }
 
     #[test]
     fn scf_drift_nonzero_under_low_precision() {
         let cfg = tiny_config();
-        let r = with_compute_mode(ComputeMode::FloatToBf16, || run_simulation::<f32>(&cfg));
+        let r = with_compute_mode(ComputeMode::FloatToBf16, || run_simulation::<f32>(&cfg))
+            .expect("run");
         assert!(
             r.scf_drift.iter().all(|&d| d > 0.0),
             "BF16 bursts should leave measurable drift: {:?}",
@@ -315,7 +480,7 @@ mod tests {
         set_compute_mode(ComputeMode::Standard);
         let cfg = tiny_config(); // 60 steps, 20 per MD
         let policy = dcmesh_lfd::PrecisionPolicy::Ambient;
-        let straight = run_simulation::<f32>(&cfg);
+        let straight = run_simulation::<f32>(&cfg).expect("straight run");
 
         let dir = std::env::temp_dir().join(format!("dcmesh-resume-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
@@ -333,6 +498,30 @@ mod tests {
             assert_eq!(got.step, want.step);
             assert_eq!(got.ekin.to_bits(), want.ekin.to_bits(), "step {}", got.step);
             assert_eq!(got.nexc.to_bits(), want.nexc.to_bits(), "step {}", got.step);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulated_crash_stops_after_the_requested_burst() {
+        set_compute_mode(ComputeMode::Standard);
+        let cfg = tiny_config();
+        let policy = dcmesh_lfd::PrecisionPolicy::Ambient;
+        let dir = std::env::temp_dir().join(format!("dcmesh-crash-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let crash = CrashPlan { crash_after_bursts: Some(1) };
+        let e = run_with_checkpoints_crashing::<f32>(&cfg, &policy, &dir, &crash).unwrap_err();
+        assert!(matches!(e, RunError::SimulatedCrash { steps_done: 20 }), "{e}");
+        assert!(dir.join("dcmesh-20.ck").exists(), "crash must leave the checkpoint behind");
+
+        // The straight resume completes the deck and matches an
+        // uninterrupted run bit-for-bit.
+        let straight = run_simulation::<f32>(&cfg).expect("straight run");
+        let resumed = run_with_checkpoints::<f32>(&cfg, &policy, &dir).expect("resume");
+        assert_eq!(resumed.records.len(), 40);
+        for (got, want) in resumed.records.iter().zip(&straight.records[20..]) {
+            assert_eq!(got.ekin.to_bits(), want.ekin.to_bits(), "step {}", got.step);
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

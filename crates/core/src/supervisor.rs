@@ -1,0 +1,246 @@
+//! The run supervisor: health monitoring, rollback and automatic
+//! precision escalation.
+//!
+//! The paper's methodology assumes each compute mode either completes
+//! the deck or is discarded by hand when it diverges (§IV). Production
+//! runs need the middle path: detect divergence *as it happens*, roll
+//! the burst back, and re-run it under the next-stronger mode on the
+//! escalation ladder `BF16 → BF16x2 → BF16x3 → TF32 → FP32` — paying
+//! full precision only where the physics demands it, and recording an
+//! audit trail of every escalation so the accuracy analysis knows which
+//! bursts ran in which mode.
+//!
+//! Rollback granularity is one MD burst: before each burst the
+//! supervisor snapshots the electronic and ionic state in memory (and
+//! optionally persists checkpoints to disk, sharing the
+//! [`crate::runner::run_with_checkpoints`] format and resume scan). A
+//! restored burst re-runs bit-for-bit identically under the same mode —
+//! the same guarantee the checkpoint tests establish — so escalation
+//! changes results only through the precision change itself.
+
+use crate::checkpoint::Checkpoint;
+use crate::config::RunConfig;
+use crate::error::RunError;
+use crate::health::{HealthConfig, HealthMonitor, HealthViolation};
+use crate::runner::{fresh_start, run_burst, scan_and_load, ResultMark, RunResult};
+use dcmesh_lfd::nonlocal::LfdScalar;
+use dcmesh_lfd::policy::PrecisionPolicy;
+use dcmesh_lfd::propagator::QdScratch;
+use dcmesh_qxmd::MdIntegrator;
+use mkl_lite::{with_compute_mode, ComputeMode};
+use std::fmt;
+use std::path::PathBuf;
+
+/// Supervisor policy knobs.
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// Bounds the health monitor enforces.
+    pub health: HealthConfig,
+    /// Modes available for escalation, weakest to strongest. On
+    /// divergence the supervisor moves to the first entry strictly
+    /// stronger (by [`ComputeMode::escalation_rank`]) than the mode
+    /// that failed. Defaults to the full ladder ending at FP32.
+    pub ladder: Vec<ComputeMode>,
+    /// Re-run budget for a single burst; exceeding it fails the run
+    /// with [`RunError::EscalationExhausted`].
+    pub max_retries_per_burst: u32,
+    /// When set, checkpoints are written here at every MD boundary and
+    /// the run resumes from the newest loadable checkpoint, exactly as
+    /// [`crate::runner::run_with_checkpoints`] does.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            health: HealthConfig::default(),
+            ladder: ComputeMode::ESCALATION_LADDER.to_vec(),
+            max_retries_per_burst: ComputeMode::ESCALATION_LADDER.len() as u32,
+            checkpoint_dir: None,
+        }
+    }
+}
+
+/// One entry of the escalation audit trail.
+#[derive(Clone, Debug)]
+pub struct EscalationEvent {
+    /// QD step at which the violation was detected.
+    pub step: u64,
+    /// Mode that diverged.
+    pub from: ComputeMode,
+    /// Mode the burst was re-run under.
+    pub to: ComputeMode,
+    /// What tripped the monitor.
+    pub violation: HealthViolation,
+    /// Retry attempt number for the burst (1-based).
+    pub attempt: u32,
+}
+
+impl fmt::Display for EscalationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "step {}: {} -> {} (attempt {}): {}",
+            self.step,
+            self.from.label(),
+            self.to.label(),
+            self.attempt,
+            self.violation
+        )
+    }
+}
+
+/// A completed supervised run.
+#[derive(Clone, Debug)]
+pub struct SupervisedRun {
+    /// The run record (same shape as an unsupervised run's).
+    pub result: RunResult,
+    /// Every escalation that occurred, in order.
+    pub escalations: Vec<EscalationEvent>,
+    /// The mode the run finished in — `start_mode` if it never
+    /// escalated.
+    pub final_mode: ComputeMode,
+}
+
+/// Runs the deck under `start_mode` with health monitoring, burst-level
+/// rollback and automatic precision escalation. Escalation is sticky:
+/// once a burst needed a stronger mode, the remaining bursts keep it —
+/// the conservative choice for a trajectory that has entered a regime
+/// the weak mode cannot represent.
+pub fn run_supervised<T: LfdScalar>(
+    cfg: &RunConfig,
+    start_mode: ComputeMode,
+    sup: &SupervisorConfig,
+) -> Result<SupervisedRun, RunError> {
+    cfg.validate()?;
+    let params = cfg.lfd_params();
+    params.validate();
+
+    if let Some(dir) = &sup.checkpoint_dir {
+        std::fs::create_dir_all(dir)?;
+    }
+    let resumed = match &sup.checkpoint_dir {
+        Some(dir) => scan_and_load::<T>(dir, &params)?,
+        None => None,
+    };
+    let (mut system, mut state, mut steps_done) =
+        resumed.unwrap_or_else(|| fresh_start::<T>(cfg, &params));
+
+    let md_dt = cfg.qd_steps_per_md as f64 * cfg.dt;
+    let mut md = MdIntegrator::new(&system, md_dt, cfg.ehrenfest_softening);
+    let mut scratch = QdScratch::new(&params);
+
+    let policy = PrecisionPolicy::Ambient;
+    let mut current = start_mode;
+    let mut result =
+        RunResult::new(&cfg.label, current, cfg.total_qd_steps / cfg.record_every + 1);
+    let mut monitor = HealthMonitor::new(sup.health.clone(), params.n_electrons());
+    let mut escalations: Vec<EscalationEvent> = Vec::new();
+    let mut last_nexc = 0.0f64;
+
+    while steps_done < cfg.total_qd_steps {
+        // Burst-boundary snapshot: everything a rollback must restore.
+        let snap_state = state.clone();
+        let snap_system = system.clone();
+        let snap_steps = steps_done;
+        let snap_nexc = last_nexc;
+        let mark = ResultMark::take(&result);
+
+        let mut attempt = 0u32;
+        loop {
+            let burst_out = with_compute_mode(current, || {
+                run_burst(
+                    cfg,
+                    &params,
+                    &policy,
+                    &mut system,
+                    &mut state,
+                    &mut md,
+                    &mut scratch,
+                    &mut steps_done,
+                    &mut last_nexc,
+                    &mut result,
+                    Some(&mut monitor),
+                )
+            });
+            match burst_out {
+                Ok(()) => break,
+                Err(RunError::Diverged { step, mode, violation }) => {
+                    // Roll the burst back to the snapshot. Rebuilding
+                    // the integrator from the restored system is the
+                    // checkpoint resume path, which is bit-exact.
+                    state = snap_state.clone();
+                    system = snap_system.clone();
+                    steps_done = snap_steps;
+                    last_nexc = snap_nexc;
+                    mark.restore(&mut result);
+                    md = MdIntegrator::new(&system, md_dt, cfg.ehrenfest_softening);
+                    monitor.reset();
+
+                    attempt += 1;
+                    let next = sup
+                        .ladder
+                        .iter()
+                        .copied()
+                        .find(|m| m.escalation_rank() > current.escalation_rank());
+                    let next = match next {
+                        Some(n) if attempt <= sup.max_retries_per_burst => n,
+                        _ => {
+                            return Err(RunError::EscalationExhausted {
+                                step,
+                                mode,
+                                violation,
+                                attempts: attempt,
+                            })
+                        }
+                    };
+                    escalations.push(EscalationEvent {
+                        step,
+                        from: current,
+                        to: next,
+                        violation,
+                        attempt,
+                    });
+                    current = next;
+                }
+                Err(other) => return Err(other),
+            }
+        }
+
+        if let Some(dir) = &sup.checkpoint_dir {
+            let ck = Checkpoint {
+                state: state.clone(),
+                system: system.clone(),
+                steps_done: steps_done as u64,
+            };
+            ck.save(&dir.join(format!("dcmesh-{steps_done}.ck")))?;
+        }
+    }
+
+    Ok(SupervisedRun { result, escalations, final_mode: current })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ladder_ends_at_fp32() {
+        let sup = SupervisorConfig::default();
+        assert_eq!(sup.ladder.last(), Some(&ComputeMode::Standard));
+        assert!(sup.max_retries_per_burst >= sup.ladder.len() as u32 - 1);
+    }
+
+    #[test]
+    fn escalation_event_displays_the_transition() {
+        let ev = EscalationEvent {
+            step: 40,
+            from: ComputeMode::FloatToBf16,
+            to: ComputeMode::FloatToBf16x2,
+            violation: HealthViolation::NonFinite { what: "nexc", step: 40 },
+            attempt: 1,
+        };
+        let s = ev.to_string();
+        assert!(s.contains("BF16") && s.contains("BF16x2") && s.contains("nexc"), "{s}");
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::analysis::{DeviationSeries, Metric};
 use crate::config::RunConfig;
+use crate::error::RunError;
 use crate::runner::{run_simulation, RunResult};
 use dcmesh_lfd::nonlocal::LfdScalar;
 use mkl_lite::{with_compute_mode, ComputeMode};
@@ -32,15 +33,12 @@ impl ModeSweep {
             .collect()
     }
 
-    /// Max |deviation| of `metric` for one mode.
-    pub fn max_deviation(&self, mode: ComputeMode, metric: Metric) -> f64 {
-        self.runs
-            .iter()
-            .find(|(m, _)| *m == mode)
-            .map(|(_, run)| {
-                DeviationSeries::build(metric, &run.records, &self.reference.records).max_abs()
-            })
-            .expect("mode not part of the sweep")
+    /// Max |deviation| of `metric` for one mode, or `None` if the mode
+    /// is not part of the sweep.
+    pub fn max_deviation(&self, mode: ComputeMode, metric: Metric) -> Option<f64> {
+        self.runs.iter().find(|(m, _)| *m == mode).map(|(_, run)| {
+            DeviationSeries::build(metric, &run.records, &self.reference.records).max_abs()
+        })
     }
 
     /// The summary rows of Figure 1: `(mode, max|Δnexc|, max|Δjavg|,
@@ -48,13 +46,11 @@ impl ModeSweep {
     pub fn figure1_summary(&self) -> Vec<(ComputeMode, f64, f64, f64)> {
         self.runs
             .iter()
-            .map(|(mode, _)| {
-                (
-                    *mode,
-                    self.max_deviation(*mode, Metric::Nexc),
-                    self.max_deviation(*mode, Metric::Javg),
-                    self.max_deviation(*mode, Metric::Ekin),
-                )
+            .map(|(mode, run)| {
+                let max =
+                    |metric| DeviationSeries::build(metric, &run.records, &self.reference.records)
+                        .max_abs();
+                (*mode, max(Metric::Nexc), max(Metric::Javg), max(Metric::Ekin))
             })
             .collect()
     }
@@ -68,17 +64,17 @@ impl ModeSweep {
 pub fn run_mode_sweep<T: LfdScalar>(
     cfg: &RunConfig,
     mut progress: impl FnMut(&str),
-) -> ModeSweep {
+) -> Result<ModeSweep, RunError> {
     progress("FP32");
-    let reference = with_compute_mode(ComputeMode::Standard, || run_simulation::<T>(cfg));
+    let reference = with_compute_mode(ComputeMode::Standard, || run_simulation::<T>(cfg))?;
     let runs = ComputeMode::ALTERNATIVE
         .iter()
         .map(|&mode| {
             progress(mode.label());
-            (mode, with_compute_mode(mode, || run_simulation::<T>(cfg)))
+            with_compute_mode(mode, || run_simulation::<T>(cfg)).map(|run| (mode, run))
         })
-        .collect();
-    ModeSweep { reference, runs }
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ModeSweep { reference, runs })
 }
 
 #[cfg(test)]
@@ -101,7 +97,7 @@ mod tests {
     #[test]
     fn sweep_covers_all_modes_and_aligns_records() {
         let mut labels = Vec::new();
-        let sweep = run_mode_sweep::<f32>(&tiny(), |l| labels.push(l.to_string()));
+        let sweep = run_mode_sweep::<f32>(&tiny(), |l| labels.push(l.to_string())).expect("sweep");
         assert_eq!(sweep.runs.len(), ComputeMode::ALTERNATIVE.len());
         assert_eq!(labels.len(), 6);
         assert_eq!(labels[0], "FP32");
@@ -112,7 +108,7 @@ mod tests {
 
     #[test]
     fn figure1_summary_shape_and_positivity() {
-        let sweep = run_mode_sweep::<f32>(&tiny(), |_| {});
+        let sweep = run_mode_sweep::<f32>(&tiny(), |_| {}).expect("sweep");
         let summary = sweep.figure1_summary();
         assert_eq!(summary.len(), 5);
         for (mode, nexc, javg, ekin) in summary {
@@ -128,9 +124,11 @@ mod tests {
 
     #[test]
     fn deviations_accessor_matches_direct_build() {
-        let sweep = run_mode_sweep::<f32>(&tiny(), |_| {});
+        let sweep = run_mode_sweep::<f32>(&tiny(), |_| {}).expect("sweep");
         let via_list = &sweep.deviations(Metric::Ekin)[0];
         let direct = sweep.max_deviation(via_list.0, Metric::Ekin);
-        assert_eq!(via_list.1.max_abs(), direct);
+        assert_eq!(Some(via_list.1.max_abs()), direct);
+        // A mode outside the sweep is None, not a panic.
+        assert_eq!(sweep.max_deviation(ComputeMode::Standard, Metric::Ekin), None);
     }
 }

@@ -1,0 +1,147 @@
+//! Supervisor end-to-end: fault injection → divergence detection →
+//! rollback → precision escalation → completed run with an audit trail.
+//!
+//! The fault plan is process-global state, so every test that installs
+//! (or must be isolated from) one serializes on `FAULT_LOCK`.
+
+use dcmesh::config::{RunConfig, SystemPreset};
+use dcmesh::runner::run_simulation;
+use dcmesh::supervisor::{run_supervised, SupervisorConfig};
+use dcmesh::{HealthViolation, RunError};
+use mkl_lite::fault::injected_fault_count;
+use mkl_lite::{
+    clear_fault_plan, install_fault_plan, with_compute_mode, ComputeMode, FaultKind, FaultPlan,
+    FaultSite,
+};
+use std::sync::Mutex;
+
+static FAULT_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    FAULT_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tiny() -> RunConfig {
+    let mut cfg = RunConfig::preset(SystemPreset::Pto40Small);
+    cfg.mesh_points = 10;
+    cfg.n_orb = 8;
+    cfg.n_occ = 4;
+    cfg.total_qd_steps = 60;
+    cfg.qd_steps_per_md = 20;
+    cfg.laser_duration_fs = 0.03;
+    cfg.laser_amplitude = 0.4;
+    cfg
+}
+
+#[test]
+fn clean_supervised_run_matches_unsupervised_bit_for_bit() {
+    let _g = lock();
+    let cfg = tiny();
+    let plain = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg))
+        .expect("plain run");
+    let sup = run_supervised::<f32>(&cfg, ComputeMode::Standard, &SupervisorConfig::default())
+        .expect("supervised run");
+
+    assert!(sup.escalations.is_empty(), "clean run must not escalate: {:?}", sup.escalations);
+    assert_eq!(sup.final_mode, ComputeMode::Standard);
+    assert_eq!(sup.result.records.len(), plain.records.len());
+    for (a, b) in sup.result.records.iter().zip(&plain.records) {
+        assert_eq!(a.ekin.to_bits(), b.ekin.to_bits(), "step {}", a.step);
+        assert_eq!(a.nexc.to_bits(), b.nexc.to_bits(), "step {}", a.step);
+    }
+}
+
+/// The acceptance scenario: a NaN injected into a mid-run GEMM under the
+/// weak mode trips the health monitor; the supervisor rolls the burst
+/// back, escalates one rung, and — because the fault is scoped to the
+/// weak mode, modelling a matrix-engine-specific failure — completes the
+/// deck cleanly, with the escalation on record.
+#[test]
+fn nan_injection_rolls_back_escalates_and_completes() {
+    let _g = lock();
+    let cfg = tiny();
+    let clean = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg))
+        .expect("clean FP32 run");
+
+    let injected_before = injected_fault_count();
+    install_fault_plan(FaultPlan::new(7).with_site(
+        FaultSite::every(1, FaultKind::Nan)
+            .on_routine("CGEMM")
+            .in_mode(ComputeMode::FloatToBf16),
+    ));
+    let out = run_supervised::<f32>(&cfg, ComputeMode::FloatToBf16, &SupervisorConfig::default());
+    clear_fault_plan();
+    let out = out.expect("supervised run should recover from the injected fault");
+
+    assert!(injected_fault_count() > injected_before, "fault plan never fired");
+
+    // Audit trail: exactly one escalation, off the poisoned mode.
+    assert_eq!(out.escalations.len(), 1, "{:?}", out.escalations);
+    let ev = &out.escalations[0];
+    assert_eq!(ev.from, ComputeMode::FloatToBf16);
+    assert_eq!(ev.to, ComputeMode::FloatToBf16x2);
+    assert_eq!(ev.attempt, 1);
+    assert!(
+        matches!(ev.violation, HealthViolation::NonFinite { .. }),
+        "expected a NaN detection, got {}",
+        ev.violation
+    );
+    assert_eq!(out.final_mode, ComputeMode::FloatToBf16x2);
+
+    // The completed run is whole, finite, and tracks the clean FP32
+    // trajectory within the usual low-precision envelope.
+    assert_eq!(out.result.records.len(), cfg.total_qd_steps);
+    assert!(out.result.records.iter().all(|o| {
+        o.ekin.is_finite() && o.etot.is_finite() && o.nexc.is_finite() && o.javg.is_finite()
+    }));
+    let got = out.result.last().expect("records");
+    let want = clean.last().expect("records");
+    let rel = (got.ekin - want.ekin).abs() / want.ekin.abs().max(1e-30);
+    assert!(rel < 0.1, "escalated run drifted {rel} from the clean FP32 run");
+}
+
+#[test]
+fn unescapable_fault_exhausts_the_ladder() {
+    let _g = lock();
+    let cfg = tiny();
+
+    // No mode scope: the fault follows the run up every rung.
+    install_fault_plan(
+        FaultPlan::new(11).with_site(FaultSite::every(1, FaultKind::Nan).on_routine("CGEMM")),
+    );
+    let out = run_supervised::<f32>(&cfg, ComputeMode::FloatToBf16, &SupervisorConfig::default());
+    clear_fault_plan();
+
+    match out {
+        Err(RunError::EscalationExhausted { mode, attempts, .. }) => {
+            // BF16 -> x2 -> x3 -> TF32 -> FP32, still failing at FP32.
+            assert_eq!(mode, ComputeMode::Standard);
+            assert_eq!(attempts, 5);
+        }
+        other => panic!("expected EscalationExhausted, got {other:?}"),
+    }
+}
+
+#[test]
+fn supervised_run_resumes_from_its_checkpoints() {
+    let _g = lock();
+    let cfg = tiny();
+    let plain = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg))
+        .expect("plain run");
+
+    let dir = std::env::temp_dir().join(format!("dcmesh-sup-ck-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let sup = SupervisorConfig { checkpoint_dir: Some(dir.clone()), ..SupervisorConfig::default() };
+
+    let mut first_leg = cfg.clone();
+    first_leg.total_qd_steps = 40;
+    run_supervised::<f32>(&first_leg, ComputeMode::Standard, &sup).expect("first leg");
+    assert!(dir.join("dcmesh-40.ck").exists());
+
+    let second = run_supervised::<f32>(&cfg, ComputeMode::Standard, &sup).expect("second leg");
+    assert_eq!(second.result.records.len(), 20, "resume should run only the tail");
+    for (got, want) in second.result.records.iter().zip(&plain.records[40..]) {
+        assert_eq!(got.ekin.to_bits(), want.ekin.to_bits(), "step {}", got.step);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

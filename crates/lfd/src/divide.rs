@@ -62,7 +62,7 @@ pub fn decompose(mesh: &Mesh3, cfg: &DcConfig) -> Vec<Domain> {
     let d = cfg.divisions;
     assert!(d >= 1, "need at least one division");
     assert!(
-        mesh.nx % d == 0 && mesh.ny % d == 0 && mesh.nz % d == 0,
+        mesh.nx.is_multiple_of(d) && mesh.ny.is_multiple_of(d) && mesh.nz.is_multiple_of(d),
         "mesh {}x{}x{} not divisible into {d}^3 domains",
         mesh.nx,
         mesh.ny,
@@ -154,7 +154,7 @@ pub fn dc_ground_state(
     cfg: &DcConfig,
 ) -> DcSolution {
     assert_eq!(vloc.len(), mesh.len(), "potential size mismatch");
-    assert!(n_electrons >= 2 && n_electrons % 2 == 0, "closed shell only");
+    assert!(n_electrons >= 2 && n_electrons.is_multiple_of(2), "closed shell only");
     let domains = decompose(mesh, cfg);
     let n_dom = domains.len();
     assert!(
@@ -293,7 +293,7 @@ pub fn well_per_domain_potential(mesh: &Mesh3, cfg: &DcConfig, depth: f64, sigma
         }
         c
     };
-    for g in 0..mesh.len() {
+    for (g, vg) in v.iter_mut().enumerate() {
         let (ix, iy, iz) = mesh.coords(g);
         let mut acc = 0.0;
         for &(cx, cy, cz) in &centers {
@@ -309,7 +309,7 @@ pub fn well_per_domain_potential(mesh: &Mesh3, cfg: &DcConfig, depth: f64, sigma
             let r2 = dx * dx + dy * dy + dz * dz;
             acc -= depth * (-r2 / (2.0 * sigma * sigma)).exp();
         }
-        v[g] = acc;
+        *vg = acc;
     }
     v
 }

@@ -170,7 +170,7 @@ fn chebyshev_filter(
     mesh: &Mesh3,
     vloc: &[f64],
     x: &mut Vec<C64>,
-    h_x: &mut Vec<C64>,
+    h_x: &mut [C64],
     n_states: usize,
     degree: usize,
     a: f64,

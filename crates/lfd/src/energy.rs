@@ -226,10 +226,7 @@ mod tests {
         let v = cosine_potential::<f64>(&p.mesh, 0.5);
         let mean_v: f64 = v.iter().sum::<f64>() / v.len() as f64;
         let st = LfdState::<f64>::initialize(&p, v);
-        let c = dcmesh_linalg::ops::identity(p.n_orb)
-            .iter()
-            .map(|z| *z)
-            .collect::<Vec<_>>();
+        let c = dcmesh_linalg::ops::identity(p.n_orb).to_vec();
         let mut scratch = Vec::new();
         let e = calc_energy(&p, &st, &c, &mut scratch);
         assert!(

@@ -142,13 +142,13 @@ mod tests {
     /// Plane wave e^{i 2π m·r/L} on the mesh, one orbital.
     fn plane_wave(mesh: &Mesh3, m: (i32, i32, i32)) -> Vec<C64> {
         let mut psi = vec![C64::zero(); mesh.len()];
-        for g in 0..mesh.len() {
+        for (g, pg) in psi.iter_mut().enumerate() {
             let (ix, iy, iz) = mesh.coords(g);
             let phase = core::f64::consts::TAU
                 * (m.0 as f64 * ix as f64 / mesh.nx as f64
                     + m.1 as f64 * iy as f64 / mesh.ny as f64
                     + m.2 as f64 * iz as f64 / mesh.nz as f64);
-            psi[g] = Complex::cis(phase);
+            *pg = Complex::cis(phase);
         }
         psi
     }

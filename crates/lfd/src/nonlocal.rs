@@ -288,7 +288,7 @@ mod tests {
         assert!(max_d > 0.0, "BF16 mode produced identical results — mode not applied?");
         assert!(max_d < 1e-2, "BF16 deviation implausibly large: {max_d}");
         let n = st_bf.electron_count(&p);
-        assert!((n - p.n_electrons() as f64).abs() < 1e-2, "norm broke: {n}");
+        assert!((n - p.n_electrons()).abs() < 1e-2, "norm broke: {n}");
     }
 
     #[test]

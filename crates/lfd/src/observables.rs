@@ -35,6 +35,7 @@ pub fn current_density<T: Real>(params: &LfdParams, state: &LfdState<T>, a_total
                 for iz in 0..nz {
                     let g = (ix * ny + iy) * nz + iz;
                     let row = &psi[g * n_orb..(g + 1) * n_orb];
+                    #[allow(clippy::needless_range_loop)]
                     for s in 1..=RADIUS {
                         let zp = (ix * ny + iy) * nz + Mesh3::wrap(iz, s as isize, nz);
                         let zm = (ix * ny + iy) * nz + Mesh3::wrap(iz, -(s as isize), nz);

@@ -153,6 +153,25 @@ impl PrecisionPolicy {
             Some(mode) => with_compute_mode(mode, f),
         }
     }
+
+    /// Raises every site weaker than `floor` (by escalation rank) up to
+    /// `floor`, used by the run supervisor when a policy-driven run
+    /// diverges. `Ambient` becomes a uniform policy at `floor`, since
+    /// the ambient mode is what just failed.
+    pub fn escalate_to(&self, floor: ComputeMode) -> PrecisionPolicy {
+        match self {
+            PrecisionPolicy::Ambient => PrecisionPolicy::uniform(floor),
+            PrecisionPolicy::PerSite(sites) => {
+                let mut raised = *sites;
+                for m in &mut raised {
+                    if m.escalation_rank() < floor.escalation_rank() {
+                        *m = floor;
+                    }
+                }
+                PrecisionPolicy::PerSite(raised)
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +224,24 @@ mod tests {
             .with_site(CallSite::NlpExpand, ComputeMode::FloatToTf32);
         assert_eq!(p.mode_for(CallSite::NlpExpand), Some(ComputeMode::FloatToTf32));
         assert_eq!(p.mode_for(CallSite::NlpProject), Some(ComputeMode::Standard));
+    }
+
+    #[test]
+    fn escalate_to_raises_only_weaker_sites() {
+        let p = PrecisionPolicy::fast_propagation(ComputeMode::FloatToBf16);
+        let e = p.escalate_to(ComputeMode::FloatToBf16x3);
+        // Weak trajectory sites raised to the floor...
+        assert_eq!(e.mode_for(CallSite::NlpProject), Some(ComputeMode::FloatToBf16x3));
+        // ...already-stronger measurement sites untouched.
+        assert_eq!(e.mode_for(CallSite::EnergyKinetic), Some(ComputeMode::Standard));
+        // Ambient concretises to a uniform policy at the floor.
+        let a = PrecisionPolicy::Ambient.escalate_to(ComputeMode::FloatToTf32);
+        assert_eq!(a, PrecisionPolicy::uniform(ComputeMode::FloatToTf32));
+        // Escalating to Standard saturates everything.
+        let s = p.escalate_to(ComputeMode::Standard);
+        for site in CallSite::ALL {
+            assert_eq!(s.mode_for(site), Some(ComputeMode::Standard));
+        }
     }
 
     #[test]

@@ -141,7 +141,7 @@ pub fn qd_step_schedule_with_policy(
     };
     let pointwise = |name: &'static str, passes: f64, flops_per_elem: f64| {
         let mut k = StreamKernel::pointwise(name, w, eb, passes, flops_per_elem, fp64);
-        k.bandwidth_efficiency = k.bandwidth_efficiency * occ_f;
+        k.bandwidth_efficiency *= occ_f;
         KernelDesc::Stream(k)
     };
     let site_mode = |site: crate::policy::CallSite| match precision {

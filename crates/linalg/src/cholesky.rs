@@ -32,7 +32,7 @@ pub fn cholesky_factor(a: &[C64], n: usize) -> Result<Vec<C64>, NotPositiveDefin
         for k in 0..j {
             d -= l[j * n + k].norm_sqr();
         }
-        if !(d > 0.0) || !d.is_finite() {
+        if d <= 0.0 || !d.is_finite() {
             return Err(NotPositiveDefinite { pivot: j });
         }
         let dj = d.sqrt();

@@ -319,7 +319,7 @@ mod tests {
     #[test]
     fn mul_3m_close_to_4m_on_reals() {
         let x = c32(0.123_456_7, -9.876_543);
-        let y = c32(3.141_592_7, 2.718_281_7);
+        let y = c32(core::f32::consts::PI, core::f32::consts::E);
         let p3 = x.mul_3m(y);
         let p4 = x.mul_4m(y);
         let d = (p3 - p4).abs();

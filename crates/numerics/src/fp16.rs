@@ -23,9 +23,12 @@ impl Fp16 {
     pub const EPSILON: f32 = 0.000_976_562_5;
     /// Largest finite value: 65504.
     pub const MAX: f32 = 65_504.0;
-    /// Smallest positive normal value: 2⁻¹⁴.
+    /// Smallest positive normal value: 2⁻¹⁴ (the literal is its exact
+    /// decimal expansion, hence more digits than f32 resolves).
+    #[allow(clippy::excessive_precision)]
     pub const MIN_POSITIVE: f32 = 6.103_515_625e-5;
-    /// Smallest positive denormal: 2⁻²⁴.
+    /// Smallest positive denormal: 2⁻²⁴ (exact decimal expansion).
+    #[allow(clippy::excessive_precision)]
     pub const MIN_DENORMAL: f32 = 5.960_464_477_539_063e-8;
     /// Number of explicit mantissa bits.
     pub const MANTISSA_BITS: u32 = 10;
@@ -150,6 +153,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::excessive_precision)]
     fn exact_values_roundtrip() {
         for x in [0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, 6.103_515_625e-5, -0.25] {
             assert_eq!(Fp16::round_f32(x), x, "{x} must be fp16-exact");
@@ -234,6 +238,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn same_mantissa_as_tf32_narrower_range_than_bf16() {
         // The Table IV relationships.
         assert_eq!(Fp16::MANTISSA_BITS, crate::Tf32::MANTISSA_BITS);

@@ -185,6 +185,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::excessive_precision)]
     fn splits_are_bf16_representable() {
         let x = 7.123_456_7e-3_f32;
         let s = Split3::new(x);

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 /// Finite, normal-range f32s (the error bounds exclude denormals).
 fn normal_f32() -> impl Strategy<Value = f32> {
     prop_oneof![
-        (1.0e-20f32..1.0e20f32),
+        1.0e-20f32..1.0e20f32,
         (1.0e-20f32..1.0e20f32).prop_map(|x| -x),
     ]
 }

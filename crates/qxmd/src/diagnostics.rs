@@ -80,8 +80,8 @@ pub fn mean_square_displacement(system: &AtomicSystem, reference: &[f64]) -> f64
     }
     let l = system.box_length;
     let mut acc = 0.0;
-    for i in 0..3 * n {
-        let mut d = system.positions[i] - reference[i];
+    for (&p, &r) in system.positions[..3 * n].iter().zip(&reference[..3 * n]) {
+        let mut d = p - r;
         d -= l * (d / l).round();
         acc += d * d;
     }

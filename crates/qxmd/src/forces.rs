@@ -93,7 +93,7 @@ pub fn evaluate(
                             base[2] + sz as f64 * l,
                         ];
                         let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
-                        if r2 > CUTOFF * CUTOFF || r2 < 1e-12 {
+                        if !(1e-12..=CUTOFF * CUTOFF).contains(&r2) {
                             continue;
                         }
                         let r = r2.sqrt();

@@ -12,7 +12,7 @@ pub enum Species {
 }
 
 /// Atomic mass unit in electron masses (a.u.).
-pub const AMU: f64 = 1822.888_486;
+pub const AMU: f64 = 1_822.888_486;
 
 impl Species {
     /// Mass in atomic units (electron masses).

@@ -104,6 +104,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn sustained_clock_below_boost() {
         assert!(MAX_1550_STACK.max_ghz <= TABLE1_BOOST_GHZ);
     }

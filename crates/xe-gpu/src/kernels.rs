@@ -98,6 +98,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn pointwise_faster_than_stencil_per_byte() {
         assert!(POINTWISE_BW_EFF > STENCIL_BW_EFF);
     }

@@ -16,7 +16,7 @@ use dcmesh::runner::run_simulation;
 use dcmesh::spectrum::current_spectrum;
 use mkl_lite::{with_compute_mode, ComputeMode};
 
-fn main() {
+fn main() -> Result<(), dcmesh::RunError> {
     let mut cfg = RunConfig::preset(SystemPreset::Pto40Small);
     cfg.total_qd_steps = 1200;
     cfg.qd_steps_per_md = 400;
@@ -24,8 +24,8 @@ fn main() {
     cfg.laser_amplitude = 0.3;
 
     println!("running FP32 and BF16 trajectories ({} QD steps each)...", cfg.total_qd_steps);
-    let fp32 = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg));
-    let bf16 = with_compute_mode(ComputeMode::FloatToBf16, || run_simulation::<f32>(&cfg));
+    let fp32 = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg))?;
+    let bf16 = with_compute_mode(ComputeMode::FloatToBf16, || run_simulation::<f32>(&cfg))?;
 
     let n_omega = 240;
     let omega_max = 3.0;
@@ -48,4 +48,5 @@ fn main() {
     println!("\nspectral observables are far more tolerant of low-precision BLAS than");
     println!("pointwise trajectories — resonance positions are set by the Hamiltonian,");
     println!("which the SCF refresh keeps clean at FP64.");
+    Ok(())
 }

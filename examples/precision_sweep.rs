@@ -13,20 +13,20 @@ use dcmesh::config::{RunConfig, SystemPreset};
 use dcmesh::runner::run_simulation;
 use mkl_lite::{with_compute_mode, ComputeMode};
 
-fn main() {
+fn main() -> Result<(), dcmesh::RunError> {
     let mut cfg = RunConfig::preset(SystemPreset::Pto40Small);
     cfg.total_qd_steps = 400;
     cfg.qd_steps_per_md = 200;
 
     println!("reference run (FP32)...");
-    let reference = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg));
+    let reference = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg))?;
 
     println!(
         "\n{:<12} {:>14} {:>14} {:>14}   (max |deviation from FP32|)",
         "mode", "nexc", "javg", "ekin [Ha]"
     );
     for mode in ComputeMode::ALTERNATIVE {
-        let run = with_compute_mode(mode, || run_simulation::<f32>(&cfg));
+        let run = with_compute_mode(mode, || run_simulation::<f32>(&cfg))?;
         let dev = |metric: Metric| {
             DeviationSeries::build(metric, &run.records, &reference.records).max_abs()
         };
@@ -41,4 +41,5 @@ fn main() {
 
     println!("\nexpected ordering (paper Fig. 1): BF16 worst, then TF32/BF16x2, BF16x3 ~ FP32;");
     println!("Complex_3m differs only through rounding-path changes.");
+    Ok(())
 }

@@ -13,7 +13,7 @@ use dcmesh::config::{RunConfig, SystemPreset};
 use dcmesh::output::console_line;
 use dcmesh::runner::run_simulation;
 
-fn main() {
+fn main() -> Result<(), dcmesh::RunError> {
     // A short burst of the 40-atom-structured small deck.
     let mut cfg = RunConfig::preset(SystemPreset::Pto40Small);
     cfg.total_qd_steps = 300;
@@ -29,13 +29,13 @@ fn main() {
     );
     println!("deck: dt = {} a.u., {} QD steps, SCF refresh every {}", cfg.dt, cfg.total_qd_steps, cfg.qd_steps_per_md);
 
-    let result = run_simulation::<f32>(&cfg);
+    let result = run_simulation::<f32>(&cfg)?;
 
     for record in &result.records {
         println!("{}", console_line(record));
     }
 
-    let last = result.last();
+    let last = result.last().expect("deck records at least one step");
     println!("\nsummary ({}):", result.label);
     println!("  excited electrons : {:.6}", last.nexc);
     println!("  kinetic energy    : {:.6} Ha", last.ekin);
@@ -49,4 +49,5 @@ fn main() {
         result.transfers.total(),
         result.transfers.events
     );
+    Ok(())
 }

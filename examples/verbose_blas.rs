@@ -25,7 +25,7 @@ fn main() {
 
     verbose::clear();
     verbose::set_recording(true);
-    let _ = run_simulation::<f32>(&cfg);
+    run_simulation::<f32>(&cfg).expect("run");
     verbose::set_recording(false);
 
     let calls = verbose::drain();

@@ -1,3 +1,5 @@
+#![allow(clippy::type_complexity)]
+
 //! Offline API-subset shim for the `proptest` crate (see
 //! `shims/README.md`).
 //!
@@ -515,7 +517,8 @@ macro_rules! prop_assert {
         $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
     };
     ($cond:expr, $($fmt:tt)+) => {
-        if !$cond {
+        let __prop_assert_ok: bool = $cond;
+        if !__prop_assert_ok {
             return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
                 format!($($fmt)+),
             ));
@@ -612,7 +615,7 @@ mod tests {
         }
 
         #[test]
-        fn oneof_covers_both_signs(x in prop_oneof![(1.0f32..2.0), (1.0f32..2.0).prop_map(|v| -v)]) {
+        fn oneof_covers_both_signs(x in prop_oneof![1.0f32..2.0, (1.0f32..2.0).prop_map(|v| -v)]) {
             prop_assert!(x.abs() >= 1.0 && x.abs() < 2.0);
         }
     }

@@ -33,7 +33,7 @@ fn accuracy_config() -> RunConfig {
 }
 
 fn run_mode(cfg: &RunConfig, mode: ComputeMode) -> RunResult {
-    with_compute_mode(mode, || run_simulation::<f32>(cfg))
+    with_compute_mode(mode, || run_simulation::<f32>(cfg)).expect("run")
 }
 
 #[test]

@@ -33,8 +33,10 @@ fn full_pipeline_deck_to_deviations() {
         laser_amplitude = 0.4
     ";
     let cfg = RunConfig::parse(deck).expect("deck parses");
-    let reference = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg));
-    let bf16 = with_compute_mode(ComputeMode::FloatToBf16, || run_simulation::<f32>(&cfg));
+    let reference =
+        with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg)).expect("run");
+    let bf16 =
+        with_compute_mode(ComputeMode::FloatToBf16, || run_simulation::<f32>(&cfg)).expect("run");
 
     for metric in Metric::FIGURE1 {
         let series = DeviationSeries::build(metric, &bf16.records, &reference.records);
@@ -63,7 +65,8 @@ fn full_pipeline_deck_to_deviations() {
 #[test]
 fn csv_roundtrip_preserves_run_record() {
     let cfg = tiny();
-    let run = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg));
+    let run =
+        with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg)).expect("run");
     let mut buf = Vec::new();
     write_csv(&mut buf, &run.records).expect("write");
     let back = read_csv(std::str::from_utf8(&buf).expect("utf8")).expect("parse");
@@ -80,7 +83,7 @@ fn device_model_prices_every_blas_call() {
     let cfg = tiny();
     verbose::clear();
     verbose::set_recording(true);
-    let _ = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg));
+    with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg)).expect("run");
     verbose::set_recording(false);
     let calls = verbose::drain();
     mkl_lite::device::clear_device_model();
@@ -103,8 +106,10 @@ fn identical_runs_are_bitwise_reproducible() {
     // Determinism underpins the whole deviation methodology: the same
     // deck under the same mode must reproduce exactly.
     let cfg = tiny();
-    let a = with_compute_mode(ComputeMode::FloatToTf32, || run_simulation::<f32>(&cfg));
-    let b = with_compute_mode(ComputeMode::FloatToTf32, || run_simulation::<f32>(&cfg));
+    let a =
+        with_compute_mode(ComputeMode::FloatToTf32, || run_simulation::<f32>(&cfg)).expect("run");
+    let b =
+        with_compute_mode(ComputeMode::FloatToTf32, || run_simulation::<f32>(&cfg)).expect("run");
     assert_eq!(a.records.len(), b.records.len());
     for (x, y) in a.records.iter().zip(&b.records) {
         assert_eq!(x.ekin.to_bits(), y.ekin.to_bits(), "step {}", x.step);
@@ -116,10 +121,12 @@ fn identical_runs_are_bitwise_reproducible() {
 #[test]
 fn fp64_run_matches_fp32_closely_but_not_exactly() {
     let cfg = tiny();
-    let r32 = with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg));
-    let r64 = with_compute_mode(ComputeMode::Standard, || run_simulation::<f64>(&cfg));
-    let last32 = r32.last();
-    let last64 = r64.last();
+    let r32 =
+        with_compute_mode(ComputeMode::Standard, || run_simulation::<f32>(&cfg)).expect("run");
+    let r64 =
+        with_compute_mode(ComputeMode::Standard, || run_simulation::<f64>(&cfg)).expect("run");
+    let last32 = r32.last().expect("records");
+    let last64 = r64.last().expect("records");
     let rel = (last32.ekin - last64.ekin).abs() / last64.ekin.abs().max(1e-30);
     assert!(rel < 1e-3, "FP32 vs FP64 kinetic energy differs by {rel}");
     assert_ne!(last32.ekin, last64.ekin, "precision change had no effect at all");
