@@ -44,7 +44,7 @@ fn bench_scf_refresh(c: &mut Criterion) {
     c.bench_function("scf_refresh_fp64", |bch| {
         let mut st = LfdState::<f32>::initialize(&p, cosine_potential(&p.mesh, 0.2));
         bch.iter(|| {
-            let rep = scf_refresh(&p, &mut st);
+            let rep = scf_refresh(&p, &mut st).expect("overlap healthy");
             black_box(rep.defect_after);
         });
     });

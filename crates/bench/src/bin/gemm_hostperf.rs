@@ -1,0 +1,429 @@
+//! `gemm_hostperf`: host-side GEMM cost baseline (`BENCH_gemm.json`).
+//!
+//! The emulated compute modes pay a host-side tax on every call —
+//! op-materialisation, rounded copies, BF16 split planes, the product
+//! accumulator. This binary pins that tax down so every future PR has a
+//! perf baseline to compare against:
+//!
+//! * **end-to-end** `ns/call` for `sgemm` across the Table VII `remap_occ`
+//!   shapes in every real compute mode (plus `cgemm` in `COMPLEX_3M`),
+//!   with `k` scaled down by `--k-scale` so the software kernel finishes
+//!   in bench time (the paper's shapes are GPU-scale);
+//! * **allocs/call** over the timed steady-state calls, counted by a
+//!   `#[global_allocator]` wrapper — the workspace pool's contract is
+//!   that this is exactly zero;
+//! * **host-side prep throughput** at the *full* `k = 64³` acceptance
+//!   shape `(128, 896, 262144)`: the pre-workspace prep path (fresh
+//!   allocations, materialise-always, serial quantise/split) re-created
+//!   here in the bench, timed against the pooled prep path the library
+//!   now runs, giving an honest `speedup_vs_legacy` for the host-side
+//!   work without timing the (unchanged) FP32 kernel.
+//!
+//! Usage: `gemm_hostperf [--k-scale N] [--prep-k N] [--reps N]
+//! [--warmup N] [--out PATH] [--enforce-zero-alloc]`
+//!
+//! `--enforce-zero-alloc` exits non-zero if any steady-state call
+//! allocated — the CI regression gate.
+
+use dcmesh_numerics::{bf16, c32, split, tf32, C32};
+use mkl_lite::workspace;
+use mkl_lite::{cgemm, sgemm, with_compute_mode, ComputeMode, Op};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// System allocator wrapper counting every allocation (not bytes — the
+/// pool's promise is *zero calls*, so a count is the sharpest signal).
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(l) }
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        unsafe { System.dealloc(p, l) }
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, new: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(p, l, new) }
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(l) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The Table VII remap GEMM shapes: m = N_occ = 128, n = N_orb − N_occ,
+/// k = N_grid = 64³.
+const TABLE7_K: usize = 262_144;
+const TABLE7_SHAPES: [(usize, usize); 4] = [(128, 128), (128, 896), (128, 1920), (128, 3968)];
+/// The acceptance-criterion shape (N_orb = 1024 row of Table VII).
+const PREP_SHAPE: (usize, usize) = (128, 896);
+
+const SGEMM_MODES: [ComputeMode; 5] = [
+    ComputeMode::Standard,
+    ComputeMode::FloatToTf32,
+    ComputeMode::FloatToBf16,
+    ComputeMode::FloatToBf16x2,
+    ComputeMode::FloatToBf16x3,
+];
+
+struct Options {
+    k_scale: usize,
+    prep_k: usize,
+    reps: usize,
+    warmup: usize,
+    out: String,
+    enforce_zero_alloc: bool,
+}
+
+fn parse_args() -> Options {
+    let mut o = Options {
+        k_scale: 64,
+        prep_k: TABLE7_K,
+        reps: 2,
+        warmup: 2,
+        out: "BENCH_gemm.json".to_string(),
+        enforce_zero_alloc: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let num = |a: &mut dyn Iterator<Item = String>| -> usize {
+            a.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("missing/invalid value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--k-scale" => o.k_scale = num(&mut args).max(1),
+            "--prep-k" => o.prep_k = num(&mut args).max(1),
+            "--reps" => o.reps = num(&mut args).max(1),
+            "--warmup" => o.warmup = num(&mut args),
+            "--out" => {
+                o.out = args.next().unwrap_or_else(|| {
+                    eprintln!("missing value for --out");
+                    std::process::exit(2);
+                })
+            }
+            "--enforce-zero-alloc" => o.enforce_zero_alloc = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    o
+}
+
+fn mode_label(mode: ComputeMode) -> &'static str {
+    mode.env_value().unwrap_or("STANDARD")
+}
+
+/// One JSON entry of the end-to-end sweep.
+struct Entry {
+    routine: &'static str,
+    mode: ComputeMode,
+    m: usize,
+    n: usize,
+    k_table: usize,
+    k_measured: usize,
+    ns_per_call: f64,
+    allocs_per_call: f64,
+}
+
+/// Times `reps` steady-state calls of `f` (after `warmup` unmeasured
+/// ones) and returns (ns/call, allocs/call).
+fn measure(warmup: usize, reps: usize, mut f: impl FnMut()) -> (f64, f64) {
+    for _ in 0..warmup {
+        f();
+    }
+    let allocs_before = ALLOC_CALLS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    let elapsed = t0.elapsed();
+    let allocs = ALLOC_CALLS.load(Ordering::Relaxed) - allocs_before;
+    (elapsed.as_nanos() as f64 / reps as f64, allocs as f64 / reps as f64)
+}
+
+/// The **pre-workspace** host-side prep for one `sgemm` call: always
+/// materialise op(A)/op(B) into fresh `Vec`s, allocate fresh rounded
+/// copies / split planes, allocate the product accumulator. This is the
+/// code shape the library ran before the pool existed; it lives here so
+/// `speedup_vs_legacy` is measured, not remembered.
+fn legacy_prep(mode: ComputeMode, a: &[f32], b: &[f32], m: usize, n: usize, k: usize) {
+    // Materialise op(A) (Op::None: straight row copy — ld == cols here,
+    // but the legacy path copied regardless).
+    let mut am = Vec::with_capacity(m * k);
+    am.extend_from_slice(a);
+    let mut bm = Vec::with_capacity(k * n);
+    bm.extend_from_slice(b);
+    match mode {
+        ComputeMode::Standard | ComputeMode::Complex3m => {}
+        ComputeMode::FloatToTf32 => {
+            let mut ar = vec![0.0f32; am.len()];
+            let mut br = vec![0.0f32; bm.len()];
+            tf32::quantize_slice(&am, &mut ar);
+            tf32::quantize_slice(&bm, &mut br);
+            black_box((&ar[0], &br[0]));
+        }
+        ComputeMode::FloatToBf16 => {
+            let mut ar = vec![0.0f32; am.len()];
+            let mut br = vec![0.0f32; bm.len()];
+            bf16::quantize_slice(&am, &mut ar);
+            bf16::quantize_slice(&bm, &mut br);
+            black_box((&ar[0], &br[0]));
+        }
+        ComputeMode::FloatToBf16x2 | ComputeMode::FloatToBf16x3 => {
+            let depth = mode.split_depth().expect("split mode");
+            let mut ap: Vec<Vec<f32>> = (0..depth).map(|_| vec![0.0f32; am.len()]).collect();
+            let mut bp: Vec<Vec<f32>> = (0..depth).map(|_| vec![0.0f32; bm.len()]).collect();
+            {
+                let mut views: Vec<&mut [f32]> = ap.iter_mut().map(|p| &mut p[..]).collect();
+                split::split_slice(&am, &mut views);
+            }
+            {
+                let mut views: Vec<&mut [f32]> = bp.iter_mut().map(|p| &mut p[..]).collect();
+                split::split_slice(&bm, &mut views);
+            }
+            black_box((&ap[0][0], &bp[0][0]));
+        }
+    }
+    let acc = vec![0.0f32; m * n];
+    black_box((&am[0], &bm[0], &acc[0]));
+}
+
+/// The **current** host-side prep: zero-copy operand views (dense,
+/// `Op::None`), pooled scratch, chunked `round_slice_into` /
+/// `split_slice_into` — exactly what `real_gemm_impl` + `matmul_acc_lowp`
+/// do before the kernel runs.
+fn pooled_prep(mode: ComputeMode, a: &[f32], b: &[f32], m: usize, n: usize, _k: usize) {
+    match mode {
+        ComputeMode::Standard | ComputeMode::Complex3m => {}
+        ComputeMode::FloatToTf32 => {
+            let mut ar = workspace::take_scratch::<f32>(a.len());
+            let mut br = workspace::take_scratch::<f32>(b.len());
+            tf32::round_slice_into(a, &mut ar);
+            tf32::round_slice_into(b, &mut br);
+            black_box((&ar[0], &br[0]));
+        }
+        ComputeMode::FloatToBf16 => {
+            let mut ar = workspace::take_scratch::<f32>(a.len());
+            let mut br = workspace::take_scratch::<f32>(b.len());
+            bf16::round_slice_into(a, &mut ar);
+            bf16::round_slice_into(b, &mut br);
+            black_box((&ar[0], &br[0]));
+        }
+        ComputeMode::FloatToBf16x2 | ComputeMode::FloatToBf16x3 => {
+            // Fixed-size plane arrays, mirroring the library's split path:
+            // no container `Vec`s, and the unused third plane is a
+            // zero-length take that never touches the pool.
+            let depth = mode.split_depth().expect("split mode");
+            let len = |d: usize, l: usize| if depth > d { l } else { 0 };
+            let mut ap = [
+                workspace::take_scratch::<f32>(len(0, a.len())),
+                workspace::take_scratch::<f32>(len(1, a.len())),
+                workspace::take_scratch::<f32>(len(2, a.len())),
+            ];
+            let mut bp = [
+                workspace::take_scratch::<f32>(len(0, b.len())),
+                workspace::take_scratch::<f32>(len(1, b.len())),
+                workspace::take_scratch::<f32>(len(2, b.len())),
+            ];
+            {
+                let [p0, p1, p2] = &mut ap;
+                let mut views: [&mut [f32]; 3] = [&mut p0[..], &mut p1[..], &mut p2[..]];
+                split::split_slice_into(a, &mut views[..depth]);
+            }
+            {
+                let [p0, p1, p2] = &mut bp;
+                let mut views: [&mut [f32]; 3] = [&mut p0[..], &mut p1[..], &mut p2[..]];
+                split::split_slice_into(b, &mut views[..depth]);
+            }
+            black_box((&ap[0][0], &bp[0][0]));
+        }
+    }
+    let acc = workspace::take_zeroed::<f32>(m * n);
+    black_box(&acc[0]);
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() { format!("{v:.1}") } else { "null".to_string() }
+}
+
+fn main() {
+    let o = parse_args();
+    let mut rng = StdRng::seed_from_u64(0xbea7);
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut prep_lines: Vec<String> = Vec::new();
+    let mut dirty_modes: Vec<String> = Vec::new();
+
+    // --- end-to-end sweep: sgemm over Table VII shapes × real modes ---
+    let k_meas = (TABLE7_K / o.k_scale).max(1);
+    let kmax = k_meas;
+    let nmax = TABLE7_SHAPES.iter().map(|s| s.1).max().unwrap();
+    let a_full: Vec<f32> = (0..128 * kmax).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let b_full: Vec<f32> = (0..kmax * nmax).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    for &(m, n) in &TABLE7_SHAPES {
+        let a = &a_full[..m * k_meas];
+        let b = &b_full[..k_meas * n];
+        let mut c = vec![0.0f32; m * n];
+        for mode in SGEMM_MODES {
+            let (ns, allocs) = with_compute_mode(mode, || {
+                measure(o.warmup, o.reps, || {
+                    sgemm(Op::None, Op::None, m, n, k_meas, 1.0, a, k_meas, b, n, 0.0, &mut c, n);
+                })
+            });
+            black_box(&c[0]);
+            eprintln!(
+                "sgemm {:>16} ({m}, {n}, {k_meas}): {:>12.0} ns/call, {allocs} allocs/call",
+                mode_label(mode),
+                ns
+            );
+            if allocs > 0.0 {
+                dirty_modes.push(format!("SGEMM/{} ({m},{n},{k_meas})", mode_label(mode)));
+            }
+            entries.push(Entry {
+                routine: "SGEMM",
+                mode,
+                m,
+                n,
+                k_table: TABLE7_K,
+                k_measured: k_meas,
+                ns_per_call: ns,
+                allocs_per_call: allocs,
+            });
+        }
+    }
+
+    // cgemm COMPLEX_3M at the acceptance shape, so the complex pooled path
+    // (separated real planes + 3M temporaries) is in the baseline too.
+    {
+        let (m, n) = PREP_SHAPE;
+        let ac: Vec<C32> =
+            (0..m * k_meas).map(|_| c32(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+        let bc: Vec<C32> =
+            (0..k_meas * n).map(|_| c32(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+        let mut cc = vec![C32::zero(); m * n];
+        for mode in [ComputeMode::Standard, ComputeMode::Complex3m] {
+            let (ns, allocs) = with_compute_mode(mode, || {
+                measure(o.warmup, o.reps, || {
+                    cgemm(
+                        Op::None,
+                        Op::None,
+                        m,
+                        n,
+                        k_meas,
+                        C32::one(),
+                        &ac,
+                        k_meas,
+                        &bc,
+                        n,
+                        C32::zero(),
+                        &mut cc,
+                        n,
+                    );
+                })
+            });
+            black_box(&cc[0]);
+            eprintln!(
+                "cgemm {:>16} ({m}, {n}, {k_meas}): {:>12.0} ns/call, {allocs} allocs/call",
+                mode_label(mode),
+                ns
+            );
+            if allocs > 0.0 {
+                dirty_modes.push(format!("CGEMM/{} ({m},{n},{k_meas})", mode_label(mode)));
+            }
+            entries.push(Entry {
+                routine: "CGEMM",
+                mode,
+                m,
+                n,
+                k_table: TABLE7_K,
+                k_measured: k_meas,
+                ns_per_call: ns,
+                allocs_per_call: allocs,
+            });
+        }
+    }
+
+    // --- host-side prep: legacy vs pooled at the full acceptance shape ---
+    let (pm, pn) = PREP_SHAPE;
+    let pk = o.prep_k;
+    let pa: Vec<f32> = (0..pm * pk).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let pb: Vec<f32> = (0..pk * pn).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    for mode in SGEMM_MODES {
+        let (legacy_ns, _) =
+            measure(1, o.reps, || legacy_prep(mode, &pa, &pb, pm, pn, pk));
+        let (pooled_ns, pooled_allocs) =
+            measure(o.warmup.max(2), o.reps, || pooled_prep(mode, &pa, &pb, pm, pn, pk));
+        let speedup = legacy_ns / pooled_ns.max(1.0);
+        eprintln!(
+            "prep  {:>16} ({pm}, {pn}, {pk}): legacy {:>12.0} ns, pooled {:>12.0} ns, {:.2}x, \
+             {pooled_allocs} allocs/call",
+            mode_label(mode),
+            legacy_ns,
+            pooled_ns,
+            speedup
+        );
+        if pooled_allocs > 0.0 {
+            dirty_modes.push(format!("PREP/{} ({pm},{pn},{pk})", mode_label(mode)));
+        }
+        prep_lines.push(format!(
+            "    {{\"mode\": \"{}\", \"m\": {pm}, \"n\": {pn}, \"k\": {pk}, \
+             \"legacy_ns_per_call\": {}, \"pooled_ns_per_call\": {}, \
+             \"speedup_vs_legacy\": {:.2}, \"pooled_allocs_per_call\": {pooled_allocs}}}",
+            mode_label(mode),
+            json_f64(legacy_ns),
+            json_f64(pooled_ns),
+            speedup
+        ));
+    }
+
+    // --- BENCH_gemm.json ---
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"gemm_hostperf\",\n");
+    json.push_str(&format!("  \"k_scale\": {},\n", o.k_scale));
+    json.push_str("  \"calls\": [\n");
+    let rows: Vec<String> = entries
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"routine\": \"{}\", \"mode\": \"{}\", \"m\": {}, \"n\": {}, \
+                 \"k_table7\": {}, \"k_measured\": {}, \"ns_per_call\": {}, \
+                 \"allocs_per_call\": {}}}",
+                e.routine,
+                mode_label(e.mode),
+                e.m,
+                e.n,
+                e.k_table,
+                e.k_measured,
+                json_f64(e.ns_per_call),
+                e.allocs_per_call
+            )
+        })
+        .collect();
+    json.push_str(&rows.join(",\n"));
+    json.push_str("\n  ],\n");
+    json.push_str("  \"host_prep\": [\n");
+    json.push_str(&prep_lines.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(&o.out, &json).expect("write BENCH_gemm.json");
+    eprintln!("[wrote {}]", o.out);
+
+    if o.enforce_zero_alloc && !dirty_modes.is_empty() {
+        eprintln!("steady-state allocations detected in: {}", dirty_modes.join(", "));
+        std::process::exit(1);
+    }
+}

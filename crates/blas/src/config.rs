@@ -6,7 +6,7 @@
 //! overrides for experiments that sweep all modes in one process — the
 //! paper had to re-launch the binary per mode; a library can do better.
 
-use crate::mode::ComputeMode;
+use crate::mode::{ComputeMode, ParseModeError};
 use crate::{COMPUTE_MODE_ENV, VERBOSE_ENV};
 use parking_lot::{Mutex, ReentrantMutex};
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -37,23 +37,34 @@ fn mode_from_u8(v: u8) -> ComputeMode {
 ///
 /// An unparsable environment value panics: silently computing at the wrong
 /// precision is the worst possible failure mode for a precision study.
+/// Runners that want to surface the problem as a structured error instead
+/// (so a supervisor can report it without killing the process) should call
+/// [`try_compute_mode`] up front.
 pub fn compute_mode() -> ComputeMode {
+    try_compute_mode().unwrap_or_else(|e| panic!("invalid {COMPUTE_MODE_ENV}: {e}"))
+}
+
+/// Fallible variant of [`compute_mode`]: returns the parse error (which
+/// lists the valid values) instead of panicking when the environment holds
+/// an unrecognised `MKL_BLAS_COMPUTE_MODE`. The mode is **not** cached on
+/// failure, so a corrected environment or an explicit
+/// [`set_compute_mode`] recovers.
+pub fn try_compute_mode() -> Result<ComputeMode, ParseModeError> {
     let v = MODE.load(Ordering::Acquire);
     if v != MODE_UNSET {
-        return mode_from_u8(v);
+        return Ok(mode_from_u8(v));
     }
     let _g = INIT_LOCK.lock();
     let v = MODE.load(Ordering::Acquire);
     if v != MODE_UNSET {
-        return mode_from_u8(v);
+        return Ok(mode_from_u8(v));
     }
     let mode = match std::env::var(COMPUTE_MODE_ENV) {
-        Ok(s) => ComputeMode::from_env_value(&s)
-            .unwrap_or_else(|e| panic!("invalid {COMPUTE_MODE_ENV}: {e}")),
+        Ok(s) => ComputeMode::from_env_value(&s)?,
         Err(_) => ComputeMode::Standard,
     };
     MODE.store(mode_to_u8(mode), Ordering::Release);
-    mode
+    Ok(mode)
 }
 
 /// Sets the global compute mode (overrides the environment).
@@ -107,6 +118,13 @@ mod tests {
             set_compute_mode(m);
             assert_eq!(compute_mode(), m);
         }
+        set_compute_mode(ComputeMode::Standard);
+    }
+
+    #[test]
+    fn try_compute_mode_reports_the_set_mode() {
+        set_compute_mode(ComputeMode::FloatToBf16x2);
+        assert_eq!(try_compute_mode(), Ok(ComputeMode::FloatToBf16x2));
         set_compute_mode(ComputeMode::Standard);
     }
 

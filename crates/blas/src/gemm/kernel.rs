@@ -64,11 +64,13 @@ pub fn matmul_acc<T: Real>(a: &[T], b: &[T], acc: &mut [T], m: usize, n: usize, 
 /// `crow += Σ_{kk in [k0,k1)} a_row[kk] * b[kk*n .. kk*n+n]`
 #[inline]
 fn row_update<T: Real>(a_row: &[T], b: &[T], crow: &mut [T], n: usize, k0: usize, k1: usize) {
+    // No zero-skip on `aik`: IEEE demands 0·Inf = 0·NaN = NaN, so skipping
+    // zero A entries would silently launder non-finite B values (e.g. a
+    // fault-injected Inf) out of the product and hide them from the health
+    // checks. Sparse speedups must come from blocking, not from changing
+    // the arithmetic.
     for kk in k0..k1 {
         let aik = a_row[kk];
-        if aik == T::ZERO {
-            continue;
-        }
         let brow = &b[kk * n..kk * n + n];
         for (c, &bv) in crow.iter_mut().zip(brow) {
             *c += aik * bv;
@@ -174,6 +176,36 @@ mod tests {
         assert_eq!(y, [12.0, 24.0, 36.0]);
         axpy_slice(0.0, &x, &mut y);
         assert_eq!(y, [12.0, 24.0, 36.0]);
+    }
+
+    #[test]
+    fn zero_row_times_inf_propagates_nan() {
+        // A's only row is all zeros; B holds an Inf. IEEE: 0·Inf = NaN,
+        // and the kernel must not optimise it away.
+        let a = [0.0f32, 0.0];
+        let b = [1.0f32, f32::INFINITY, 2.0, 3.0];
+        let mut acc = [0.0f32; 2];
+        matmul_acc(&a, &b, &mut acc, 1, 2, 2);
+        assert_eq!(acc[0], 0.0);
+        assert!(acc[1].is_nan(), "0·Inf must produce NaN, got {}", acc[1]);
+        // And the reference agrees.
+        let r = matmul_reference(&a, &b, 1, 2, 2);
+        assert!(r[1].is_nan());
+    }
+
+    #[test]
+    fn zero_row_times_nan_propagates_on_parallel_path() {
+        // Same property above PAR_THRESHOLD, through the k-tiled path.
+        let (m, n, k) = (64, 64, 64);
+        let a = vec![0.0f64; m * k];
+        let mut b = vec![1.0f64; k * n];
+        b[5 * n + 7] = f64::NAN;
+        let mut acc = vec![0.0f64; m * n];
+        matmul_acc(&a, &b, &mut acc, m, n, k);
+        for i in 0..m {
+            assert!(acc[i * n + 7].is_nan(), "row {i} lost the NaN");
+        }
+        assert_eq!(acc[0], 0.0, "columns without NaN stay zero");
     }
 
     #[test]

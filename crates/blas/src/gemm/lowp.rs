@@ -19,9 +19,9 @@
 
 use super::kernel::matmul_acc;
 use crate::mode::ComputeMode;
-use dcmesh_numerics::bf16::Bf16;
-use dcmesh_numerics::split::split_slice;
-use dcmesh_numerics::tf32::Tf32;
+use crate::workspace::{take_scratch, PooledBuf};
+use dcmesh_numerics::split::split_slice_into;
+use dcmesh_numerics::{bf16, tf32};
 
 /// The `(a_component, b_component)` product list for a given BF16 split
 /// depth, in decreasing order of magnitude.
@@ -34,12 +34,16 @@ pub fn product_terms(depth: usize) -> &'static [(usize, usize)] {
     }
 }
 
-/// Splits a dense matrix into `depth` BF16 component planes.
-fn split_matrix(src: &[f32], depth: usize) -> Vec<Vec<f32>> {
-    let mut planes: Vec<Vec<f32>> = (0..depth).map(|_| vec![0.0f32; src.len()]).collect();
+/// Splits a dense matrix into up to 3 pooled BF16 component planes
+/// (fixed-size array so no container allocation; planes past `depth` are
+/// zero-length pool checkouts).
+fn split_matrix_pooled(src: &[f32], depth: usize) -> [PooledBuf<f32>; 3] {
+    let len = |d: usize| if depth > d { src.len() } else { 0 };
+    let mut planes = [take_scratch::<f32>(len(0)), take_scratch(len(1)), take_scratch(len(2))];
     {
-        let mut views: Vec<&mut [f32]> = planes.iter_mut().map(|p| p.as_mut_slice()).collect();
-        split_slice(src, &mut views);
+        let [p0, p1, p2] = &mut planes;
+        let mut views: [&mut [f32]; 3] = [&mut p0[..], &mut p1[..], &mut p2[..]];
+        split_slice_into(src, &mut views[..depth]);
     }
     planes
 }
@@ -47,7 +51,9 @@ fn split_matrix(src: &[f32], depth: usize) -> Vec<Vec<f32>> {
 /// `acc += op-materialised A · B` computed in the given low-precision mode.
 ///
 /// `a` is dense `m × k`, `b` dense `k × n`, `acc` dense `m × n`; all
-/// row-major without padding (callers materialise `op()` first).
+/// row-major without padding (callers materialise `op()` first). All
+/// rounded copies and split planes come from the thread-local workspace
+/// pool, and rounding/splitting runs chunk-parallel.
 pub fn matmul_acc_lowp(
     mode: ComputeMode,
     a: &[f32],
@@ -64,19 +70,23 @@ pub fn matmul_acc_lowp(
             matmul_acc(a, b, acc, m, n, k);
         }
         ComputeMode::FloatToTf32 => {
-            let ar: Vec<f32> = a.iter().map(|&x| Tf32::round_f32(x)).collect();
-            let br: Vec<f32> = b.iter().map(|&x| Tf32::round_f32(x)).collect();
+            let mut ar = take_scratch::<f32>(a.len());
+            let mut br = take_scratch::<f32>(b.len());
+            tf32::round_slice_into(a, &mut ar);
+            tf32::round_slice_into(b, &mut br);
             matmul_acc(&ar, &br, acc, m, n, k);
         }
         ComputeMode::FloatToBf16 => {
-            let ar: Vec<f32> = a.iter().map(|&x| Bf16::round_f32(x)).collect();
-            let br: Vec<f32> = b.iter().map(|&x| Bf16::round_f32(x)).collect();
+            let mut ar = take_scratch::<f32>(a.len());
+            let mut br = take_scratch::<f32>(b.len());
+            bf16::round_slice_into(a, &mut ar);
+            bf16::round_slice_into(b, &mut br);
             matmul_acc(&ar, &br, acc, m, n, k);
         }
         ComputeMode::FloatToBf16x2 | ComputeMode::FloatToBf16x3 => {
             let depth = mode.split_depth().expect("split mode");
-            let ap = split_matrix(a, depth);
-            let bp = split_matrix(b, depth);
+            let ap = split_matrix_pooled(a, depth);
+            let bp = split_matrix_pooled(b, depth);
             for &(ia, ib) in product_terms(depth) {
                 matmul_acc(&ap[ia], &bp[ib], acc, m, n, k);
             }

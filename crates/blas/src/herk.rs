@@ -5,6 +5,11 @@
 //! and mirrors it. `herk` honours the same compute modes as `gemm` (it is
 //! a level-3 routine), and guarantees an exactly Hermitian result with a
 //! real diagonal — which the Jacobi eigensolver downstream appreciates.
+//!
+//! The heavy lifting delegates to [`crate::gemm`], so `herk` inherits the
+//! thread-local [`crate::workspace`] pool: its low-precision scratch
+//! (rounded copies, split planes, partial products) is recycled across
+//! calls rather than reallocated.
 
 use crate::config::compute_mode;
 use crate::device::{Domain, GemmDesc};

@@ -5,7 +5,10 @@
 //! are GEMV-shaped. Level-2 routines are bandwidth-bound, so oneMKL's
 //! alternative compute modes do not accelerate them — like oneMKL, these
 //! run at native precision regardless of the global mode, and the
-//! verbose log records them with `mode = STANDARD`.
+//! verbose log records them with `mode = STANDARD`. For the same reason
+//! they never touch the [`crate::workspace`] pool: the kernels stream
+//! straight from the caller's matrix with no low-precision scratch to
+//! materialise.
 
 use crate::device::{Domain, GemmDesc};
 use crate::layout::{check_matrix, Op};

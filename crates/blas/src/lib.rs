@@ -56,14 +56,17 @@ pub mod level1;
 pub mod level2;
 pub mod mode;
 pub mod verbose;
+pub mod workspace;
 
-pub use config::{compute_mode, reset_compute_mode, set_compute_mode, with_compute_mode};
+pub use config::{
+    compute_mode, reset_compute_mode, set_compute_mode, try_compute_mode, with_compute_mode,
+};
 pub use fault::{clear_fault_plan, install_fault_plan, FaultKind, FaultPlan, FaultSite, Trigger};
 pub use gemm::{cgemm, dgemm, sgemm, zgemm};
 pub use herk::{cherk, zherk, Uplo};
 pub use level2::{cgemv, dgemv, sgemv, zgemv};
 pub use layout::Op;
-pub use mode::ComputeMode;
+pub use mode::{ComputeMode, ParseModeError};
 
 /// The environment variable oneMKL (and this crate) reads the compute mode
 /// from.

@@ -220,7 +220,11 @@ pub struct ParseModeError {
 
 impl fmt::Display for ParseModeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown MKL_BLAS_COMPUTE_MODE value: {:?}", self.value)
+        write!(f, "unknown MKL_BLAS_COMPUTE_MODE value: {:?} (valid values: ", self.value)?;
+        for mode in ComputeMode::ALTERNATIVE {
+            write!(f, "{}, ", mode.env_value().expect("alternative modes have env values"))?;
+        }
+        f.write_str("STANDARD, or unset)")
     }
 }
 
@@ -261,6 +265,17 @@ mod tests {
             ComputeMode::FloatToBf16
         );
         assert!(ComputeMode::from_env_value("FLOAT_TO_FP8").is_err());
+    }
+
+    #[test]
+    fn parse_error_lists_valid_values() {
+        let e = ComputeMode::from_env_value("FLOAT_TO_FP8").unwrap_err();
+        let msg = e.to_string();
+        assert!(msg.contains("FLOAT_TO_FP8"), "offending value missing: {msg}");
+        for mode in ComputeMode::ALTERNATIVE {
+            assert!(msg.contains(mode.env_value().unwrap()), "{msg}");
+        }
+        assert!(msg.contains("STANDARD"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,299 @@
+//! Reusable GEMM workspaces: thread-local scratch-buffer pools.
+//!
+//! Every level-3 call in the emulated compute modes needs dense scratch —
+//! op-materialised operands, rounded BF16/TF32 copies, split component
+//! planes, the product accumulator, and the 3M temporaries in
+//! `cgemm`/`zgemm`. Allocating those per call taxes exactly the host-side
+//! path the paper times (Figure 3b, Tables VI–VII), so this module keeps
+//! them in a per-thread free list: after warm-up, steady-state QD stepping
+//! performs **zero heap allocations per BLAS call**.
+//!
+//! Design notes:
+//!
+//! * One [`GemmWorkspace`] per thread (a `thread_local!`), holding an
+//!   independent [`BufferPool`] per scalar type. Thread-locality means no
+//!   locking on the hot path and no cross-thread buffer churn.
+//! * Checkout is size-aware LIFO: the most recently returned buffer whose
+//!   capacity already fits is taken, so repeated identical call sequences
+//!   (a QD step makes the same BLAS calls with the same shapes every step)
+//!   stop allocating and stop growing capacities after the first step.
+//! * [`PooledBuf`] returns its storage on drop. If the thread-local has
+//!   already been torn down (thread exit), the storage is simply freed.
+//! * [`with_fresh_workspace`] swaps in an empty workspace for the duration
+//!   of a closure — the injection point tests use to measure pool traffic
+//!   in isolation (see [`PoolStats`]).
+
+use core::cell::RefCell;
+use core::ops::{Deref, DerefMut};
+
+/// Pool traffic counters, used by tests and the `gemm_hostperf` bench as
+/// an allocation proxy: in steady state `misses` and `grows` stay flat
+/// while `takes` keeps counting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Buffers checked out.
+    pub takes: u64,
+    /// Checkouts that found the free list empty and allocated a fresh `Vec`.
+    pub misses: u64,
+    /// Checkouts whose recycled buffer had to grow its capacity.
+    pub grows: u64,
+    /// Buffers returned to the free list.
+    pub returns: u64,
+}
+
+/// A free list of scratch buffers for one scalar type.
+#[derive(Debug, Default)]
+pub struct BufferPool<T> {
+    free: Vec<Vec<T>>,
+    stats: PoolStats,
+}
+
+impl<T: Copy + Default> BufferPool<T> {
+    fn take(&mut self, len: usize, zeroed: bool) -> Vec<T> {
+        self.stats.takes += 1;
+        // Zero-length checkouts (e.g. unused split planes) must not consume
+        // a pooled buffer: popping one here would starve a later same-call
+        // checkout and re-miss on every call, for a buffer nobody reads.
+        if len == 0 {
+            return Vec::new();
+        }
+        // Prefer the most recently returned buffer that already fits:
+        // plain LIFO can pair a small buffer with a large request forever
+        // when a call mixes sizes (m·k vs k·n planes), re-growing on every
+        // call. The free list stays small (peak checkout concurrency of
+        // one GEMM), so the scan is a handful of pointer reads.
+        let mut buf = match self.free.iter().rposition(|b| b.capacity() >= len) {
+            Some(i) => self.free.remove(i),
+            None => match self.free.pop() {
+                Some(b) => b,
+                None => {
+                    self.stats.misses += 1;
+                    Vec::new()
+                }
+            },
+        };
+        if buf.capacity() < len {
+            self.stats.grows += 1;
+        }
+        // `resize` only writes elements beyond the current length, so a
+        // recycled buffer that is already long enough costs nothing here;
+        // `zeroed` callers pay one fill over the logical window.
+        buf.truncate(len);
+        buf.resize(len, T::default());
+        if zeroed {
+            buf.fill(T::default());
+        }
+        buf
+    }
+
+    fn put(&mut self, buf: Vec<T>) {
+        self.stats.returns += 1;
+        self.free.push(buf);
+    }
+}
+
+/// The per-thread workspace: one buffer pool per scalar type used by the
+/// level-3 scratch paths (complex GEMMs operate on separated real planes,
+/// so only the real element types need pools).
+#[derive(Debug, Default)]
+pub struct GemmWorkspace {
+    f32_pool: BufferPool<f32>,
+    f64_pool: BufferPool<f64>,
+}
+
+thread_local! {
+    static WORKSPACE: RefCell<GemmWorkspace> = RefCell::new(GemmWorkspace::default());
+}
+
+/// Scalar types that have a thread-local scratch pool.
+pub trait Poolable: Copy + Default + Sized + 'static {
+    /// Runs `f` with the calling thread's pool for this type. Returns
+    /// `None` only during thread teardown, after the thread-local has been
+    /// destroyed (buffers dropped then are freed instead of recycled).
+    fn with_pool<R>(f: impl FnOnce(&mut BufferPool<Self>) -> R) -> Option<R>;
+}
+
+impl Poolable for f32 {
+    fn with_pool<R>(f: impl FnOnce(&mut BufferPool<f32>) -> R) -> Option<R> {
+        WORKSPACE.try_with(|w| f(&mut w.borrow_mut().f32_pool)).ok()
+    }
+}
+
+impl Poolable for f64 {
+    fn with_pool<R>(f: impl FnOnce(&mut BufferPool<f64>) -> R) -> Option<R> {
+        WORKSPACE.try_with(|w| f(&mut w.borrow_mut().f64_pool)).ok()
+    }
+}
+
+/// A scratch buffer checked out of the calling thread's pool; returns its
+/// storage to the pool on drop. Dereferences to a slice.
+#[derive(Debug)]
+pub struct PooledBuf<T: Poolable> {
+    buf: Vec<T>,
+}
+
+impl<T: Poolable> PooledBuf<T> {
+    /// Mutable access to the underlying `Vec` for `extend`-style fills
+    /// (the materialise helpers build their output this way). The buffer
+    /// still returns to the pool on drop with whatever capacity it grew to.
+    pub fn vec_mut(&mut self) -> &mut Vec<T> {
+        &mut self.buf
+    }
+}
+
+impl<T: Poolable> Deref for PooledBuf<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        &self.buf
+    }
+}
+
+impl<T: Poolable> DerefMut for PooledBuf<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        &mut self.buf
+    }
+}
+
+impl<T: Poolable> Drop for PooledBuf<T> {
+    fn drop(&mut self) {
+        let buf = core::mem::take(&mut self.buf);
+        if buf.capacity() > 0 {
+            // `with_pool` is None during thread teardown; then the Vec
+            // drops normally.
+            let _ = T::with_pool(move |p| p.put(buf));
+        }
+    }
+}
+
+fn take<T: Poolable>(len: usize, zeroed: bool) -> PooledBuf<T> {
+    let buf = T::with_pool(|p| p.take(len, zeroed))
+        // Thread teardown: fall back to a plain allocation.
+        .unwrap_or_else(|| {
+            let mut b = Vec::new();
+            b.resize(len, T::default());
+            b
+        });
+    PooledBuf { buf }
+}
+
+/// Checks out a buffer of `len` elements, all `T::default()` (zero for the
+/// float types). Use for accumulators the GEMM kernels add into.
+pub fn take_zeroed<T: Poolable>(len: usize) -> PooledBuf<T> {
+    take(len, true)
+}
+
+/// Checks out a buffer of `len` elements with **unspecified (stale but
+/// valid) contents** — the zero-cost variant for buffers the caller fully
+/// overwrites (rounded copies, split planes, deinterleaved operands).
+pub fn take_scratch<T: Poolable>(len: usize) -> PooledBuf<T> {
+    take(len, false)
+}
+
+/// Checks out an empty (`len == 0`) buffer with at least `capacity`
+/// reserved, for `extend`-style fills via [`PooledBuf::vec_mut`].
+pub fn take_empty<T: Poolable>(capacity: usize) -> PooledBuf<T> {
+    // Checkout at the full capacity so the pool's recycling/grow logic
+    // applies, then rewind the length for the caller's `extend`.
+    let mut b = take::<T>(capacity, false);
+    b.buf.clear();
+    b
+}
+
+/// A copy of the calling thread's pool counters for `T`.
+pub fn stats<T: Poolable>() -> PoolStats {
+    T::with_pool(|p| p.stats).unwrap_or_default()
+}
+
+/// Clears the calling thread's free list and counters for `T`.
+pub fn reset<T: Poolable>() {
+    let _ = T::with_pool(|p| *p = BufferPool::default());
+}
+
+/// Runs `f` against a fresh, empty [`GemmWorkspace`], restoring the
+/// previous workspace afterwards (also on panic). Buffers returned while
+/// `f` runs go to the fresh workspace and are freed when it is discarded,
+/// so tests observe pool traffic in isolation.
+pub fn with_fresh_workspace<R>(f: impl FnOnce() -> R) -> R {
+    let saved = WORKSPACE.with(|w| core::mem::take(&mut *w.borrow_mut()));
+    struct Restore(Option<GemmWorkspace>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            if let Some(ws) = self.0.take() {
+                let _ = WORKSPACE.try_with(|w| *w.borrow_mut() = ws);
+            }
+        }
+    }
+    let _restore = Restore(Some(saved));
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_take_reuses_first_buffer() {
+        with_fresh_workspace(|| {
+            {
+                let mut b = take_zeroed::<f32>(100);
+                b[0] = 42.0;
+            }
+            let s = stats::<f32>();
+            assert_eq!((s.takes, s.misses, s.returns), (1, 1, 1));
+            let b = take_zeroed::<f32>(100);
+            let s = stats::<f32>();
+            assert_eq!((s.takes, s.misses), (2, 1), "second take must hit the free list");
+            assert_eq!(s.grows, 1, "no regrowth on a same-size reuse");
+            assert!(b.iter().all(|&x| x == 0.0), "take_zeroed must clear recycled contents");
+        });
+    }
+
+    #[test]
+    fn scratch_take_does_not_clear() {
+        with_fresh_workspace(|| {
+            {
+                let mut b = take_scratch::<f64>(8);
+                b.fill(7.0);
+            }
+            let b = take_scratch::<f64>(8);
+            assert!(b.iter().all(|&x| x == 7.0), "stale contents expected");
+        });
+    }
+
+    #[test]
+    fn lifo_checkout_converges_capacities() {
+        with_fresh_workspace(|| {
+            // Simulate two steps of an identical two-buffer call pattern.
+            for _ in 0..2 {
+                let _a = take_scratch::<f32>(64);
+                let _b = take_scratch::<f32>(256);
+            }
+            let s = stats::<f32>();
+            assert_eq!(s.takes, 4);
+            assert_eq!(s.misses, 2, "only the first step allocates");
+        });
+    }
+
+    #[test]
+    fn take_empty_reserves() {
+        with_fresh_workspace(|| {
+            let mut b = take_empty::<f32>(50);
+            assert!(b.is_empty());
+            b.vec_mut().extend(std::iter::repeat_n(1.0, 50));
+            assert_eq!(b.len(), 50);
+        });
+    }
+
+    #[test]
+    fn fresh_workspace_isolates_and_restores() {
+        reset::<f32>();
+        let _outer = take_zeroed::<f32>(4);
+        let outer_stats = stats::<f32>();
+        with_fresh_workspace(|| {
+            assert_eq!(stats::<f32>(), PoolStats::default(), "fresh workspace starts empty");
+            let _b = take_zeroed::<f32>(4);
+            assert_eq!(stats::<f32>().takes, 1);
+        });
+        assert_eq!(stats::<f32>(), outer_stats, "outer workspace restored");
+    }
+}

@@ -1,0 +1,218 @@
+//! Padded-layout conformance tests.
+//!
+//! DCMESH always hands the library densely packed matrices (`ld == cols`),
+//! which is exactly the case the zero-copy fast path in `layout.rs`
+//! covers — so a bug in the strided (`ld > cols`) path would survive the
+//! whole simulation test suite. These tests drive every routine variant
+//! through padded layouts: random leading-dimension slack on A, B *and*
+//! C, every `op` combination, every compute mode, checked against an
+//! FP64 reference with the per-mode error budget. The C padding itself
+//! must come back bit-identical — GEMM owns only the `m × n` interior.
+
+use dcmesh_numerics::{c32, C32};
+use mkl_lite::{cgemm, config::with_compute_mode, sgemm, ComputeMode, Op};
+use rand::{Rng, SeedableRng};
+use rand::rngs::StdRng;
+
+const OPS: [Op; 3] = [Op::None, Op::Trans, Op::ConjTrans];
+
+/// Fills a padded row-major `rows × cols` (ld = cols + pad) buffer with
+/// random values in the interior and a recognisable sentinel in the pad.
+fn padded_matrix(rng: &mut StdRng, rows: usize, cols: usize, pad: usize) -> (Vec<f32>, usize) {
+    let ld = cols + pad;
+    let mut a = vec![f32::NAN; rows * ld];
+    for i in 0..rows {
+        for j in 0..cols {
+            a[i * ld + j] = rng.gen_range(-2.0f32..2.0);
+        }
+        for j in cols..ld {
+            a[i * ld + j] = 7e7 + (i * ld + j) as f32;
+        }
+    }
+    (a, ld)
+}
+
+/// FP64 reference `C ← α·op(A)·op(B) + β·C` honouring the same layout.
+#[allow(clippy::too_many_arguments)]
+fn reference(
+    transa: Op,
+    transb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    lda: usize,
+    b: &[f32],
+    ldb: usize,
+    beta: f32,
+    c0: &[f32],
+    ldc: usize,
+) -> Vec<f64> {
+    let at = |i: usize, kk: usize| -> f64 {
+        match transa {
+            Op::None => a[i * lda + kk] as f64,
+            Op::Trans | Op::ConjTrans => a[kk * lda + i] as f64,
+        }
+    };
+    let bt = |kk: usize, j: usize| -> f64 {
+        match transb {
+            Op::None => b[kk * ldb + j] as f64,
+            Op::Trans | Op::ConjTrans => b[j * ldb + kk] as f64,
+        }
+    };
+    let mut out = vec![0.0f64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0f64;
+            for kk in 0..k {
+                s += at(i, kk) * bt(kk, j);
+            }
+            out[i * n + j] = alpha as f64 * s + beta as f64 * c0[i * ldc + j] as f64;
+        }
+    }
+    out
+}
+
+#[test]
+fn sgemm_padded_every_op_and_mode_matches_reference() {
+    let mut rng = StdRng::seed_from_u64(0x5eed1);
+    for case in 0..10 {
+        let (m, n, k) =
+            (rng.gen_range(1..9), rng.gen_range(1..9), rng.gen_range(1..17));
+        let (pa, pb, pc) = (rng.gen_range(0..4), rng.gen_range(0..4), rng.gen_range(1..4));
+        let alpha = rng.gen_range(-1.5f32..1.5);
+        let beta = if case % 2 == 0 { 0.0 } else { rng.gen_range(-1.0f32..1.0) };
+        for transa in OPS {
+            for transb in OPS {
+                let (ar, ac) = if transa == Op::None { (m, k) } else { (k, m) };
+                let (br, bc) = if transb == Op::None { (k, n) } else { (n, k) };
+                let (a, lda) = padded_matrix(&mut rng, ar, ac, pa);
+                let (b, ldb) = padded_matrix(&mut rng, br, bc, pb);
+                let (c0, ldc) = padded_matrix(&mut rng, m, n, pc);
+                let want =
+                    reference(transa, transb, m, n, k, alpha, &a, lda, &b, ldb, beta, &c0, ldc);
+                let amax = a.iter().filter(|x| x.abs() < 1e6).fold(0.0f32, |s, &x| s.max(x.abs()));
+                let bmax = b.iter().filter(|x| x.abs() < 1e6).fold(0.0f32, |s, &x| s.max(x.abs()));
+                for mode in ComputeMode::ALL {
+                    let mut c = c0.clone();
+                    with_compute_mode(mode, || {
+                        sgemm(transa, transb, m, n, k, alpha, &a, lda, &b, ldb, beta, &mut c, ldc);
+                    });
+                    // Per-mode error budget, same model as the dense-layout
+                    // property tests (paper §V-B).
+                    let eps = 2f64.powi(-(mode.effective_mantissa_bits() as i32 - 1));
+                    let tol = k as f64 * (alpha.abs() as f64 + 1.0) * amax as f64 * bmax as f64
+                        * eps
+                        * 4.0
+                        + 1e-5;
+                    for i in 0..m {
+                        for j in 0..n {
+                            let got = c[i * ldc + j] as f64;
+                            let w = want[i * n + j];
+                            assert!(
+                                (got - w).abs() <= tol,
+                                "{mode:?} {}{} ({m},{n},{k}) pads ({pa},{pb},{pc}) \
+                                 C[{i},{j}] = {got} vs {w}, tol {tol}",
+                                transa.letter(),
+                                transb.letter()
+                            );
+                        }
+                        // The C pad columns belong to the caller.
+                        for j in n..ldc {
+                            assert_eq!(
+                                c[i * ldc + j].to_bits(),
+                                c0[i * ldc + j].to_bits(),
+                                "{mode:?} clobbered C padding at ({i},{j})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn cgemm_padded_every_op_and_mode_tracks_dense() {
+    // Complex path: a padded call must agree (exactly — both sides take
+    // the same arithmetic once layouts are normalised) with the same
+    // product on densely repacked operands, for every op pair and mode.
+    let mut rng = StdRng::seed_from_u64(0x5eed2);
+    let repack = |x: &[f32], rows: usize, cols: usize, ld: usize| -> Vec<C32> {
+        let mut out = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                let re = x[i * ld + j];
+                out.push(c32(re, 0.25 - re * 0.5));
+            }
+        }
+        out
+    };
+    let inflate = |x: &[f32], rows: usize, cols: usize, ld: usize| -> Vec<C32> {
+        let mut out = vec![c32(4e4, -4e4); rows * ld];
+        for i in 0..rows {
+            for j in 0..cols {
+                let re = x[i * ld + j];
+                out[i * ld + j] = c32(re, 0.25 - re * 0.5);
+            }
+        }
+        out
+    };
+    for _ in 0..6 {
+        let (m, n, k) =
+            (rng.gen_range(1..8), rng.gen_range(1..8), rng.gen_range(1..12));
+        let (pa, pb, pc): (usize, usize, usize) =
+            (rng.gen_range(1..4), rng.gen_range(1..4), rng.gen_range(1..4));
+        for transa in OPS {
+            for transb in OPS {
+                let (ar, ac) = if transa == Op::None { (m, k) } else { (k, m) };
+                let (br, bc) = if transb == Op::None { (k, n) } else { (n, k) };
+                let (af, lda) = padded_matrix(&mut rng, ar, ac, pa);
+                let (bf, ldb) = padded_matrix(&mut rng, br, bc, pb);
+                let a_pad = inflate(&af, ar, ac, lda);
+                let b_pad = inflate(&bf, br, bc, ldb);
+                let a_dense = repack(&af, ar, ac, lda);
+                let b_dense = repack(&bf, br, bc, ldb);
+                let ldc = n + pc;
+                for mode in ComputeMode::ALL {
+                    let mut c_pad = vec![c32(-9.0, 9.0); m * ldc];
+                    let mut c_dense = vec![C32::zero(); m * n];
+                    with_compute_mode(mode, || {
+                        cgemm(
+                            transa, transb, m, n, k,
+                            C32::one(), &a_pad, lda, &b_pad, ldb,
+                            C32::zero(), &mut c_pad, ldc,
+                        );
+                        cgemm(
+                            transa, transb, m, n, k,
+                            C32::one(), &a_dense, ac, &b_dense, bc,
+                            C32::zero(), &mut c_dense, n,
+                        );
+                    });
+                    for i in 0..m {
+                        for j in 0..n {
+                            let got = c_pad[i * ldc + j];
+                            let want = c_dense[i * n + j];
+                            assert_eq!(
+                                (got.re.to_bits(), got.im.to_bits()),
+                                (want.re.to_bits(), want.im.to_bits()),
+                                "{mode:?} {}{} ({m},{n},{k}) C[{i},{j}]: {got:?} vs {want:?}",
+                                transa.letter(),
+                                transb.letter()
+                            );
+                        }
+                        for j in n..ldc {
+                            let pad = c_pad[i * ldc + j];
+                            assert_eq!(
+                                (pad.re, pad.im),
+                                (-9.0, 9.0),
+                                "{mode:?} clobbered C padding at ({i},{j})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -10,7 +10,7 @@
 use crate::checkpoint::CheckpointError;
 use crate::config::DeckError;
 use crate::health::HealthViolation;
-use mkl_lite::ComputeMode;
+use mkl_lite::{ComputeMode, ParseModeError};
 use std::fmt;
 
 /// Any failure of a simulation run.
@@ -18,6 +18,10 @@ use std::fmt;
 pub enum RunError {
     /// The deck failed validation before the run started.
     InvalidConfig(DeckError),
+    /// `MKL_BLAS_COMPUTE_MODE` holds an unrecognised value. Surfaced
+    /// before any BLAS call runs, so a typo in the environment cannot
+    /// silently compute at the wrong precision (or crash mid-run).
+    InvalidComputeMode(ParseModeError),
     /// Checkpoint I/O failed (directory creation, write, rename).
     Io(std::io::Error),
     /// A checkpoint decoded but could not be used.
@@ -54,6 +58,7 @@ impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RunError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
+            RunError::InvalidComputeMode(e) => write!(f, "invalid compute mode: {e}"),
             RunError::Io(e) => write!(f, "checkpoint I/O: {e}"),
             RunError::Checkpoint(e) => write!(f, "{e}"),
             RunError::Diverged { step, mode, violation } => {
@@ -75,6 +80,7 @@ impl std::error::Error for RunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RunError::InvalidConfig(e) => Some(e),
+            RunError::InvalidComputeMode(e) => Some(e),
             RunError::Io(e) => Some(e),
             RunError::Checkpoint(e) => Some(e),
             _ => None,
@@ -97,6 +103,12 @@ impl From<std::io::Error> for RunError {
 impl From<CheckpointError> for RunError {
     fn from(e: CheckpointError) -> Self {
         RunError::Checkpoint(e)
+    }
+}
+
+impl From<ParseModeError> for RunError {
+    fn from(e: ParseModeError) -> Self {
+        RunError::InvalidComputeMode(e)
     }
 }
 

@@ -91,6 +91,13 @@ pub enum HealthViolation {
         /// The configured bound.
         bound: f64,
     },
+    /// The FP64 SCF refresh found the orbital overlap matrix numerically
+    /// singular — the state was already destroyed when the boundary was
+    /// reached (accumulated low-precision error or an injected fault).
+    SingularOverlap {
+        /// The orthonormalisation error, including the eigenvalue evidence.
+        detail: String,
+    },
 }
 
 impl fmt::Display for HealthViolation {
@@ -110,6 +117,9 @@ impl fmt::Display for HealthViolation {
             }
             HealthViolation::ShadowDriftRunaway { drift, bound } => {
                 write!(f, "shadow drift {drift:e} exceeds bound {bound:e}")
+            }
+            HealthViolation::SingularOverlap { detail } => {
+                write!(f, "SCF refresh failed: {detail}")
             }
         }
     }

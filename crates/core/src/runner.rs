@@ -14,7 +14,7 @@
 
 use crate::config::RunConfig;
 use crate::error::RunError;
-use crate::health::HealthMonitor;
+use crate::health::{HealthMonitor, HealthViolation};
 use dcmesh_lfd::nonlocal::LfdScalar;
 use dcmesh_lfd::policy::PrecisionPolicy;
 use dcmesh_lfd::propagator::{qd_step_with_policy, QdScratch};
@@ -143,7 +143,14 @@ pub(crate) fn run_burst<T: LfdScalar>(
     result.shadow_drift.push(drift);
     sync_with_shadow(&mut result.transfers, params.mesh.len(), params.n_orb, system.len());
 
-    let report = scf_refresh(params, state);
+    // A singular overlap means the state was already destroyed when the
+    // boundary arrived; surface it as a divergence so the supervisor's
+    // rollback-and-escalate machinery handles it like any other blowup.
+    let report = scf_refresh(params, state).map_err(|e| RunError::Diverged {
+        step: *steps_done as u64,
+        mode: mkl_lite::compute_mode(),
+        violation: HealthViolation::SingularOverlap { detail: e.to_string() },
+    })?;
     result.scf_drift.push(report.defect_before);
     if let Some(mon) = monitor.as_mut() {
         mon.check_boundary(report.defect_before, drift).map_err(|violation| {
@@ -181,10 +188,14 @@ pub fn run_simulation_with_policy<T: LfdScalar>(
     policy: &PrecisionPolicy,
 ) -> Result<RunResult, RunError> {
     cfg.validate()?;
+    // Fail fast on a malformed MKL_BLAS_COMPUTE_MODE before any state is
+    // built — a typo'd mode must be a structured error, not a panic deep
+    // inside the first BLAS call.
+    mkl_lite::try_compute_mode()?;
     let params = cfg.lfd_params();
     params.validate();
 
-    let (mut system, mut state, mut steps_done) = fresh_start::<T>(cfg, &params);
+    let (mut system, mut state, mut steps_done) = fresh_start::<T>(cfg, &params)?;
     let mut md = MdIntegrator::new(
         &system,
         cfg.qd_steps_per_md as f64 * cfg.dt,
@@ -263,13 +274,14 @@ pub fn run_with_checkpoints_crashing<T: LfdScalar>(
     use crate::checkpoint::Checkpoint;
 
     cfg.validate()?;
+    mkl_lite::try_compute_mode()?;
     let params = cfg.lfd_params();
     params.validate();
     std::fs::create_dir_all(dir)?;
 
     let (mut system, mut state, mut steps_done) = match scan_and_load::<T>(dir, &params)? {
         Some(resumed) => resumed,
-        None => fresh_start::<T>(cfg, &params),
+        None => fresh_start::<T>(cfg, &params)?,
     };
 
     let mut md = MdIntegrator::new(
@@ -367,12 +379,19 @@ fn quarantine(path: &Path, why: &str) {
 pub(crate) fn fresh_start<T: LfdScalar>(
     cfg: &RunConfig,
     params: &dcmesh_lfd::LfdParams,
-) -> (dcmesh_qxmd::AtomicSystem, LfdState<T>, usize) {
+) -> Result<(dcmesh_qxmd::AtomicSystem, LfdState<T>, usize), RunError> {
     let system = pto_supercell(cfg.supercell);
     let vloc: Vec<T> = system.local_potential(&params.mesh, cfg.vloc_depth);
     let mut state = LfdState::<T>::initialize(params, vloc);
-    initial_scf(params, &mut state, 3, 1e-10);
-    (system, state, 0)
+    // The plane-wave initial guess always has a well-conditioned overlap,
+    // so a singular overlap here points at the deck, not the run — but it
+    // must still be an error, not a panic.
+    initial_scf(params, &mut state, 3, 1e-10).map_err(|e| RunError::Diverged {
+        step: 0,
+        mode: mkl_lite::compute_mode(),
+        violation: HealthViolation::SingularOverlap { detail: e.to_string() },
+    })?;
+    Ok((system, state, 0))
 }
 
 #[cfg(test)]

@@ -113,6 +113,7 @@ pub fn run_supervised<T: LfdScalar>(
     sup: &SupervisorConfig,
 ) -> Result<SupervisedRun, RunError> {
     cfg.validate()?;
+    mkl_lite::try_compute_mode().map_err(RunError::InvalidComputeMode)?;
     let params = cfg.lfd_params();
     params.validate();
 
@@ -123,8 +124,10 @@ pub fn run_supervised<T: LfdScalar>(
         Some(dir) => scan_and_load::<T>(dir, &params)?,
         None => None,
     };
-    let (mut system, mut state, mut steps_done) =
-        resumed.unwrap_or_else(|| fresh_start::<T>(cfg, &params));
+    let (mut system, mut state, mut steps_done) = match resumed {
+        Some(r) => r,
+        None => fresh_start::<T>(cfg, &params)?,
+    };
 
     let md_dt = cfg.qd_steps_per_md as f64 * cfg.dt;
     let mut md = MdIntegrator::new(&system, md_dt, cfg.ehrenfest_softening);

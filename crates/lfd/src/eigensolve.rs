@@ -23,7 +23,7 @@
 use crate::hamiltonian::{apply_h, C2};
 use crate::mesh::Mesh3;
 use dcmesh_linalg::hermitian::eigh;
-use dcmesh_linalg::orth::lowdin_orthonormalize;
+use dcmesh_linalg::orth::{lowdin_orthonormalize, modified_gram_schmidt};
 use dcmesh_numerics::{c64, C64};
 use mkl_lite::{zgemm, Op};
 
@@ -78,7 +78,7 @@ pub fn lowest_eigenpairs(
             .map(|z| z.scale(sqrt_dv))
             .collect(),
     };
-    lowdin_orthonormalize(&mut x, ngrid, n_states);
+    orthonormalize_block(&mut x, ngrid, n_states);
 
     let sigma = spectral_upper_bound(mesh, vloc);
     let mut h_x = vec![C64::zero(); ngrid * n_states];
@@ -95,7 +95,7 @@ pub fn lowest_eigenpairs(
         // exponentially in the polynomial degree, instead of the painfully
         // flat (σ−λ) ratio of a plain power step.
         chebyshev_filter(mesh, vloc, &mut x, &mut h_x, n_states, CHEB_DEGREE, a, sigma);
-        lowdin_orthonormalize(&mut x, ngrid, n_states);
+        orthonormalize_block(&mut x, ngrid, n_states);
 
         // Rayleigh–Ritz.
         apply_h(mesh, n_states, vloc, 0.0, &x, &mut h_x);
@@ -156,6 +156,18 @@ pub fn lowest_eigenpairs(
         *z = z.scale(inv);
     }
     EigenSolution { eigenvalues: prev, states: x, residual, iterations }
+}
+
+/// Löwdin-orthonormalises the filter block, falling back to modified
+/// Gram–Schmidt when the overlap matrix has collapsed. The Chebyshev
+/// filter amplifies the wanted subspace so aggressively that a block can
+/// go numerically rank-deficient mid-iteration; unlike the SCF refresh
+/// (where a singular overlap is a health violation), here MGS simply
+/// zeroes the dependent columns and the next filter pass repopulates them.
+fn orthonormalize_block(x: &mut [C64], ngrid: usize, n_states: usize) {
+    if lowdin_orthonormalize(x, ngrid, n_states).is_err() {
+        modified_gram_schmidt(x, ngrid, n_states, 1e-14);
+    }
 }
 
 /// Chebyshev polynomial degree per outer iteration.

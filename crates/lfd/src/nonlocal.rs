@@ -90,6 +90,22 @@ impl LfdScalar for f64 {
     }
 }
 
+/// Reusable subspace buffers for [`nlp_prop_with_scratch`]: the
+/// projection `C`, the diagonal phase matrix `D` and the product `D·C`,
+/// all `n_orb × n_orb`. Small individually, but three fresh heap
+/// allocations per QD step add up over a 500-step burst — the same
+/// steady-state-allocation discipline the BLAS workspace pool enforces
+/// one layer down.
+#[derive(Clone, Debug, Default)]
+pub struct NlpScratch<T: Real> {
+    /// The step's projection `C = Ψ†(0)Ψ·ΔV` *before* the phase factor.
+    /// Valid after [`nlp_prop_with_scratch`] returns; `calc_energy` and
+    /// the shadow update consume it without re-projecting.
+    pub projection: Vec<Complex<T>>,
+    d: Vec<Complex<T>>,
+    dc: Vec<Complex<T>>,
+}
+
 /// Applies the nonlocal correction for one QD step (in place on
 /// `state.psi`). Returns the subspace projection matrix `C = Ψ†(0)Ψ·ΔV`
 /// *before* the phase factor, which `calc_energy` reuses for the nonlocal
@@ -99,18 +115,38 @@ pub fn nlp_prop<T: LfdScalar>(params: &LfdParams, state: &mut LfdState<T>) -> Ve
 }
 
 /// [`nlp_prop`] with a per-call-site [`PrecisionPolicy`] — the mixed-
-/// precision capability the paper defers to future work.
+/// precision capability the paper defers to future work. Allocates fresh
+/// subspace buffers; the run loop uses [`nlp_prop_with_scratch`].
 pub fn nlp_prop_with_policy<T: LfdScalar>(
     params: &LfdParams,
     state: &mut LfdState<T>,
     policy: &PrecisionPolicy,
 ) -> Vec<Complex<T>> {
+    let mut scratch = NlpScratch::default();
+    nlp_prop_with_scratch(params, state, policy, &mut scratch);
+    scratch.projection
+}
+
+/// [`nlp_prop_with_policy`] writing into caller-owned [`NlpScratch`]:
+/// zero heap allocation once the scratch has reached the problem size.
+/// The projection lands in `scratch.projection` instead of a returned
+/// `Vec`.
+pub fn nlp_prop_with_scratch<T: LfdScalar>(
+    params: &LfdParams,
+    state: &mut LfdState<T>,
+    policy: &PrecisionPolicy,
+    scratch: &mut NlpScratch<T>,
+) {
     let n_orb = params.n_orb;
     let ngrid = params.mesh.len();
     let dv = Complex::from_real(T::from_f64(params.mesh.dv()));
+    let sub = n_orb * n_orb;
+    scratch.projection.resize(sub, Complex::zero());
+    scratch.d.resize(sub, Complex::zero());
+    scratch.dc.resize(sub, Complex::zero());
 
-    // (1) project: C = Ψ†(0) Ψ(t) · ΔV
-    let mut c = vec![Complex::<T>::zero(); n_orb * n_orb];
+    // (1) project: C = Ψ†(0) Ψ(t) · ΔV (β = 0 overwrites stale contents).
+    let c = &mut scratch.projection;
     policy.run(CallSite::NlpProject, || T::gemm(
         Op::ConjTrans,
         Op::None,
@@ -123,21 +159,19 @@ pub fn nlp_prop_with_policy<T: LfdScalar>(
         &state.psi,
         n_orb,
         Complex::zero(),
-        &mut c,
+        c,
         n_orb,
     ));
-    let projection = c.clone();
 
     // (2) phase: C ← D·C with D = diag(e^{−i dt v_i} − 1), done as a
     // subspace GEMM (DCMESH keeps this on the device as a BLAS call; the
     // diagonal matrix is materialised once per step).
-    let mut d = vec![Complex::<T>::zero(); n_orb * n_orb];
+    scratch.d.fill(Complex::zero());
     for i in 0..n_orb {
         let v_i = params.vnl_strength * projector_weight(i, n_orb);
         let phase = Complex::<T>::cis(T::from_f64(-params.dt * v_i)) - Complex::one();
-        d[i * n_orb + i] = phase;
+        scratch.d[i * n_orb + i] = phase;
     }
-    let mut dc = vec![Complex::<T>::zero(); n_orb * n_orb];
     policy.run(CallSite::NlpPhase, || T::gemm(
         Op::None,
         Op::None,
@@ -145,12 +179,12 @@ pub fn nlp_prop_with_policy<T: LfdScalar>(
         n_orb,
         n_orb,
         Complex::one(),
-        &d,
+        &scratch.d,
         n_orb,
-        &c,
+        &scratch.projection,
         n_orb,
         Complex::zero(),
-        &mut dc,
+        &mut scratch.dc,
         n_orb,
     ));
 
@@ -164,14 +198,12 @@ pub fn nlp_prop_with_policy<T: LfdScalar>(
         Complex::one(),
         &state.psi0,
         n_orb,
-        &dc,
+        &scratch.dc,
         n_orb,
         Complex::one(),
         &mut state.psi,
         n_orb,
     ));
-
-    projection
 }
 
 /// Relative strength of the i-th reference projector. The lowest (most

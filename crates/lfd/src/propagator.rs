@@ -18,7 +18,7 @@ use crate::energy::{calc_energy_with_policy, Energies};
 use crate::field::advance_induced_field;
 use crate::hamiltonian::apply_h;
 use crate::laser::AU_PER_FS;
-use crate::nonlocal::{nlp_prop_with_policy, LfdScalar};
+use crate::nonlocal::{nlp_prop_with_scratch, LfdScalar, NlpScratch};
 use crate::observables::current_density;
 use crate::policy::{CallSite, PrecisionPolicy};
 use crate::remap::remap_occ_with_policy;
@@ -26,12 +26,18 @@ use crate::state::{LfdParams, LfdState, StepObservables};
 use dcmesh_numerics::Complex;
 use mkl_lite::Op;
 
-/// Reusable buffers for one QD step (three state-sized arrays).
+/// Reusable buffers for one QD step: three state-sized arrays for the
+/// Taylor propagator plus the subspace-sized [`NlpScratch`]. Holding all
+/// of them here makes the QD step allocation-free in steady state — the
+/// BLAS-internal scratch is pooled by `mkl-lite`'s thread-local
+/// workspace, so between the two layers a 500-step burst touches the
+/// allocator only while buffers first grow to the problem size.
 #[derive(Clone, Debug, Default)]
 pub struct QdScratch<T: dcmesh_numerics::Real> {
     term: Vec<Complex<T>>,
     h_out: Vec<Complex<T>>,
     acc: Vec<Complex<T>>,
+    nlp: NlpScratch<T>,
 }
 
 impl<T: dcmesh_numerics::Real> QdScratch<T> {
@@ -42,6 +48,7 @@ impl<T: dcmesh_numerics::Real> QdScratch<T> {
             term: vec![Complex::zero(); len],
             h_out: vec![Complex::zero(); len],
             acc: vec![Complex::zero(); len],
+            nlp: NlpScratch::default(),
         }
     }
 }
@@ -147,18 +154,19 @@ pub fn qd_step_with_policy<T: LfdScalar>(
     // (1) Local propagation — mesh kernels only.
     taylor_propagate(params, state, a_mid, scratch);
 
-    // (2) Nonlocal correction — BLAS 1–3.
-    let projection = nlp_prop_with_policy(params, state, policy);
+    // (2) Nonlocal correction — BLAS 1–3. The projection stays in the
+    // scratch so steps (3) and (5) read it without a per-step allocation.
+    nlp_prop_with_scratch(params, state, policy, &mut scratch.nlp);
 
     // (3) Energies — BLAS 4–6 (+ one kinetic mesh sweep).
     let e: Energies =
-        calc_energy_with_policy(params, state, &projection, &mut scratch.h_out, policy);
+        calc_energy_with_policy(params, state, &scratch.nlp.projection, &mut scratch.h_out, policy);
 
     // (4) Occupation remap — BLAS 7–8.
     let nexc = remap_occ_with_policy(params, state, policy);
 
     // (5) Shadow dynamics — BLAS 9.
-    shadow_update_with_policy(params, state, &projection, policy);
+    shadow_update_with_policy(params, state, &scratch.nlp.projection, policy);
 
     // (6) Current density and the Maxwell feedback.
     let t_next = state.time + params.dt;

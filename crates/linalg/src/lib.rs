@@ -24,4 +24,4 @@ pub mod orth;
 
 pub use cholesky::{cholesky_factor, cholesky_solve, trsm_right_lower_conjtrans};
 pub use hermitian::{eigh, EighResult};
-pub use orth::{cholesky_orthonormalize, lowdin_orthonormalize, modified_gram_schmidt};
+pub use orth::{cholesky_orthonormalize, lowdin_orthonormalize, modified_gram_schmidt, OrthError};

@@ -16,6 +16,47 @@ use crate::cholesky::{cholesky_factor, trsm_right_lower_conjtrans};
 use crate::hermitian::eigh;
 use crate::ops::matmul_hermitian_left;
 use dcmesh_numerics::C64;
+use std::fmt;
+
+/// Why an orthonormalisation could not be performed.
+///
+/// A degenerate overlap matrix means the orbital set has already collapsed
+/// — typically the footprint of accumulated low-precision error — so the
+/// caller must treat it as a health violation (roll back, escalate the
+/// compute mode), not paper over it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OrthError {
+    /// The overlap matrix `S = A†A` is numerically singular: its smallest
+    /// eigenvalue is below `1e-12` of the largest.
+    SingularOverlap {
+        /// Smallest eigenvalue of the overlap matrix.
+        min_eigenvalue: f64,
+        /// Largest eigenvalue of the overlap matrix.
+        max_eigenvalue: f64,
+    },
+    /// The Cholesky factorisation found the overlap matrix not positive
+    /// definite.
+    NotPositiveDefinite {
+        /// Description from the factorisation (pivot index and value).
+        detail: String,
+    },
+}
+
+impl fmt::Display for OrthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrthError::SingularOverlap { min_eigenvalue, max_eigenvalue } => write!(
+                f,
+                "overlap matrix numerically singular (min ev {min_eigenvalue}, max ev {max_eigenvalue})"
+            ),
+            OrthError::NotPositiveDefinite { detail } => {
+                write!(f, "overlap matrix not positive definite ({detail})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OrthError {}
 
 /// In-place modified Gram–Schmidt on the columns of `a` (`rows × cols`).
 ///
@@ -55,24 +96,27 @@ pub fn modified_gram_schmidt(a: &mut [C64], rows: usize, cols: usize, tol: f64) 
 
 /// Löwdin symmetric orthonormalisation: `A ← A·S^{-1/2}`, `S = A†A`.
 ///
-/// Panics if the overlap matrix is numerically singular (smallest
-/// eigenvalue below `1e-12` of the largest): a collapsed orbital set
-/// indicates the propagation has already failed and must not be papered
-/// over.
-pub fn lowdin_orthonormalize(a: &mut [C64], rows: usize, cols: usize) {
+/// Fails with [`OrthError::SingularOverlap`] if the overlap matrix is
+/// numerically singular (smallest eigenvalue below `1e-12` of the
+/// largest): a collapsed orbital set indicates the propagation has already
+/// failed, and the error carries the eigenvalue evidence so a supervisor
+/// can roll back and escalate instead of crashing. On error `a` is left
+/// unmodified.
+pub fn lowdin_orthonormalize(a: &mut [C64], rows: usize, cols: usize) -> Result<(), OrthError> {
     assert_eq!(a.len(), rows * cols, "lowdin: shape mismatch");
     if cols == 0 {
-        return;
+        return Ok(());
     }
     // S = A†A (cols × cols), Hermitian positive semi-definite.
     let s = matmul_hermitian_left(a, a, cols, rows, cols);
     let eig = eigh(&s, cols);
     let max_ev = eig.eigenvalues.last().copied().unwrap_or(0.0);
-    assert!(
-        eig.eigenvalues[0] > 1e-12 * max_ev.max(1e-300),
-        "lowdin: overlap matrix numerically singular (min ev {}, max ev {max_ev})",
-        eig.eigenvalues[0]
-    );
+    if eig.eigenvalues[0] <= 1e-12 * max_ev.max(1e-300) {
+        return Err(OrthError::SingularOverlap {
+            min_eigenvalue: eig.eigenvalues[0],
+            max_eigenvalue: max_ev,
+        });
+    }
 
     // S^{-1/2} = V diag(1/√λ) V†
     let n = cols;
@@ -102,6 +146,7 @@ pub fn lowdin_orthonormalize(a: &mut [C64], rows: usize, cols: usize) {
         }
         a[r * n..(r + 1) * n].copy_from_slice(&row_buf);
     }
+    Ok(())
 }
 
 
@@ -109,17 +154,19 @@ pub fn lowdin_orthonormalize(a: &mut [C64], rows: usize, cols: usize) {
 ///
 /// Cheaper than Löwdin (one factorisation + triangular solve instead of
 /// an eigendecomposition) and the usual production choice when the
-/// minimal-perturbation property is not needed. Panics if the overlap is
-/// not numerically positive definite.
-pub fn cholesky_orthonormalize(a: &mut [C64], rows: usize, cols: usize) {
+/// minimal-perturbation property is not needed. Fails with
+/// [`OrthError::NotPositiveDefinite`] if the overlap is not numerically
+/// positive definite; `a` is left unmodified in that case.
+pub fn cholesky_orthonormalize(a: &mut [C64], rows: usize, cols: usize) -> Result<(), OrthError> {
     assert_eq!(a.len(), rows * cols, "cholesky orth: shape mismatch");
     if cols == 0 {
-        return;
+        return Ok(());
     }
     let s = matmul_hermitian_left(a, a, cols, rows, cols);
     let l = cholesky_factor(&s, cols)
-        .unwrap_or_else(|e| panic!("cholesky orth: overlap not positive definite ({e})"));
+        .map_err(|e| OrthError::NotPositiveDefinite { detail: e.to_string() })?;
     trsm_right_lower_conjtrans(&l, cols, a, rows);
+    Ok(())
 }
 
 /// Measures `|A†A − I|_max` of a column set — 0 for perfectly orthonormal.
@@ -178,7 +225,7 @@ mod tests {
     fn lowdin_orthonormalises() {
         let (rows, cols) = (50, 8);
         let mut a = skewed_columns(rows, cols);
-        lowdin_orthonormalize(&mut a, rows, cols);
+        lowdin_orthonormalize(&mut a, rows, cols).unwrap();
         assert!(orthonormality_defect(&a, rows, cols) < 1e-11);
     }
 
@@ -196,7 +243,7 @@ mod tests {
             *z += c64(1e-3 * e, -5e-4 * e);
         }
         let mut via_lowdin = perturbed.clone();
-        lowdin_orthonormalize(&mut via_lowdin, rows, cols);
+        lowdin_orthonormalize(&mut via_lowdin, rows, cols).unwrap();
         let mut via_mgs = perturbed.clone();
         modified_gram_schmidt(&mut via_mgs, rows, cols, 1e-12);
         let dist = |x: &[C64]| -> f64 {
@@ -219,7 +266,7 @@ mod tests {
         a[0] = c64(1.0, 0.0); // col 0 = e1
         a[1] = c64(1.0, 0.0); // col 1 = e1 + 0.1 e2
         a[cols + 1] = c64(0.1, 0.0);
-        lowdin_orthonormalize(&mut a, rows, cols);
+        lowdin_orthonormalize(&mut a, rows, cols).unwrap();
         assert!(orthonormality_defect(&a, rows, cols) < 1e-12);
         // Rows 2, 3 (outside the span) stay zero.
         for i in 2..rows {
@@ -230,7 +277,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "singular")]
     fn lowdin_rejects_rank_deficient() {
         let rows = 6;
         let cols = 2;
@@ -239,14 +285,23 @@ mod tests {
             a[i * cols] = c64(1.0, 0.0);
             a[i * cols + 1] = c64(1.0, 0.0);
         }
-        lowdin_orthonormalize(&mut a, rows, cols);
+        let before = a.clone();
+        let err = lowdin_orthonormalize(&mut a, rows, cols).unwrap_err();
+        match err {
+            OrthError::SingularOverlap { min_eigenvalue, max_eigenvalue } => {
+                assert!(min_eigenvalue <= 1e-12 * max_eigenvalue, "{min_eigenvalue} vs {max_eigenvalue}");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert_eq!(a, before, "input must be untouched on error");
+        assert!(err.to_string().contains("singular"), "{err}");
     }
 
     #[test]
     fn cholesky_orthonormalises() {
         let (rows, cols) = (40, 7);
         let mut a = skewed_columns(rows, cols);
-        cholesky_orthonormalize(&mut a, rows, cols);
+        cholesky_orthonormalize(&mut a, rows, cols).unwrap();
         assert!(orthonormality_defect(&a, rows, cols) < 1e-10);
     }
 
@@ -257,8 +312,8 @@ mod tests {
         let (rows, cols) = (30, 4);
         let mut via_chol = skewed_columns(rows, cols);
         let mut via_lowdin = via_chol.clone();
-        cholesky_orthonormalize(&mut via_chol, rows, cols);
-        lowdin_orthonormalize(&mut via_lowdin, rows, cols);
+        cholesky_orthonormalize(&mut via_chol, rows, cols).unwrap();
+        lowdin_orthonormalize(&mut via_lowdin, rows, cols).unwrap();
         // Overlap matrix between the two bases must be unitary.
         let mut overlap = vec![C64::zero(); cols * cols];
         for i in 0..cols {
@@ -275,7 +330,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive definite")]
     fn cholesky_orth_rejects_rank_deficient() {
         let rows = 6;
         let cols = 2;
@@ -284,6 +338,10 @@ mod tests {
             a[i * cols] = c64(1.0, 0.0);
             a[i * cols + 1] = c64(1.0, 0.0);
         }
-        cholesky_orthonormalize(&mut a, rows, cols);
+        let before = a.clone();
+        let err = cholesky_orthonormalize(&mut a, rows, cols).unwrap_err();
+        assert!(matches!(err, OrthError::NotPositiveDefinite { .. }), "{err:?}");
+        assert_eq!(a, before, "input must be untouched on error");
+        assert!(err.to_string().contains("positive definite"), "{err}");
     }
 }

@@ -160,6 +160,22 @@ pub fn quantize_slice(src: &[f32], dst: &mut [f32]) {
     }
 }
 
+/// Chunk-parallel [`quantize_slice`]: rounds `src` to BF16 into `dst`,
+/// splitting the work over rayon tasks. Elementwise results are identical
+/// to the sequential path (rounding is a pure per-element function), so
+/// callers may switch freely between the two.
+pub fn round_slice_into(src: &[f32], dst: &mut [f32]) {
+    use rayon::prelude::*;
+    assert_eq!(src.len(), dst.len(), "round_slice_into length mismatch");
+    dst.par_chunks_mut(crate::split::PAR_CHUNK).enumerate().for_each(|(ci, chunk)| {
+        let base = ci * crate::split::PAR_CHUNK;
+        let len = chunk.len();
+        for (d, &s) in chunk.iter_mut().zip(&src[base..base + len]) {
+            *d = Bf16::round_f32(s);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +231,18 @@ mod tests {
         let one = Bf16::ONE;
         let next = Bf16::from_bits(one.to_bits() + 1);
         assert_eq!(next.to_f32() - one.to_f32(), Bf16::EPSILON);
+    }
+
+    #[test]
+    fn round_slice_into_matches_quantize_slice() {
+        let src: Vec<f32> = (0..crate::split::PAR_CHUNK + 13)
+            .map(|i| ((i * 13) as f32).cos() * 512.0)
+            .collect();
+        let mut seq = vec![0.0f32; src.len()];
+        let mut par = vec![1.0f32; src.len()];
+        quantize_slice(&src, &mut seq);
+        round_slice_into(&src, &mut par);
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -127,6 +127,73 @@ pub fn split_slice(src: &[f32], components: &mut [&mut [f32]]) {
     }
 }
 
+/// Elements per rayon task in the chunk-parallel quantisation paths
+/// ([`split_slice_into`], `bf16::round_slice_into`, `tf32::round_slice_into`).
+/// 16Ki elements (64 KiB of `f32`) amortises task overhead while keeping
+/// enough chunks to load-balance the large Table VII operands.
+pub const PAR_CHUNK: usize = 1 << 14;
+
+/// Chunk-parallel [`split_slice`]: decomposes `src` into `components.len()`
+/// BF16 term planes, splitting the work over rayon tasks.
+///
+/// A single fused pass computes all terms of each element at once — the
+/// residual subtractions reuse the just-computed leading terms from
+/// registers instead of re-reading (and re-deriving) them per plane. The
+/// planes' chunks are zipped, so each rayon task owns the same-index
+/// chunk of every plane: disjoint writes, no allocation, race-free. The
+/// elementwise results are identical to [`split_slice`] / [`Split2::new`]
+/// / [`Split3::new`].
+pub fn split_slice_into(src: &[f32], components: &mut [&mut [f32]]) {
+    use rayon::prelude::*;
+    let depth = components.len();
+    assert!(
+        (1..=3).contains(&depth),
+        "split depth must be 1, 2 or 3, got {depth}"
+    );
+    for c in components.iter() {
+        assert_eq!(c.len(), src.len(), "component length mismatch");
+    }
+    match components {
+        [c0] => {
+            c0.par_chunks_mut(PAR_CHUNK).enumerate().for_each(|(ci, hs)| {
+                let base = ci * PAR_CHUNK;
+                for (i, h) in hs.iter_mut().enumerate() {
+                    *h = Bf16::round_f32(src[base + i]);
+                }
+            });
+        }
+        [c0, c1] => {
+            c0.par_chunks_mut(PAR_CHUNK)
+                .zip(c1.par_chunks_mut(PAR_CHUNK))
+                .enumerate()
+                .for_each(|(ci, (hs, ls))| {
+                    let base = ci * PAR_CHUNK;
+                    for i in 0..hs.len() {
+                        let s = Split2::new(src[base + i]);
+                        hs[i] = s.hi;
+                        ls[i] = s.lo;
+                    }
+                });
+        }
+        [c0, c1, c2] => {
+            c0.par_chunks_mut(PAR_CHUNK)
+                .zip(c1.par_chunks_mut(PAR_CHUNK))
+                .zip(c2.par_chunks_mut(PAR_CHUNK))
+                .enumerate()
+                .for_each(|(ci, ((hs, ms), ls))| {
+                    let base = ci * PAR_CHUNK;
+                    for i in 0..hs.len() {
+                        let s = Split3::new(src[base + i]);
+                        hs[i] = s.hi;
+                        ms[i] = s.mid;
+                        ls[i] = s.lo;
+                    }
+                });
+        }
+        _ => unreachable!(),
+    }
+}
+
 /// Worst-case relative representation error of a `depth`-term BF16 split,
 /// ignoring denormals (§V-B of the paper: dropping all but `n` mantissa
 /// bits induces at most a `2^{-n-1}` relative input perturbation).
@@ -249,5 +316,41 @@ mod tests {
     #[should_panic(expected = "split depth")]
     fn zero_depth_panics() {
         split_slice(&[1.0], &mut []);
+    }
+
+    #[test]
+    fn split_slice_into_matches_sequential() {
+        // Length chosen to span several PAR_CHUNK boundaries would be slow
+        // in a unit test; a ragged non-multiple length still exercises the
+        // chunk-edge arithmetic. Include non-finite and huge values so the
+        // saturation guard paths are compared too.
+        let mut src: Vec<f32> = (0..PAR_CHUNK + 37)
+            .map(|i| ((i * 29) as f32).sin() * 1e3 + (i as f32) * 1e-3)
+            .collect();
+        src[7] = f32::MAX; // rounds to +inf in bf16
+        src[11] = f32::INFINITY;
+        src[13] = -0.0;
+        for depth in 1..=3usize {
+            let mut seq: Vec<Vec<f32>> = (0..depth).map(|_| vec![0.0; src.len()]).collect();
+            {
+                let mut views: Vec<&mut [f32]> = seq.iter_mut().map(|p| &mut p[..]).collect();
+                split_slice(&src, &mut views);
+            }
+            let mut par: Vec<Vec<f32>> = (0..depth).map(|_| vec![9.9; src.len()]).collect();
+            {
+                let mut views: Vec<&mut [f32]> = par.iter_mut().map(|p| &mut p[..]).collect();
+                split_slice_into(&src, &mut views);
+            }
+            for (c, (s, p)) in seq.iter().zip(&par).enumerate() {
+                for i in 0..src.len() {
+                    assert!(
+                        s[i] == p[i] && s[i].to_bits() == p[i].to_bits(),
+                        "depth {depth} component {c} element {i}: {} vs {}",
+                        s[i],
+                        p[i]
+                    );
+                }
+            }
+        }
     }
 }

@@ -134,6 +134,21 @@ pub fn quantize_slice(src: &[f32], dst: &mut [f32]) {
     }
 }
 
+/// Chunk-parallel [`quantize_slice`]: rounds `src` to TF32 into `dst`,
+/// splitting the work over rayon tasks. Elementwise results are identical
+/// to the sequential path.
+pub fn round_slice_into(src: &[f32], dst: &mut [f32]) {
+    use rayon::prelude::*;
+    assert_eq!(src.len(), dst.len(), "round_slice_into length mismatch");
+    dst.par_chunks_mut(crate::split::PAR_CHUNK).enumerate().for_each(|(ci, chunk)| {
+        let base = ci * crate::split::PAR_CHUNK;
+        let len = chunk.len();
+        for (d, &s) in chunk.iter_mut().zip(&src[base..base + len]) {
+            *d = Tf32::round_f32(s);
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +206,18 @@ mod tests {
         assert_eq!(Tf32::round_f32(f32::INFINITY), f32::INFINITY);
         assert_eq!(Tf32::round_f32(0.0), 0.0);
         assert_eq!(Tf32::round_f32(-0.0), -0.0);
+    }
+
+    #[test]
+    fn round_slice_into_matches_quantize_slice() {
+        let src: Vec<f32> = (0..crate::split::PAR_CHUNK + 5)
+            .map(|i| ((i * 7) as f32).sin() * 1e4)
+            .collect();
+        let mut seq = vec![0.0f32; src.len()];
+        let mut par = vec![1.0f32; src.len()];
+        quantize_slice(&src, &mut seq);
+        round_slice_into(&src, &mut par);
+        assert_eq!(seq, par);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 use dcmesh_lfd::hamiltonian::apply_h;
 use dcmesh_lfd::state::{LfdParams, LfdState};
 use dcmesh_linalg::hermitian::eigh;
-use dcmesh_linalg::orth::{lowdin_orthonormalize, orthonormality_defect};
+use dcmesh_linalg::orth::{lowdin_orthonormalize, orthonormality_defect, OrthError};
 use dcmesh_numerics::{c64, Complex, Real, C64};
 use mkl_lite::{zgemm, Op};
 
@@ -42,7 +42,16 @@ pub struct ScfReport {
 }
 
 /// Performs one FP64 refresh of the propagated orbitals.
-pub fn scf_refresh<T: Real>(params: &LfdParams, state: &mut LfdState<T>) -> ScfReport {
+///
+/// Fails with [`OrthError`] when the orbital overlap matrix has gone
+/// numerically singular — the signature of a state already destroyed by
+/// accumulated low-precision error (or an injected fault). The state is
+/// left untouched in that case so a supervisor can roll back to a
+/// checkpoint and escalate the compute mode.
+pub fn scf_refresh<T: Real>(
+    params: &LfdParams,
+    state: &mut LfdState<T>,
+) -> Result<ScfReport, OrthError> {
     let n_orb = params.n_orb;
     let ngrid = params.mesh.len();
     let dv = params.mesh.dv();
@@ -57,8 +66,9 @@ pub fn scf_refresh<T: Real>(params: &LfdParams, state: &mut LfdState<T>) -> ScfR
         .collect();
     let defect_before = orthonormality_defect(&psi64, ngrid, n_orb);
 
-    // (2) Löwdin orthonormalisation at FP64.
-    lowdin_orthonormalize(&mut psi64, ngrid, n_orb);
+    // (2) Löwdin orthonormalisation at FP64. A singular overlap aborts the
+    // refresh before `state.psi` is written.
+    lowdin_orthonormalize(&mut psi64, ngrid, n_orb)?;
 
     // (3) Rayleigh–Ritz on H₀ at FP64.
     let vloc64: Vec<f64> = state.vloc.iter().map(|v| v.to_f64()).collect();
@@ -117,12 +127,12 @@ pub fn scf_refresh<T: Real>(params: &LfdParams, state: &mut LfdState<T>) -> ScfR
     state.refresh_reference();
     state.eps = eig.eigenvalues.clone();
 
-    ScfReport {
+    Ok(ScfReport {
         defect_before,
         defect_after,
         eigenvalues: eig.eigenvalues,
         max_correction,
-    }
+    })
 }
 
 /// Initial SCF: iterates refresh passes until the eigenvalues settle,
@@ -135,11 +145,11 @@ pub fn initial_scf<T: Real>(
     state: &mut LfdState<T>,
     max_iterations: usize,
     tolerance: f64,
-) -> ScfReport {
+) -> Result<ScfReport, OrthError> {
     assert!(max_iterations >= 1);
-    let mut report = scf_refresh(params, state);
+    let mut report = scf_refresh(params, state)?;
     for _ in 1..max_iterations {
-        let next = scf_refresh(params, state);
+        let next = scf_refresh(params, state)?;
         let delta = next
             .eigenvalues
             .iter()
@@ -154,7 +164,7 @@ pub fn initial_scf<T: Real>(
     // Ground-state occupations fill from the bottom of the new spectrum;
     // plane-wave initialisation already orders them, the rotation keeps
     // the convention.
-    report
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -189,7 +199,7 @@ mod tests {
                 z.re += 1e-3;
             }
         }
-        let rep = scf_refresh(&p, &mut st);
+        let rep = scf_refresh(&p, &mut st).expect("overlap healthy");
         assert!(rep.defect_before > 1e-5, "perturbation not visible: {}", rep.defect_before);
         assert!(rep.defect_after < 1e-10, "refresh left defect {}", rep.defect_after);
         let n = st.electron_count(&p);
@@ -201,13 +211,13 @@ mod tests {
         set_compute_mode(ComputeMode::Standard);
         let p = params();
         let mut st = LfdState::<f64>::initialize(&p, cosine_potential(&p.mesh, 0.3));
-        let rep = initial_scf(&p, &mut st, 4, 1e-12);
+        let rep = initial_scf(&p, &mut st, 4, 1e-12).expect("overlap healthy");
         // Eigenvalues sorted ascending and reproducible under one more
         // refresh (fixed point).
         for w in rep.eigenvalues.windows(2) {
             assert!(w[0] <= w[1] + 1e-12);
         }
-        let rep2 = scf_refresh(&p, &mut st);
+        let rep2 = scf_refresh(&p, &mut st).expect("overlap healthy");
         for (a, b) in rep.eigenvalues.iter().zip(&rep2.eigenvalues) {
             assert!((a - b).abs() < 1e-9, "not converged: {a} vs {b}");
         }
@@ -228,7 +238,7 @@ mod tests {
         let run = |do_scf: bool| -> f64 {
             let mut st = LfdState::<f64>::initialize(&p, cosine_potential(&p.mesh, 0.3));
             if do_scf {
-                initial_scf(&p, &mut st, 4, 1e-12);
+                initial_scf(&p, &mut st, 4, 1e-12).expect("overlap healthy");
             }
             let mut scratch = QdScratch::new(&p);
             let mut last = qd_step(&p, &mut st, &mut scratch);
@@ -261,7 +271,7 @@ mod tests {
                 qd_step(&p, &mut st, &mut scratch);
             }
         });
-        let rep = scf_refresh(&p, &mut st);
+        let rep = scf_refresh(&p, &mut st).expect("overlap healthy");
         assert!(
             rep.defect_before > rep.defect_after * 10.0,
             "no drift to absorb: before {} after {}",
@@ -277,7 +287,7 @@ mod tests {
         let p = params();
         let mut st = LfdState::<f64>::initialize(&p, cosine_potential(&p.mesh, 0.4));
         let plane_wave_eps = st.eps.clone();
-        let rep = initial_scf(&p, &mut st, 3, 1e-12);
+        let rep = initial_scf(&p, &mut st, 3, 1e-12).expect("overlap healthy");
         assert_eq!(st.eps, rep.eigenvalues);
         // The potential must shift the spectrum away from the free values.
         let moved = st

@@ -13,19 +13,31 @@ use dcmesh::config::{RunConfig, SystemPreset};
 use dcmesh::output::console_line;
 use dcmesh::runner::run_simulation;
 
-fn main() -> Result<(), dcmesh::RunError> {
+fn main() {
+    // Print failures through Display (Rust's `main -> Result` uses Debug,
+    // which would hide the "valid values are ..." hint in the mode error).
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), dcmesh::RunError> {
     // A short burst of the 40-atom-structured small deck.
     let mut cfg = RunConfig::preset(SystemPreset::Pto40Small);
     cfg.total_qd_steps = 300;
     cfg.qd_steps_per_md = 100;
     cfg.record_every = 10;
 
+    // A typo in MKL_BLAS_COMPUTE_MODE surfaces here as a structured
+    // error (listing the valid values) instead of a panic.
+    let mode = mkl_lite::try_compute_mode()?;
     println!(
         "DCMESH-rs quickstart: {} atoms-equivalent deck, mesh {}^3, {} orbitals, mode {}",
         40,
         cfg.mesh_points,
         cfg.n_orb,
-        mkl_lite::compute_mode().label()
+        mode.label()
     );
     println!("deck: dt = {} a.u., {} QD steps, SCF refresh every {}", cfg.dt, cfg.total_qd_steps, cfg.qd_steps_per_md);
 
