@@ -390,11 +390,39 @@ fn main() {
         ));
     }
 
+    // --- workspace-pool traffic, through the telemetry registry ---
+    // `publish_metrics` snapshots this thread's pool counters into
+    // telemetry gauges; the report reads them back from the registry so
+    // the numbers printed here are exactly the ones a Prometheus scrape
+    // (or the `telemetry_check` artifact) would carry.
+    workspace::publish_metrics();
+    let pool = workspace::combined_stats();
+    eprintln!(
+        "pool  takes {} misses {} grows {} returns {} bytes_outstanding {} hit_ratio {:.4}",
+        pool.takes,
+        pool.misses,
+        pool.grows,
+        pool.returns,
+        pool.bytes_outstanding,
+        pool.hit_ratio()
+    );
+    eprintln!("--- telemetry metrics ---\n{}", dcmesh_telemetry::export::prometheus_dump());
+
     // --- BENCH_gemm.json ---
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"gemm_hostperf\",\n");
     json.push_str(&format!("  \"k_scale\": {},\n", o.k_scale));
+    json.push_str(&format!(
+        "  \"pool\": {{\"takes\": {}, \"misses\": {}, \"grows\": {}, \"returns\": {}, \
+         \"bytes_outstanding\": {}, \"hit_ratio\": {:.4}}},\n",
+        pool.takes,
+        pool.misses,
+        pool.grows,
+        pool.returns,
+        pool.bytes_outstanding,
+        pool.hit_ratio()
+    ));
     json.push_str("  \"calls\": [\n");
     let rows: Vec<String> = entries
         .iter()

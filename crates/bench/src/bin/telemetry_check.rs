@@ -1,0 +1,338 @@
+//! `telemetry_check`: produces and validates the telemetry artifacts CI
+//! gates on.
+//!
+//! Default mode runs a short **fault-injected supervised run** at
+//! telemetry level `full` — NaNs injected into CGEMM under
+//! `FLOAT_TO_BF16` force one rollback + escalation — then exports and
+//! schema-checks the three artifacts:
+//!
+//! * `events.jsonl` — every line parses as JSON with the JSONL schema
+//!   fields (`seq`, `ts_ns`, `kind`, `name`, `track`, `tid`, `args`);
+//! * `trace.json` — Chrome trace-event JSON (Perfetto-loadable): valid
+//!   JSON, balanced `B`/`E` nesting per `(pid, tid)`, monotonic
+//!   timestamps per track, the escalation instant on record, BLAS call
+//!   spans carrying mode/shape attributes, burst spans, and the
+//!   simulated `xe-gpu` kernel timeline as a second process track;
+//! * `metrics.prom` — Prometheus text dump with the escalation/rollback
+//!   counters and workspace-pool gauges.
+//!
+//! `--overhead-gate` instead measures the **disabled path**: per-span
+//! cost at `TELEMETRY=off` times the spans-per-QD-step count, as a
+//! fraction of the measured QD-step time. CI fails the gate above
+//! `--max-overhead-pct` (default 2%).
+//!
+//! Usage: `telemetry_check [--out-dir DIR] [--overhead-gate]
+//! [--max-overhead-pct F]`
+
+use dcmesh::config::{RunConfig, SystemPreset};
+use dcmesh::supervisor::{run_supervised, SupervisorConfig};
+use dcmesh_lfd::propagator::{qd_step, QdScratch};
+use dcmesh_lfd::state::cosine_potential;
+use dcmesh_lfd::{LaserPulse, LfdParams, LfdState, Mesh3};
+use dcmesh_telemetry as telemetry;
+use mkl_lite::{
+    clear_fault_plan, install_fault_plan, verbose, workspace, ComputeMode, FaultKind, FaultPlan,
+    FaultSite,
+};
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+use telemetry::json::JsonValue;
+use telemetry::{export, sink, TelemetryLevel};
+
+/// Host spans opened per QD step: the step span, six sub-phase spans,
+/// and nine BLAS call spans. Used to convert per-span disabled cost
+/// into per-step overhead.
+const SPANS_PER_QD_STEP: u64 = 1 + 6 + 9;
+
+struct Options {
+    out_dir: String,
+    overhead_gate: bool,
+    max_overhead_pct: f64,
+}
+
+fn parse_args() -> Options {
+    let mut o = Options {
+        out_dir: "telemetry-artifacts".to_string(),
+        overhead_gate: false,
+        max_overhead_pct: 2.0,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--out-dir" => {
+                o.out_dir = args.next().unwrap_or_else(|| {
+                    eprintln!("missing value for --out-dir");
+                    std::process::exit(2);
+                })
+            }
+            "--overhead-gate" => o.overhead_gate = true,
+            "--max-overhead-pct" => {
+                o.max_overhead_pct =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("missing/invalid value for --max-overhead-pct");
+                        std::process::exit(2);
+                    })
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    o
+}
+
+fn tiny_deck() -> RunConfig {
+    let mut cfg = RunConfig::preset(SystemPreset::Pto40Small);
+    cfg.mesh_points = 10;
+    cfg.n_orb = 8;
+    cfg.n_occ = 4;
+    cfg.total_qd_steps = 60;
+    cfg.qd_steps_per_md = 20;
+    cfg.laser_duration_fs = 0.03;
+    cfg.laser_amplitude = 0.4;
+    cfg
+}
+
+fn fail(problems: &mut Vec<String>, msg: String) {
+    eprintln!("FAIL: {msg}");
+    problems.push(msg);
+}
+
+/// Validates B/E nesting and per-(pid, tid) timestamp monotonicity over
+/// the non-metadata rows of a parsed Chrome trace.
+fn check_trace_rows(rows: &[JsonValue], problems: &mut Vec<String>) {
+    let mut stacks: HashMap<(u64, u64), Vec<String>> = HashMap::new();
+    let mut last_ts: HashMap<(u64, u64), f64> = HashMap::new();
+    for row in rows {
+        let ph = row.get("ph").and_then(JsonValue::as_str).unwrap_or("?");
+        if ph == "M" {
+            continue;
+        }
+        let key = (
+            row.get("pid").and_then(JsonValue::as_f64).unwrap_or(-1.0) as u64,
+            row.get("tid").and_then(JsonValue::as_f64).unwrap_or(-1.0) as u64,
+        );
+        let name = row.get("name").and_then(JsonValue::as_str).unwrap_or("?").to_string();
+        let ts = row.get("ts").and_then(JsonValue::as_f64).unwrap_or(-1.0);
+        if let Some(prev) = last_ts.insert(key, ts) {
+            if ts < prev {
+                fail(problems, format!("timestamps regressed on {key:?}: {prev} -> {ts}"));
+            }
+        }
+        match ph {
+            "B" => stacks.entry(key).or_default().push(name),
+            "E" => {
+                let top = stacks.get_mut(&key).and_then(Vec::pop);
+                if top.as_deref() != Some(name.as_str()) {
+                    fail(problems, format!("unbalanced E for {name:?} on {key:?} (top {top:?})"));
+                }
+            }
+            _ => {}
+        }
+    }
+    for (key, stack) in stacks {
+        if !stack.is_empty() {
+            fail(problems, format!("unclosed spans {stack:?} on {key:?}"));
+        }
+    }
+}
+
+/// The artifact-producing pass: fault-injected supervised run at level
+/// `full`, export, schema-check.
+fn run_trace_check(out_dir: &Path) -> Vec<String> {
+    let mut problems = Vec::new();
+    telemetry::set_level(TelemetryLevel::Full);
+    sink::clear();
+
+    // A device model makes every logged BLAS call carry a modelled
+    // device time, which feeds the simulated kernel track below.
+    let _model = xe_gpu::install_default_model();
+    verbose::set_recording(true);
+
+    install_fault_plan(FaultPlan::new(7).with_site(
+        FaultSite::every(1, FaultKind::Nan)
+            .on_routine("CGEMM")
+            .in_mode(ComputeMode::FloatToBf16),
+    ));
+    let cfg = tiny_deck();
+    let out = run_supervised::<f32>(&cfg, ComputeMode::FloatToBf16, &SupervisorConfig::default());
+    clear_fault_plan();
+    verbose::set_recording(false);
+    let out = match out {
+        Ok(o) => o,
+        Err(e) => {
+            fail(&mut problems, format!("supervised run failed: {e:?}"));
+            return problems;
+        }
+    };
+    if out.escalations.is_empty() {
+        fail(&mut problems, "fault-injected run never escalated".into());
+    }
+
+    // Replay the modelled per-call device times onto the unitrace-style
+    // tracer: each `record` lands on the telemetry device track too.
+    let records = verbose::drain();
+    let tracer = xe_gpu::Tracer::new();
+    for r in &records {
+        if let Some(dev) = r.device_seconds {
+            tracer.record(r.routine, dev);
+        }
+    }
+    eprintln!(
+        "run: {} escalations, {} BLAS records ({} dropped), {:.3} simulated device seconds",
+        out.escalations.len(),
+        records.len(),
+        verbose::dropped_records(),
+        tracer.total_seconds()
+    );
+
+    workspace::publish_metrics();
+    let events = sink::drain();
+    if sink::dropped_events() > 0 {
+        eprintln!("note: sink dropped {} events (ring full)", sink::dropped_events());
+    }
+
+    // --- export the three artifacts ---
+    std::fs::create_dir_all(out_dir).expect("create out dir");
+    let jsonl = export::jsonl(&events);
+    let trace = export::chrome_trace(&events);
+    let prom = export::prometheus_dump();
+    std::fs::write(out_dir.join("events.jsonl"), &jsonl).expect("write events.jsonl");
+    std::fs::write(out_dir.join("trace.json"), &trace).expect("write trace.json");
+    std::fs::write(out_dir.join("metrics.prom"), &prom).expect("write metrics.prom");
+    eprintln!("[wrote {}/{{events.jsonl, trace.json, metrics.prom}}]", out_dir.display());
+
+    // --- schema checks ---
+    match export::parse_jsonl(&jsonl) {
+        Ok(lines) => {
+            if lines.len() != events.len() {
+                fail(&mut problems, "JSONL line count != event count".into());
+            }
+            for (i, l) in lines.iter().enumerate() {
+                for field in ["seq", "ts_ns", "kind", "name", "track", "tid", "args"] {
+                    if l.get(field).is_none() {
+                        fail(&mut problems, format!("events.jsonl line {i} missing {field:?}"));
+                        break;
+                    }
+                }
+            }
+        }
+        Err(e) => fail(&mut problems, format!("events.jsonl does not parse: {e:?}")),
+    }
+
+    let doc = match telemetry::json::parse(&trace) {
+        Ok(d) => d,
+        Err(e) => {
+            fail(&mut problems, format!("trace.json is not valid JSON: {e:?}"));
+            return problems;
+        }
+    };
+    let rows = match doc.get("traceEvents").and_then(JsonValue::as_array) {
+        Some(r) => r,
+        None => {
+            fail(&mut problems, "trace.json has no traceEvents array".into());
+            return problems;
+        }
+    };
+    check_trace_rows(rows, &mut problems);
+
+    let has = |pred: &dyn Fn(&JsonValue) -> bool| rows.iter().any(pred);
+    let named = |name: &str, r: &JsonValue| {
+        r.get("name").and_then(JsonValue::as_str) == Some(name)
+            && r.get("ph").and_then(JsonValue::as_str) != Some("M")
+    };
+    if !has(&|r| named("escalation", r)) {
+        fail(&mut problems, "no escalation event in trace.json".into());
+    }
+    if !has(&|r| named("burst", r)) {
+        fail(&mut problems, "no burst span in trace.json".into());
+    }
+    if !has(&|r| {
+        named("CGEMM", r)
+            && r.get("args").map(|a| a.get("mode").is_some() && a.get("m").is_some())
+                == Some(true)
+    }) {
+        fail(&mut problems, "no CGEMM span with mode/shape attributes".into());
+    }
+    if !has(&|r| {
+        r.get("pid").and_then(JsonValue::as_f64) == Some(export::DEVICE_PID as f64)
+            && r.get("ph").and_then(JsonValue::as_str) == Some("X")
+    }) {
+        fail(&mut problems, "no simulated device kernel track in trace.json".into());
+    }
+    if !prom.contains("supervisor_escalations_total")
+        || !prom.contains("mkl_pool_bytes_outstanding")
+    {
+        fail(&mut problems, "metrics.prom missing expected series".into());
+    }
+    problems
+}
+
+/// The disabled-path gate: measures ns/span at `off` and the QD-step
+/// time, then bounds instrumentation overhead per step.
+fn run_overhead_gate(max_pct: f64) -> Vec<String> {
+    let mut problems = Vec::new();
+    telemetry::set_level(TelemetryLevel::Off);
+
+    // Per-span disabled cost: construction + drop of an inert guard.
+    let reps = 4_000_000u32;
+    let t0 = Instant::now();
+    for i in 0..reps {
+        let g = telemetry::span("overhead_probe");
+        black_box(&g);
+        drop(g);
+        black_box(i);
+    }
+    let ns_per_span = t0.elapsed().as_nanos() as f64 / reps as f64;
+
+    // QD-step time on the benchmark deck (`benches/qd_step.rs` params).
+    let p = LfdParams {
+        mesh: Mesh3::cubic(12, 0.6),
+        n_orb: 16,
+        n_occ: 8,
+        dt: 0.02,
+        vnl_strength: 0.2,
+        taylor_order: 4,
+        laser: LaserPulse { amplitude: 0.3, omega: 0.3, duration: 1e6, phase: 0.0 },
+        induced_coupling: 0.0,
+    };
+    let mut st = LfdState::<f32>::initialize(&p, cosine_potential(&p.mesh, 0.2));
+    let mut scratch = QdScratch::new(&p);
+    for _ in 0..3 {
+        black_box(qd_step(&p, &mut st, &mut scratch));
+    }
+    let steps = 20u32;
+    let t0 = Instant::now();
+    for _ in 0..steps {
+        black_box(qd_step(&p, &mut st, &mut scratch).ekin);
+    }
+    let ns_per_step = t0.elapsed().as_nanos() as f64 / steps as f64;
+
+    let overhead_ns = ns_per_span * SPANS_PER_QD_STEP as f64;
+    let pct = 100.0 * overhead_ns / ns_per_step;
+    eprintln!(
+        "disabled path: {ns_per_span:.2} ns/span x {SPANS_PER_QD_STEP} spans/step = \
+         {overhead_ns:.0} ns vs {ns_per_step:.0} ns/qd_step = {pct:.4}% (limit {max_pct}%)"
+    );
+    if !pct.is_finite() || pct > max_pct {
+        fail(&mut problems, format!("disabled-path overhead {pct:.4}% exceeds {max_pct}%"));
+    }
+    problems
+}
+
+fn main() {
+    let o = parse_args();
+    let problems = if o.overhead_gate {
+        run_overhead_gate(o.max_overhead_pct)
+    } else {
+        run_trace_check(Path::new(&o.out_dir))
+    };
+    if !problems.is_empty() {
+        eprintln!("telemetry_check: {} problem(s)", problems.len());
+        std::process::exit(1);
+    }
+    eprintln!("telemetry_check: OK");
+}

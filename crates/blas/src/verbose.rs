@@ -11,14 +11,34 @@
 //! programmatically via [`set_recording`]; harnesses use the latter so they
 //! work without touching the environment. Printing of per-call lines (the
 //! actual `MKL_VERBOSE` behaviour) happens at env level >= 1.
+//!
+//! The record store is a **bounded ring**: a run that makes millions of
+//! calls keeps only the most recent [`record_capacity`] records and counts
+//! the rest in [`dropped_records`]. Capacity comes from
+//! [`MKL_VERBOSE_BUFFER_ENV`] or [`set_record_capacity`].
+//!
+//! Independently of recording, every call becomes a telemetry span when
+//! the `TELEMETRY` level is `full` (shape/mode attributes on the begin
+//! event; wall time, modelled device time, and pool-traffic deltas on the
+//! end event) and feeds the `mkl_blas_*` metrics at level `events`.
 
 use crate::config::verbose_level;
 use crate::device::{Domain, GemmDesc};
 use crate::mode::ComputeMode;
 use crate::Op;
+use dcmesh_telemetry as telemetry;
+use dcmesh_telemetry::AttrValue;
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
+
+/// Environment variable bounding the in-memory record ring (records).
+pub const MKL_VERBOSE_BUFFER_ENV: &str = "MKL_VERBOSE_BUFFER";
+
+/// Default record-ring capacity.
+pub const DEFAULT_RECORD_CAPACITY: usize = 1 << 16; // 65 536 records
 
 /// One logged BLAS call.
 #[derive(Clone, Debug)]
@@ -74,7 +94,10 @@ impl CallRecord {
 }
 
 static RECORDING: AtomicBool = AtomicBool::new(false);
-static LOG: Mutex<Vec<CallRecord>> = Mutex::new(Vec::new());
+static LOG: Mutex<VecDeque<CallRecord>> = Mutex::new(VecDeque::new());
+/// 0 means "not yet initialised from the environment".
+static RECORD_CAPACITY: AtomicUsize = AtomicUsize::new(0);
+static DROPPED_RECORDS: AtomicU64 = AtomicU64::new(0);
 
 /// Enables or disables in-memory call recording.
 pub fn set_recording(on: bool) {
@@ -86,27 +109,65 @@ pub fn recording() -> bool {
     RECORDING.load(Ordering::Acquire) || verbose_level() >= 1
 }
 
-/// Appends a record (called by the GEMM wrappers).
+fn record_capacity_total() -> usize {
+    let c = RECORD_CAPACITY.load(Ordering::Relaxed);
+    if c != 0 {
+        return c;
+    }
+    let c = std::env::var(MKL_VERBOSE_BUFFER_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_RECORD_CAPACITY);
+    RECORD_CAPACITY.store(c, Ordering::Relaxed);
+    c
+}
+
+/// Sets the record-ring capacity (at least one record). Shrinking takes
+/// effect as the next record arrives.
+pub fn set_record_capacity(n: usize) {
+    RECORD_CAPACITY.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Current record-ring capacity.
+pub fn record_capacity() -> usize {
+    record_capacity_total()
+}
+
+/// Records discarded because the ring was full (oldest-first policy).
+pub fn dropped_records() -> u64 {
+    DROPPED_RECORDS.load(Ordering::Relaxed)
+}
+
+/// Appends a record (called by the GEMM wrappers), evicting the oldest
+/// records beyond the ring capacity.
 pub(crate) fn record(rec: CallRecord) {
     if verbose_level() >= 1 {
         eprintln!("{}", rec.to_verbose_line());
     }
-    LOG.lock().push(rec);
+    let cap = record_capacity_total();
+    let mut log = LOG.lock();
+    while log.len() >= cap {
+        log.pop_front();
+        DROPPED_RECORDS.fetch_add(1, Ordering::Relaxed);
+    }
+    log.push_back(rec);
 }
 
-/// Removes and returns all recorded calls.
+/// Removes and returns all recorded calls, oldest first.
 pub fn drain() -> Vec<CallRecord> {
-    std::mem::take(&mut *LOG.lock())
+    LOG.lock().drain(..).collect()
 }
 
 /// Returns a copy of the recorded calls without clearing.
 pub fn snapshot() -> Vec<CallRecord> {
-    LOG.lock().clone()
+    LOG.lock().iter().cloned().collect()
 }
 
-/// Clears the log.
+/// Clears the log and the dropped-records counter.
 pub fn clear() {
     LOG.lock().clear();
+    DROPPED_RECORDS.store(0, Ordering::Relaxed);
 }
 
 /// Aggregate statistics over a set of call records (per-routine totals, as
@@ -151,8 +212,43 @@ pub fn summarize(records: &[CallRecord]) -> Vec<(&'static str, CallSummary)> {
     out
 }
 
-/// Helper used by the GEMM wrappers: wraps a computation with timing and
-/// logging. Returns the closure's result.
+/// `&'static str` spelling of an op letter, for zero-allocation span
+/// attributes.
+fn op_str(op: Op) -> &'static str {
+    match op.letter() {
+        'N' => "N",
+        'T' => "T",
+        _ => "C",
+    }
+}
+
+fn blas_calls_total() -> &'static Arc<telemetry::metrics::Counter> {
+    static C: OnceLock<Arc<telemetry::metrics::Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        telemetry::metrics::counter("mkl_blas_calls_total", "level-3 BLAS calls observed")
+    })
+}
+
+fn blas_wall_ns() -> &'static Arc<telemetry::metrics::Histogram> {
+    static H: OnceLock<Arc<telemetry::metrics::Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        telemetry::metrics::histogram("mkl_blas_call_wall_ns", "host wall time per BLAS call")
+    })
+}
+
+/// Combined f32+f64 pool traffic of the calling thread, for span deltas.
+fn pool_traffic() -> (u64, u64) {
+    let s32 = crate::workspace::stats::<f32>();
+    let s64 = crate::workspace::stats::<f64>();
+    (s32.takes + s64.takes, s32.misses + s64.misses)
+}
+
+/// Helper used by the GEMM wrappers: wraps a computation with timing,
+/// logging, and telemetry. Returns the closure's result.
+///
+/// The disabled path (no recording, `TELEMETRY=off`) is two relaxed
+/// atomic loads and a branch — measured by `telemetry_check
+/// --overhead-gate`.
 pub(crate) fn logged<R>(
     routine: &'static str,
     transa: Op,
@@ -160,24 +256,56 @@ pub(crate) fn logged<R>(
     desc: GemmDesc,
     f: impl FnOnce() -> R,
 ) -> R {
-    if !recording() {
+    let events = telemetry::events_enabled();
+    if !recording() && !events {
         return f();
     }
+    let mut span = telemetry::span(routine);
+    let pool_before = if span.armed() {
+        span = span
+            .attr("transa", AttrValue::Str(op_str(transa)))
+            .attr("transb", AttrValue::Str(op_str(transb)))
+            .attr("m", AttrValue::U64(desc.m as u64))
+            .attr("n", AttrValue::U64(desc.n as u64))
+            .attr("k", AttrValue::U64(desc.k as u64))
+            .attr("mode", AttrValue::Str(desc.mode.env_value().unwrap_or("STANDARD")))
+            .enter();
+        Some(pool_traffic())
+    } else {
+        None
+    };
     let start = std::time::Instant::now();
     let out = f();
     let wall = start.elapsed();
-    record(CallRecord {
-        routine,
-        transa: transa.letter(),
-        transb: transb.letter(),
-        m: desc.m,
-        n: desc.n,
-        k: desc.k,
-        mode: desc.mode,
-        domain: desc.domain,
-        wall,
-        device_seconds: crate::device::modelled_gemm_time(&desc),
-    });
+    let device_seconds = crate::device::modelled_gemm_time(&desc);
+    if events {
+        blas_calls_total().inc();
+        blas_wall_ns().observe(wall.as_nanos() as u64);
+    }
+    if let Some((takes0, misses0)) = pool_before {
+        let (takes1, misses1) = pool_traffic();
+        span.end_attr("wall_s", AttrValue::F64(wall.as_secs_f64()));
+        if let Some(dev) = device_seconds {
+            span.end_attr("device_s", AttrValue::F64(dev));
+        }
+        span.end_attr("pool_takes", AttrValue::U64(takes1.saturating_sub(takes0)));
+        span.end_attr("pool_misses", AttrValue::U64(misses1.saturating_sub(misses0)));
+    }
+    drop(span);
+    if recording() {
+        record(CallRecord {
+            routine,
+            transa: transa.letter(),
+            transb: transb.letter(),
+            m: desc.m,
+            n: desc.n,
+            k: desc.k,
+            mode: desc.mode,
+            domain: desc.domain,
+            wall,
+            device_seconds,
+        });
+    }
     out
 }
 
@@ -233,5 +361,42 @@ mod tests {
     #[test]
     fn empty_summary_mean_is_zero() {
         assert_eq!(CallSummary::default().mean_seconds(), 0.0);
+    }
+
+    #[test]
+    fn record_ring_bounds_and_counts_drops() {
+        // The log is process-global; serialise against other tests that
+        // might record by holding the telemetry override lock.
+        dcmesh_telemetry::with_level(dcmesh_telemetry::level(), || {
+            let saved = record_capacity();
+            clear();
+            set_record_capacity(3);
+            let before = dropped_records();
+            for i in 0..5 {
+                record(rec("SGEMM", i as f64));
+            }
+            assert_eq!(dropped_records() - before, 2);
+            let kept = drain();
+            assert_eq!(kept.len(), 3, "ring keeps only the newest records");
+            // Oldest-first drain: the survivors are calls 2, 3, 4.
+            assert!((kept[0].wall.as_secs_f64() - 2.0).abs() < 1e-12);
+            assert!((kept[2].wall.as_secs_f64() - 4.0).abs() < 1e-12);
+            set_record_capacity(saved);
+            clear();
+        });
+    }
+
+    #[test]
+    fn drain_preserves_insertion_order() {
+        dcmesh_telemetry::with_level(dcmesh_telemetry::level(), || {
+            clear();
+            record(rec("SGEMM", 1.0));
+            record(rec("CGEMM", 2.0));
+            let out = drain();
+            assert_eq!(out.len(), 2);
+            assert_eq!(out[0].routine, "SGEMM");
+            assert_eq!(out[1].routine, "CGEMM");
+            assert!(drain().is_empty());
+        });
     }
 }

@@ -39,6 +39,25 @@ pub struct PoolStats {
     pub grows: u64,
     /// Buffers returned to the free list.
     pub returns: u64,
+    /// Bytes currently checked out of the pool (capacity of live
+    /// [`PooledBuf`]s); buffers freed at thread teardown stay counted.
+    pub bytes_outstanding: u64,
+}
+
+impl PoolStats {
+    /// Checkouts served from the free list.
+    pub fn hits(&self) -> u64 {
+        self.takes.saturating_sub(self.misses)
+    }
+
+    /// Fraction of checkouts served from the free list (1.0 when idle).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.takes == 0 {
+            1.0
+        } else {
+            self.hits() as f64 / self.takes as f64
+        }
+    }
 }
 
 /// A free list of scratch buffers for one scalar type.
@@ -83,11 +102,20 @@ impl<T: Copy + Default> BufferPool<T> {
         if zeroed {
             buf.fill(T::default());
         }
+        // Ledger the checked-out capacity (post-resize, so grows are
+        // counted at their real size). `put` reverses this; a buffer that
+        // grew *while checked out* (`vec_mut` extends) under-counts by the
+        // growth, which saturating_sub absorbs.
+        self.stats.bytes_outstanding += (buf.capacity() * core::mem::size_of::<T>()) as u64;
         buf
     }
 
     fn put(&mut self, buf: Vec<T>) {
         self.stats.returns += 1;
+        self.stats.bytes_outstanding = self
+            .stats
+            .bytes_outstanding
+            .saturating_sub((buf.capacity() * core::mem::size_of::<T>()) as u64);
         self.free.push(buf);
     }
 }
@@ -227,6 +255,37 @@ pub fn with_fresh_workspace<R>(f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Combined f32+f64 pool stats for the calling thread.
+pub fn combined_stats() -> PoolStats {
+    let a = stats::<f32>();
+    let b = stats::<f64>();
+    PoolStats {
+        takes: a.takes + b.takes,
+        misses: a.misses + b.misses,
+        grows: a.grows + b.grows,
+        returns: a.returns + b.returns,
+        bytes_outstanding: a.bytes_outstanding + b.bytes_outstanding,
+    }
+}
+
+/// Publishes the calling thread's pool counters into the telemetry
+/// metrics registry (gauges, since the values are thread-local
+/// snapshots). Harnesses call this after their measurement loop so the
+/// Prometheus dump and `gemm_hostperf` report carry hit/miss/bytes
+/// figures.
+pub fn publish_metrics() {
+    use dcmesh_telemetry::metrics::gauge;
+    let s = combined_stats();
+    gauge("mkl_pool_takes", "workspace-pool checkouts (thread snapshot)").set(s.takes as f64);
+    gauge("mkl_pool_misses", "checkouts that allocated fresh storage").set(s.misses as f64);
+    gauge("mkl_pool_grows", "checkouts that regrew a recycled buffer").set(s.grows as f64);
+    gauge("mkl_pool_returns", "buffers returned to the free list").set(s.returns as f64);
+    gauge("mkl_pool_bytes_outstanding", "bytes currently checked out")
+        .set(s.bytes_outstanding as f64);
+    gauge("mkl_pool_hit_ratio", "fraction of checkouts served from the free list")
+        .set(s.hit_ratio());
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +340,31 @@ mod tests {
             assert!(b.is_empty());
             b.vec_mut().extend(std::iter::repeat_n(1.0, 50));
             assert_eq!(b.len(), 50);
+        });
+    }
+
+    #[test]
+    fn bytes_outstanding_tracks_live_checkouts() {
+        with_fresh_workspace(|| {
+            let a = take_zeroed::<f32>(100);
+            let s = stats::<f32>();
+            assert!(s.bytes_outstanding >= 400, "100 f32s are out: {s:?}");
+            drop(a);
+            let s = stats::<f32>();
+            assert_eq!(s.bytes_outstanding, 0, "returned buffers leave the ledger");
+            assert_eq!(s.hits(), 0);
+            assert_eq!(s.hit_ratio(), 0.0, "the only take was a miss");
+        });
+    }
+
+    #[test]
+    fn publish_metrics_surfaces_pool_gauges() {
+        with_fresh_workspace(|| {
+            let _b = take_zeroed::<f64>(32);
+            publish_metrics();
+            let dump = dcmesh_telemetry::metrics::prometheus_dump();
+            assert!(dump.contains("mkl_pool_takes"), "{dump}");
+            assert!(dump.contains("mkl_pool_bytes_outstanding"), "{dump}");
         });
     }
 

@@ -120,15 +120,41 @@ pub(crate) fn run_burst<T: LfdScalar>(
     mut monitor: Option<&mut HealthMonitor>,
 ) -> Result<(), RunError> {
     let burst = cfg.qd_steps_per_md.min(cfg.total_qd_steps - *steps_done);
+    let burst_index = *steps_done / cfg.qd_steps_per_md.max(1);
+    let mut _burst_span = dcmesh_telemetry::span("burst")
+        .attr("burst_index", dcmesh_telemetry::AttrValue::U64(burst_index as u64))
+        .attr("qd_steps", dcmesh_telemetry::AttrValue::U64(burst as u64))
+        .attr(
+            "mode",
+            dcmesh_telemetry::AttrValue::Str(
+                mkl_lite::compute_mode().env_value().unwrap_or("STANDARD"),
+            ),
+        )
+        .enter();
 
     // --- LFD: one burst of QD steps on the "GPU" ---
     for s in 0..burst {
         let obs = qd_step_with_policy(params, state, scratch, policy);
         if let Some(mon) = monitor.as_deref_mut() {
-            mon.check_step(&obs).map_err(|violation| RunError::Diverged {
-                step: obs.step,
-                mode: mkl_lite::compute_mode(),
-                violation,
+            mon.check_step(&obs).map_err(|violation| {
+                dcmesh_telemetry::instant(
+                    "health_violation",
+                    vec![
+                        dcmesh_telemetry::Attr {
+                            key: "step",
+                            value: dcmesh_telemetry::AttrValue::U64(obs.step),
+                        },
+                        dcmesh_telemetry::Attr {
+                            key: "detail",
+                            value: dcmesh_telemetry::AttrValue::Text(violation.to_string()),
+                        },
+                    ],
+                );
+                RunError::Diverged {
+                    step: obs.step,
+                    mode: mkl_lite::compute_mode(),
+                    violation,
+                }
             })?;
         }
         *last_nexc = obs.nexc;
@@ -151,9 +177,18 @@ pub(crate) fn run_burst<T: LfdScalar>(
         mode: mkl_lite::compute_mode(),
         violation: HealthViolation::SingularOverlap { detail: e.to_string() },
     })?;
+    _burst_span.end_attr("scf_drift", dcmesh_telemetry::AttrValue::F64(report.defect_before));
+    _burst_span.end_attr("shadow_drift", dcmesh_telemetry::AttrValue::F64(drift));
     result.scf_drift.push(report.defect_before);
     if let Some(mon) = monitor.as_mut() {
         mon.check_boundary(report.defect_before, drift).map_err(|violation| {
+            dcmesh_telemetry::instant(
+                "health_violation",
+                vec![dcmesh_telemetry::Attr {
+                    key: "detail",
+                    value: dcmesh_telemetry::AttrValue::Text(violation.to_string()),
+                }],
+            );
             RunError::Diverged {
                 step: *steps_done as u64,
                 mode: mkl_lite::compute_mode(),

@@ -30,6 +30,29 @@ use dcmesh_qxmd::MdIntegrator;
 use mkl_lite::{with_compute_mode, ComputeMode};
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::{Arc, OnceLock};
+
+/// Escalations performed across all supervised runs in this process.
+pub fn escalation_counter() -> &'static Arc<dcmesh_telemetry::metrics::Counter> {
+    static C: OnceLock<Arc<dcmesh_telemetry::metrics::Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        dcmesh_telemetry::metrics::counter(
+            "supervisor_escalations_total",
+            "precision escalations performed by the supervisor",
+        )
+    })
+}
+
+/// Burst rollbacks performed across all supervised runs in this process.
+pub fn rollback_counter() -> &'static Arc<dcmesh_telemetry::metrics::Counter> {
+    static C: OnceLock<Arc<dcmesh_telemetry::metrics::Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        dcmesh_telemetry::metrics::counter(
+            "supervisor_rollbacks_total",
+            "burst rollbacks performed by the supervisor",
+        )
+    })
+}
 
 /// Supervisor policy knobs.
 #[derive(Clone, Debug)]
@@ -179,6 +202,14 @@ pub fn run_supervised<T: LfdScalar>(
                     mark.restore(&mut result);
                     md = MdIntegrator::new(&system, md_dt, cfg.ehrenfest_softening);
                     monitor.reset();
+                    rollback_counter().inc();
+                    dcmesh_telemetry::instant(
+                        "rollback",
+                        vec![dcmesh_telemetry::Attr {
+                            key: "step",
+                            value: dcmesh_telemetry::AttrValue::U64(step),
+                        }],
+                    );
 
                     attempt += 1;
                     let next = sup
@@ -197,6 +228,32 @@ pub fn run_supervised<T: LfdScalar>(
                             })
                         }
                     };
+                    escalation_counter().inc();
+                    dcmesh_telemetry::instant(
+                        "escalation",
+                        vec![
+                            dcmesh_telemetry::Attr {
+                                key: "step",
+                                value: dcmesh_telemetry::AttrValue::U64(step),
+                            },
+                            dcmesh_telemetry::Attr {
+                                key: "from",
+                                value: dcmesh_telemetry::AttrValue::Str(
+                                    current.env_value().unwrap_or("STANDARD"),
+                                ),
+                            },
+                            dcmesh_telemetry::Attr {
+                                key: "to",
+                                value: dcmesh_telemetry::AttrValue::Str(
+                                    next.env_value().unwrap_or("STANDARD"),
+                                ),
+                            },
+                            dcmesh_telemetry::Attr {
+                                key: "attempt",
+                                value: dcmesh_telemetry::AttrValue::U64(attempt as u64),
+                            },
+                        ],
+                    );
                     escalations.push(EscalationEvent {
                         step,
                         from: current,
@@ -217,6 +274,13 @@ pub fn run_supervised<T: LfdScalar>(
                 steps_done: steps_done as u64,
             };
             ck.save(&dir.join(format!("dcmesh-{steps_done}.ck")))?;
+            dcmesh_telemetry::instant(
+                "checkpoint",
+                vec![dcmesh_telemetry::Attr {
+                    key: "step",
+                    value: dcmesh_telemetry::AttrValue::U64(steps_done as u64),
+                }],
+            );
         }
     }
 

@@ -122,6 +122,71 @@ fn unescapable_fault_exhausts_the_ladder() {
     }
 }
 
+/// Satellite acceptance: a fault-injected supervised run at
+/// `TELEMETRY=full` leaves the escalation (and its rollback) in the
+/// exported Chrome trace, alongside burst spans and BLAS call spans
+/// carrying mode/shape attributes.
+#[test]
+fn fault_injected_run_emits_escalation_in_trace() {
+    use dcmesh_telemetry as telemetry;
+    let _g = lock();
+    let cfg = tiny();
+    telemetry::with_level(telemetry::TelemetryLevel::Full, || {
+        telemetry::sink::clear();
+        install_fault_plan(FaultPlan::new(7).with_site(
+            FaultSite::every(1, FaultKind::Nan)
+                .on_routine("CGEMM")
+                .in_mode(ComputeMode::FloatToBf16),
+        ));
+        let out =
+            run_supervised::<f32>(&cfg, ComputeMode::FloatToBf16, &SupervisorConfig::default());
+        clear_fault_plan();
+        let out = out.expect("supervised run should recover");
+        assert_eq!(out.escalations.len(), 1);
+
+        let events = telemetry::sink::drain();
+        let esc = events.iter().find(|e| e.name == "escalation").expect("escalation event");
+        assert_eq!(
+            esc.attr("from"),
+            Some(&telemetry::AttrValue::Str("FLOAT_TO_BF16")),
+            "{esc:?}"
+        );
+        assert_eq!(
+            esc.attr("to"),
+            Some(&telemetry::AttrValue::Str("FLOAT_TO_BF16X2")),
+            "{esc:?}"
+        );
+        assert!(events.iter().any(|e| e.name == "rollback"), "rollback event missing");
+        assert!(events.iter().any(|e| e.name == "health_violation"), "violation event missing");
+
+        let burst = events
+            .iter()
+            .find(|e| e.name == "burst" && e.kind == telemetry::EventKind::SpanBegin)
+            .expect("burst span");
+        assert!(burst.attr("burst_index").is_some() && burst.attr("mode").is_some());
+
+        let blas = events
+            .iter()
+            .find(|e| e.name == "CGEMM" && e.kind == telemetry::EventKind::SpanBegin)
+            .expect("BLAS call span");
+        assert!(blas.attr("m").is_some() && blas.attr("k").is_some(), "{blas:?}");
+        assert!(blas.attr("mode").is_some(), "{blas:?}");
+
+        assert!(
+            events
+                .iter()
+                .any(|e| e.name == "qd_step" && e.kind == telemetry::EventKind::SpanBegin),
+            "qd_step spans missing"
+        );
+
+        // The whole thing exports to loadable Chrome-trace JSON with the
+        // escalation on it.
+        let trace = telemetry::export::chrome_trace(&events);
+        telemetry::json::parse(&trace).expect("valid Chrome trace JSON");
+        assert!(trace.contains("\"escalation\""), "escalation missing from trace");
+    });
+}
+
 #[test]
 fn supervised_run_resumes_from_its_checkpoints() {
     let _g = lock();

@@ -66,6 +66,10 @@ pub fn lowest_eigenpairs(
     assert_eq!(vloc.len(), ngrid, "potential size mismatch");
     assert!(n_states >= 1 && n_states <= ngrid, "bad state count");
     assert!(max_iterations >= 1);
+    let mut _span = dcmesh_telemetry::span("eigensolve")
+        .attr("ngrid", dcmesh_telemetry::AttrValue::U64(ngrid as u64))
+        .attr("n_states", dcmesh_telemetry::AttrValue::U64(n_states as u64))
+        .enter();
 
     let sqrt_dv = mesh.dv().sqrt();
     let mut x: Vec<C64> = match guess {
@@ -155,6 +159,8 @@ pub fn lowest_eigenpairs(
     for z in &mut x {
         *z = z.scale(inv);
     }
+    _span.end_attr("iterations", dcmesh_telemetry::AttrValue::U64(iterations as u64));
+    _span.end_attr("residual", dcmesh_telemetry::AttrValue::F64(residual));
     EigenSolution { eigenvalues: prev, states: x, residual, iterations }
 }
 

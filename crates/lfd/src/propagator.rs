@@ -148,31 +148,52 @@ pub fn qd_step_with_policy<T: LfdScalar>(
     scratch: &mut QdScratch<T>,
     policy: &PrecisionPolicy,
 ) -> StepObservables {
+    let _step_span = dcmesh_telemetry::span("qd_step")
+        .attr("step", dcmesh_telemetry::AttrValue::U64(state.step + 1))
+        .enter();
     let t_mid = state.time + 0.5 * params.dt;
     let a_mid = state.a_total(params, t_mid);
 
     // (1) Local propagation — mesh kernels only.
-    taylor_propagate(params, state, a_mid, scratch);
+    {
+        let _s = dcmesh_telemetry::span("qd_propagate").enter();
+        taylor_propagate(params, state, a_mid, scratch);
+    }
 
     // (2) Nonlocal correction — BLAS 1–3. The projection stays in the
     // scratch so steps (3) and (5) read it without a per-step allocation.
-    nlp_prop_with_scratch(params, state, policy, &mut scratch.nlp);
+    {
+        let _s = dcmesh_telemetry::span("qd_nonlocal").enter();
+        nlp_prop_with_scratch(params, state, policy, &mut scratch.nlp);
+    }
 
     // (3) Energies — BLAS 4–6 (+ one kinetic mesh sweep).
-    let e: Energies =
-        calc_energy_with_policy(params, state, &scratch.nlp.projection, &mut scratch.h_out, policy);
+    let e: Energies = {
+        let _s = dcmesh_telemetry::span("qd_energy").enter();
+        calc_energy_with_policy(params, state, &scratch.nlp.projection, &mut scratch.h_out, policy)
+    };
 
     // (4) Occupation remap — BLAS 7–8.
-    let nexc = remap_occ_with_policy(params, state, policy);
+    let nexc = {
+        let _s = dcmesh_telemetry::span("qd_remap_occ").enter();
+        remap_occ_with_policy(params, state, policy)
+    };
 
     // (5) Shadow dynamics — BLAS 9.
-    shadow_update_with_policy(params, state, &scratch.nlp.projection, policy);
+    {
+        let _s = dcmesh_telemetry::span("qd_shadow").enter();
+        shadow_update_with_policy(params, state, &scratch.nlp.projection, policy);
+    }
 
     // (6) Current density and the Maxwell feedback.
     let t_next = state.time + params.dt;
     let a_now = state.a_total(params, t_next);
-    let javg = current_density(params, state, a_now);
-    advance_induced_field(params, state, javg);
+    let javg = {
+        let _s = dcmesh_telemetry::span("qd_field").enter();
+        let javg = current_density(params, state, a_now);
+        advance_induced_field(params, state, javg);
+        javg
+    };
 
     state.time = t_next;
     state.step += 1;

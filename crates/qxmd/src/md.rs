@@ -25,6 +25,10 @@ impl MdIntegrator {
     /// Advances one MD step. `excitation_fraction` comes from the latest
     /// LFD `remap_occ` (through the shadow channel).
     pub fn step(&mut self, system: &mut AtomicSystem, excitation_fraction: f64) {
+        let _span = dcmesh_telemetry::span("md_step")
+            .attr("atoms", dcmesh_telemetry::AttrValue::U64(system.len() as u64))
+            .attr("nexc", dcmesh_telemetry::AttrValue::F64(excitation_fraction))
+            .enter();
         let n = system.len();
         let dt = self.dt;
         // Half kick + drift.

@@ -52,6 +52,9 @@ pub fn scf_refresh<T: Real>(
     params: &LfdParams,
     state: &mut LfdState<T>,
 ) -> Result<ScfReport, OrthError> {
+    let _span = dcmesh_telemetry::span("scf_refresh")
+        .attr("n_orb", dcmesh_telemetry::AttrValue::U64(params.n_orb as u64))
+        .enter();
     let n_orb = params.n_orb;
     let ngrid = params.mesh.len();
     let dv = params.mesh.dv();
@@ -147,6 +150,7 @@ pub fn initial_scf<T: Real>(
     tolerance: f64,
 ) -> Result<ScfReport, OrthError> {
     assert!(max_iterations >= 1);
+    let _span = dcmesh_telemetry::span("initial_scf").enter();
     let mut report = scf_refresh(params, state)?;
     for _ in 1..max_iterations {
         let next = scf_refresh(params, state)?;

@@ -1,0 +1,151 @@
+//! The event model: what one telemetry record carries.
+//!
+//! Events are built to be cheap on the hot path: names and attribute
+//! keys are `&'static str`, and the common attribute values (`u64`,
+//! `f64`, static strings) store inline. Owned strings ([`AttrValue::Text`])
+//! exist for rare events (a health-violation description) where one
+//! allocation is irrelevant.
+
+use std::fmt;
+
+/// Maximum attributes per event. Chosen to fit the widest producer (a
+/// BLAS call span: routine, ops, shape, mode, domain, pool stats).
+pub const MAX_ATTRS: usize = 10;
+
+/// One typed attribute value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AttrValue {
+    /// Unsigned integer (shapes, counts, indices).
+    U64(u64),
+    /// Floating point (seconds, ratios).
+    F64(f64),
+    /// Static string (mode labels, routine names).
+    Str(&'static str),
+    /// Owned string, for rare events only.
+    Text(String),
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::U64(v) => write!(f, "{v}"),
+            AttrValue::F64(v) => write!(f, "{v}"),
+            AttrValue::Str(s) => write!(f, "{s}"),
+            AttrValue::Text(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// A key/value attribute.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Attr {
+    /// Attribute key.
+    pub key: &'static str,
+    /// Attribute value.
+    pub value: AttrValue,
+}
+
+/// Which timeline an event belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Track {
+    /// Host wall-clock time (spans, instants).
+    Host,
+    /// The `xe-gpu` simulated device clock (modelled kernel executions).
+    Device,
+}
+
+impl Track {
+    /// Stable string form used by the exporters.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Track::Host => "host",
+            Track::Device => "device",
+        }
+    }
+}
+
+/// Event kind, mapping one-to-one onto Chrome trace-event phases.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span enter (Chrome phase `B`).
+    SpanBegin,
+    /// Span exit (Chrome phase `E`).
+    SpanEnd,
+    /// A point event (Chrome phase `i`).
+    Instant,
+    /// A complete slice with explicit duration (Chrome phase `X`) — used
+    /// for device kernels whose start/duration come from the simulated
+    /// clock rather than host `Instant`s.
+    Complete {
+        /// Duration in nanoseconds.
+        dur_ns: u64,
+    },
+}
+
+impl EventKind {
+    /// The Chrome trace-event `ph` letter.
+    pub fn phase(self) -> char {
+        match self {
+            EventKind::SpanBegin => 'B',
+            EventKind::SpanEnd => 'E',
+            EventKind::Instant => 'i',
+            EventKind::Complete { .. } => 'X',
+        }
+    }
+}
+
+/// One telemetry event.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Global sequence number (total order across threads).
+    pub seq: u64,
+    /// Timestamp in nanoseconds: since process telemetry epoch for host
+    /// events, since simulated-clock zero for device events.
+    pub ts_ns: u64,
+    /// Event name (span name, kernel name, event type).
+    pub name: &'static str,
+    /// What kind of record this is.
+    pub kind: EventKind,
+    /// Which timeline the timestamp lives on.
+    pub track: Track,
+    /// Logical thread id (small dense integers assigned per thread).
+    pub tid: u64,
+    /// Attributes (at most [`MAX_ATTRS`]; extras are dropped, counted by
+    /// the sink's `truncated_attrs` counter).
+    pub attrs: Vec<Attr>,
+}
+
+impl Event {
+    /// Looks up an attribute by key.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|a| a.key == key).map(|a| &a.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_match_chrome_convention() {
+        assert_eq!(EventKind::SpanBegin.phase(), 'B');
+        assert_eq!(EventKind::SpanEnd.phase(), 'E');
+        assert_eq!(EventKind::Instant.phase(), 'i');
+        assert_eq!(EventKind::Complete { dur_ns: 5 }.phase(), 'X');
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let e = Event {
+            seq: 0,
+            ts_ns: 0,
+            name: "x",
+            kind: EventKind::Instant,
+            track: Track::Host,
+            tid: 0,
+            attrs: vec![Attr { key: "m", value: AttrValue::U64(128) }],
+        };
+        assert_eq!(e.attr("m"), Some(&AttrValue::U64(128)));
+        assert_eq!(e.attr("n"), None);
+    }
+}

@@ -1,0 +1,168 @@
+//! Process-global telemetry level, mirroring the `MKL_VERBOSE` /
+//! `MKL_BLAS_COMPUTE_MODE` conventions of `mkl-lite`: lazy environment
+//! initialisation, a runtime setter that overrides the environment, and
+//! a scoped override for in-process sweeps and tests.
+
+use crate::TELEMETRY_ENV;
+use parking_lot::{Mutex, ReentrantMutex};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How much the telemetry layer records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TelemetryLevel {
+    /// Nothing is recorded. Every instrumentation point reduces to one
+    /// relaxed atomic load.
+    Off = 0,
+    /// Discrete events (escalations, health violations, checkpoints) and
+    /// metrics are recorded; high-frequency spans are skipped.
+    Events = 1,
+    /// Everything: events, metrics, per-call BLAS spans, QD sub-phase
+    /// spans, and the simulated device kernel timeline.
+    Full = 2,
+}
+
+impl TelemetryLevel {
+    /// Parses an environment value. Accepts `off`/`0`, `events`/`1`,
+    /// `full`/`2` (case-insensitive).
+    pub fn from_env_value(s: &str) -> Option<TelemetryLevel> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "" => Some(TelemetryLevel::Off),
+            "events" | "1" => Some(TelemetryLevel::Events),
+            "full" | "2" => Some(TelemetryLevel::Full),
+            _ => None,
+        }
+    }
+
+    /// The environment value that selects this level.
+    pub fn env_value(self) -> &'static str {
+        match self {
+            TelemetryLevel::Off => "off",
+            TelemetryLevel::Events => "events",
+            TelemetryLevel::Full => "full",
+        }
+    }
+}
+
+/// Sentinel meaning "not yet initialised from the environment".
+const LEVEL_UNSET: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+static INIT_LOCK: Mutex<()> = Mutex::new(());
+/// Serialises scoped overrides (reentrant so overrides may nest).
+static OVERRIDE_LOCK: ReentrantMutex<()> = ReentrantMutex::new(());
+
+fn from_u8(v: u8) -> TelemetryLevel {
+    match v {
+        1 => TelemetryLevel::Events,
+        2 => TelemetryLevel::Full,
+        _ => TelemetryLevel::Off,
+    }
+}
+
+/// Returns the current level, initialising from `TELEMETRY` on first
+/// use. An unrecognised environment value falls back to `Off` with a
+/// warning — telemetry must never abort a physics run.
+pub fn level() -> TelemetryLevel {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v != LEVEL_UNSET {
+        return from_u8(v);
+    }
+    let _g = INIT_LOCK.lock();
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v != LEVEL_UNSET {
+        return from_u8(v);
+    }
+    let lvl = match std::env::var(TELEMETRY_ENV) {
+        Ok(s) => TelemetryLevel::from_env_value(&s).unwrap_or_else(|| {
+            eprintln!("warning: unrecognised {TELEMETRY_ENV}={s:?}; telemetry stays off");
+            TelemetryLevel::Off
+        }),
+        Err(_) => TelemetryLevel::Off,
+    };
+    LEVEL.store(lvl as u8, Ordering::Relaxed);
+    lvl
+}
+
+/// Sets the global level (overrides the environment).
+pub fn set_level(lvl: TelemetryLevel) {
+    LEVEL.store(lvl as u8, Ordering::Relaxed);
+}
+
+/// Runs `f` with the level temporarily set to `lvl`, restoring the
+/// previous level afterwards (also on panic). Overrides are serialised
+/// process-wide; nested overrides from the same thread are fine.
+pub fn with_level<R>(lvl: TelemetryLevel, f: impl FnOnce() -> R) -> R {
+    let _guard = OVERRIDE_LOCK.lock();
+    let previous = level();
+    set_level(lvl);
+    struct Restore(TelemetryLevel);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_level(self.0);
+        }
+    }
+    let _restore = Restore(previous);
+    f()
+}
+
+/// True when discrete events and metrics should be recorded
+/// (`Events` or `Full`). The hot-path check: one relaxed load.
+#[inline]
+pub fn events_enabled() -> bool {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v == LEVEL_UNSET {
+        return level() >= TelemetryLevel::Events;
+    }
+    v >= TelemetryLevel::Events as u8
+}
+
+/// True when high-frequency spans (per-BLAS-call, per-QD-sub-phase) and
+/// the device kernel timeline should be recorded (`Full` only).
+#[inline]
+pub fn spans_enabled() -> bool {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v == LEVEL_UNSET {
+        return level() == TelemetryLevel::Full;
+    }
+    v == TelemetryLevel::Full as u8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_values_parse() {
+        assert_eq!(TelemetryLevel::from_env_value("off"), Some(TelemetryLevel::Off));
+        assert_eq!(TelemetryLevel::from_env_value("EVENTS"), Some(TelemetryLevel::Events));
+        assert_eq!(TelemetryLevel::from_env_value("full"), Some(TelemetryLevel::Full));
+        assert_eq!(TelemetryLevel::from_env_value("2"), Some(TelemetryLevel::Full));
+        assert_eq!(TelemetryLevel::from_env_value("banana"), None);
+    }
+
+    #[test]
+    fn scoped_override_restores() {
+        with_level(TelemetryLevel::Off, || {
+            assert!(!events_enabled() && !spans_enabled());
+            with_level(TelemetryLevel::Events, || {
+                assert!(events_enabled() && !spans_enabled());
+                with_level(TelemetryLevel::Full, || {
+                    assert!(events_enabled() && spans_enabled());
+                });
+                assert_eq!(level(), TelemetryLevel::Events);
+            });
+            assert_eq!(level(), TelemetryLevel::Off);
+        });
+    }
+
+    #[test]
+    fn scoped_override_restores_on_panic() {
+        with_level(TelemetryLevel::Off, || {
+            let r = std::panic::catch_unwind(|| {
+                with_level(TelemetryLevel::Full, || panic!("boom"))
+            });
+            assert!(r.is_err());
+            assert_eq!(level(), TelemetryLevel::Off);
+        });
+    }
+}

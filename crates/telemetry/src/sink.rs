@@ -1,0 +1,237 @@
+//! The event sink: a sharded, bounded, in-memory ring of [`Event`]s.
+//!
+//! Producers publish into one of [`SHARD_COUNT`] independently locked
+//! shards selected by thread id, so concurrent QD-step threads almost
+//! never contend on the same lock, and each critical section is a ring
+//! push — "lock-free-ish": not a CAS loop, but no global lock and no
+//! allocation in steady state (the ring reuses its storage once warm).
+//!
+//! The sink is **bounded**: when a shard's ring is full the oldest event
+//! in that shard is dropped and counted, so a million-call run cannot
+//! grow memory without limit (the same policy the `mkl_lite::verbose`
+//! ring buffer adopts). Capacity comes from `TELEMETRY_BUFFER` or
+//! [`set_capacity`].
+//!
+//! A global sequence number gives a total order across shards;
+//! [`drain`] merges shards back into publication order.
+
+use crate::event::{Attr, Event, EventKind, Track, MAX_ATTRS};
+use crate::TELEMETRY_BUFFER_ENV;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Number of independently locked shards.
+pub const SHARD_COUNT: usize = 16;
+
+/// Default total event capacity across all shards.
+pub const DEFAULT_CAPACITY: usize = 1 << 18; // 262 144 events
+
+#[derive(Default)]
+struct Shard {
+    ring: VecDeque<Event>,
+}
+
+static SHARDS: [Mutex<Shard>; SHARD_COUNT] = [const { Mutex::new(Shard { ring: VecDeque::new() }) }; SHARD_COUNT];
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static TRUNCATED_ATTRS: AtomicU64 = AtomicU64::new(0);
+/// 0 means "not yet initialised from the environment".
+static CAPACITY: AtomicUsize = AtomicUsize::new(0);
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The calling thread's small dense telemetry thread id.
+pub fn thread_id() -> u64 {
+    TID.try_with(|t| *t).unwrap_or(u64::MAX)
+}
+
+/// Nanoseconds since the process telemetry epoch (set on first use).
+pub fn now_ns() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    epoch.elapsed().as_nanos() as u64
+}
+
+fn capacity_total() -> usize {
+    let c = CAPACITY.load(Ordering::Relaxed);
+    if c != 0 {
+        return c;
+    }
+    let c = std::env::var(TELEMETRY_BUFFER_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_CAPACITY);
+    CAPACITY.store(c, Ordering::Relaxed);
+    c
+}
+
+/// Sets the total event capacity (spread across shards; at least one
+/// event per shard). Shrinking takes effect as shards next publish.
+pub fn set_capacity(total: usize) {
+    CAPACITY.store(total.max(SHARD_COUNT), Ordering::Relaxed);
+}
+
+/// Current total event capacity.
+pub fn capacity() -> usize {
+    capacity_total()
+}
+
+/// Events discarded because a shard's ring was full.
+pub fn dropped_events() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// Attributes discarded because an event carried more than
+/// [`MAX_ATTRS`].
+pub fn truncated_attrs() -> u64 {
+    TRUNCATED_ATTRS.load(Ordering::Relaxed)
+}
+
+/// Publishes one event. Callers are expected to have checked the level
+/// gate already ([`crate::spans_enabled`] / [`crate::events_enabled`]);
+/// publishing is unconditional so export-time tooling can inject
+/// synthetic events.
+pub fn publish(
+    name: &'static str,
+    kind: EventKind,
+    track: Track,
+    ts_ns: u64,
+    mut attrs: Vec<Attr>,
+) {
+    if attrs.len() > MAX_ATTRS {
+        TRUNCATED_ATTRS.fetch_add((attrs.len() - MAX_ATTRS) as u64, Ordering::Relaxed);
+        attrs.truncate(MAX_ATTRS);
+    }
+    let tid = thread_id();
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    let per_shard = (capacity_total() / SHARD_COUNT).max(1);
+    let shard = &SHARDS[(tid as usize) % SHARD_COUNT];
+    let mut guard = shard.lock();
+    while guard.ring.len() >= per_shard {
+        guard.ring.pop_front();
+        DROPPED.fetch_add(1, Ordering::Relaxed);
+    }
+    guard.ring.push_back(Event { seq, ts_ns, name, kind, track, tid, attrs });
+}
+
+/// Removes and returns all buffered events, merged into global
+/// publication order.
+pub fn drain() -> Vec<Event> {
+    let mut out: Vec<Event> = Vec::new();
+    for shard in &SHARDS {
+        out.extend(std::mem::take(&mut shard.lock().ring));
+    }
+    out.sort_by_key(|e| e.seq);
+    out
+}
+
+/// Returns a copy of all buffered events without clearing, merged into
+/// global publication order.
+pub fn snapshot() -> Vec<Event> {
+    let mut out: Vec<Event> = Vec::new();
+    for shard in &SHARDS {
+        out.extend(shard.lock().ring.iter().cloned());
+    }
+    out.sort_by_key(|e| e.seq);
+    out
+}
+
+/// Clears all buffered events and the drop counters.
+pub fn clear() {
+    for shard in &SHARDS {
+        shard.lock().ring.clear();
+    }
+    DROPPED.store(0, Ordering::Relaxed);
+    TRUNCATED_ATTRS.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::AttrValue;
+
+    fn attr(key: &'static str, v: u64) -> Attr {
+        Attr { key, value: AttrValue::U64(v) }
+    }
+
+    /// Serialises sink tests against the span tests (which hold the
+    /// level-override lock) so a concurrent `drain` cannot steal their
+    /// events mid-assertion.
+    fn serialized(f: impl FnOnce()) {
+        crate::level::with_level(crate::level::level(), f)
+    }
+
+    #[test]
+    fn publish_drain_orders_by_seq() {
+        serialized(|| {
+        clear();
+        publish("sink_test_a", EventKind::Instant, Track::Host, now_ns(), vec![]);
+        publish("sink_test_b", EventKind::Instant, Track::Host, now_ns(), vec![]);
+        let evs: Vec<_> =
+            drain().into_iter().filter(|e| e.name.starts_with("sink_test_")).collect();
+        assert_eq!(evs.len(), 2);
+        assert!(evs[0].seq < evs[1].seq);
+        assert_eq!(evs[0].name, "sink_test_a");
+        });
+    }
+
+    #[test]
+    fn capacity_bounds_and_counts_drops() {
+        serialized(|| {
+        clear();
+        let saved = capacity();
+        set_capacity(SHARD_COUNT); // one event per shard
+        let before = dropped_events();
+        for _ in 0..5 {
+            publish("sink_cap_test", EventKind::Instant, Track::Host, 0, vec![]);
+        }
+        // This thread maps to one shard with capacity 1: four drops.
+        assert_eq!(dropped_events() - before, 4);
+        let kept: Vec<_> =
+            drain().into_iter().filter(|e| e.name == "sink_cap_test").collect();
+        assert_eq!(kept.len(), 1);
+        set_capacity(saved);
+        });
+    }
+
+    #[test]
+    fn oversized_attr_lists_truncate() {
+        serialized(|| {
+        clear();
+        let attrs: Vec<Attr> = (0..MAX_ATTRS + 3).map(|i| attr("k", i as u64)).collect();
+        let before = truncated_attrs();
+        publish("sink_attr_test", EventKind::Instant, Track::Host, 0, attrs);
+        assert_eq!(truncated_attrs() - before, 3);
+        let ev = drain().into_iter().find(|e| e.name == "sink_attr_test").unwrap();
+        assert_eq!(ev.attrs.len(), MAX_ATTRS);
+        });
+    }
+
+    #[test]
+    fn concurrent_publishes_survive() {
+        serialized(|| {
+        clear();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..50 {
+                        publish("sink_mt_test", EventKind::Instant, Track::Host, now_ns(), vec![]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("no panics");
+        }
+        let n = drain().into_iter().filter(|e| e.name == "sink_mt_test").count();
+        assert_eq!(n, 400);
+        });
+    }
+}

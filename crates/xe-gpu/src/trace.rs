@@ -50,13 +50,19 @@ impl Tracer {
     }
 
     /// Records a kernel of `duration` seconds, advancing the clock.
-    /// Returns the kernel's start timestamp.
+    /// Returns the kernel's start timestamp. When the telemetry level is
+    /// `full` the kernel also lands on the Chrome-trace device track as a
+    /// complete (`X`) slice, mirroring `unitrace -k`'s per-kernel rows.
     pub fn record(&self, name: &'static str, duration: f64) -> f64 {
         assert!(duration >= 0.0 && duration.is_finite(), "bad kernel duration {duration}");
-        let mut inner = self.inner.lock();
-        let start = inner.clock;
-        inner.clock += duration;
-        inner.events.push(KernelEvent { name, start, duration });
+        let start = {
+            let mut inner = self.inner.lock();
+            let start = inner.clock;
+            inner.clock += duration;
+            inner.events.push(KernelEvent { name, start, duration });
+            start
+        };
+        dcmesh_telemetry::device_complete(name, start, duration, Vec::new());
         start
     }
 
@@ -158,6 +164,20 @@ mod tests {
     #[should_panic(expected = "bad kernel duration")]
     fn negative_duration_rejected() {
         Tracer::new().record("x", -1.0);
+    }
+
+    #[test]
+    fn record_emits_device_telemetry_at_full() {
+        use dcmesh_telemetry as telemetry;
+        telemetry::with_level(telemetry::TelemetryLevel::Full, || {
+            telemetry::sink::clear();
+            let t = Tracer::new();
+            t.record("trace_test_kernel", 0.002);
+            let evs = telemetry::sink::drain();
+            let ev = evs.iter().find(|e| e.name == "trace_test_kernel").expect("kernel event");
+            assert_eq!(ev.track, telemetry::Track::Device);
+            assert_eq!(ev.kind, telemetry::EventKind::Complete { dur_ns: 2_000_000 });
+        });
     }
 
     #[test]
