@@ -19,13 +19,27 @@
 //!   now runs, giving an honest `speedup_vs_legacy` for the host-side
 //!   work without timing the (unchanged) FP32 kernel.
 //!
+//! Every `calls[]` row also carries the **modelled device time** for the
+//! full Table VII shape on the `xe-gpu` stack model, plus the modelled
+//! speedup over FP32 — the quantities behind Tables VI/VII.
+//!
 //! Usage: `gemm_hostperf [--k-scale N] [--prep-k N] [--reps N]
 //! [--warmup N] [--out PATH] [--enforce-zero-alloc]`
 //!
 //! `--enforce-zero-alloc` exits non-zero if any steady-state call
 //! allocated — the CI regression gate.
+//!
+//! **`--from-trace events.jsonl`** switches to trace-replay mode: instead
+//! of running the sweep, the per-call attribution table is recomputed
+//! from a telemetry JSONL dump (the `telemetry_check` artifact) through
+//! the `dcmesh-profile` ingester, and every trace-derived mean device
+//! time and speedup is checked against the direct device-model path
+//! within `--tolerance-pct` (default 5%). Exits non-zero on
+//! disagreement, so CI can gate on trace attribution staying honest.
 
 use dcmesh_numerics::{bf16, c32, split, tf32, C32};
+use dcmesh_profile::{ingest, table};
+use mkl_lite::device::{Domain, GemmDesc};
 use mkl_lite::workspace;
 use mkl_lite::{cgemm, sgemm, with_compute_mode, ComputeMode, Op};
 use rand::rngs::StdRng;
@@ -84,6 +98,8 @@ struct Options {
     warmup: usize,
     out: String,
     enforce_zero_alloc: bool,
+    from_trace: Option<String>,
+    tolerance_pct: f64,
 }
 
 fn parse_args() -> Options {
@@ -94,6 +110,8 @@ fn parse_args() -> Options {
         warmup: 2,
         out: "BENCH_gemm.json".to_string(),
         enforce_zero_alloc: false,
+        from_trace: None,
+        tolerance_pct: 5.0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -115,6 +133,19 @@ fn parse_args() -> Options {
                 })
             }
             "--enforce-zero-alloc" => o.enforce_zero_alloc = true,
+            "--from-trace" => {
+                o.from_trace = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("missing value for --from-trace");
+                    std::process::exit(2);
+                }))
+            }
+            "--tolerance-pct" => {
+                o.tolerance_pct =
+                    args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                        eprintln!("missing/invalid value for --tolerance-pct");
+                        std::process::exit(2);
+                    })
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -138,6 +169,85 @@ struct Entry {
     k_measured: usize,
     ns_per_call: f64,
     allocs_per_call: f64,
+    /// Modelled device seconds for the *full* Table VII shape on the
+    /// `xe-gpu` stack model (the Tables VI/VII quantity).
+    modelled_device_s: f64,
+    /// Modelled speedup of this mode over FP32 at the full shape.
+    modelled_speedup_vs_fp32: f64,
+}
+
+/// Element domain of a BLAS routine name, for pricing trace rows.
+fn domain_for(routine: &str) -> Option<Domain> {
+    match routine {
+        "SGEMM" => Some(Domain::Real32),
+        "DGEMM" => Some(Domain::Real64),
+        "CGEMM" => Some(Domain::Complex32),
+        "ZGEMM" => Some(Domain::Complex64),
+        _ => None,
+    }
+}
+
+/// `--from-trace`: recompute the per-call attribution from a telemetry
+/// JSONL dump and check it against the direct device-model path.
+fn run_from_trace(path: &str, tolerance_pct: f64) -> ! {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let trace = ingest::ingest_jsonl(&text);
+    for w in &trace.warnings {
+        eprintln!("trace warning: {w}");
+    }
+    let rows = table::gemm_table(&trace);
+    if rows.is_empty() {
+        eprintln!("no GEMM call spans in {path}");
+        std::process::exit(1);
+    }
+    println!("{}", table::render_gemm_table(&rows));
+
+    let model = xe_gpu::XeStackModel::new(xe_gpu::MAX_1550_STACK);
+    let mut checked = 0u32;
+    let mut problems = 0u32;
+    for r in &rows {
+        let (Some(dev), Some(domain), Ok(mode)) = (
+            r.mean_device_s,
+            domain_for(&r.routine),
+            ComputeMode::from_env_value(&r.mode),
+        ) else {
+            continue;
+        };
+        let (m, n, k) = (r.m as usize, r.n as usize, r.k as usize);
+        let direct = model.gemm_seconds(&GemmDesc { domain, m, n, k, mode });
+        let dev_err = 100.0 * (dev - direct).abs() / direct.max(1e-30);
+        checked += 1;
+        let mut verdicts = format!("device {dev:.3e}s vs model {direct:.3e}s ({dev_err:.2}%)");
+        if dev_err > tolerance_pct {
+            problems += 1;
+        }
+        if let Some(speedup) = r.speedup_vs_fp32 {
+            let direct_speedup = model.gemm_speedup_vs_fp32(domain, m, n, k, mode);
+            let sp_err = 100.0 * (speedup - direct_speedup).abs() / direct_speedup.max(1e-30);
+            verdicts.push_str(&format!(
+                ", speedup {speedup:.2}x vs model {direct_speedup:.2}x ({sp_err:.2}%)"
+            ));
+            if sp_err > tolerance_pct {
+                problems += 1;
+            }
+        }
+        eprintln!("check {} {:>16} ({m}, {n}, {k}): {verdicts}", r.routine, r.mode);
+    }
+    if checked == 0 {
+        eprintln!("no rows carried modelled device times; nothing to check");
+        std::process::exit(1);
+    }
+    if problems > 0 {
+        eprintln!(
+            "from-trace: {problems} disagreement(s) beyond {tolerance_pct}% across {checked} rows"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("from-trace: {checked} rows agree with the direct path within {tolerance_pct}%");
+    std::process::exit(0);
 }
 
 /// Times `reps` steady-state calls of `f` (after `warmup` unmeasured
@@ -263,6 +373,10 @@ fn json_f64(v: f64) -> String {
 
 fn main() {
     let o = parse_args();
+    if let Some(path) = &o.from_trace {
+        run_from_trace(path, o.tolerance_pct);
+    }
+    let model = xe_gpu::XeStackModel::new(xe_gpu::MAX_1550_STACK);
     let mut rng = StdRng::seed_from_u64(0xbea7);
     let mut entries: Vec<Entry> = Vec::new();
     let mut prep_lines: Vec<String> = Vec::new();
@@ -293,6 +407,8 @@ fn main() {
             if allocs > 0.0 {
                 dirty_modes.push(format!("SGEMM/{} ({m},{n},{k_meas})", mode_label(mode)));
             }
+            let desc =
+                GemmDesc { domain: Domain::Real32, m, n, k: TABLE7_K, mode };
             entries.push(Entry {
                 routine: "SGEMM",
                 mode,
@@ -302,6 +418,9 @@ fn main() {
                 k_measured: k_meas,
                 ns_per_call: ns,
                 allocs_per_call: allocs,
+                modelled_device_s: model.gemm_seconds(&desc),
+                modelled_speedup_vs_fp32: model
+                    .gemm_speedup_vs_fp32(Domain::Real32, m, n, TABLE7_K, mode),
             });
         }
     }
@@ -344,6 +463,8 @@ fn main() {
             if allocs > 0.0 {
                 dirty_modes.push(format!("CGEMM/{} ({m},{n},{k_meas})", mode_label(mode)));
             }
+            let desc =
+                GemmDesc { domain: Domain::Complex32, m, n, k: TABLE7_K, mode };
             entries.push(Entry {
                 routine: "CGEMM",
                 mode,
@@ -353,6 +474,9 @@ fn main() {
                 k_measured: k_meas,
                 ns_per_call: ns,
                 allocs_per_call: allocs,
+                modelled_device_s: model.gemm_seconds(&desc),
+                modelled_speedup_vs_fp32: model
+                    .gemm_speedup_vs_fp32(Domain::Complex32, m, n, TABLE7_K, mode),
             });
         }
     }
@@ -430,7 +554,8 @@ fn main() {
             format!(
                 "    {{\"routine\": \"{}\", \"mode\": \"{}\", \"m\": {}, \"n\": {}, \
                  \"k_table7\": {}, \"k_measured\": {}, \"ns_per_call\": {}, \
-                 \"allocs_per_call\": {}}}",
+                 \"allocs_per_call\": {}, \"modelled_device_s\": {:.6e}, \
+                 \"modelled_speedup_vs_fp32\": {:.4}}}",
                 e.routine,
                 mode_label(e.mode),
                 e.m,
@@ -438,7 +563,9 @@ fn main() {
                 e.k_table,
                 e.k_measured,
                 json_f64(e.ns_per_call),
-                e.allocs_per_call
+                e.allocs_per_call,
+                e.modelled_device_s,
+                e.modelled_speedup_vs_fp32
             )
         })
         .collect();

@@ -208,8 +208,23 @@ fn run_trace_check(out_dir: &Path) -> Vec<String> {
     // --- schema checks ---
     match export::parse_jsonl(&jsonl) {
         Ok(lines) => {
-            if lines.len() != events.len() {
-                fail(&mut problems, "JSONL line count != event count".into());
+            // Line 0 is the synthetic `telemetry_meta` instant the
+            // exporter prepends for the profile tooling.
+            if lines.len() != events.len() + 1 {
+                fail(&mut problems, "JSONL line count != event count + meta line".into());
+            }
+            match lines.first() {
+                Some(meta)
+                    if meta.get("name").and_then(JsonValue::as_str) == Some("telemetry_meta") =>
+                {
+                    let args = meta.get("args");
+                    for field in ["run_epoch", "rank", "sample_n"] {
+                        if args.and_then(|a| a.get(field)).is_none() {
+                            fail(&mut problems, format!("telemetry_meta missing {field:?}"));
+                        }
+                    }
+                }
+                _ => fail(&mut problems, "events.jsonl does not start with telemetry_meta".into()),
             }
             for (i, l) in lines.iter().enumerate() {
                 for field in ["seq", "ts_ns", "kind", "name", "track", "tid", "args"] {
@@ -267,6 +282,15 @@ fn run_trace_check(out_dir: &Path) -> Vec<String> {
         || !prom.contains("mkl_pool_bytes_outstanding")
     {
         fail(&mut problems, "metrics.prom missing expected series".into());
+    }
+    // The loss-accounting gauges the profile ingester's coverage
+    // warnings key off must always be present (zero or not).
+    for series in
+        ["telemetry_dropped_events", "telemetry_truncated_attrs", "mkl_verbose_dropped_records"]
+    {
+        if !prom.contains(series) {
+            fail(&mut problems, format!("metrics.prom missing {series}"));
+        }
     }
     problems
 }

@@ -20,7 +20,10 @@
 //! Independently of recording, every call becomes a telemetry span when
 //! the `TELEMETRY` level is `full` (shape/mode attributes on the begin
 //! event; wall time, modelled device time, and pool-traffic deltas on the
-//! end event) and feeds the `mkl_blas_*` metrics at level `events`.
+//! end event) and feeds the `mkl_blas_*` metrics at level `events`. At
+//! level `events` the span stream is **sampled**: 1 call in N
+//! (`TELEMETRY_SAMPLE`, default 16) is recorded with a `sample_weight`
+//! attribute so the `profile` folder can rescale totals.
 
 use crate::config::verbose_level;
 use crate::device::{Domain, GemmDesc};
@@ -101,6 +104,12 @@ static DROPPED_RECORDS: AtomicU64 = AtomicU64::new(0);
 
 /// Enables or disables in-memory call recording.
 pub fn set_recording(on: bool) {
+    if on {
+        // Register the loss gauge up front so a scrape (or the profile
+        // ingester's coverage check) sees an explicit zero rather than a
+        // missing series when nothing has been dropped.
+        dropped_records_gauge().set(DROPPED_RECORDS.load(Ordering::Relaxed) as f64);
+    }
     RECORDING.store(on, Ordering::Release);
 }
 
@@ -139,6 +148,16 @@ pub fn dropped_records() -> u64 {
     DROPPED_RECORDS.load(Ordering::Relaxed)
 }
 
+fn dropped_records_gauge() -> &'static Arc<telemetry::metrics::Gauge> {
+    static G: OnceLock<Arc<telemetry::metrics::Gauge>> = OnceLock::new();
+    G.get_or_init(|| {
+        telemetry::metrics::gauge(
+            "mkl_verbose_dropped_records",
+            "call records discarded because the verbose ring was full",
+        )
+    })
+}
+
 /// Appends a record (called by the GEMM wrappers), evicting the oldest
 /// records beyond the ring capacity.
 pub(crate) fn record(rec: CallRecord) {
@@ -147,11 +166,16 @@ pub(crate) fn record(rec: CallRecord) {
     }
     let cap = record_capacity_total();
     let mut log = LOG.lock();
+    let mut dropped = false;
     while log.len() >= cap {
         log.pop_front();
         DROPPED_RECORDS.fetch_add(1, Ordering::Relaxed);
+        dropped = true;
     }
     log.push_back(rec);
+    if dropped {
+        dropped_records_gauge().set(DROPPED_RECORDS.load(Ordering::Relaxed) as f64);
+    }
 }
 
 /// Removes and returns all recorded calls, oldest first.
@@ -168,6 +192,7 @@ pub fn snapshot() -> Vec<CallRecord> {
 pub fn clear() {
     LOG.lock().clear();
     DROPPED_RECORDS.store(0, Ordering::Relaxed);
+    dropped_records_gauge().set(0.0);
 }
 
 /// Aggregate statistics over a set of call records (per-routine totals, as
@@ -260,7 +285,7 @@ pub(crate) fn logged<R>(
     if !recording() && !events {
         return f();
     }
-    let mut span = telemetry::span(routine);
+    let mut span = telemetry::sampled_span(routine);
     let pool_before = if span.armed() {
         span = span
             .attr("transa", AttrValue::Str(op_str(transa)))

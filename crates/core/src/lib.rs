@@ -57,6 +57,8 @@ pub use error::RunError;
 pub use health::{HealthConfig, HealthMonitor, HealthViolation};
 pub use runner::{
     run_simulation, run_simulation_with_policy, run_with_checkpoints,
-    run_with_checkpoints_crashing, CrashPlan, RunResult,
+    run_with_checkpoints_crashing, CrashPlan, RunResult, DCMESH_RANK_ENV,
 };
-pub use supervisor::{run_supervised, EscalationEvent, SupervisedRun, SupervisorConfig};
+pub use supervisor::{
+    run_supervised, DeescalationEvent, EscalationEvent, SupervisedRun, SupervisorConfig,
+};

@@ -25,6 +25,22 @@ use dcmesh_qxmd::{pto_supercell, AtomicSystem, MdIntegrator};
 use mkl_lite::ComputeMode;
 use std::path::Path;
 
+/// Environment variable carrying this process's rank / divide-and-conquer
+/// domain id. Stamped into the telemetry stream's metadata so the
+/// `profile merge` multi-rank merger can tell the streams apart.
+pub const DCMESH_RANK_ENV: &str = "DCMESH_RANK";
+
+/// Reads `DCMESH_RANK` into the telemetry sink's rank field. Called by
+/// every run entry point; absent or malformed values leave the default
+/// rank 0.
+pub(crate) fn init_rank_from_env() {
+    if let Some(rank) =
+        std::env::var(DCMESH_RANK_ENV).ok().and_then(|s| s.trim().parse::<u64>().ok())
+    {
+        dcmesh_telemetry::sink::set_rank(rank);
+    }
+}
+
 /// Everything a finished run produced.
 #[derive(Clone, Debug)]
 pub struct RunResult {
@@ -223,6 +239,7 @@ pub fn run_simulation_with_policy<T: LfdScalar>(
     policy: &PrecisionPolicy,
 ) -> Result<RunResult, RunError> {
     cfg.validate()?;
+    init_rank_from_env();
     // Fail fast on a malformed MKL_BLAS_COMPUTE_MODE before any state is
     // built — a typo'd mode must be a structured error, not a panic deep
     // inside the first BLAS call.
@@ -309,6 +326,7 @@ pub fn run_with_checkpoints_crashing<T: LfdScalar>(
     use crate::checkpoint::Checkpoint;
 
     cfg.validate()?;
+    init_rank_from_env();
     mkl_lite::try_compute_mode()?;
     let params = cfg.lfd_params();
     params.validate();

@@ -54,6 +54,31 @@ pub fn rollback_counter() -> &'static Arc<dcmesh_telemetry::metrics::Counter> {
     })
 }
 
+/// De-escalations performed across all supervised runs in this process.
+pub fn deescalation_counter() -> &'static Arc<dcmesh_telemetry::metrics::Counter> {
+    static C: OnceLock<Arc<dcmesh_telemetry::metrics::Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        dcmesh_telemetry::metrics::counter(
+            "supervisor_deescalations_total",
+            "precision de-escalations performed by the supervisor",
+        )
+    })
+}
+
+/// Per-burst SCF orthonormality defect, observed in picounits (defect ×
+/// 1e12) so the log₂ buckets resolve the 1e-12…1e-3 range the study
+/// spans. The de-escalation policy reads its own recent window; the
+/// histogram is the cross-run view a Prometheus scrape sees.
+pub fn scf_defect_histogram() -> &'static Arc<dcmesh_telemetry::metrics::Histogram> {
+    static H: OnceLock<Arc<dcmesh_telemetry::metrics::Histogram>> = OnceLock::new();
+    H.get_or_init(|| {
+        dcmesh_telemetry::metrics::histogram(
+            "supervisor_scf_defect_picounits",
+            "per-burst SCF orthonormality defect (defect * 1e12)",
+        )
+    })
+}
+
 /// Supervisor policy knobs.
 #[derive(Clone, Debug)]
 pub struct SupervisorConfig {
@@ -71,6 +96,14 @@ pub struct SupervisorConfig {
     /// the run resumes from the newest loadable checkpoint, exactly as
     /// [`crate::runner::run_with_checkpoints`] does.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Metrics-driven de-escalation: after `Some(n)` consecutive clean
+    /// bursts at an escalated mode — with the per-burst SCF-defect trend
+    /// over those bursts not increasing — the supervisor steps back
+    /// *down* one ladder rung (never below the run's start mode). Any
+    /// rollback resets the streak, so a mode that still misbehaves is
+    /// re-escalated by the ordinary machinery. `None` (the default)
+    /// keeps escalation sticky, the conservative paper-faithful policy.
+    pub deescalate_after: Option<u32>,
 }
 
 impl Default for SupervisorConfig {
@@ -80,6 +113,7 @@ impl Default for SupervisorConfig {
             ladder: ComputeMode::ESCALATION_LADDER.to_vec(),
             max_retries_per_burst: ComputeMode::ESCALATION_LADDER.len() as u32,
             checkpoint_dir: None,
+            deescalate_after: None,
         }
     }
 }
@@ -113,6 +147,32 @@ impl fmt::Display for EscalationEvent {
     }
 }
 
+/// One entry of the de-escalation audit trail.
+#[derive(Clone, Debug)]
+pub struct DeescalationEvent {
+    /// QD step count at the boundary where the step-down happened.
+    pub step: u64,
+    /// Escalated mode being stepped down from.
+    pub from: ComputeMode,
+    /// Weaker mode the next bursts run under.
+    pub to: ComputeMode,
+    /// Clean-burst streak that justified the step-down.
+    pub clean_bursts: u32,
+}
+
+impl fmt::Display for DeescalationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "step {}: {} -> {} after {} clean burst(s)",
+            self.step,
+            self.from.label(),
+            self.to.label(),
+            self.clean_bursts
+        )
+    }
+}
+
 /// A completed supervised run.
 #[derive(Clone, Debug)]
 pub struct SupervisedRun {
@@ -120,6 +180,9 @@ pub struct SupervisedRun {
     pub result: RunResult,
     /// Every escalation that occurred, in order.
     pub escalations: Vec<EscalationEvent>,
+    /// Every de-escalation that occurred, in order (empty unless
+    /// [`SupervisorConfig::deescalate_after`] is set).
+    pub deescalations: Vec<DeescalationEvent>,
     /// The mode the run finished in — `start_mode` if it never
     /// escalated.
     pub final_mode: ComputeMode,
@@ -136,6 +199,7 @@ pub fn run_supervised<T: LfdScalar>(
     sup: &SupervisorConfig,
 ) -> Result<SupervisedRun, RunError> {
     cfg.validate()?;
+    crate::runner::init_rank_from_env();
     mkl_lite::try_compute_mode().map_err(RunError::InvalidComputeMode)?;
     let params = cfg.lfd_params();
     params.validate();
@@ -162,6 +226,10 @@ pub fn run_supervised<T: LfdScalar>(
         RunResult::new(&cfg.label, current, cfg.total_qd_steps / cfg.record_every + 1);
     let mut monitor = HealthMonitor::new(sup.health.clone(), params.n_electrons());
     let mut escalations: Vec<EscalationEvent> = Vec::new();
+    let mut deescalations: Vec<DeescalationEvent> = Vec::new();
+    // Per-burst SCF defects observed since the last rollback or mode
+    // change — the window the de-escalation trend check reads.
+    let mut clean_defects: Vec<f64> = Vec::new();
     let mut last_nexc = 0.0f64;
 
     while steps_done < cfg.total_qd_steps {
@@ -202,6 +270,7 @@ pub fn run_supervised<T: LfdScalar>(
                     mark.restore(&mut result);
                     md = MdIntegrator::new(&system, md_dt, cfg.ehrenfest_softening);
                     monitor.reset();
+                    clean_defects.clear();
                     rollback_counter().inc();
                     dcmesh_telemetry::instant(
                         "rollback",
@@ -267,6 +336,49 @@ pub fn run_supervised<T: LfdScalar>(
             }
         }
 
+        // The burst completed cleanly: feed the SCF-defect histogram and
+        // the de-escalation policy.
+        let defect = result.scf_drift.last().copied().unwrap_or(0.0);
+        scf_defect_histogram().observe((defect.max(0.0) * 1e12) as u64);
+        if let Some(next) = consider_deescalation(sup, start_mode, current, defect, &mut clean_defects)
+        {
+            deescalation_counter().inc();
+            let n = sup.deescalate_after.unwrap_or(0);
+            dcmesh_telemetry::instant(
+                "deescalation",
+                vec![
+                    dcmesh_telemetry::Attr {
+                        key: "step",
+                        value: dcmesh_telemetry::AttrValue::U64(steps_done as u64),
+                    },
+                    dcmesh_telemetry::Attr {
+                        key: "from",
+                        value: dcmesh_telemetry::AttrValue::Str(
+                            current.env_value().unwrap_or("STANDARD"),
+                        ),
+                    },
+                    dcmesh_telemetry::Attr {
+                        key: "to",
+                        value: dcmesh_telemetry::AttrValue::Str(
+                            next.env_value().unwrap_or("STANDARD"),
+                        ),
+                    },
+                    dcmesh_telemetry::Attr {
+                        key: "clean_bursts",
+                        value: dcmesh_telemetry::AttrValue::U64(n as u64),
+                    },
+                ],
+            );
+            deescalations.push(DeescalationEvent {
+                step: steps_done as u64,
+                from: current,
+                to: next,
+                clean_bursts: n,
+            });
+            current = next;
+            clean_defects.clear();
+        }
+
         if let Some(dir) = &sup.checkpoint_dir {
             let ck = Checkpoint {
                 state: state.clone(),
@@ -284,7 +396,45 @@ pub fn run_supervised<T: LfdScalar>(
         }
     }
 
-    Ok(SupervisedRun { result, escalations, final_mode: current })
+    Ok(SupervisedRun { result, escalations, deescalations, final_mode: current })
+}
+
+/// Decides whether the supervisor should step down one ladder rung after
+/// a clean burst. Pushes `defect` into the streak window and, once the
+/// streak reaches [`SupervisorConfig::deescalate_after`] with a
+/// non-increasing defect trend (last ≤ 1.1 × first of the window), picks
+/// the strongest ladder mode strictly weaker than `current` but no
+/// weaker than `start_mode`.
+fn consider_deescalation(
+    sup: &SupervisorConfig,
+    start_mode: ComputeMode,
+    current: ComputeMode,
+    defect: f64,
+    clean_defects: &mut Vec<f64>,
+) -> Option<ComputeMode> {
+    let n = sup.deescalate_after? as usize;
+    if current.escalation_rank() <= start_mode.escalation_rank() {
+        clean_defects.clear();
+        return None;
+    }
+    clean_defects.push(defect);
+    if clean_defects.len() < n.max(1) {
+        return None;
+    }
+    let window = &clean_defects[clean_defects.len() - n.max(1)..];
+    let first = window.first().copied().unwrap_or(0.0);
+    let last = window.last().copied().unwrap_or(0.0);
+    if last > first * 1.1 + f64::EPSILON {
+        return None; // defect is trending up: hold the strong mode
+    }
+    sup.ladder
+        .iter()
+        .copied()
+        .filter(|m| {
+            m.escalation_rank() < current.escalation_rank()
+                && m.escalation_rank() >= start_mode.escalation_rank()
+        })
+        .max_by_key(|m| m.escalation_rank())
 }
 
 #[cfg(test)]

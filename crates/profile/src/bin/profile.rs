@@ -1,0 +1,185 @@
+//! `profile`: trace analysis CLI over `events.jsonl` telemetry dumps.
+//!
+//! ```text
+//! profile flame  <events.jsonl> [--root NAME] [--by-mode] [--by-shape]
+//!                [--svg PATH] [--ansi] [--folded PATH] [--metrics PATH]
+//! profile table  <events.jsonl> [--json PATH] [--metrics PATH]
+//! profile fold   <events.jsonl> [--root NAME] [--by-mode] [--by-shape]
+//! profile merge  <a.jsonl> <b.jsonl> [...] --out merged.json
+//! ```
+//!
+//! `flame` writes a self-contained SVG (`--svg`) and/or an ANSI terminal
+//! flamegraph (`--ansi`); with neither flag it prints collapsed stacks to
+//! stdout (inferno-compatible). `table` prints the per-(routine, mode,
+//! shape) GEMM attribution table and the per-phase table; `--json` also
+//! writes the machine-readable GEMM rows. `merge` joins several ranks'
+//! dumps into one Chrome trace with per-rank pids and epoch-aligned
+//! clocks. All subcommands print ingestion/coverage warnings to stderr;
+//! `--metrics metrics.prom` adds producer-side drop counters to that
+//! check.
+
+use dcmesh_profile::{flame, fold, ingest, merge, table};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  profile flame  <events.jsonl> [--root NAME] [--by-mode] [--by-shape] \
+         [--svg PATH] [--ansi] [--folded PATH] [--metrics PATH]\n  profile table  \
+         <events.jsonl> [--json PATH] [--metrics PATH]\n  profile fold   <events.jsonl> \
+         [--root NAME] [--by-mode] [--by-shape]\n  profile merge  <a.jsonl> <b.jsonl> [...] \
+         --out merged.json"
+    );
+    ExitCode::from(2)
+}
+
+fn read(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("profile: cannot read {path}: {e}");
+        ExitCode::from(1)
+    })
+}
+
+fn write(path: &str, content: &str) -> Result<(), ExitCode> {
+    std::fs::write(path, content).map_err(|e| {
+        eprintln!("profile: cannot write {path}: {e}");
+        ExitCode::from(1)
+    })
+}
+
+/// Pulls `--flag VALUE` out of `args`, if present.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        return None;
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+/// Pulls a bare `--flag` out of `args`.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
+fn ingest_with_warnings(
+    input: &str,
+    metrics_path: Option<String>,
+) -> Result<ingest::Trace, ExitCode> {
+    let trace = ingest::ingest_jsonl(&read(input)?);
+    let prom = match metrics_path {
+        Some(p) => Some(read(&p)?),
+        None => None,
+    };
+    for w in ingest::coverage_warnings(&trace, prom.as_deref()) {
+        eprintln!("profile: warning: {w}");
+    }
+    Ok(trace)
+}
+
+fn fold_opts(args: &mut Vec<String>) -> fold::FoldOptions {
+    fold::FoldOptions {
+        root: take_value(args, "--root"),
+        by_mode: take_flag(args, "--by-mode"),
+        by_shape: take_flag(args, "--by-shape"),
+    }
+}
+
+fn cmd_flame(mut args: Vec<String>) -> Result<(), ExitCode> {
+    let svg_path = take_value(&mut args, "--svg");
+    let folded_path = take_value(&mut args, "--folded");
+    let metrics = take_value(&mut args, "--metrics");
+    let ansi = take_flag(&mut args, "--ansi");
+    let opts = fold_opts(&mut args);
+    let [input] = args.as_slice() else { return Err(usage()) };
+
+    let trace = ingest_with_warnings(input, metrics)?;
+    let folded = fold::fold(&trace, &opts);
+    if folded.lines.is_empty() {
+        eprintln!("profile: warning: no spans folded (empty trace or --root matched nothing)");
+    }
+    let tree = flame::build_tree(&folded);
+    let title = match &opts.root {
+        Some(r) => format!("{input} (root: {r})"),
+        None => input.clone(),
+    };
+    if let Some(p) = &svg_path {
+        write(p, &flame::render_svg(&tree, &title))?;
+        eprintln!("profile: wrote {p} ({:.3} ms total)", tree.total_ns / 1e6);
+    }
+    if let Some(p) = &folded_path {
+        write(p, &folded.to_collapsed())?;
+    }
+    if ansi {
+        print!("{}", flame::render_ansi(&tree));
+    } else if svg_path.is_none() && folded_path.is_none() {
+        print!("{}", folded.to_collapsed());
+    }
+    Ok(())
+}
+
+fn cmd_table(mut args: Vec<String>) -> Result<(), ExitCode> {
+    let json_path = take_value(&mut args, "--json");
+    let metrics = take_value(&mut args, "--metrics");
+    let [input] = args.as_slice() else { return Err(usage()) };
+
+    let trace = ingest_with_warnings(input, metrics)?;
+    let rows = table::gemm_table(&trace);
+    println!("== BLAS calls by (routine, mode, shape) — speedup vs FP32 ==");
+    print!("{}", table::render_gemm_table(&rows));
+    let phases = table::phase_table(&trace);
+    if !phases.is_empty() {
+        println!("\n== Phase wall time by enclosing burst mode ==");
+        print!("{}", table::render_phase_table(&phases));
+    }
+    if let Some(p) = &json_path {
+        write(p, &table::gemm_table_json(&rows))?;
+        eprintln!("profile: wrote {p} ({} rows)", rows.len());
+    }
+    Ok(())
+}
+
+fn cmd_fold(mut args: Vec<String>) -> Result<(), ExitCode> {
+    let opts = fold_opts(&mut args);
+    let [input] = args.as_slice() else { return Err(usage()) };
+    let trace = ingest_with_warnings(input, None)?;
+    print!("{}", fold::fold(&trace, &opts).to_collapsed());
+    Ok(())
+}
+
+fn cmd_merge(mut args: Vec<String>) -> Result<(), ExitCode> {
+    let Some(out) = take_value(&mut args, "--out") else { return Err(usage()) };
+    if args.is_empty() {
+        return Err(usage());
+    }
+    let texts: Vec<String> = args.iter().map(|p| read(p)).collect::<Result<_, _>>()?;
+    let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+    write(&out, &merge::merge_jsonl(&refs))?;
+    eprintln!("profile: merged {} stream(s) into {out}", refs.len());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        return usage();
+    }
+    let cmd = argv.remove(0);
+    let result = match cmd.as_str() {
+        "flame" => cmd_flame(argv),
+        "table" => cmd_table(argv),
+        "fold" => cmd_fold(argv),
+        "merge" => cmd_merge(argv),
+        _ => Err(usage()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(code) => code,
+    }
+}

@@ -1,0 +1,256 @@
+//! Flamegraph rendering from folded stacks.
+//!
+//! Two self-contained renderers, no external tooling required:
+//!
+//! * [`render_svg`] — a static SVG in the classic flamegraph layout
+//!   (root at the bottom, callees stacked upward, width ∝ inclusive
+//!   time). Every rect carries a `<title>` tooltip with the exact
+//!   nanosecond total and percentage, so the file is explorable in any
+//!   browser without JavaScript.
+//! * [`render_ansi`] — a terminal rendering: one line per frame,
+//!   depth-indented, with a 256-colour bar scaled to the frame's share
+//!   of the root.
+//!
+//! Both render the same [`Frame`] tree built by [`build_tree`] from a
+//! [`Folded`] set, so the folded text, the SVG, and the terminal view
+//! always agree on totals.
+
+use crate::fold::Folded;
+use std::collections::BTreeMap;
+
+/// One node of the flame tree.
+#[derive(Clone, Debug, Default)]
+pub struct Frame {
+    /// Frame label.
+    pub name: String,
+    /// Weighted self nanoseconds attributed directly to this frame.
+    pub self_ns: f64,
+    /// Weighted inclusive nanoseconds (self + children).
+    pub total_ns: f64,
+    /// Child frames by label.
+    pub children: BTreeMap<String, Frame>,
+}
+
+impl Frame {
+    /// Depth of the subtree rooted here (a leaf is 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.values().map(Frame::depth).max().unwrap_or(0)
+    }
+}
+
+/// Builds the flame tree from folded stacks. The returned root is the
+/// synthetic `all` frame whose total is the folded grand total.
+pub fn build_tree(folded: &Folded) -> Frame {
+    let mut root = Frame { name: "all".to_string(), ..Default::default() };
+    for (stack, ns) in &folded.lines {
+        let mut node = &mut root;
+        node.total_ns += ns;
+        for part in stack.split(';') {
+            node = node
+                .children
+                .entry(part.to_string())
+                .or_insert_with(|| Frame { name: part.to_string(), ..Default::default() });
+            node.total_ns += ns;
+        }
+        node.self_ns += ns;
+    }
+    root
+}
+
+/// Deterministic warm colour for a frame name (flamegraph convention:
+/// reds/oranges/yellows, hashed so the same frame keeps its colour across
+/// renders).
+fn color(name: &str) -> (u8, u8, u8) {
+    let mut h: u32 = 2166136261;
+    for b in name.bytes() {
+        h = (h ^ b as u32).wrapping_mul(16777619);
+    }
+    let r = 205 + (h % 50) as u8;
+    let g = 80 + ((h >> 8) % 150) as u8;
+    let b = ((h >> 16) % 55) as u8;
+    (r, g, b)
+}
+
+const ROW_H: f64 = 17.0;
+const WIDTH: f64 = 1200.0;
+const PAD: f64 = 10.0;
+/// Approximate character width of the 12px monospace labels.
+const CHAR_W: f64 = 7.2;
+
+fn svg_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+fn svg_frame(
+    out: &mut String,
+    frame: &Frame,
+    x: f64,
+    depth: usize,
+    max_depth: usize,
+    scale: f64,
+    root_total: f64,
+) {
+    let w = frame.total_ns * scale;
+    if w < 0.3 {
+        return;
+    }
+    // Root at the bottom, callees stacked upward.
+    let y = PAD + (max_depth - depth) as f64 * ROW_H;
+    let (r, g, b) = color(&frame.name);
+    let pct = 100.0 * frame.total_ns / root_total.max(1.0);
+    let title = format!(
+        "{} — {:.3} ms ({:.2}%)",
+        svg_escape(&frame.name),
+        frame.total_ns / 1e6,
+        pct
+    );
+    out.push_str(&format!(
+        "<g><title>{title}</title><rect x=\"{x:.2}\" y=\"{y:.1}\" width=\"{w:.2}\" \
+         height=\"{:.1}\" fill=\"rgb({r},{g},{b})\" rx=\"2\"/>",
+        ROW_H - 1.0
+    ));
+    let max_chars = ((w - 6.0) / CHAR_W) as usize;
+    if max_chars >= 3 {
+        let label: String = if frame.name.chars().count() <= max_chars {
+            frame.name.clone()
+        } else {
+            let head: String = frame.name.chars().take(max_chars.saturating_sub(2)).collect();
+            format!("{head}..")
+        };
+        out.push_str(&format!(
+            "<text x=\"{:.2}\" y=\"{:.1}\" font-size=\"12\" font-family=\"monospace\">{}</text>",
+            x + 3.0,
+            y + ROW_H - 5.0,
+            svg_escape(&label)
+        ));
+    }
+    out.push_str("</g>\n");
+    let mut cx = x;
+    for child in frame.children.values() {
+        svg_frame(out, child, cx, depth + 1, max_depth, scale, root_total);
+        cx += child.total_ns * scale;
+    }
+}
+
+/// Renders the flame tree as a self-contained SVG document.
+pub fn render_svg(root: &Frame, title: &str) -> String {
+    let max_depth = root.depth().saturating_sub(1).max(1);
+    let height = PAD * 2.0 + (max_depth + 1) as f64 * ROW_H + 24.0;
+    let scale = if root.total_ns > 0.0 { (WIDTH - 2.0 * PAD) / root.total_ns } else { 0.0 };
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {WIDTH} {height:.0}\">\n\
+         <rect width=\"100%\" height=\"100%\" fill=\"#fdf6e3\"/>\n\
+         <text x=\"{PAD}\" y=\"{:.0}\" font-size=\"14\" font-family=\"monospace\">{} — \
+         total {:.3} ms</text>\n",
+        height - 8.0,
+        svg_escape(title),
+        root.total_ns / 1e6
+    ));
+    svg_frame(&mut out, root, PAD, 0, max_depth, scale, root.total_ns);
+    out.push_str("</svg>\n");
+    out
+}
+
+fn ansi_frame(out: &mut String, frame: &Frame, depth: usize, root_total: f64, bar_w: usize) {
+    let pct = 100.0 * frame.total_ns / root_total.max(1.0);
+    if pct < 0.05 {
+        return;
+    }
+    let filled = ((pct / 100.0) * bar_w as f64).round() as usize;
+    let (r, g, b) = color(&frame.name);
+    out.push_str(&format!(
+        "{:indent$}\x1b[38;2;{r};{g};{b}m{:<bar$}\x1b[0m {:>6.2}% {:>10.3} ms  {}\n",
+        "",
+        "█".repeat(filled.max(1).min(bar_w)),
+        pct,
+        frame.total_ns / 1e6,
+        frame.name,
+        indent = depth * 2,
+        bar = bar_w.saturating_sub(depth * 2).max(1),
+    ));
+    // Largest children first, the terminal-friendly reading order.
+    let mut kids: Vec<&Frame> = frame.children.values().collect();
+    kids.sort_by(|a, b| b.total_ns.partial_cmp(&a.total_ns).unwrap_or(std::cmp::Ordering::Equal));
+    for child in kids {
+        ansi_frame(out, child, depth + 1, root_total, bar_w);
+    }
+}
+
+/// Renders the flame tree for a terminal: depth-indented frames with
+/// truecolour bars proportional to their share of the root.
+pub fn render_ansi(root: &Frame) -> String {
+    let mut out = String::new();
+    ansi_frame(&mut out, root, 0, root.total_ns, 32);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fold::Folded;
+
+    fn folded() -> Folded {
+        let mut f = Folded::default();
+        f.lines.insert("burst".to_string(), 100.0);
+        f.lines.insert("burst;qd_step".to_string(), 300.0);
+        f.lines.insert("burst;qd_step;CGEMM".to_string(), 600.0);
+        f
+    }
+
+    #[test]
+    fn tree_totals_are_inclusive() {
+        let root = build_tree(&folded());
+        assert_eq!(root.total_ns, 1000.0);
+        let burst = &root.children["burst"];
+        assert_eq!(burst.total_ns, 1000.0);
+        assert_eq!(burst.self_ns, 100.0);
+        let step = &burst.children["qd_step"];
+        assert_eq!(step.total_ns, 900.0);
+        assert_eq!(step.children["CGEMM"].total_ns, 600.0);
+        assert_eq!(root.depth(), 4);
+    }
+
+    #[test]
+    fn svg_contains_all_frames_and_is_well_formed() {
+        let root = build_tree(&folded());
+        let svg = render_svg(&root, "test flame");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        for name in ["burst", "qd_step", "CGEMM"] {
+            assert!(svg.contains(name), "missing {name}");
+        }
+        assert_eq!(svg.matches("<g>").count(), svg.matches("</g>").count());
+        assert!(svg.contains("total 0.001 ms"));
+    }
+
+    #[test]
+    fn svg_escapes_markup_in_names() {
+        let mut f = Folded::default();
+        f.lines.insert("a<b>&\"c\"".to_string(), 10.0);
+        let svg = render_svg(&build_tree(&f), "t");
+        assert!(!svg.contains("a<b>"));
+        assert!(svg.contains("a&lt;b&gt;&amp;&quot;c&quot;"));
+    }
+
+    #[test]
+    fn ansi_orders_children_by_weight() {
+        let root = build_tree(&folded());
+        let text = render_ansi(&root);
+        let all_pos = text.find("all").unwrap();
+        let burst_pos = text.find("burst").unwrap();
+        let gemm_pos = text.find("CGEMM").unwrap();
+        assert!(all_pos < burst_pos && burst_pos < gemm_pos);
+        assert!(text.contains("100.00%"));
+    }
+
+    #[test]
+    fn empty_fold_renders_without_panic() {
+        let root = build_tree(&Folded::default());
+        assert_eq!(root.total_ns, 0.0);
+        let svg = render_svg(&root, "empty");
+        assert!(svg.contains("</svg>"));
+        let _ = render_ansi(&root);
+    }
+}

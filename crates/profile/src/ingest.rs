@@ -1,0 +1,456 @@
+//! JSONL trace ingestion: events back into a validated span forest.
+//!
+//! The telemetry exporter writes one JSON object per line ([`export::jsonl`]):
+//! a `telemetry_meta` header (run epoch, rank, sampling interval) followed
+//! by `B`/`E` span pairs, `i` instants, and `X` device slices. Real dumps
+//! are imperfect — the sink ring drops the oldest events under pressure and
+//! a crashed run truncates the tail mid-span — so ingestion is **tolerant**:
+//!
+//! * a line that fails to parse is counted and skipped (truncated tails);
+//! * an `E` with no matching open `B` is counted as an orphan;
+//! * an `E` that matches a deeper frame closes the intervening frames at
+//!   the same timestamp and marks them truncated (their own `E`s were
+//!   dropped);
+//! * frames still open at end-of-stream are closed at the last observed
+//!   timestamp and marked truncated.
+//!
+//! Every reconstructed [`Span`] carries its ancestor path (so folding is a
+//! string join), its `sample_weight` (1 when unsampled), and its **self
+//! time** (duration minus children), computed incrementally during the
+//! stack replay.
+
+use dcmesh_telemetry::json::{self, JsonValue};
+use std::collections::BTreeMap;
+
+/// Stream metadata from the `telemetry_meta` header line.
+#[derive(Clone, Debug, Default)]
+pub struct Meta {
+    /// Wall-clock UNIX ns of the producer's telemetry epoch (`ts_ns` zero).
+    pub run_epoch_unix_ns: u64,
+    /// Producing process's rank / divide-and-conquer domain id.
+    pub rank: u64,
+    /// Sampling interval N the producer used for call spans.
+    pub sample_n: u64,
+    /// False when the stream had no `telemetry_meta` line (legacy dump).
+    pub present: bool,
+}
+
+/// One reconstructed host span.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Span name (`burst`, `qd_step`, `CGEMM`, ...).
+    pub name: String,
+    /// Telemetry thread id of the recording thread.
+    pub tid: u64,
+    /// Begin timestamp (ns since the producer's epoch).
+    pub start_ns: u64,
+    /// End timestamp.
+    pub end_ns: u64,
+    /// Ancestor names, root first, excluding this span.
+    pub stack: Vec<String>,
+    /// Sampling weight: the producer's 1-in-N interval, 1 when unsampled.
+    pub weight: f64,
+    /// Begin and end attributes, merged (end wins on key collision).
+    pub attrs: BTreeMap<String, JsonValue>,
+    /// Nanoseconds not covered by child spans.
+    pub self_ns: u64,
+    /// True when the matching `E` was missing (dropped or truncated).
+    pub truncated: bool,
+}
+
+impl Span {
+    /// Inclusive duration in nanoseconds.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Numeric attribute, if present.
+    pub fn attr_f64(&self, key: &str) -> Option<f64> {
+        self.attrs.get(key).and_then(JsonValue::as_f64)
+    }
+
+    /// String attribute, if present.
+    pub fn attr_str(&self, key: &str) -> Option<&str> {
+        self.attrs.get(key).and_then(JsonValue::as_str)
+    }
+}
+
+/// One instant (`i`) event.
+#[derive(Clone, Debug)]
+pub struct InstantEvent {
+    /// Event name (`escalation`, `rollback`, ...).
+    pub name: String,
+    /// Timestamp (ns since epoch).
+    pub ts_ns: u64,
+    /// Recording thread.
+    pub tid: u64,
+    /// Event attributes.
+    pub attrs: BTreeMap<String, JsonValue>,
+}
+
+/// One device-track complete (`X`) slice.
+#[derive(Clone, Debug)]
+pub struct DeviceSlice {
+    /// Kernel name.
+    pub name: String,
+    /// Start on the simulated device clock (ns).
+    pub start_ns: u64,
+    /// Modelled duration (ns).
+    pub dur_ns: u64,
+    /// Slice attributes.
+    pub attrs: BTreeMap<String, JsonValue>,
+}
+
+/// A fully ingested trace.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Stream metadata (default/absent for legacy dumps).
+    pub meta: Meta,
+    /// Reconstructed host spans, in close order.
+    pub spans: Vec<Span>,
+    /// Instant events in stream order.
+    pub instants: Vec<InstantEvent>,
+    /// Device-track slices in stream order.
+    pub device: Vec<DeviceSlice>,
+    /// Human-readable ingestion warnings (coverage, recovery actions).
+    pub warnings: Vec<String>,
+    /// Lines that failed to parse as JSON.
+    pub skipped_lines: u64,
+    /// `E` events with no open frame to close.
+    pub orphan_ends: u64,
+    /// Spans closed without their own `E` (dropped events or truncation).
+    pub truncated_spans: u64,
+}
+
+impl Trace {
+    /// Spans named `name`.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Span> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+}
+
+/// An open frame during stack replay.
+struct OpenFrame {
+    name: String,
+    start_ns: u64,
+    weight: f64,
+    attrs: BTreeMap<String, JsonValue>,
+    /// Sum of direct children's inclusive durations.
+    children_ns: u64,
+}
+
+fn attrs_of(row: &JsonValue) -> BTreeMap<String, JsonValue> {
+    match row.get("args") {
+        Some(JsonValue::Object(m)) => m.clone(),
+        _ => BTreeMap::new(),
+    }
+}
+
+/// Parses a Prometheus text dump and returns the value of `series`
+/// (first sample wins), if present.
+pub fn prom_value(dump: &str, series: &str) -> Option<f64> {
+    dump.lines()
+        .filter(|l| !l.starts_with('#'))
+        .filter_map(|l| {
+            let (name, value) = l.split_once(' ')?;
+            (name == series || name.starts_with(&format!("{series}{{")))
+                .then(|| value.trim().parse::<f64>().ok())
+                .flatten()
+        })
+        .next()
+}
+
+/// Ingests a JSONL event dump. Never fails: malformed input degrades into
+/// counted warnings rather than errors, because a truncated trace from a
+/// crashed run is exactly what one most wants to profile.
+pub fn ingest_jsonl(text: &str) -> Trace {
+    let mut trace = Trace::default();
+    // Per-tid stacks of open frames.
+    let mut stacks: BTreeMap<u64, Vec<OpenFrame>> = BTreeMap::new();
+    let mut last_ts: u64 = 0;
+
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let row = match json::parse(line) {
+            Ok(v) => v,
+            Err(_) => {
+                trace.skipped_lines += 1;
+                continue;
+            }
+        };
+        let name = row.get("name").and_then(JsonValue::as_str).unwrap_or("").to_string();
+        let kind = row.get("kind").and_then(JsonValue::as_str).unwrap_or("");
+        let ts_ns = row.get("ts_ns").and_then(JsonValue::as_f64).unwrap_or(0.0) as u64;
+        let tid = row.get("tid").and_then(JsonValue::as_f64).unwrap_or(0.0) as u64;
+        let track = row.get("track").and_then(JsonValue::as_str).unwrap_or("host");
+        let attrs = attrs_of(&row);
+
+        if name == "telemetry_meta" {
+            trace.meta = Meta {
+                run_epoch_unix_ns: attrs
+                    .get("run_epoch")
+                    .and_then(JsonValue::as_f64)
+                    .unwrap_or(0.0) as u64,
+                rank: attrs.get("rank").and_then(JsonValue::as_f64).unwrap_or(0.0) as u64,
+                sample_n: attrs.get("sample_n").and_then(JsonValue::as_f64).unwrap_or(1.0)
+                    as u64,
+                present: true,
+            };
+            continue;
+        }
+        if track == "host" {
+            last_ts = last_ts.max(ts_ns);
+        }
+
+        match kind {
+            "B" => {
+                let weight = attrs
+                    .get("sample_weight")
+                    .and_then(JsonValue::as_f64)
+                    .filter(|w| *w >= 1.0)
+                    .unwrap_or(1.0);
+                stacks.entry(tid).or_default().push(OpenFrame {
+                    name,
+                    start_ns: ts_ns,
+                    weight,
+                    attrs,
+                    children_ns: 0,
+                });
+            }
+            "E" => {
+                let stack = stacks.entry(tid).or_default();
+                match stack.iter().rposition(|f| f.name == name) {
+                    None => trace.orphan_ends += 1,
+                    Some(pos) => {
+                        // Frames above `pos` lost their own E events: close
+                        // them at this timestamp, innermost first.
+                        while stack.len() > pos + 1 {
+                            close_frame(&mut trace, stack, tid, ts_ns, BTreeMap::new(), true);
+                        }
+                        close_frame(&mut trace, stack, tid, ts_ns, attrs, false);
+                    }
+                }
+            }
+            "i" => trace.instants.push(InstantEvent { name, ts_ns, tid, attrs }),
+            "X" => {
+                let dur_ns =
+                    row.get("dur_ns").and_then(JsonValue::as_f64).unwrap_or(0.0) as u64;
+                trace.device.push(DeviceSlice { name, start_ns: ts_ns, dur_ns, attrs });
+            }
+            _ => trace.skipped_lines += 1,
+        }
+    }
+
+    // Close whatever survives to end-of-stream as truncated.
+    for (&tid, stack) in stacks.iter_mut() {
+        while !stack.is_empty() {
+            close_frame(&mut trace, stack, tid, last_ts, BTreeMap::new(), true);
+        }
+    }
+
+    if trace.skipped_lines > 0 {
+        trace
+            .warnings
+            .push(format!("{} malformed line(s) skipped (truncated dump?)", trace.skipped_lines));
+    }
+    if trace.orphan_ends > 0 {
+        trace.warnings.push(format!(
+            "{} span end(s) had no matching begin (ring dropped the begins)",
+            trace.orphan_ends
+        ));
+    }
+    if trace.truncated_spans > 0 {
+        trace.warnings.push(format!(
+            "{} span(s) closed without their end event (dropped or truncated)",
+            trace.truncated_spans
+        ));
+    }
+    if !trace.meta.present {
+        trace.warnings.push(
+            "no telemetry_meta header: rank defaults to 0 and clocks cannot be aligned"
+                .to_string(),
+        );
+    }
+    trace
+}
+
+/// Pops the innermost open frame on `stack` into `trace.spans`.
+fn close_frame(
+    trace: &mut Trace,
+    stack: &mut Vec<OpenFrame>,
+    tid: u64,
+    end_ns: u64,
+    end_attrs: BTreeMap<String, JsonValue>,
+    truncated: bool,
+) {
+    let frame = stack.pop().expect("caller checked non-empty");
+    let dur = end_ns.saturating_sub(frame.start_ns);
+    if let Some(parent) = stack.last_mut() {
+        parent.children_ns += dur;
+    }
+    let mut attrs = frame.attrs;
+    attrs.extend(end_attrs);
+    if truncated {
+        trace.truncated_spans += 1;
+    }
+    trace.spans.push(Span {
+        name: frame.name,
+        tid,
+        start_ns: frame.start_ns,
+        end_ns,
+        stack: stack.iter().map(|f| f.name.clone()).collect(),
+        weight: frame.weight,
+        attrs,
+        self_ns: dur.saturating_sub(frame.children_ns),
+        truncated,
+    });
+}
+
+/// Coverage diagnostics combining the ingested stream's own counters with
+/// the producer-side drop counters from a `metrics.prom` dump, when one is
+/// available next to the trace.
+pub fn coverage_warnings(trace: &Trace, metrics_prom: Option<&str>) -> Vec<String> {
+    let mut out = trace.warnings.clone();
+    if let Some(dump) = metrics_prom {
+        for (series, what) in [
+            ("telemetry_dropped_events", "sink ring dropped event(s)"),
+            ("telemetry_truncated_attrs", "attribute(s) were truncated"),
+            ("mkl_verbose_dropped_records", "verbose call record(s) dropped"),
+        ] {
+            if let Some(v) = prom_value(dump, series) {
+                if v > 0.0 {
+                    out.push(format!(
+                        "producer reported {v} {what} ({series}); totals underestimate the run"
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(seq: u64, kind: &str, name: &str, ts: u64, extra: &str) -> String {
+        format!(
+            "{{\"seq\":{seq},\"ts_ns\":{ts},\"kind\":\"{kind}\",\"name\":\"{name}\",\
+             \"track\":\"host\",\"tid\":0,\"args\":{{{extra}}}}}"
+        )
+    }
+
+    #[test]
+    fn balanced_stream_reconstructs_forest() {
+        let text = [
+            line(0, "B", "burst", 0, "\"mode\":\"STANDARD\""),
+            line(1, "B", "qd_step", 10, ""),
+            line(2, "B", "CGEMM", 20, "\"m\":8"),
+            line(3, "E", "CGEMM", 30, "\"wall_s\":0.5"),
+            line(4, "E", "qd_step", 90, ""),
+            line(5, "E", "burst", 100, ""),
+        ]
+        .join("\n");
+        let t = ingest_jsonl(&text);
+        assert_eq!(t.spans.len(), 3);
+        let gemm = t.spans_named("CGEMM").next().unwrap();
+        assert_eq!(gemm.stack, vec!["burst".to_string(), "qd_step".to_string()]);
+        assert_eq!(gemm.dur_ns(), 10);
+        assert_eq!(gemm.attr_f64("m"), Some(8.0));
+        assert_eq!(gemm.attr_f64("wall_s"), Some(0.5), "end attrs merged in");
+        let step = t.spans_named("qd_step").next().unwrap();
+        assert_eq!(step.self_ns, 80 - 10, "self excludes the CGEMM child");
+        let burst = t.spans_named("burst").next().unwrap();
+        assert_eq!(burst.self_ns, 100 - 80);
+        assert_eq!(t.truncated_spans, 0);
+        assert!(t.warnings.iter().any(|w| w.contains("telemetry_meta")), "{:?}", t.warnings);
+    }
+
+    #[test]
+    fn truncated_tail_closes_open_spans() {
+        let text = [
+            line(0, "B", "burst", 0, ""),
+            line(1, "B", "qd_step", 10, ""),
+            "{\"seq\":2,\"ts_ns\":20,\"ki".to_string(), // torn final line
+        ]
+        .join("\n");
+        let t = ingest_jsonl(&text);
+        assert_eq!(t.skipped_lines, 1);
+        assert_eq!(t.spans.len(), 2);
+        assert!(t.spans.iter().all(|s| s.truncated));
+        assert!(t.spans.iter().all(|s| s.end_ns == 10), "closed at last seen ts");
+    }
+
+    #[test]
+    fn dropped_begin_counts_orphan_end() {
+        let text = [line(5, "E", "CGEMM", 50, ""), line(6, "B", "x", 60, ""), line(7, "E", "x", 70, "")]
+            .join("\n");
+        let t = ingest_jsonl(&text);
+        assert_eq!(t.orphan_ends, 1);
+        assert_eq!(t.spans.len(), 1);
+    }
+
+    #[test]
+    fn dropped_end_recovers_via_outer_close() {
+        // CGEMM's E was dropped; qd_step's E closes both.
+        let text = [
+            line(0, "B", "qd_step", 0, ""),
+            line(1, "B", "CGEMM", 10, ""),
+            line(2, "E", "qd_step", 40, ""),
+        ]
+        .join("\n");
+        let t = ingest_jsonl(&text);
+        assert_eq!(t.spans.len(), 2);
+        let gemm = t.spans_named("CGEMM").next().unwrap();
+        assert!(gemm.truncated);
+        assert_eq!(gemm.end_ns, 40);
+        let step = t.spans_named("qd_step").next().unwrap();
+        assert!(!step.truncated);
+        assert_eq!(t.truncated_spans, 1);
+    }
+
+    #[test]
+    fn meta_line_populates_meta() {
+        let meta = "{\"seq\":0,\"ts_ns\":0,\"kind\":\"i\",\"name\":\"telemetry_meta\",\
+                    \"track\":\"host\",\"tid\":0,\"args\":{\"run_epoch\":123456,\"rank\":3,\
+                    \"sample_n\":16}}";
+        let t = ingest_jsonl(meta);
+        assert!(t.meta.present);
+        assert_eq!(t.meta.run_epoch_unix_ns, 123_456);
+        assert_eq!(t.meta.rank, 3);
+        assert_eq!(t.meta.sample_n, 16);
+        assert!(t.warnings.is_empty());
+    }
+
+    #[test]
+    fn sample_weight_lands_on_span() {
+        let text = [
+            line(0, "B", "CGEMM", 0, "\"sample_weight\":16"),
+            line(1, "E", "CGEMM", 10, ""),
+        ]
+        .join("\n");
+        let t = ingest_jsonl(&text);
+        assert_eq!(t.spans[0].weight, 16.0);
+    }
+
+    #[test]
+    fn zero_length_span_is_kept() {
+        let text = [line(0, "B", "noop", 5, ""), line(1, "E", "noop", 5, "")].join("\n");
+        let t = ingest_jsonl(&text);
+        assert_eq!(t.spans.len(), 1);
+        assert_eq!(t.spans[0].dur_ns(), 0);
+        assert_eq!(t.spans[0].self_ns, 0);
+    }
+
+    #[test]
+    fn prom_value_reads_series() {
+        let dump = "# HELP x y\n# TYPE x gauge\ntelemetry_dropped_events 42\nother 7\n";
+        assert_eq!(prom_value(dump, "telemetry_dropped_events"), Some(42.0));
+        assert_eq!(prom_value(dump, "missing"), None);
+        let t = ingest_jsonl("");
+        let warns = coverage_warnings(&t, Some(dump));
+        assert!(warns.iter().any(|w| w.contains("sink ring dropped")), "{warns:?}");
+    }
+}

@@ -1,0 +1,37 @@
+//! `dcmesh-profile`: trace analysis over the dcmesh telemetry stream.
+//!
+//! The telemetry crate records; this crate answers questions. It turns an
+//! `events.jsonl` dump (written by `dcmesh-telemetry`'s JSONL exporter)
+//! into the three artefacts the paper builds its performance story from:
+//!
+//! * **Flamegraphs** ([`fold`], [`flame`]) — collapsed-stack folding of
+//!   the span forest (`burst;qd_step;CGEMM 1234`) with per-precision-mode
+//!   and per-shape grouping, rendered to a self-contained SVG or an ANSI
+//!   terminal view — the Figure 3 cost-breakdown picture.
+//! * **Attribution tables** ([`table`]) — per-(routine, mode, shape)
+//!   mean wall and modelled device times with speedups against the FP32
+//!   baseline — the Tables VI/VII shape.
+//! * **Merged multi-rank traces** ([`merge`]) — several ranks' dumps
+//!   joined into one Chrome trace with per-rank pids, clock-aligned via
+//!   the shared `run_epoch` stamped in each stream's `telemetry_meta`
+//!   header.
+//!
+//! Ingestion ([`ingest`]) is deliberately forgiving: ring-dropped events
+//! and truncated tails degrade into counted warnings, not errors, and
+//! `sample_weight` attributes from span-aware sampling rescale every
+//! downstream total so sampled and full traces are comparable.
+//!
+//! The `profile` binary in this crate exposes all of it as a CLI:
+//! `profile flame`, `profile table`, `profile merge`, `profile fold`.
+
+pub mod flame;
+pub mod fold;
+pub mod ingest;
+pub mod merge;
+pub mod table;
+
+pub use flame::{build_tree, render_ansi, render_svg, Frame};
+pub use fold::{fold, FoldOptions, Folded};
+pub use ingest::{coverage_warnings, ingest_jsonl, Meta, Span, Trace};
+pub use merge::merge_jsonl;
+pub use table::{gemm_table, gemm_table_json, phase_table, CallRow, PhaseRow};

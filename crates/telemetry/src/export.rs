@@ -15,7 +15,39 @@ pub const HOST_PID: u64 = 1;
 /// Chrome-trace pid for the simulated device timeline.
 pub const DEVICE_PID: u64 = 2;
 
-pub use crate::metrics::prometheus_dump;
+use crate::sink;
+use std::sync::{Arc, OnceLock};
+
+fn dropped_events_gauge() -> &'static Arc<crate::metrics::Gauge> {
+    static G: OnceLock<Arc<crate::metrics::Gauge>> = OnceLock::new();
+    G.get_or_init(|| {
+        crate::metrics::gauge(
+            "telemetry_dropped_events",
+            "events discarded because the sink ring was full",
+        )
+    })
+}
+
+fn truncated_attrs_gauge() -> &'static Arc<crate::metrics::Gauge> {
+    static G: OnceLock<Arc<crate::metrics::Gauge>> = OnceLock::new();
+    G.get_or_init(|| {
+        crate::metrics::gauge(
+            "telemetry_truncated_attrs",
+            "attributes discarded because an event exceeded MAX_ATTRS",
+        )
+    })
+}
+
+/// Renders every registered metric in Prometheus text format, after
+/// refreshing the sink-health gauges (`telemetry_dropped_events`,
+/// `telemetry_truncated_attrs`) so a scrape — or the `profile` ingester
+/// reading `metrics.prom` — can judge trace coverage without access to
+/// the process.
+pub fn prometheus_dump() -> String {
+    dropped_events_gauge().set(sink::dropped_events() as f64);
+    truncated_attrs_gauge().set(sink::truncated_attrs() as f64);
+    crate::metrics::prometheus_dump()
+}
 
 fn attrs_json(ev: &Event) -> String {
     let mut out = String::from("{");
@@ -63,9 +95,15 @@ pub fn jsonl_line(ev: &Event) -> String {
     out
 }
 
-/// Serialises events as JSONL: one JSON object per line.
+/// Serialises events as JSONL: one stream-metadata line (the
+/// `telemetry_meta` event carrying `run_epoch`, `rank`, `sample_n` —
+/// see [`sink::run_meta_event`]) followed by one JSON object per event.
+/// The metadata line has the same schema as every other line, so
+/// consumers that don't care about it parse it like any instant event.
 pub fn jsonl(events: &[Event]) -> String {
     let mut out = String::new();
+    out.push_str(&jsonl_line(&sink::run_meta_event()));
+    out.push('\n');
     for ev in events {
         out.push_str(&jsonl_line(ev));
         out.push('\n');
@@ -159,8 +197,13 @@ mod tests {
         ];
         let text = jsonl(&events);
         let parsed = parse_jsonl(&text).expect("parse");
-        assert_eq!(parsed.len(), 3);
-        for (p, e) in parsed.iter().zip(&events) {
+        assert_eq!(parsed.len(), 4, "meta line + 3 events");
+        let meta = &parsed[0];
+        assert_eq!(meta.get("name").unwrap().as_str(), Some("telemetry_meta"));
+        assert!(meta.get("args").unwrap().get("run_epoch").unwrap().as_f64().unwrap() > 0.0);
+        assert!(meta.get("args").unwrap().get("rank").is_some());
+        assert!(meta.get("args").unwrap().get("sample_n").is_some());
+        for (p, e) in parsed[1..].iter().zip(&events) {
             assert_eq!(p.get("seq").unwrap().as_f64(), Some(e.seq as f64));
             assert_eq!(p.get("ts_ns").unwrap().as_f64(), Some(e.ts_ns as f64));
             assert_eq!(p.get("name").unwrap().as_str(), Some(e.name));
@@ -174,7 +217,7 @@ mod tests {
             assert_eq!(args.get("mode").unwrap().as_str(), Some("FLOAT_TO_BF16"));
             assert_eq!(args.get("secs").unwrap().as_f64(), Some(0.25));
         }
-        assert_eq!(parsed[2].get("dur_ns").unwrap().as_f64(), Some(777.0));
+        assert_eq!(parsed[3].get("dur_ns").unwrap().as_f64(), Some(777.0));
     }
 
     #[test]

@@ -59,7 +59,9 @@ pub use event::{Attr, AttrValue, Event, EventKind, Track};
 pub use level::{
     events_enabled, level, set_level, spans_enabled, with_level, TelemetryLevel,
 };
-pub use span::{device_complete, instant, span, SpanGuard};
+pub use span::{
+    device_complete, instant, sample_interval, sampled_span, set_sample_interval, span, SpanGuard,
+};
 
 /// The environment variable selecting the telemetry level
 /// (`off` | `events` | `full`), read lazily on first use exactly like
@@ -69,3 +71,9 @@ pub const TELEMETRY_ENV: &str = "TELEMETRY";
 /// The environment variable bounding the event sink's ring buffer
 /// (total events retained across all shards; oldest are dropped first).
 pub const TELEMETRY_BUFFER_ENV: &str = "TELEMETRY_BUFFER";
+
+/// The environment variable selecting the 1-in-N sampling interval for
+/// high-frequency call spans at `TELEMETRY=events` (default 16). Each
+/// recorded span carries `sample_weight = N` so trace analysis can
+/// rescale back to the full population.
+pub const TELEMETRY_SAMPLE_ENV: &str = "TELEMETRY_SAMPLE";

@@ -15,13 +15,13 @@
 //! A global sequence number gives a total order across shards;
 //! [`drain`] merges shards back into publication order.
 
-use crate::event::{Attr, Event, EventKind, Track, MAX_ATTRS};
+use crate::event::{Attr, AttrValue, Event, EventKind, Track, MAX_ATTRS};
 use crate::TELEMETRY_BUFFER_ENV;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// Number of independently locked shards.
 pub const SHARD_COUNT: usize = 16;
@@ -41,7 +41,10 @@ static TRUNCATED_ATTRS: AtomicU64 = AtomicU64::new(0);
 /// 0 means "not yet initialised from the environment".
 static CAPACITY: AtomicUsize = AtomicUsize::new(0);
 static NEXT_TID: AtomicU64 = AtomicU64::new(0);
-static EPOCH: OnceLock<Instant> = OnceLock::new();
+static EPOCH: OnceLock<(Instant, u64)> = OnceLock::new();
+/// Rank / divide-and-conquer domain id of this process (0 by default;
+/// set once by the run entry points from `DCMESH_RANK`).
+static RANK: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
@@ -52,10 +55,58 @@ pub fn thread_id() -> u64 {
     TID.try_with(|t| *t).unwrap_or(u64::MAX)
 }
 
+fn epoch() -> &'static (Instant, u64) {
+    EPOCH.get_or_init(|| {
+        let unix_ns = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        (Instant::now(), unix_ns)
+    })
+}
+
 /// Nanoseconds since the process telemetry epoch (set on first use).
 pub fn now_ns() -> u64 {
-    let epoch = EPOCH.get_or_init(Instant::now);
-    epoch.elapsed().as_nanos() as u64
+    epoch().0.elapsed().as_nanos() as u64
+}
+
+/// Wall-clock UNIX time (ns) at which this process's telemetry epoch —
+/// the zero of every host `ts_ns` — was captured. Shared `run_epoch`
+/// key: two ranks' traces are aligned by offsetting each stream by the
+/// difference of their run epochs.
+pub fn run_epoch_unix_ns() -> u64 {
+    epoch().1
+}
+
+/// Sets this process's rank / domain id, stamped into the exported
+/// metadata event so the multi-rank merger can tell streams apart.
+pub fn set_rank(rank: u64) {
+    RANK.store(rank, Ordering::Relaxed);
+}
+
+/// This process's rank / domain id (0 unless [`set_rank`] was called).
+pub fn rank() -> u64 {
+    RANK.load(Ordering::Relaxed)
+}
+
+/// The stream-metadata event exporters prepend to serialised dumps: the
+/// shared `run_epoch` clock key, the rank, and the active sampling
+/// interval. Synthetic — it never sits in the ring — so its `seq` is 0
+/// and its timestamp is the epoch itself (`ts_ns` 0).
+pub fn run_meta_event() -> Event {
+    Event {
+        seq: 0,
+        ts_ns: 0,
+        name: "telemetry_meta",
+        kind: EventKind::Instant,
+        track: Track::Host,
+        tid: 0,
+        attrs: vec![
+            Attr { key: "run_epoch", value: AttrValue::U64(run_epoch_unix_ns()) },
+            Attr { key: "rank", value: AttrValue::U64(rank()) },
+            Attr { key: "sample_n", value: AttrValue::U64(crate::span::sample_interval()) },
+        ],
+    }
 }
 
 fn capacity_total() -> usize {

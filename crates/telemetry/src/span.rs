@@ -9,6 +9,8 @@
 use crate::event::{Attr, AttrValue, EventKind, Track};
 use crate::level::{events_enabled, spans_enabled};
 use crate::sink;
+use crate::TELEMETRY_SAMPLE_ENV;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// RAII span: `Begin` on creation (when enabled), `End` on drop.
 ///
@@ -91,6 +93,72 @@ pub fn span(name: &'static str) -> SpanGuard {
     SpanGuard { name, pending: armed.then(Vec::new), end_attrs: Vec::new(), armed }
 }
 
+/// Default sampling interval for high-frequency spans at the `events`
+/// level: 1 call span recorded per [`DEFAULT_SAMPLE_INTERVAL`] calls.
+pub const DEFAULT_SAMPLE_INTERVAL: u64 = 16;
+
+/// 0 means "not yet initialised from the environment".
+static SAMPLE_N: AtomicUsize = AtomicUsize::new(0);
+/// Deterministic call counter driving the 1-in-N choice.
+static SAMPLE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The sampling interval N for [`sampled_span`] at the `events` level,
+/// read from `TELEMETRY_SAMPLE` on first use (default
+/// [`DEFAULT_SAMPLE_INTERVAL`]; values < 1 clamp to 1).
+pub fn sample_interval() -> u64 {
+    let n = SAMPLE_N.load(Ordering::Relaxed);
+    if n != 0 {
+        return n as u64;
+    }
+    let n = std::env::var(TELEMETRY_SAMPLE_ENV)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(DEFAULT_SAMPLE_INTERVAL);
+    SAMPLE_N.store(n as usize, Ordering::Relaxed);
+    n
+}
+
+/// Sets the sampling interval (overrides the environment). N = 1
+/// records every call span at the `events` level.
+pub fn set_sample_interval(n: u64) {
+    SAMPLE_N.store(n.max(1) as usize, Ordering::Relaxed);
+}
+
+/// Resets the deterministic sample counter so the next sampled call
+/// site is recorded first — test harnesses use this to make weighted
+/// totals exactly reproducible.
+pub fn reset_sample_counter() {
+    SAMPLE_COUNTER.store(0, Ordering::Relaxed);
+}
+
+/// Opens a span for a **high-frequency** call site (per-BLAS-call).
+///
+/// * `Full` — identical to [`span`]: every call is recorded, weight 1.
+/// * `Events` — span-aware sampling: a deterministic process-global
+///   counter records 1 call in N ([`sample_interval`], env
+///   `TELEMETRY_SAMPLE`, default 16), and the recorded span carries a
+///   `sample_weight = N` begin attribute that the trace folder and
+///   attribution tables use to rescale totals. Long runs stay bounded
+///   but representative instead of losing the call population entirely.
+/// * `Off` — inert, same one-relaxed-load cost as [`span`].
+#[inline]
+pub fn sampled_span(name: &'static str) -> SpanGuard {
+    if spans_enabled() {
+        return span(name);
+    }
+    if !events_enabled() {
+        return SpanGuard { name, pending: None, end_attrs: Vec::new(), armed: false };
+    }
+    let n = sample_interval();
+    let c = SAMPLE_COUNTER.fetch_add(1, Ordering::Relaxed);
+    if !c.is_multiple_of(n) {
+        return SpanGuard { name, pending: None, end_attrs: Vec::new(), armed: false };
+    }
+    let guard = SpanGuard { name, pending: Some(Vec::new()), end_attrs: Vec::new(), armed: true };
+    guard.attr("sample_weight", AttrValue::F64(n as f64))
+}
+
 /// Publishes an instant event on the host track. Inert unless the level
 /// is `Events` or `Full`.
 #[inline]
@@ -164,6 +232,58 @@ mod tests {
             instant("span_test_instant", vec![]);
             let evs = drain();
             assert!(evs.iter().any(|e| e.name == "span_test_instant"));
+        });
+    }
+
+    #[test]
+    fn sampled_span_records_one_in_n_with_weight() {
+        with_level(TelemetryLevel::Events, || {
+            crate::sink::clear();
+            let saved = sample_interval();
+            set_sample_interval(4);
+            reset_sample_counter();
+            for _ in 0..16 {
+                let _g = sampled_span("span_test_sampled").enter();
+            }
+            set_sample_interval(saved);
+            let begins: Vec<_> = drain()
+                .into_iter()
+                .filter(|e| e.name == "span_test_sampled" && e.kind == EventKind::SpanBegin)
+                .collect();
+            assert_eq!(begins.len(), 4, "16 calls at 1-in-4 -> 4 spans");
+            for b in &begins {
+                assert_eq!(b.attr("sample_weight"), Some(&AttrValue::F64(4.0)), "{b:?}");
+            }
+        });
+    }
+
+    #[test]
+    fn sampled_span_is_unsampled_at_full() {
+        with_level(TelemetryLevel::Full, || {
+            crate::sink::clear();
+            reset_sample_counter();
+            for _ in 0..6 {
+                let _g = sampled_span("span_test_full_sampled").enter();
+            }
+            let evs: Vec<_> = drain()
+                .into_iter()
+                .filter(|e| e.name == "span_test_full_sampled")
+                .collect();
+            assert_eq!(evs.len(), 12, "every call span recorded at full");
+            assert!(
+                evs.iter().all(|e| e.attr("sample_weight").is_none()),
+                "no weight attr at full level"
+            );
+        });
+    }
+
+    #[test]
+    fn sampled_span_inert_when_off() {
+        with_level(TelemetryLevel::Off, || {
+            crate::sink::clear();
+            let _g = sampled_span("span_test_sampled_off").enter();
+            drop(_g);
+            assert!(drain().iter().all(|e| e.name != "span_test_sampled_off"));
         });
     }
 

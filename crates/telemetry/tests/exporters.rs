@@ -130,8 +130,11 @@ fn jsonl_round_trips() {
     let events = produce_events();
     let text = export::jsonl(&events);
     let parsed = export::parse_jsonl(&text).expect("every JSONL line parses");
-    assert_eq!(parsed.len(), events.len());
-    for (p, e) in parsed.iter().zip(&events) {
+    assert_eq!(parsed.len(), events.len() + 1, "meta line + one line per event");
+    let meta = &parsed[0];
+    assert_eq!(meta.get("name").unwrap().as_str(), Some("telemetry_meta"));
+    assert!(meta.get("args").unwrap().get("run_epoch").unwrap().as_f64().unwrap() > 0.0);
+    for (p, e) in parsed[1..].iter().zip(&events) {
         assert_eq!(p.get("seq").unwrap().as_f64(), Some(e.seq as f64));
         assert_eq!(p.get("ts_ns").unwrap().as_f64(), Some(e.ts_ns as f64));
         assert_eq!(p.get("name").unwrap().as_str(), Some(e.name));
@@ -150,8 +153,8 @@ fn jsonl_round_trips() {
     }
     // Serialising the parsed form again is bytewise stable for a simple
     // seq filter: spot-check one line re-renders identically.
-    let line0 = text.lines().next().unwrap();
-    let reparsed = telemetry::json::parse(line0).unwrap();
+    let line1 = text.lines().nth(1).unwrap();
+    let reparsed = telemetry::json::parse(line1).unwrap();
     assert_eq!(reparsed.get("kind").unwrap().as_str(), Some("B"));
 }
 
