@@ -10,6 +10,12 @@
 //!   the all-reduces (Amdahl), and
 //! * the BF16 end-to-end advantage itself shrinks with scale, because the
 //!   local GEMMs slide down the roofline as `k/S` drops.
+//!
+//! This binary is purely *analytic* — it prices hypothetical hardware on
+//! the device model and spawns nothing. Actually running multi-process
+//! is `dcmesh::shard` / the `dcmesh-shard` binary, which shards real
+//! domains across worker ranks with failure detection and
+//! checkpoint-replay recovery.
 
 use dcmesh_bench::{markdown_table, write_report};
 use dcmesh_lfd::schedule::{qd_step_schedule, LfdPrecision, SystemShape};

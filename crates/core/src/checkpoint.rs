@@ -316,9 +316,35 @@ impl<T: Real> Checkpoint<T> {
         Ok(())
     }
 
-    /// Writes to a file.
+    /// Writes to a file, crash-atomically: the bytes go to a `.tmp`
+    /// sibling first, are fsynced, and only then renamed into place. A
+    /// process killed mid-write can therefore never leave a torn `.ck`
+    /// behind — the resume scanner either sees the complete old file, the
+    /// complete new file, or a leftover `.tmp` it ignores — which is what
+    /// lets crashed ranks of a sharded run resume from a *shared*
+    /// checkpoint directory without tripping the quarantine path.
     pub fn save(&self, path: &std::path::Path) -> Result<(), std::io::Error> {
-        std::fs::write(path, self.encode())
+        use std::io::Write;
+        let name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("checkpoint path {} has no file name", path.display()),
+            )
+        })?;
+        let tmp = path.with_file_name(format!("{name}.tmp"));
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(self.encode().as_ref())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        // Best-effort directory sync so the rename itself survives a
+        // power cut; failure here (exotic filesystems) is not fatal.
+        if let Some(dir) = path.parent() {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
     }
 
     /// Reads from a file.
@@ -466,5 +492,28 @@ mod tests {
         let back = Checkpoint::<f32>::load(&path).expect("load");
         assert_eq!(back.steps_done, ck.steps_done);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_tmp_sibling() {
+        let (_, ck) = make_checkpoint();
+        let dir = std::env::temp_dir().join(format!("dcmesh-ck-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("dcmesh-7.ck");
+        ck.save(&path).expect("save");
+        // The staging file must be gone and the final file complete.
+        assert!(!dir.join("dcmesh-7.ck.tmp").exists(), "tmp sibling left behind");
+        Checkpoint::<f32>::load(&path).expect("renamed file decodes");
+        // Overwriting an existing checkpoint goes through the same path.
+        ck.save(&path).expect("overwrite");
+        assert!(!dir.join("dcmesh-7.ck.tmp").exists());
+        // A leftover `.tmp` from a hypothetical mid-write kill is invisible
+        // to the resume scanner's `dcmesh-<step>.ck` pattern.
+        std::fs::write(dir.join("dcmesh-9.ck.tmp"), b"torn").expect("plant torn tmp");
+        let p = params();
+        let found = crate::runner::scan_and_load::<f32>(&dir, &p).expect("scan");
+        assert!(found.is_some(), "real checkpoint still resumes");
+        assert!(dir.join("dcmesh-9.ck.tmp").exists(), "tmp must not be quarantined/consumed");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

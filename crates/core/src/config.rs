@@ -198,6 +198,46 @@ impl RunConfig {
         Ok(cfg)
     }
 
+    /// Serialises the configuration back into deck text that
+    /// [`RunConfig::parse`] accepts. Every field is written explicitly
+    /// (the `system =` line only anchors the parser), so the receiving
+    /// side never depends on preset defaults drifting. The shard
+    /// coordinator embeds this in its run-directory manifest so worker
+    /// ranks reconstruct the exact deck. Labels containing `#` or a
+    /// newline cannot round-trip through the deck grammar and are
+    /// rejected.
+    pub fn to_deck_text(&self) -> Result<String, DeckError> {
+        if self.label.contains('#') || self.label.contains('\n') {
+            return Err(DeckError::new(
+                0,
+                format!("label {:?} cannot round-trip through deck text", self.label),
+            ));
+        }
+        Ok(format!(
+            "system = pto40-small\nlabel = {}\nsupercell = {}\nmesh = {}\nnorb = {}\n\
+             nocc = {}\ndt = {}\ntotal_qd_steps = {}\nqd_steps_per_md = {}\n\
+             laser_amplitude = {}\nlaser_photon_ev = {}\nlaser_duration_fs = {}\n\
+             vnl_strength = {}\nvloc_depth = {}\ninduced_coupling = {}\n\
+             ehrenfest_softening = {}\nrecord_every = {}\n",
+            self.label,
+            self.supercell,
+            self.mesh_points,
+            self.n_orb,
+            self.n_occ,
+            self.dt,
+            self.total_qd_steps,
+            self.qd_steps_per_md,
+            self.laser_amplitude,
+            self.laser_photon_ev,
+            self.laser_duration_fs,
+            self.vnl_strength,
+            self.vloc_depth,
+            self.induced_coupling,
+            self.ehrenfest_softening,
+            self.record_every,
+        ))
+    }
+
     /// Sanity checks.
     pub fn validate(&self) -> Result<(), DeckError> {
         let err = |msg: String| Err(DeckError::new(0, msg));
@@ -276,6 +316,32 @@ mod tests {
         assert_eq!(cfg.total_qd_steps, 100);
         assert_eq!(cfg.laser_amplitude, 0.5);
         assert_eq!(cfg.supercell, 2);
+    }
+
+    #[test]
+    fn deck_text_roundtrips_every_field() {
+        let mut cfg = RunConfig::preset(SystemPreset::Pto135Small);
+        cfg.label = "chaos~dom3".to_string();
+        cfg.dt = 0.017; // not representable in a short decimal chain
+        cfg.laser_amplitude = 1.0 / 3.0;
+        cfg.record_every = 7;
+        let text = cfg.to_deck_text().expect("deck text");
+        let back = RunConfig::parse(&text).expect("reparse");
+        assert_eq!(back.label, cfg.label);
+        assert_eq!(back.supercell, cfg.supercell);
+        assert_eq!(back.mesh_points, cfg.mesh_points);
+        assert_eq!(back.n_orb, cfg.n_orb);
+        assert_eq!(back.n_occ, cfg.n_occ);
+        // Rust's float Display is shortest-roundtrip, so these are bit-exact.
+        assert_eq!(back.dt.to_bits(), cfg.dt.to_bits());
+        assert_eq!(back.laser_amplitude.to_bits(), cfg.laser_amplitude.to_bits());
+        assert_eq!(back.induced_coupling.to_bits(), cfg.induced_coupling.to_bits());
+        assert_eq!(back.total_qd_steps, cfg.total_qd_steps);
+        assert_eq!(back.record_every, cfg.record_every);
+
+        let mut bad = cfg.clone();
+        bad.label = "has # comment".to_string();
+        assert!(bad.to_deck_text().is_err(), "unroundtrippable label must be rejected");
     }
 
     #[test]

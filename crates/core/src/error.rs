@@ -22,6 +22,13 @@ pub enum RunError {
     /// before any BLAS call runs, so a typo in the environment cannot
     /// silently compute at the wrong precision (or crash mid-run).
     InvalidComputeMode(ParseModeError),
+    /// `DCMESH_RANK` holds a value that does not parse as a rank id. A
+    /// mis-launched rank must fail fast instead of silently running (and
+    /// stamping its telemetry) as rank 0.
+    InvalidRank {
+        /// The offending environment value.
+        value: String,
+    },
     /// Checkpoint I/O failed (directory creation, write, rename).
     Io(std::io::Error),
     /// A checkpoint decoded but could not be used.
@@ -59,6 +66,12 @@ impl fmt::Display for RunError {
         match self {
             RunError::InvalidConfig(e) => write!(f, "invalid configuration: {e}"),
             RunError::InvalidComputeMode(e) => write!(f, "invalid compute mode: {e}"),
+            RunError::InvalidRank { value } => write!(
+                f,
+                "invalid {}: {value:?} does not parse as a rank id (unset the variable \
+                 for a single-rank run)",
+                crate::runner::DCMESH_RANK_ENV
+            ),
             RunError::Io(e) => write!(f, "checkpoint I/O: {e}"),
             RunError::Checkpoint(e) => write!(f, "{e}"),
             RunError::Diverged { step, mode, violation } => {

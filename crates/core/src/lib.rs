@@ -15,7 +15,11 @@
 //! * [`analysis`] — deviation-from-reference series, the machinery behind
 //!   Figures 1 and 2;
 //! * [`perf`] — paper-scale performance assembly on the `xe-gpu` device
-//!   model: Figure 3a/3b and Tables VI/VII.
+//!   model: Figure 3a/3b and Tables VI/VII;
+//! * [`shard`] — multi-rank sharded runs (the `dcmesh-shard` binary):
+//!   divide-and-conquer domains spread across worker processes with
+//!   heartbeat-based failure detection, checkpoint-replay recovery, and
+//!   graceful degradation to fewer ranks.
 //!
 //! Switching BLAS precision requires **no code changes**: set
 //! `MKL_BLAS_COMPUTE_MODE=FLOAT_TO_BF16` (etc.) in the environment, or
@@ -47,6 +51,7 @@ pub mod health;
 pub mod output;
 pub mod perf;
 pub mod runner;
+pub mod shard;
 pub mod spectrum;
 pub mod supervisor;
 pub mod sweep;
@@ -59,6 +64,10 @@ pub use runner::{
     run_simulation, run_simulation_with_policy, run_with_checkpoints,
     run_with_checkpoints_crashing, CrashPlan, RunResult, DCMESH_RANK_ENV,
 };
+pub use shard::{
+    run_coordinator, DomainOutcome, RankKillPlan, ShardConfig, ShardError, ShardReport,
+};
 pub use supervisor::{
-    run_supervised, DeescalationEvent, EscalationEvent, SupervisedRun, SupervisorConfig,
+    run_supervised, run_supervised_observed, BurstObserver, DeescalationEvent, EscalationEvent,
+    SupervisedRun, SupervisorConfig,
 };

@@ -31,13 +31,23 @@ use std::path::Path;
 pub const DCMESH_RANK_ENV: &str = "DCMESH_RANK";
 
 /// Reads `DCMESH_RANK` into the telemetry sink's rank field. Called by
-/// every run entry point; absent or malformed values leave the default
-/// rank 0.
-pub(crate) fn init_rank_from_env() {
-    if let Some(rank) =
-        std::env::var(DCMESH_RANK_ENV).ok().and_then(|s| s.trim().parse::<u64>().ok())
-    {
-        dcmesh_telemetry::sink::set_rank(rank);
+/// every run entry point. An absent variable leaves the default rank 0;
+/// a malformed value is a structured [`RunError::InvalidRank`] so a
+/// mis-launched rank fails fast instead of masquerading as rank-unset
+/// and polluting another rank's merged timeline.
+pub(crate) fn init_rank_from_env() -> Result<(), RunError> {
+    match std::env::var(DCMESH_RANK_ENV) {
+        Ok(raw) => match raw.trim().parse::<u64>() {
+            Ok(rank) => {
+                dcmesh_telemetry::sink::set_rank(rank);
+                Ok(())
+            }
+            Err(_) => Err(RunError::InvalidRank { value: raw }),
+        },
+        Err(std::env::VarError::NotPresent) => Ok(()),
+        Err(std::env::VarError::NotUnicode(v)) => {
+            Err(RunError::InvalidRank { value: v.to_string_lossy().into_owned() })
+        }
     }
 }
 
@@ -239,7 +249,7 @@ pub fn run_simulation_with_policy<T: LfdScalar>(
     policy: &PrecisionPolicy,
 ) -> Result<RunResult, RunError> {
     cfg.validate()?;
-    init_rank_from_env();
+    init_rank_from_env()?;
     // Fail fast on a malformed MKL_BLAS_COMPUTE_MODE before any state is
     // built — a typo'd mode must be a structured error, not a panic deep
     // inside the first BLAS call.
@@ -326,7 +336,7 @@ pub fn run_with_checkpoints_crashing<T: LfdScalar>(
     use crate::checkpoint::Checkpoint;
 
     cfg.validate()?;
-    init_rank_from_env();
+    init_rank_from_env()?;
     mkl_lite::try_compute_mode()?;
     let params = cfg.lfd_params();
     params.validate();

@@ -1,0 +1,1616 @@
+//! Multi-rank sharded execution with rank-failure detection and
+//! checkpoint-replay recovery.
+//!
+//! The paper ran DCMESH on a single GPU stack; `ext_multistack` only
+//! *models* multi-stack scaling. This module actually runs distributed:
+//! a **coordinator** process shards the divide-and-conquer domains
+//! (contiguous blocks of the orbital space, each an independently
+//! propagated sub-deck) across N **worker ranks** — real OS processes —
+//! and coordinates them through a shared run directory:
+//!
+//! ```text
+//! run_dir/
+//!   MANIFEST.json            deck + shard parameters (workers read this)
+//!   coord.log                append-only coordination log (JSONL)
+//!   queue/domain-<d>.todo            unclaimed domain
+//!   queue/domain-<d>.claimed.rank<r> domain claimed by rank r
+//!   done/domain-<d>.json             completed domain + final observables
+//!   ck/domain-<d>/dcmesh-<step>.ck   shared v2 checkpoints (crash-atomic)
+//!   hb/rank-<r>.hb           heartbeat (seq counter, atomically renamed)
+//!   hb/rank-<r>.exit         clean-completion marker
+//!   trace/events-rank<r>.jsonl       per-rank telemetry for `profile merge`
+//!   trace/events-coord.jsonl         coordinator lifecycle events
+//!   trace/metrics-coord.prom         heartbeat-miss / restart / degraded counters
+//!   report.json              final [`ShardReport`]
+//! ```
+//!
+//! Robustness is the headline:
+//!
+//! * **Dead-rank detection** is by heartbeat timeout: every worker runs a
+//!   heartbeat thread bumping a sequence counter; the coordinator declares
+//!   a rank dead when the counter stops advancing for
+//!   [`ShardConfig::heartbeat_timeout`] (a killed *or hung* process looks
+//!   the same). Process exit status alone is never trusted as liveness.
+//! * **Respawn with bounded retries and exponential backoff**: a dead
+//!   rank is relaunched up to [`ShardConfig::max_respawns`] times, with
+//!   `backoff_base · 2^k` (capped) between attempts. Its claimed domains
+//!   stay claimed across the respawn, so the recovered rank adopts them,
+//!   resumes from the newest shared checkpoint (through the existing
+//!   quarantine-and-fallback loader) and replays the in-flight burst.
+//! * **Graceful degradation**: a rank that exhausts its respawn budget is
+//!   marked degraded and its claimed domains are returned to the queue,
+//!   where the surviving ranks pick them up — the run completes on fewer
+//!   ranks instead of hanging or aborting.
+//! * **Deterministic fault injection**: a [`RankKillPlan`] ("kill rank r
+//!   at burst b", mirroring [`crate::runner::CrashPlan`] /
+//!   `mkl_lite::FaultPlan`) makes every recovery path testable — the
+//!   chaos tests assert bit-identical observables against an
+//!   uninterrupted run.
+//!
+//! Each worker keeps the full per-rank supervisor (health monitoring,
+//! burst rollback, the BF16→…→FP32 escalation ladder) via
+//! [`run_supervised_observed`]; domain results are fully determined by
+//! the domain deck, so *which* rank completes a domain never changes the
+//! numbers — that is what makes work stealing and replay safe.
+
+use crate::config::RunConfig;
+use crate::runner::DCMESH_RANK_ENV;
+use crate::supervisor::{run_supervised_observed, BurstObserver, SupervisorConfig};
+use dcmesh_telemetry::json::{self, JsonValue};
+use dcmesh_telemetry::{export, instant, metrics, sink, Attr, AttrValue};
+use mkl_lite::ComputeMode;
+use std::fmt;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// Set to `1` in a worker process's environment by the coordinator.
+/// Binaries that can serve as workers call [`maybe_run_worker`] first
+/// thing in `main`.
+pub const SHARD_WORKER_ENV: &str = "DCMESH_SHARD_WORKER";
+/// The shared run directory.
+pub const SHARD_DIR_ENV: &str = "DCMESH_SHARD_DIR";
+/// 0-based incarnation of this rank process (0 = first spawn).
+pub const SHARD_INCARNATION_ENV: &str = "DCMESH_SHARD_INCARNATION";
+/// [`RankKillPlan`] spec passed through to workers.
+pub const SHARD_KILL_ENV: &str = "DCMESH_SHARD_KILL";
+
+/// Exit code of a worker dying to an injected [`RankKillPlan`] kill —
+/// distinguishable in logs from a clean exit or a panic.
+pub const KILL_EXIT_CODE: i32 = 86;
+
+// ---------------------------------------------------------------------------
+// Errors
+
+/// Any failure of the sharded-run machinery itself (worker-side numeric
+/// failures are *not* here — they land in the affected domain's
+/// [`DomainOutcome`] so one bad domain cannot abort the fleet).
+#[derive(Debug)]
+pub enum ShardError {
+    /// Run-directory or coordination-file I/O failed.
+    Io(std::io::Error),
+    /// The shard configuration is unusable.
+    InvalidConfig(String),
+    /// `MANIFEST.json` (or another coordination file) did not parse.
+    Manifest(String),
+    /// Every rank is dead with its respawn budget exhausted while
+    /// domains remain unfinished.
+    RanksExhausted {
+        /// Domains still without a done record.
+        unfinished: usize,
+    },
+    /// The coordinator hit [`ShardConfig::max_wall`].
+    WallClockExceeded {
+        /// Configured limit.
+        limit: Duration,
+        /// Domains still without a done record.
+        unfinished: usize,
+    },
+    /// A worker-side error outside any domain run (bad manifest, bad
+    /// environment).
+    Worker(String),
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Io(e) => write!(f, "shard I/O: {e}"),
+            ShardError::InvalidConfig(m) => write!(f, "invalid shard configuration: {m}"),
+            ShardError::Manifest(m) => write!(f, "shard manifest: {m}"),
+            ShardError::RanksExhausted { unfinished } => write!(
+                f,
+                "all ranks dead with respawn budgets exhausted; {unfinished} domain(s) unfinished"
+            ),
+            ShardError::WallClockExceeded { limit, unfinished } => write!(
+                f,
+                "sharded run exceeded the {:.1}s wall-clock limit with {unfinished} domain(s) \
+                 unfinished",
+                limit.as_secs_f64()
+            ),
+            ShardError::Worker(m) => write!(f, "shard worker: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ShardError {
+    fn from(e: std::io::Error) -> Self {
+        ShardError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rank-kill fault injection
+
+/// One scheduled rank death.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RankKill {
+    /// Rank to kill.
+    pub rank: usize,
+    /// 0-based index of the burst — counted across all domains the rank
+    /// executes within one incarnation — at whose start the process
+    /// hard-exits. The burst is in flight (not yet checkpointed) when
+    /// the kill fires, so recovery must replay it.
+    pub burst: u64,
+    /// Kill **every** incarnation at that burst (exhausts the respawn
+    /// budget and forces the degradation path) instead of only the
+    /// first.
+    pub every_incarnation: bool,
+}
+
+/// Deterministic "kill rank r at burst b" schedules, mirroring
+/// [`crate::runner::CrashPlan`] and `mkl_lite::FaultPlan`: rank-level
+/// fault injection so every recovery path is testable. The spec grammar
+/// is a comma list of `r@b` (first incarnation only) or `r@b*` (every
+/// incarnation), e.g. `"1@2,3@0*"`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RankKillPlan {
+    /// Scheduled kills; empty = never kill.
+    pub kills: Vec<RankKill>,
+}
+
+impl RankKillPlan {
+    /// Parses the `r@b[*][,r@b[*]...]` spec; an empty string is the
+    /// empty plan.
+    pub fn parse(spec: &str) -> Result<RankKillPlan, ShardError> {
+        let mut kills = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (body, every) = match part.strip_suffix('*') {
+                Some(b) => (b, true),
+                None => (part, false),
+            };
+            let (r, b) = body.split_once('@').ok_or_else(|| {
+                ShardError::InvalidConfig(format!("kill spec {part:?}: expected r@b or r@b*"))
+            })?;
+            let rank = r.trim().parse::<usize>().map_err(|_| {
+                ShardError::InvalidConfig(format!("kill spec {part:?}: bad rank {r:?}"))
+            })?;
+            let burst = b.trim().parse::<u64>().map_err(|_| {
+                ShardError::InvalidConfig(format!("kill spec {part:?}: bad burst {b:?}"))
+            })?;
+            kills.push(RankKill { rank, burst, every_incarnation: every });
+        }
+        Ok(RankKillPlan { kills })
+    }
+
+    /// Renders back to the spec grammar (for the worker environment).
+    pub fn to_spec(&self) -> String {
+        self.kills
+            .iter()
+            .map(|k| {
+                format!("{}@{}{}", k.rank, k.burst, if k.every_incarnation { "*" } else { "" })
+            })
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// The burst at which `rank` (in the given incarnation) should die,
+    /// if any.
+    pub fn kill_burst_for(&self, rank: usize, incarnation: u32) -> Option<u64> {
+        self.kills
+            .iter()
+            .find(|k| k.rank == rank && (k.every_incarnation || incarnation == 0))
+            .map(|k| k.burst)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+
+/// Everything a sharded run needs. Durations are coordinator-side knobs;
+/// the deck and domain count are shared with workers via the manifest.
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// The global deck; domains are carved out of its orbital space by
+    /// [`domain_config`].
+    pub deck: RunConfig,
+    /// Worker processes to spawn.
+    pub ranks: usize,
+    /// Divide-and-conquer domains to shard. Must be ≥ `ranks` for every
+    /// rank to get initial work, and ≤ `deck.n_occ` so every domain
+    /// holds at least one occupied orbital.
+    pub n_domains: usize,
+    /// Compute mode each per-rank supervisor starts in (its escalation
+    /// ladder still applies on divergence).
+    pub start_mode: ComputeMode,
+    /// Shared coordination directory.
+    pub run_dir: PathBuf,
+    /// Worker executable; defaults to `current_exe()` (the coordinator
+    /// binary doubles as the worker via [`maybe_run_worker`]). Tests
+    /// point this at the `dcmesh-shard` binary.
+    pub worker_exe: Option<PathBuf>,
+    /// How often workers bump their heartbeat.
+    pub heartbeat_interval: Duration,
+    /// Heartbeat silence after which a rank is declared dead. Must
+    /// comfortably exceed `heartbeat_interval`.
+    pub heartbeat_timeout: Duration,
+    /// Coordinator poll cadence (and worker idle-wait cadence).
+    pub poll_interval: Duration,
+    /// Respawns allowed per rank before it is degraded away.
+    pub max_respawns: u32,
+    /// First respawn delay; doubles per subsequent respawn of the same
+    /// rank.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+    /// Hard wall-clock limit for the whole run (`None` = unlimited).
+    /// Keeps a wedged fleet from hanging CI forever.
+    pub max_wall: Option<Duration>,
+    /// Deterministic rank-death schedule (testing only; default never
+    /// kills).
+    pub kill_plan: RankKillPlan,
+    /// Passed through to each worker's [`SupervisorConfig`].
+    pub deescalate_after: Option<u32>,
+}
+
+impl ShardConfig {
+    /// A configuration with production-lean timing defaults.
+    pub fn new(deck: RunConfig, ranks: usize, n_domains: usize, run_dir: PathBuf) -> ShardConfig {
+        ShardConfig {
+            deck,
+            ranks,
+            n_domains,
+            start_mode: ComputeMode::Standard,
+            run_dir,
+            worker_exe: None,
+            heartbeat_interval: Duration::from_millis(250),
+            heartbeat_timeout: Duration::from_secs(3),
+            poll_interval: Duration::from_millis(50),
+            max_respawns: 2,
+            backoff_base: Duration::from_millis(100),
+            backoff_max: Duration::from_secs(5),
+            max_wall: Some(Duration::from_secs(600)),
+            kill_plan: RankKillPlan::default(),
+            deescalate_after: None,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ShardError> {
+        let err = |m: String| Err(ShardError::InvalidConfig(m));
+        if self.ranks == 0 {
+            return err("ranks must be positive".into());
+        }
+        if self.n_domains < self.ranks {
+            return err(format!(
+                "{} domains cannot feed {} ranks (every rank needs initial work)",
+                self.n_domains, self.ranks
+            ));
+        }
+        if self.heartbeat_timeout < self.heartbeat_interval * 2 {
+            return err("heartbeat_timeout must be at least 2x heartbeat_interval".into());
+        }
+        // Validates domain count against the deck (and each sub-deck).
+        for d in 0..self.n_domains {
+            domain_config(&self.deck, d, self.n_domains)?;
+        }
+        Ok(())
+    }
+}
+
+/// Balanced contiguous split: part `idx` of `total` split `parts` ways
+/// (remainder front-loaded).
+fn split_part(total: usize, parts: usize, idx: usize) -> usize {
+    total / parts + usize::from(idx < total % parts)
+}
+
+/// The deck for divide-and-conquer domain `domain` of `n_domains`: a
+/// balanced contiguous block of the orbital space, propagated as an
+/// independent sub-deck (block orthonormalisation — the same
+/// approximation the divide step of the DC solver makes spatially).
+/// Because `n_occ ≤ n_orb` and both splits front-load their remainders,
+/// every domain keeps `n_occ ≤ n_orb`.
+pub fn domain_config(
+    base: &RunConfig,
+    domain: usize,
+    n_domains: usize,
+) -> Result<RunConfig, ShardError> {
+    if n_domains == 0 || domain >= n_domains {
+        return Err(ShardError::InvalidConfig(format!(
+            "domain {domain} out of range for {n_domains} domain(s)"
+        )));
+    }
+    if n_domains > base.n_occ {
+        return Err(ShardError::InvalidConfig(format!(
+            "{} domains but only {} occupied orbitals — every domain needs at least one",
+            n_domains, base.n_occ
+        )));
+    }
+    let mut cfg = base.clone();
+    cfg.label = format!("{}~dom{domain}", base.label);
+    cfg.n_orb = split_part(base.n_orb, n_domains, domain);
+    cfg.n_occ = split_part(base.n_occ, n_domains, domain);
+    cfg.validate()
+        .map_err(|e| ShardError::InvalidConfig(format!("domain {domain} deck: {e}")))?;
+    Ok(cfg)
+}
+
+// ---------------------------------------------------------------------------
+// Run-directory layout
+
+fn queue_dir(run: &Path) -> PathBuf {
+    run.join("queue")
+}
+fn done_dir(run: &Path) -> PathBuf {
+    run.join("done")
+}
+fn hb_dir(run: &Path) -> PathBuf {
+    run.join("hb")
+}
+fn trace_dir(run: &Path) -> PathBuf {
+    run.join("trace")
+}
+fn ck_dir(run: &Path, domain: usize) -> PathBuf {
+    run.join("ck").join(format!("domain-{domain}"))
+}
+fn todo_path(run: &Path, domain: usize) -> PathBuf {
+    queue_dir(run).join(format!("domain-{domain}.todo"))
+}
+fn claimed_path(run: &Path, domain: usize, rank: usize) -> PathBuf {
+    queue_dir(run).join(format!("domain-{domain}.claimed.rank{rank}"))
+}
+fn done_path(run: &Path, domain: usize) -> PathBuf {
+    done_dir(run).join(format!("domain-{domain}.json"))
+}
+fn hb_path(run: &Path, rank: usize) -> PathBuf {
+    hb_dir(run).join(format!("rank-{rank}.hb"))
+}
+fn exit_path(run: &Path, rank: usize) -> PathBuf {
+    hb_dir(run).join(format!("rank-{rank}.exit"))
+}
+fn manifest_path(run: &Path) -> PathBuf {
+    run.join("MANIFEST.json")
+}
+/// Path of the per-rank telemetry dump `profile merge` consumes.
+pub fn rank_events_path(run: &Path, rank: usize) -> PathBuf {
+    trace_dir(run).join(format!("events-rank{rank}.jsonl"))
+}
+/// Path of the final machine-readable [`ShardReport`].
+pub fn report_path(run: &Path) -> PathBuf {
+    run.join("report.json")
+}
+
+/// Parses `domain-<d>.<suffix>` names back to the domain id.
+fn domain_of(name: &str, suffix: &str) -> Option<usize> {
+    name.strip_prefix("domain-")?.strip_suffix(suffix)?.parse().ok()
+}
+
+/// Atomically writes `content` (tmp sibling + rename) so readers never
+/// observe a torn file.
+fn write_atomic(path: &Path, content: &str) -> Result<(), std::io::Error> {
+    let name = path.file_name().and_then(|n| n.to_str()).ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "path has no file name")
+    })?;
+    let tmp = path.with_file_name(format!("{name}.wtmp"));
+    fs::write(&tmp, content)?;
+    fs::rename(&tmp, path)
+}
+
+fn count_done(run: &Path) -> Result<usize, std::io::Error> {
+    let mut n = 0;
+    for entry in fs::read_dir(done_dir(run))? {
+        let name = entry?.file_name();
+        if domain_of(&name.to_string_lossy(), ".json").is_some() {
+            n += 1;
+        }
+    }
+    Ok(n)
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+
+struct Manifest {
+    deck: RunConfig,
+    n_domains: usize,
+    ranks: usize,
+    start_mode: ComputeMode,
+    heartbeat_interval: Duration,
+    poll_interval: Duration,
+    deescalate_after: Option<u32>,
+}
+
+impl Manifest {
+    fn write(cfg: &ShardConfig) -> Result<(), ShardError> {
+        let deck_text = cfg
+            .deck
+            .to_deck_text()
+            .map_err(|e| ShardError::InvalidConfig(format!("deck does not round-trip: {e}")))?;
+        let deesc = match cfg.deescalate_after {
+            Some(n) => n.to_string(),
+            None => "null".to_string(),
+        };
+        let body = format!(
+            "{{\"deck\":{},\"n_domains\":{},\"ranks\":{},\"start_mode\":{},\
+             \"heartbeat_interval_ms\":{},\"poll_interval_ms\":{},\"deescalate_after\":{}}}",
+            json::escape_string(&deck_text),
+            cfg.n_domains,
+            cfg.ranks,
+            json::escape_string(cfg.start_mode.env_value().unwrap_or("STANDARD")),
+            cfg.heartbeat_interval.as_millis(),
+            cfg.poll_interval.as_millis(),
+            deesc,
+        );
+        write_atomic(&manifest_path(&cfg.run_dir), &body)?;
+        Ok(())
+    }
+
+    fn read(run: &Path) -> Result<Manifest, ShardError> {
+        let text = fs::read_to_string(manifest_path(run))?;
+        let doc = json::parse(&text)
+            .map_err(|e| ShardError::Manifest(format!("MANIFEST.json does not parse: {e:?}")))?;
+        let field = |k: &str| {
+            doc.get(k).ok_or_else(|| ShardError::Manifest(format!("missing field {k:?}")))
+        };
+        let deck_text = field("deck")?
+            .as_str()
+            .ok_or_else(|| ShardError::Manifest("deck is not a string".into()))?;
+        let deck = RunConfig::parse(deck_text)
+            .map_err(|e| ShardError::Manifest(format!("embedded deck: {e}")))?;
+        let num = |k: &str| -> Result<u64, ShardError> {
+            field(k)?
+                .as_f64()
+                .map(|v| v as u64)
+                .ok_or_else(|| ShardError::Manifest(format!("{k} is not a number")))
+        };
+        let mode_s = field("start_mode")?
+            .as_str()
+            .ok_or_else(|| ShardError::Manifest("start_mode is not a string".into()))?;
+        let start_mode = ComputeMode::from_env_value(mode_s)
+            .map_err(|e| ShardError::Manifest(format!("start_mode: {e}")))?;
+        let deescalate_after = match doc.get("deescalate_after") {
+            Some(JsonValue::Null) | None => None,
+            Some(v) => Some(v.as_f64().ok_or_else(|| {
+                ShardError::Manifest("deescalate_after is not a number".into())
+            })? as u32),
+        };
+        Ok(Manifest {
+            deck,
+            n_domains: num("n_domains")? as usize,
+            ranks: num("ranks")? as usize,
+            start_mode,
+            heartbeat_interval: Duration::from_millis(num("heartbeat_interval_ms")?),
+            poll_interval: Duration::from_millis(num("poll_interval_ms")?),
+            deescalate_after,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry
+
+/// Heartbeat timeouts declared by the coordinator across this process.
+pub fn heartbeat_miss_counter() -> &'static Arc<metrics::Counter> {
+    static C: OnceLock<Arc<metrics::Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        metrics::counter(
+            "shard_heartbeat_misses_total",
+            "rank deaths declared via heartbeat timeout",
+        )
+    })
+}
+
+/// Rank respawns performed by the coordinator across this process.
+pub fn rank_restart_counter() -> &'static Arc<metrics::Counter> {
+    static C: OnceLock<Arc<metrics::Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        metrics::counter("shard_rank_restarts_total", "dead ranks respawned by the coordinator")
+    })
+}
+
+/// Ranks degraded away (respawn budget exhausted) across this process.
+pub fn rank_degraded_counter() -> &'static Arc<metrics::Counter> {
+    static C: OnceLock<Arc<metrics::Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        metrics::counter(
+            "shard_ranks_degraded_total",
+            "ranks removed after exhausting their respawn budget",
+        )
+    })
+}
+
+fn rank_instant(name: &'static str, rank: usize, incarnation: u32) {
+    instant(
+        name,
+        vec![
+            Attr { key: "rank", value: AttrValue::U64(rank as u64) },
+            Attr { key: "incarnation", value: AttrValue::U64(incarnation as u64) },
+        ],
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Coordination log
+
+/// Append-only JSONL coordination log (`coord.log`). One writer (the
+/// coordinator); workers never touch it — their channel is the queue and
+/// heartbeat files.
+struct CoordLog {
+    file: fs::File,
+    t0: Instant,
+}
+
+impl CoordLog {
+    fn open(run: &Path) -> Result<CoordLog, std::io::Error> {
+        let file = fs::OpenOptions::new().create(true).append(true).open(run.join("coord.log"))?;
+        Ok(CoordLog { file, t0: Instant::now() })
+    }
+
+    /// `fields` are pre-rendered JSON values (numbers or quoted strings).
+    fn log(&mut self, event: &str, fields: &[(&str, String)]) {
+        let mut line = format!(
+            "{{\"t_ms\":{},\"event\":{}",
+            self.t0.elapsed().as_millis(),
+            json::escape_string(event)
+        );
+        for (k, v) in fields {
+            line.push_str(&format!(",{}:{}", json::escape_string(k), v));
+        }
+        line.push_str("}\n");
+        // A lost log line must not take the run down.
+        let _ = self.file.write_all(line.as_bytes());
+        let _ = self.file.flush();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+
+/// If this process was launched as a shard worker (the coordinator set
+/// [`SHARD_WORKER_ENV`]), runs the worker protocol to completion and
+/// **exits the process**; returns immediately otherwise. Worker-capable
+/// binaries (`dcmesh-shard`) call this first thing in `main`.
+pub fn maybe_run_worker() {
+    if std::env::var(SHARD_WORKER_ENV).as_deref() != Ok("1") {
+        return;
+    }
+    match worker_main_from_env() {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("shard worker: fatal: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn req_env(key: &str) -> Result<String, ShardError> {
+    std::env::var(key).map_err(|_| ShardError::Worker(format!("missing environment {key}")))
+}
+
+fn worker_main_from_env() -> Result<(), ShardError> {
+    let run_dir = PathBuf::from(req_env(SHARD_DIR_ENV)?);
+    let rank: usize = req_env(DCMESH_RANK_ENV)?
+        .trim()
+        .parse()
+        .map_err(|_| ShardError::Worker(format!("bad {DCMESH_RANK_ENV}")))?;
+    let incarnation: u32 = req_env(SHARD_INCARNATION_ENV)?
+        .trim()
+        .parse()
+        .map_err(|_| ShardError::Worker(format!("bad {SHARD_INCARNATION_ENV}")))?;
+    let kill = RankKillPlan::parse(&std::env::var(SHARD_KILL_ENV).unwrap_or_default())?;
+    worker_main(&run_dir, rank, incarnation, &kill)
+}
+
+/// Shared worker progress the heartbeat thread publishes.
+struct HbState {
+    seq: AtomicU64,
+    bursts: AtomicU64,
+    /// Current domain, `u64::MAX` when idle.
+    domain: AtomicU64,
+    stop: AtomicBool,
+}
+
+fn write_heartbeat(run: &Path, rank: usize, pid: u32, hb: &HbState) {
+    let seq = hb.seq.fetch_add(1, Ordering::Relaxed) + 1;
+    let domain = hb.domain.load(Ordering::Relaxed);
+    let body = format!(
+        "{{\"seq\":{seq},\"pid\":{pid},\"bursts\":{},\"domain\":{}}}",
+        hb.bursts.load(Ordering::Relaxed),
+        if domain == u64::MAX { "null".to_string() } else { domain.to_string() },
+    );
+    let _ = write_atomic(&hb_path(run, rank), &body);
+}
+
+/// The burst observer a worker attaches to each supervised domain run:
+/// bumps the heartbeat's progress counters and fires the deterministic
+/// kill point. Burst counting spans domains within one incarnation.
+struct WorkerObserver {
+    hb: Arc<HbState>,
+    kill_at: Option<u64>,
+    rank: usize,
+}
+
+impl BurstObserver for WorkerObserver {
+    fn burst_starting(&mut self, _burst_index: u64, _steps_done: u64) {
+        let n = self.hb.bursts.fetch_add(1, Ordering::Relaxed);
+        if self.kill_at == Some(n) {
+            // A real death, not an error return: the heartbeat thread
+            // dies with the process and the coordinator must notice via
+            // the timeout. The burst that was about to run is in flight
+            // and uncheckpointed — recovery replays it.
+            eprintln!("shard worker rank {}: injected kill at burst {n}", self.rank);
+            std::process::exit(KILL_EXIT_CODE);
+        }
+    }
+}
+
+/// The worker protocol: adopt own orphaned claims, then claim domains
+/// from the queue until every domain is done, idling (rather than
+/// exiting) while other ranks hold unfinished claims so released work
+/// can still be picked up. Runs domains under the full per-rank
+/// supervisor with shared checkpoints.
+pub fn worker_main(
+    run_dir: &Path,
+    rank: usize,
+    incarnation: u32,
+    kill: &RankKillPlan,
+) -> Result<(), ShardError> {
+    let m = Manifest::read(run_dir)?;
+    if rank >= m.ranks {
+        return Err(ShardError::Worker(format!(
+            "rank {rank} out of range for a {}-rank fleet",
+            m.ranks
+        )));
+    }
+    let hb = Arc::new(HbState {
+        seq: AtomicU64::new(0),
+        bursts: AtomicU64::new(0),
+        domain: AtomicU64::new(u64::MAX),
+        stop: AtomicBool::new(false),
+    });
+    let pid = std::process::id();
+
+    // Liveness heartbeat: a killed or wedged-at-exit process stops
+    // bumping `seq`; the coordinator's timeout does the rest.
+    write_heartbeat(run_dir, rank, pid, &hb);
+    let hb_thread = {
+        let hb = hb.clone();
+        let run = run_dir.to_path_buf();
+        let interval = m.heartbeat_interval;
+        std::thread::spawn(move || {
+            while !hb.stop.load(Ordering::Relaxed) {
+                std::thread::sleep(interval);
+                write_heartbeat(&run, rank, pid, &hb);
+            }
+        })
+    };
+
+    rank_instant("worker_start", rank, incarnation);
+    let kill_at = kill.kill_burst_for(rank, incarnation);
+
+    loop {
+        if count_done(run_dir)? >= m.n_domains {
+            break;
+        }
+        let claimed = match adopt_own_claim(run_dir, rank)? {
+            Some(d) => Some(d),
+            None => claim_next(run_dir, m.n_domains, rank)?,
+        };
+        match claimed {
+            Some(domain) => run_domain(run_dir, &m, domain, rank, incarnation, kill_at, &hb)?,
+            // Nothing claimable right now — but unfinished domains may
+            // return to the queue if their rank dies, so wait, don't exit.
+            None => std::thread::sleep(m.poll_interval),
+        }
+    }
+
+    // Clean completion: stop the heartbeat, export this rank's telemetry
+    // for `profile merge`, and leave the completion marker so the
+    // coordinator can tell "finished" from "died quietly".
+    hb.stop.store(true, Ordering::Relaxed);
+    let _ = hb_thread.join();
+    export_worker_trace(run_dir, rank)?;
+    write_atomic(&exit_path(run_dir, rank), "{\"status\":\"complete\"}")?;
+    Ok(())
+}
+
+/// A respawned rank re-adopts a domain it already claimed (its claim
+/// marker survives the respawn), resuming from the shared checkpoint.
+fn adopt_own_claim(run: &Path, rank: usize) -> Result<Option<usize>, std::io::Error> {
+    let suffix = format!(".claimed.rank{rank}");
+    let mut found: Vec<usize> = Vec::new();
+    for entry in fs::read_dir(queue_dir(run))? {
+        let name = entry?.file_name();
+        if let Some(d) = domain_of(&name.to_string_lossy(), &suffix) {
+            found.push(d);
+        }
+    }
+    found.sort_unstable();
+    Ok(found.first().copied())
+}
+
+/// Claims the lowest-numbered unclaimed domain by atomic rename —
+/// exactly one contender can win each `todo` file.
+fn claim_next(run: &Path, n_domains: usize, rank: usize) -> Result<Option<usize>, std::io::Error> {
+    let mut todos: Vec<usize> = Vec::new();
+    for entry in fs::read_dir(queue_dir(run))? {
+        let name = entry?.file_name();
+        if let Some(d) = domain_of(&name.to_string_lossy(), ".todo") {
+            if d < n_domains {
+                todos.push(d);
+            }
+        }
+    }
+    todos.sort_unstable();
+    for d in todos {
+        if fs::rename(todo_path(run, d), claimed_path(run, d, rank)).is_ok() {
+            return Ok(Some(d));
+        }
+    }
+    Ok(None)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_domain(
+    run: &Path,
+    m: &Manifest,
+    domain: usize,
+    rank: usize,
+    incarnation: u32,
+    kill_at: Option<u64>,
+    hb: &Arc<HbState>,
+) -> Result<(), ShardError> {
+    let cfg = domain_config(&m.deck, domain, m.n_domains)?;
+    let sup = SupervisorConfig {
+        checkpoint_dir: Some(ck_dir(run, domain)),
+        deescalate_after: m.deescalate_after,
+        ..SupervisorConfig::default()
+    };
+    hb.domain.store(domain as u64, Ordering::Relaxed);
+    let mut observer = WorkerObserver { hb: hb.clone(), kill_at, rank };
+    // Element width f32: the paper's mixed-precision configuration (the
+    // FP64 baseline has no low-precision modes to escalate between).
+    let out = run_supervised_observed::<f32>(&cfg, m.start_mode, &sup, &mut observer);
+    hb.domain.store(u64::MAX, Ordering::Relaxed);
+
+    let body = match &out {
+        Ok(run_out) => {
+            // A resumed invocation records only the tail; the boundary
+            // observables still come from the final step either way.
+            let last = run_out.result.records.last();
+            let resumed = match run_out.resumed_from_step {
+                Some(s) => s.to_string(),
+                None => "null".to_string(),
+            };
+            format!(
+                "{{\"domain\":{domain},\"status\":\"ok\",\"rank\":{rank},\
+                 \"incarnation\":{incarnation},\"resumed_from_step\":{resumed},\
+                 \"final_step\":{},\"ekin_bits\":{},\"nexc_bits\":{},\"etot_bits\":{},\
+                 \"escalations\":{},\"final_mode\":{},\"label\":{}}}",
+                last.map(|o| o.step).unwrap_or(0),
+                bits_hex(last.map(|o| o.ekin).unwrap_or(0.0)),
+                bits_hex(last.map(|o| o.nexc).unwrap_or(0.0)),
+                bits_hex(last.map(|o| o.etot).unwrap_or(0.0)),
+                run_out.escalations.len(),
+                json::escape_string(run_out.final_mode.env_value().unwrap_or("STANDARD")),
+                json::escape_string(&run_out.result.label),
+            )
+        }
+        Err(e) => format!(
+            "{{\"domain\":{domain},\"status\":\"failed\",\"rank\":{rank},\
+             \"incarnation\":{incarnation},\"error\":{}}}",
+            json::escape_string(&e.to_string()),
+        ),
+    };
+    write_atomic(&done_path(run, domain), &body)?;
+    instant(
+        if out.is_ok() { "domain_done" } else { "domain_failed" },
+        vec![
+            Attr { key: "domain", value: AttrValue::U64(domain as u64) },
+            Attr { key: "rank", value: AttrValue::U64(rank as u64) },
+        ],
+    );
+    // Claim marker last: even if the process dies between the done write
+    // and this removal, a re-run of the domain is deterministic and the
+    // done rewrite is idempotent.
+    let _ = fs::remove_file(claimed_path(run, domain, rank));
+    Ok(())
+}
+
+/// `f64` bit pattern as a hex-string JSON value — JSON numbers are f64
+/// and cannot carry 64 significant bits losslessly.
+fn bits_hex(v: f64) -> String {
+    format!("\"0x{:016x}\"", v.to_bits())
+}
+
+fn parse_bits_hex(v: Option<&JsonValue>) -> Option<u64> {
+    u64::from_str_radix(v?.as_str()?.strip_prefix("0x")?, 16).ok()
+}
+
+/// Exports this rank's telemetry (events at whatever `TELEMETRY` level
+/// the fleet runs at) for the multi-rank `profile merge`.
+fn export_worker_trace(run: &Path, rank: usize) -> Result<(), std::io::Error> {
+    let events = sink::drain();
+    fs::write(rank_events_path(run, rank), export::jsonl(&events))
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator
+
+/// Per-rank coordinator-side state machine.
+enum RankState {
+    Running { child: Child, incarnation: u32, last_seq: u64, last_change: Instant },
+    Backoff { incarnation: u32, until: Instant },
+    Finished,
+    Degraded,
+}
+
+/// Final outcome of one domain, read back from its done file.
+#[derive(Clone, Debug)]
+pub struct DomainOutcome {
+    /// Domain id.
+    pub domain: usize,
+    /// Whether the domain's supervised run succeeded.
+    pub ok: bool,
+    /// Rank that produced the done record.
+    pub rank: usize,
+    /// That rank's incarnation (> 0 means a respawned process finished
+    /// the domain).
+    pub incarnation: u32,
+    /// Checkpoint step the finishing invocation resumed from (`Some` ⇒
+    /// the domain replayed from the shared checkpoint).
+    pub resumed_from_step: Option<u64>,
+    /// Final QD step recorded.
+    pub final_step: u64,
+    /// Bit patterns of the final observables — bit-exact comparison is
+    /// the whole point of deterministic recovery.
+    pub ekin_bits: u64,
+    /// Final `nexc` bit pattern.
+    pub nexc_bits: u64,
+    /// Final `etot` bit pattern.
+    pub etot_bits: u64,
+    /// Escalations the per-rank supervisor performed on this domain.
+    pub escalations: u64,
+    /// Error text for failed domains.
+    pub error: Option<String>,
+}
+
+/// Per-rank summary.
+#[derive(Clone, Debug)]
+pub struct RankSummary {
+    /// Rank id.
+    pub rank: usize,
+    /// Incarnations spawned (1 = never died).
+    pub incarnations: u32,
+    /// Whether the rank was degraded away.
+    pub degraded: bool,
+}
+
+/// What a sharded run did, written to `report.json` and returned by
+/// [`run_coordinator`].
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Every domain's outcome, ordered by domain id.
+    pub domains: Vec<DomainOutcome>,
+    /// Every rank's lifecycle summary.
+    pub ranks: Vec<RankSummary>,
+    /// Heartbeat timeouts declared.
+    pub heartbeat_misses: u64,
+    /// Respawns performed.
+    pub restarts: u64,
+    /// Ranks degraded away.
+    pub degraded_ranks: Vec<usize>,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl ShardReport {
+    /// Domains whose supervised run failed (not rank deaths — those are
+    /// recovered; these are numeric/IO failures reported by the worker).
+    pub fn failed_domains(&self) -> Vec<usize> {
+        self.domains.iter().filter(|d| !d.ok).map(|d| d.domain).collect()
+    }
+
+    fn to_json(&self) -> String {
+        let domains: Vec<String> = self
+            .domains
+            .iter()
+            .map(|d| {
+                let resumed = match d.resumed_from_step {
+                    Some(s) => s.to_string(),
+                    None => "null".to_string(),
+                };
+                let error = match &d.error {
+                    Some(e) => json::escape_string(e),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "{{\"domain\":{},\"ok\":{},\"rank\":{},\"incarnation\":{},\
+                     \"resumed_from_step\":{resumed},\"final_step\":{},\"ekin_bits\":{},\
+                     \"nexc_bits\":{},\"etot_bits\":{},\"escalations\":{},\"error\":{error}}}",
+                    d.domain,
+                    d.ok,
+                    d.rank,
+                    d.incarnation,
+                    d.final_step,
+                    bits_hex(f64::from_bits(d.ekin_bits)),
+                    bits_hex(f64::from_bits(d.nexc_bits)),
+                    bits_hex(f64::from_bits(d.etot_bits)),
+                    d.escalations,
+                )
+            })
+            .collect();
+        let ranks: Vec<String> = self
+            .ranks
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"rank\":{},\"incarnations\":{},\"degraded\":{}}}",
+                    r.rank, r.incarnations, r.degraded
+                )
+            })
+            .collect();
+        format!(
+            "{{\"completed\":{},\"heartbeat_misses\":{},\"restarts\":{},\
+             \"degraded_ranks\":[{}],\"elapsed_ms\":{},\"domains\":[{}],\"ranks\":[{}]}}",
+            self.failed_domains().is_empty(),
+            self.heartbeat_misses,
+            self.restarts,
+            self.degraded_ranks.iter().map(ToString::to_string).collect::<Vec<_>>().join(","),
+            self.elapsed.as_millis(),
+            domains.join(","),
+            ranks.join(","),
+        )
+    }
+
+    /// Parses a `report.json` written by [`run_coordinator`].
+    pub fn parse(text: &str) -> Result<ShardReport, ShardError> {
+        let doc = json::parse(text)
+            .map_err(|e| ShardError::Manifest(format!("report.json does not parse: {e:?}")))?;
+        let num = |v: Option<&JsonValue>| v.and_then(JsonValue::as_f64).unwrap_or(0.0) as u64;
+        let mut domains = Vec::new();
+        for d in doc.get("domains").and_then(JsonValue::as_array).unwrap_or(&[]) {
+            domains.push(DomainOutcome {
+                domain: num(d.get("domain")) as usize,
+                ok: d.get("ok") == Some(&JsonValue::Bool(true)),
+                rank: num(d.get("rank")) as usize,
+                incarnation: num(d.get("incarnation")) as u32,
+                resumed_from_step: d
+                    .get("resumed_from_step")
+                    .and_then(JsonValue::as_f64)
+                    .map(|v| v as u64),
+                final_step: num(d.get("final_step")),
+                ekin_bits: parse_bits_hex(d.get("ekin_bits")).unwrap_or(0),
+                nexc_bits: parse_bits_hex(d.get("nexc_bits")).unwrap_or(0),
+                etot_bits: parse_bits_hex(d.get("etot_bits")).unwrap_or(0),
+                escalations: num(d.get("escalations")),
+                error: d.get("error").and_then(JsonValue::as_str).map(String::from),
+            });
+        }
+        let mut ranks = Vec::new();
+        for r in doc.get("ranks").and_then(JsonValue::as_array).unwrap_or(&[]) {
+            ranks.push(RankSummary {
+                rank: num(r.get("rank")) as usize,
+                incarnations: num(r.get("incarnations")) as u32,
+                degraded: r.get("degraded") == Some(&JsonValue::Bool(true)),
+            });
+        }
+        Ok(ShardReport {
+            domains,
+            ranks,
+            heartbeat_misses: num(doc.get("heartbeat_misses")),
+            restarts: num(doc.get("restarts")),
+            degraded_ranks: doc
+                .get("degraded_ranks")
+                .and_then(JsonValue::as_array)
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|v| v.as_f64().map(|f| f as usize))
+                .collect(),
+            elapsed: Duration::from_millis(num(doc.get("elapsed_ms"))),
+        })
+    }
+}
+
+fn spawn_worker(cfg: &ShardConfig, rank: usize, incarnation: u32) -> Result<Child, std::io::Error> {
+    let exe = match &cfg.worker_exe {
+        Some(p) => p.clone(),
+        None => std::env::current_exe()?,
+    };
+    Command::new(exe)
+        .env(SHARD_WORKER_ENV, "1")
+        .env(SHARD_DIR_ENV, &cfg.run_dir)
+        .env(DCMESH_RANK_ENV, rank.to_string())
+        .env(SHARD_INCARNATION_ENV, incarnation.to_string())
+        .env(SHARD_KILL_ENV, cfg.kill_plan.to_spec())
+        .stdout(Stdio::null())
+        .spawn()
+}
+
+/// Reads a heartbeat file's sequence counter (0 when absent/torn).
+fn read_hb_seq(run: &Path, rank: usize) -> u64 {
+    fs::read_to_string(hb_path(run, rank))
+        .ok()
+        .and_then(|t| json::parse(&t).ok())
+        .and_then(|d| d.get("seq").and_then(JsonValue::as_f64))
+        .unwrap_or(0.0) as u64
+}
+
+/// Returns the dead rank's claimed domains to the open queue (used on
+/// degradation — while a respawn is still pending, claims are *kept* so
+/// the recovered rank adopts its own in-flight work).
+fn release_claims(
+    run: &Path,
+    rank: usize,
+    log: &mut CoordLog,
+) -> Result<Vec<usize>, std::io::Error> {
+    let suffix = format!(".claimed.rank{rank}");
+    let mut released = Vec::new();
+    for entry in fs::read_dir(queue_dir(run))? {
+        let name = entry?.file_name();
+        if let Some(d) = domain_of(&name.to_string_lossy(), &suffix) {
+            // The domain may already be done (death after done-write but
+            // before marker removal): drop the stale claim instead of
+            // re-queueing finished work.
+            if done_path(run, d).exists() {
+                let _ = fs::remove_file(claimed_path(run, d, rank));
+                continue;
+            }
+            if fs::rename(claimed_path(run, d, rank), todo_path(run, d)).is_ok() {
+                released.push(d);
+                log.log(
+                    "domain_reassigned",
+                    &[("domain", d.to_string()), ("from_rank", rank.to_string())],
+                );
+                instant(
+                    "domain_reassigned",
+                    vec![
+                        Attr { key: "domain", value: AttrValue::U64(d as u64) },
+                        Attr { key: "rank", value: AttrValue::U64(rank as u64) },
+                    ],
+                );
+            }
+        }
+    }
+    Ok(released)
+}
+
+fn backoff_for(cfg: &ShardConfig, deaths: u32) -> Duration {
+    let exp = deaths.saturating_sub(1).min(16);
+    cfg.backoff_base.saturating_mul(1u32 << exp).min(cfg.backoff_max)
+}
+
+/// Runs the full sharded run: seeds the queue, spawns the ranks, and
+/// supervises them to completion. Returns the aggregated report (also
+/// persisted as `report.json`); worker-side domain failures are reported
+/// in it, not raised — only coordination-level failures are `Err`.
+///
+/// Domains `0..ranks` are pre-claimed one per rank so the initial
+/// assignment is deterministic; the remainder are open-queue and
+/// work-stolen. Re-running a coordinator over a partially complete run
+/// directory resumes it: done domains stay done, stale claims return to
+/// the queue.
+pub fn run_coordinator(cfg: &ShardConfig) -> Result<ShardReport, ShardError> {
+    cfg.validate()?;
+    let run = cfg.run_dir.as_path();
+    for d in [run.to_path_buf(), queue_dir(run), done_dir(run), hb_dir(run), trace_dir(run)] {
+        fs::create_dir_all(d)?;
+    }
+    let mut log = CoordLog::open(run)?;
+    Manifest::write(cfg)?;
+    // Register the shard counters up front so the final Prometheus dump
+    // always carries all three series, zeros included.
+    heartbeat_miss_counter();
+    rank_restart_counter();
+    rank_degraded_counter();
+
+    // Stale state from a previous coordinator over this directory.
+    for entry in fs::read_dir(hb_dir(run))? {
+        let _ = fs::remove_file(entry?.path());
+    }
+    for entry in fs::read_dir(queue_dir(run))? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string();
+        if let Some(at) = name.find(".claimed.rank") {
+            if let Some(d) = domain_of(&format!("{}.todo", &name[..at]), ".todo") {
+                let _ = fs::rename(&path, todo_path(run, d));
+            }
+        }
+    }
+
+    // Seed the queue. Initial assignment is deterministic: domain r is
+    // pre-claimed for rank r; the tail is open for work stealing.
+    let mut seeded = 0usize;
+    for d in 0..cfg.n_domains {
+        if done_path(run, d).exists() {
+            continue;
+        }
+        // A todo recovered from a previous coordinator stays open-queue;
+        // pre-claiming it too would double-run the domain.
+        let todo = todo_path(run, d);
+        let target = if d < cfg.ranks && !todo.exists() { claimed_path(run, d, d) } else { todo };
+        if !target.exists() {
+            write_atomic(&target, "{}")?;
+        }
+        seeded += 1;
+    }
+    log.log(
+        "run_start",
+        &[
+            ("ranks", cfg.ranks.to_string()),
+            ("domains", cfg.n_domains.to_string()),
+            ("seeded", seeded.to_string()),
+            ("kill_plan", json::escape_string(&cfg.kill_plan.to_spec())),
+        ],
+    );
+
+    let t0 = Instant::now();
+    let mut slots: Vec<RankState> = Vec::with_capacity(cfg.ranks);
+    let mut deaths: Vec<u32> = vec![0; cfg.ranks];
+    let mut restarts = 0u64;
+    let mut heartbeat_misses = 0u64;
+    for rank in 0..cfg.ranks {
+        slots.push(spawn_slot(cfg, rank, 0, &mut log, &mut deaths)?);
+    }
+
+    let report = loop {
+        std::thread::sleep(cfg.poll_interval);
+        let done = count_done(run)?;
+        if done >= cfg.n_domains {
+            break finalize(cfg, run, &mut slots, &mut log, t0, heartbeat_misses, restarts, &deaths);
+        }
+        if let Some(limit) = cfg.max_wall {
+            if t0.elapsed() > limit {
+                for s in &mut slots {
+                    if let RankState::Running { child, .. } = s {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                    }
+                }
+                log.log("wall_clock_exceeded", &[("done", done.to_string())]);
+                return Err(ShardError::WallClockExceeded {
+                    limit,
+                    unfinished: cfg.n_domains - done,
+                });
+            }
+        }
+
+        let mut any_alive = false;
+        for rank in 0..cfg.ranks {
+            match &mut slots[rank] {
+                RankState::Running { child, incarnation, last_seq, last_change } => {
+                    // Clean completion: the exit marker is written before
+                    // the process exits, so marker + reaped child is
+                    // unambiguous. Death detection itself never trusts
+                    // exit status — only the heartbeat.
+                    if exit_path(run, rank).exists()
+                        && child.try_wait().ok().flatten().is_some()
+                    {
+                        log.log("rank_finished", &[("rank", rank.to_string())]);
+                        rank_instant("rank_finished", rank, *incarnation);
+                        slots[rank] = RankState::Finished;
+                        continue;
+                    }
+                    let seq = read_hb_seq(run, rank);
+                    if seq != *last_seq {
+                        *last_seq = seq;
+                        *last_change = Instant::now();
+                    } else if last_change.elapsed() > cfg.heartbeat_timeout {
+                        // Dead (or wedged): declared via heartbeat
+                        // timeout, exactly as a hung-but-running process
+                        // would be.
+                        heartbeat_misses += 1;
+                        heartbeat_miss_counter().inc();
+                        let inc = *incarnation;
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        log.log(
+                            "heartbeat_miss",
+                            &[
+                                ("rank", rank.to_string()),
+                                ("incarnation", inc.to_string()),
+                                ("stale_ms", last_change.elapsed().as_millis().to_string()),
+                            ],
+                        );
+                        rank_instant("heartbeat_miss", rank, inc);
+                        rank_instant("rank_dead", rank, inc);
+                        deaths[rank] += 1;
+                        if deaths[rank] <= cfg.max_respawns {
+                            // Claims are kept: the respawned rank adopts
+                            // its in-flight domain and replays it from
+                            // the shared checkpoint.
+                            let until = Instant::now() + backoff_for(cfg, deaths[rank]);
+                            log.log(
+                                "rank_backoff",
+                                &[
+                                    ("rank", rank.to_string()),
+                                    (
+                                        "delay_ms",
+                                        backoff_for(cfg, deaths[rank]).as_millis().to_string(),
+                                    ),
+                                ],
+                            );
+                            slots[rank] = RankState::Backoff { incarnation: inc + 1, until };
+                        } else {
+                            rank_degraded_counter().inc();
+                            log.log(
+                                "rank_degraded",
+                                &[("rank", rank.to_string()), ("deaths", deaths[rank].to_string())],
+                            );
+                            rank_instant("rank_degraded", rank, inc);
+                            release_claims(run, rank, &mut log)?;
+                            slots[rank] = RankState::Degraded;
+                        }
+                    }
+                    any_alive = true;
+                }
+                RankState::Backoff { incarnation, until } => {
+                    any_alive = true;
+                    if Instant::now() >= *until {
+                        let inc = *incarnation;
+                        restarts += 1;
+                        rank_restart_counter().inc();
+                        rank_instant("rank_respawn", rank, inc);
+                        slots[rank] = spawn_slot(cfg, rank, inc, &mut log, &mut deaths)?;
+                    }
+                }
+                RankState::Finished | RankState::Degraded => {}
+            }
+        }
+
+        if !any_alive {
+            // Ranks may all have finished during this scan, after the
+            // done count at the loop top went stale — recount before
+            // declaring the fleet exhausted.
+            let done = count_done(run)?;
+            if done >= cfg.n_domains {
+                continue;
+            }
+            log.log("ranks_exhausted", &[("done", done.to_string())]);
+            return Err(ShardError::RanksExhausted { unfinished: cfg.n_domains - done });
+        }
+    };
+
+    Ok(report)
+}
+
+/// Spawns rank `rank` at `incarnation`; a spawn failure is treated like
+/// an immediate death (backoff or degradation) rather than aborting the
+/// fleet.
+fn spawn_slot(
+    cfg: &ShardConfig,
+    rank: usize,
+    incarnation: u32,
+    log: &mut CoordLog,
+    deaths: &mut [u32],
+) -> Result<RankState, ShardError> {
+    match spawn_worker(cfg, rank, incarnation) {
+        Ok(child) => {
+            log.log(
+                "rank_spawn",
+                &[("rank", rank.to_string()), ("incarnation", incarnation.to_string())],
+            );
+            rank_instant("rank_spawn", rank, incarnation);
+            Ok(RankState::Running {
+                child,
+                incarnation,
+                last_seq: 0,
+                last_change: Instant::now(),
+            })
+        }
+        Err(e) => {
+            log.log(
+                "rank_spawn_failed",
+                &[("rank", rank.to_string()), ("error", json::escape_string(&e.to_string()))],
+            );
+            deaths[rank] += 1;
+            if deaths[rank] <= cfg.max_respawns {
+                Ok(RankState::Backoff {
+                    incarnation: incarnation + 1,
+                    until: Instant::now() + backoff_for(cfg, deaths[rank]),
+                })
+            } else {
+                rank_degraded_counter().inc();
+                rank_instant("rank_degraded", rank, incarnation);
+                Ok(RankState::Degraded)
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finalize(
+    cfg: &ShardConfig,
+    run: &Path,
+    slots: &mut [RankState],
+    log: &mut CoordLog,
+    t0: Instant,
+    heartbeat_misses: u64,
+    restarts: u64,
+    deaths: &[u32],
+) -> ShardReport {
+    // Workers exit on their own once they observe the full done set;
+    // give them a grace period, then insist.
+    let deadline = Instant::now() + cfg.heartbeat_timeout;
+    for (rank, slot) in slots.iter_mut().enumerate() {
+        if let RankState::Running { child, incarnation, .. } = slot {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(_)) => break,
+                    _ if Instant::now() > deadline => {
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                    _ => std::thread::sleep(cfg.poll_interval),
+                }
+            }
+            log.log("rank_finished", &[("rank", rank.to_string())]);
+            rank_instant("rank_finished", rank, *incarnation);
+            *slot = RankState::Finished;
+        }
+    }
+
+    let mut domains: Vec<DomainOutcome> = Vec::with_capacity(cfg.n_domains);
+    for d in 0..cfg.n_domains {
+        match fs::read_to_string(done_path(run, d)).ok().and_then(|t| json::parse(&t).ok()) {
+            Some(doc) => {
+                let num =
+                    |v: Option<&JsonValue>| v.and_then(JsonValue::as_f64).unwrap_or(0.0) as u64;
+                domains.push(DomainOutcome {
+                    domain: d,
+                    ok: doc.get("status").and_then(JsonValue::as_str) == Some("ok"),
+                    rank: num(doc.get("rank")) as usize,
+                    incarnation: num(doc.get("incarnation")) as u32,
+                    resumed_from_step: doc
+                        .get("resumed_from_step")
+                        .and_then(JsonValue::as_f64)
+                        .map(|v| v as u64),
+                    final_step: num(doc.get("final_step")),
+                    ekin_bits: parse_bits_hex(doc.get("ekin_bits")).unwrap_or(0),
+                    nexc_bits: parse_bits_hex(doc.get("nexc_bits")).unwrap_or(0),
+                    etot_bits: parse_bits_hex(doc.get("etot_bits")).unwrap_or(0),
+                    escalations: num(doc.get("escalations")),
+                    error: doc.get("error").and_then(JsonValue::as_str).map(String::from),
+                });
+            }
+            None => domains.push(DomainOutcome {
+                domain: d,
+                ok: false,
+                rank: 0,
+                incarnation: 0,
+                resumed_from_step: None,
+                final_step: 0,
+                ekin_bits: 0,
+                nexc_bits: 0,
+                etot_bits: 0,
+                escalations: 0,
+                error: Some("done file missing or unparsable".into()),
+            }),
+        }
+    }
+
+    let degraded_ranks: Vec<usize> = slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s, RankState::Degraded))
+        .map(|(r, _)| r)
+        .collect();
+    let ranks: Vec<RankSummary> = (0..cfg.ranks)
+        .map(|r| RankSummary {
+            rank: r,
+            incarnations: deaths[r].min(cfg.max_respawns) + 1,
+            degraded: degraded_ranks.contains(&r),
+        })
+        .collect();
+    let report = ShardReport {
+        domains,
+        ranks,
+        heartbeat_misses,
+        restarts,
+        degraded_ranks,
+        elapsed: t0.elapsed(),
+    };
+    log.log(
+        "run_complete",
+        &[
+            ("restarts", restarts.to_string()),
+            ("heartbeat_misses", heartbeat_misses.to_string()),
+            ("failed_domains", report.failed_domains().len().to_string()),
+        ],
+    );
+    instant(
+        "shard_complete",
+        vec![
+            Attr { key: "restarts", value: AttrValue::U64(restarts) },
+            Attr { key: "heartbeat_misses", value: AttrValue::U64(heartbeat_misses) },
+        ],
+    );
+
+    let _ = write_atomic(&report_path(run), &report.to_json());
+    // The coordinator's own lifecycle telemetry, for `telemetry_check
+    // --shard-dir` and dashboards.
+    let events = sink::drain();
+    let _ = fs::write(trace_dir(run).join("events-coord.jsonl"), export::jsonl(&events));
+    let _ = fs::write(trace_dir(run).join("metrics-coord.prom"), export::prometheus_dump());
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemPreset;
+
+    fn tiny_deck() -> RunConfig {
+        let mut cfg = RunConfig::preset(SystemPreset::Pto40Small);
+        cfg.mesh_points = 10;
+        cfg.n_orb = 8;
+        cfg.n_occ = 4;
+        cfg.total_qd_steps = 60;
+        cfg.qd_steps_per_md = 20;
+        cfg
+    }
+
+    #[test]
+    fn kill_plan_spec_roundtrips() {
+        let plan = RankKillPlan::parse("1@2, 3@0*").expect("parse");
+        assert_eq!(
+            plan.kills,
+            vec![
+                RankKill { rank: 1, burst: 2, every_incarnation: false },
+                RankKill { rank: 3, burst: 0, every_incarnation: true },
+            ]
+        );
+        assert_eq!(RankKillPlan::parse(&plan.to_spec()).expect("reparse"), plan);
+        assert_eq!(RankKillPlan::parse("").expect("empty"), RankKillPlan::default());
+        assert!(RankKillPlan::parse("nope").is_err());
+        assert!(RankKillPlan::parse("1@x").is_err());
+
+        assert_eq!(plan.kill_burst_for(1, 0), Some(2));
+        assert_eq!(plan.kill_burst_for(1, 1), None, "plain kills hit only incarnation 0");
+        assert_eq!(plan.kill_burst_for(3, 5), Some(0), "starred kills hit every incarnation");
+        assert_eq!(plan.kill_burst_for(0, 0), None);
+    }
+
+    #[test]
+    fn domain_split_is_balanced_and_valid() {
+        let deck = tiny_deck();
+        let mut orb = 0;
+        let mut occ = 0;
+        for d in 0..4 {
+            let cfg = domain_config(&deck, d, 4).expect("domain deck");
+            assert!(cfg.n_occ >= 1 && cfg.n_occ <= cfg.n_orb);
+            assert_eq!(cfg.label, format!("{}~dom{d}", deck.label));
+            orb += cfg.n_orb;
+            occ += cfg.n_occ;
+        }
+        assert_eq!(orb, deck.n_orb, "orbital blocks must partition the space");
+        assert_eq!(occ, deck.n_occ);
+
+        // Uneven splits stay valid for every (orb, occ, parts) we allow.
+        for parts in 1..=4 {
+            for d in 0..parts {
+                let cfg = domain_config(&deck, d, parts).expect("deck");
+                assert!(cfg.n_occ <= cfg.n_orb);
+            }
+        }
+        assert!(domain_config(&deck, 0, 5).is_err(), "more domains than occupied orbitals");
+        assert!(domain_config(&deck, 4, 4).is_err(), "domain index out of range");
+    }
+
+    #[test]
+    fn manifest_roundtrips_through_the_run_dir() {
+        let dir = std::env::temp_dir().join(format!("dcmesh-manifest-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("dir");
+        let mut cfg = ShardConfig::new(tiny_deck(), 2, 4, dir.clone());
+        cfg.start_mode = ComputeMode::FloatToBf16;
+        cfg.deescalate_after = Some(3);
+        Manifest::write(&cfg).expect("write");
+        let m = Manifest::read(&dir).expect("read");
+        assert_eq!(m.n_domains, 4);
+        assert_eq!(m.ranks, 2);
+        assert_eq!(m.start_mode, ComputeMode::FloatToBf16);
+        assert_eq!(m.deescalate_after, Some(3));
+        assert_eq!(m.heartbeat_interval, cfg.heartbeat_interval);
+        assert_eq!(m.deck.n_orb, 8);
+        assert_eq!(m.deck.total_qd_steps, 60);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn claims_are_atomic_and_adoption_prefers_own_rank() {
+        let dir = std::env::temp_dir().join(format!("dcmesh-claim-{}", std::process::id()));
+        fs::create_dir_all(queue_dir(&dir)).expect("dir");
+        for d in 0..3 {
+            write_atomic(&todo_path(&dir, d), "{}").expect("seed");
+        }
+        assert_eq!(claim_next(&dir, 3, 0).expect("claim"), Some(0));
+        assert_eq!(claim_next(&dir, 3, 1).expect("claim"), Some(1));
+        // Rank 0's claim survives; adoption finds it, not rank 1's.
+        assert_eq!(adopt_own_claim(&dir, 0).expect("adopt"), Some(0));
+        assert_eq!(adopt_own_claim(&dir, 2).expect("adopt"), None);
+        // Only one todo left.
+        assert_eq!(claim_next(&dir, 3, 2).expect("claim"), Some(2));
+        assert_eq!(claim_next(&dir, 3, 2).expect("claim"), None);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_json_roundtrips_bit_patterns() {
+        let report = ShardReport {
+            domains: vec![DomainOutcome {
+                domain: 0,
+                ok: true,
+                rank: 1,
+                incarnation: 2,
+                resumed_from_step: Some(20),
+                final_step: 60,
+                ekin_bits: 0x3ff5_5555_5555_5555,
+                nexc_bits: f64::to_bits(-0.0),
+                etot_bits: u64::MAX,
+                escalations: 1,
+                error: None,
+            }],
+            ranks: vec![RankSummary { rank: 0, incarnations: 1, degraded: false }],
+            heartbeat_misses: 1,
+            restarts: 2,
+            degraded_ranks: vec![3],
+            elapsed: Duration::from_millis(1234),
+        };
+        let back = ShardReport::parse(&report.to_json()).expect("parse");
+        let d = &back.domains[0];
+        assert_eq!(d.ekin_bits, 0x3ff5_5555_5555_5555);
+        assert_eq!(d.nexc_bits, f64::to_bits(-0.0));
+        assert_eq!(d.etot_bits, u64::MAX, "NaN patterns survive the hex encoding");
+        assert_eq!(d.resumed_from_step, Some(20));
+        assert_eq!(back.restarts, 2);
+        assert_eq!(back.degraded_ranks, vec![3]);
+        assert!(back.failed_domains().is_empty());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let mut cfg = ShardConfig::new(tiny_deck(), 1, 1, PathBuf::from("/nonexistent"));
+        cfg.backoff_base = Duration::from_millis(100);
+        cfg.backoff_max = Duration::from_millis(450);
+        assert_eq!(backoff_for(&cfg, 1), Duration::from_millis(100));
+        assert_eq!(backoff_for(&cfg, 2), Duration::from_millis(200));
+        assert_eq!(backoff_for(&cfg, 3), Duration::from_millis(400));
+        assert_eq!(backoff_for(&cfg, 4), Duration::from_millis(450), "capped");
+    }
+
+    #[test]
+    fn config_validation_rejects_unworkable_fleets() {
+        let deck = tiny_deck();
+        assert!(ShardConfig::new(deck.clone(), 0, 4, PathBuf::new()).validate().is_err());
+        assert!(
+            ShardConfig::new(deck.clone(), 4, 2, PathBuf::new()).validate().is_err(),
+            "fewer domains than ranks"
+        );
+        let mut cfg = ShardConfig::new(deck.clone(), 2, 4, PathBuf::new());
+        cfg.heartbeat_timeout = cfg.heartbeat_interval;
+        assert!(cfg.validate().is_err(), "timeout must exceed the interval");
+        assert!(ShardConfig::new(deck, 2, 4, PathBuf::new()).validate().is_ok());
+    }
+}

@@ -186,7 +186,31 @@ pub struct SupervisedRun {
     /// The mode the run finished in — `start_mode` if it never
     /// escalated.
     pub final_mode: ComputeMode,
+    /// The QD-step count of the checkpoint this invocation resumed from,
+    /// or `None` for a fresh start. Shard workers report this so a
+    /// recovered rank can prove it replayed from the shared checkpoint.
+    pub resumed_from_step: Option<u64>,
 }
+
+/// Hooks a caller can attach to the supervised burst loop. The shard
+/// worker uses this to stamp its heartbeat with run progress and to fire
+/// deterministic [`crate::shard::RankKillPlan`] kill points; tests can
+/// use it to observe the loop without patching the supervisor.
+///
+/// Both hooks default to no-ops, and `()` is the canonical do-nothing
+/// observer.
+pub trait BurstObserver {
+    /// Called once per burst, just before its pre-burst snapshot is
+    /// taken (so the burst about to run is *not yet* checkpointed —
+    /// dying here leaves it in-flight). `burst_index` counts MD bursts
+    /// from the start of the deck; a resumed run starts mid-sequence.
+    fn burst_starting(&mut self, _burst_index: u64, _steps_done: u64) {}
+    /// Called after a burst completed cleanly and — when a checkpoint
+    /// directory is configured — its checkpoint reached disk.
+    fn burst_committed(&mut self, _burst_index: u64, _steps_done: u64) {}
+}
+
+impl BurstObserver for () {}
 
 /// Runs the deck under `start_mode` with health monitoring, burst-level
 /// rollback and automatic precision escalation. Escalation is sticky:
@@ -198,8 +222,20 @@ pub fn run_supervised<T: LfdScalar>(
     start_mode: ComputeMode,
     sup: &SupervisorConfig,
 ) -> Result<SupervisedRun, RunError> {
+    run_supervised_observed::<T>(cfg, start_mode, sup, &mut ())
+}
+
+/// [`run_supervised`] with a [`BurstObserver`] attached to the burst
+/// loop — the entry point shard workers use for heartbeat progress
+/// stamping and deterministic rank-kill injection.
+pub fn run_supervised_observed<T: LfdScalar>(
+    cfg: &RunConfig,
+    start_mode: ComputeMode,
+    sup: &SupervisorConfig,
+    observer: &mut dyn BurstObserver,
+) -> Result<SupervisedRun, RunError> {
     cfg.validate()?;
-    crate::runner::init_rank_from_env();
+    crate::runner::init_rank_from_env()?;
     mkl_lite::try_compute_mode().map_err(RunError::InvalidComputeMode)?;
     let params = cfg.lfd_params();
     params.validate();
@@ -211,6 +247,7 @@ pub fn run_supervised<T: LfdScalar>(
         Some(dir) => scan_and_load::<T>(dir, &params)?,
         None => None,
     };
+    let resumed_from_step = resumed.as_ref().map(|(_, _, steps)| *steps as u64);
     let (mut system, mut state, mut steps_done) = match resumed {
         Some(r) => r,
         None => fresh_start::<T>(cfg, &params)?,
@@ -233,6 +270,9 @@ pub fn run_supervised<T: LfdScalar>(
     let mut last_nexc = 0.0f64;
 
     while steps_done < cfg.total_qd_steps {
+        let burst_index = (steps_done / cfg.qd_steps_per_md.max(1)) as u64;
+        observer.burst_starting(burst_index, steps_done as u64);
+
         // Burst-boundary snapshot: everything a rollback must restore.
         let snap_state = state.clone();
         let snap_system = system.clone();
@@ -394,9 +434,10 @@ pub fn run_supervised<T: LfdScalar>(
                 }],
             );
         }
+        observer.burst_committed(burst_index, steps_done as u64);
     }
 
-    Ok(SupervisedRun { result, escalations, deescalations, final_mode: current })
+    Ok(SupervisedRun { result, escalations, deescalations, final_mode: current, resumed_from_step })
 }
 
 /// Decides whether the supervisor should step down one ladder rung after
