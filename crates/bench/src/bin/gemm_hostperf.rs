@@ -24,10 +24,25 @@
 //! speedup over FP32 — the quantities behind Tables VI/VII.
 //!
 //! Usage: `gemm_hostperf [--k-scale N] [--prep-k N] [--reps N]
-//! [--warmup N] [--out PATH] [--enforce-zero-alloc]`
+//! [--warmup N] [--out PATH] [--enforce-zero-alloc]
+//! [--max-bf16x2-ratio F] [--max-bf16x3-ratio F]`
 //!
 //! `--enforce-zero-alloc` exits non-zero if any steady-state call
 //! allocated — the CI regression gate.
+//!
+//! `--max-bf16x2-ratio` / `--max-bf16x3-ratio` gate the measured
+//! BF16x2/STANDARD and BF16x3/STANDARD `ns_per_call` ratios at the
+//! 128×1920 Table VII shape: if a split mode costs more than the given
+//! multiple of STANDARD, the run exits non-zero. This is the CI tripwire
+//! against regressing to per-plane `matmul_acc` passes (historically
+//! 3×/6–7×; the packed kernel holds ~1.5–2×/2–3×).
+//!
+//! **k labeling:** every measured number is taken at
+//! `k_measured = 262144 / k_scale` and labeled as such — `ns_per_call`
+//! is at `k_measured`, while `modelled_device_s` /
+//! `modelled_speedup_vs_fp32` always price the *full* Table VII shape
+//! (`k_table7 = 262144`). `ns_per_call_table7_est` bridges the two with
+//! an explicit linear-in-k extrapolation (`ns_per_call × k_scale`).
 //!
 //! **`--from-trace events.jsonl`** switches to trace-replay mode: instead
 //! of running the sweep, the per-call attribution table is recomputed
@@ -98,6 +113,8 @@ struct Options {
     warmup: usize,
     out: String,
     enforce_zero_alloc: bool,
+    max_x2_ratio: Option<f64>,
+    max_x3_ratio: Option<f64>,
     from_trace: Option<String>,
     tolerance_pct: f64,
 }
@@ -110,6 +127,8 @@ fn parse_args() -> Options {
         warmup: 2,
         out: "BENCH_gemm.json".to_string(),
         enforce_zero_alloc: false,
+        max_x2_ratio: None,
+        max_x3_ratio: None,
         from_trace: None,
         tolerance_pct: 5.0,
     };
@@ -133,6 +152,17 @@ fn parse_args() -> Options {
                 })
             }
             "--enforce-zero-alloc" => o.enforce_zero_alloc = true,
+            "--max-bf16x2-ratio" | "--max-bf16x3-ratio" => {
+                let v: f64 = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("missing/invalid value for {flag}");
+                    std::process::exit(2);
+                });
+                if flag == "--max-bf16x2-ratio" {
+                    o.max_x2_ratio = Some(v);
+                } else {
+                    o.max_x3_ratio = Some(v);
+                }
+            }
             "--from-trace" => {
                 o.from_trace = Some(args.next().unwrap_or_else(|| {
                     eprintln!("missing value for --from-trace");
@@ -384,6 +414,11 @@ fn main() {
 
     // --- end-to-end sweep: sgemm over Table VII shapes × real modes ---
     let k_meas = (TABLE7_K / o.k_scale).max(1);
+    eprintln!(
+        "k-scale {}: ns/call measured at k = {k_meas} (Table VII k = {TABLE7_K}); \
+         modelled_* columns always price the full Table VII shape",
+        o.k_scale
+    );
     let kmax = k_meas;
     let nmax = TABLE7_SHAPES.iter().map(|s| s.1).max().unwrap();
     let a_full: Vec<f32> = (0..128 * kmax).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
@@ -537,6 +572,13 @@ fn main() {
     json.push_str("{\n");
     json.push_str("  \"bench\": \"gemm_hostperf\",\n");
     json.push_str(&format!("  \"k_scale\": {},\n", o.k_scale));
+    json.push_str(&format!("  \"k_table7\": {TABLE7_K},\n"));
+    json.push_str(&format!("  \"k_measured\": {k_meas},\n"));
+    json.push_str(
+        "  \"k_note\": \"ns_per_call is measured at k_measured; modelled_* price the full \
+         k_table7 shape; ns_per_call_table7_est = ns_per_call * k_table7 / k_measured \
+         (linear-in-k extrapolation)\",\n",
+    );
     json.push_str(&format!(
         "  \"pool\": {{\"takes\": {}, \"misses\": {}, \"grows\": {}, \"returns\": {}, \
          \"bytes_outstanding\": {}, \"hit_ratio\": {:.4}}},\n",
@@ -554,6 +596,7 @@ fn main() {
             format!(
                 "    {{\"routine\": \"{}\", \"mode\": \"{}\", \"m\": {}, \"n\": {}, \
                  \"k_table7\": {}, \"k_measured\": {}, \"ns_per_call\": {}, \
+                 \"ns_per_call_table7_est\": {}, \
                  \"allocs_per_call\": {}, \"modelled_device_s\": {:.6e}, \
                  \"modelled_speedup_vs_fp32\": {:.4}}}",
                 e.routine,
@@ -563,6 +606,7 @@ fn main() {
                 e.k_table,
                 e.k_measured,
                 json_f64(e.ns_per_call),
+                json_f64(e.ns_per_call * (e.k_table as f64 / e.k_measured as f64)),
                 e.allocs_per_call,
                 e.modelled_device_s,
                 e.modelled_speedup_vs_fp32
@@ -580,5 +624,49 @@ fn main() {
     if o.enforce_zero_alloc && !dirty_modes.is_empty() {
         eprintln!("steady-state allocations detected in: {}", dirty_modes.join(", "));
         std::process::exit(1);
+    }
+
+    // --- split-mode perf-ratio gate (128×1920 Table VII shape) ---
+    // The tripwire against regressing the packed split-plane kernel back
+    // to independent per-plane passes: BF16x2 / BF16x3 must stay within
+    // the given multiple of STANDARD at the same measured shape.
+    if o.max_x2_ratio.is_some() || o.max_x3_ratio.is_some() {
+        let (gm, gn) = (128usize, 1920usize);
+        let ns_of = |mode: ComputeMode| {
+            entries
+                .iter()
+                .find(|e| e.routine == "SGEMM" && e.mode == mode && e.m == gm && e.n == gn)
+                .map(|e| e.ns_per_call)
+        };
+        let Some(std_ns) = ns_of(ComputeMode::Standard).filter(|ns| *ns > 0.0) else {
+            eprintln!("perf-ratio gate: no STANDARD ({gm}, {gn}) row to compare against");
+            std::process::exit(1);
+        };
+        let mut failures = 0u32;
+        for (mode, max) in [
+            (ComputeMode::FloatToBf16x2, o.max_x2_ratio),
+            (ComputeMode::FloatToBf16x3, o.max_x3_ratio),
+        ] {
+            let Some(max) = max else { continue };
+            let Some(ns) = ns_of(mode) else {
+                eprintln!("perf-ratio gate: no {} ({gm}, {gn}) row", mode_label(mode));
+                failures += 1;
+                continue;
+            };
+            let ratio = ns / std_ns;
+            let verdict = if ratio <= max { "ok" } else { "FAIL" };
+            eprintln!(
+                "perf-ratio {}/STANDARD ({gm}, {gn}, {k_meas}): {ratio:.2}x (max {max:.2}x) \
+                 {verdict}",
+                mode_label(mode)
+            );
+            if ratio > max {
+                failures += 1;
+            }
+        }
+        if failures > 0 {
+            eprintln!("perf-ratio gate: {failures} mode(s) over threshold");
+            std::process::exit(1);
+        }
     }
 }

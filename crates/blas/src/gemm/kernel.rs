@@ -1,98 +1,376 @@
-//! The dense accumulate kernel shared by every GEMM path.
+//! The packed, blocked GEMM core shared by every dense path.
 //!
 //! All higher-level routines reduce to `acc += A · B` on dense row-major
-//! operands (`A`: m×k, `B`: k×n, `acc`: m×n, no padding). The kernel uses
-//! the row-major *ikj* loop order — the C row being produced and the B row
-//! being streamed are both contiguous, so the inner loop auto-vectorises —
-//! and parallelises over row blocks of C with rayon. Accumulation happens
-//! in the element type (`f32` for the emulated systolic paths, which
-//! matches XMX hardware accumulating BF16/TF32 products in FP32).
+//! operands (`A`: m×k, `B`: k×n, `acc`: m×n, no padding). The kernel is a
+//! BLIS-style blocked driver:
+//!
+//! * the k dimension is tiled into `KC`-deep blocks;
+//! * per block, A is packed into `mr`-row panels and B into `nr`-column
+//!   panels ([`super::pack`]) held in pooled scratch — precision
+//!   conversion (BF16/TF32 rounding, split-plane decomposition) happens
+//!   during this pack, once per source element;
+//! * a register-blocked `mr × nr` microkernel accumulates every product
+//!   term for a C tile in registers before a single writeback, so the
+//!   split-precision modes share both the packed operands *and* the FP32
+//!   accumulator across their plane products.
+//!
+//! `f32` dispatches at runtime to an AVX2+FMA 6×16 microkernel when the
+//! host supports it; everything else uses a safe generic register-blocked
+//! kernel that LLVM auto-vectorises for the baseline target.
+//!
+//! Parallelism splits C into row blocks of `MC_PANELS · mr` rows. Each C
+//! element is accumulated by exactly one microkernel call per k-block, in
+//! a fixed (k-block, term, kk) order that does not depend on the thread
+//! count — sequential and parallel runs are bit-identical by construction
+//! (asserted by `seq_and_par_paths_bit_identical`).
 
+use super::pack;
+use crate::workspace::{take_scratch, Poolable, PooledBuf};
 use dcmesh_numerics::Real;
 use rayon::prelude::*;
 
 /// Work (in scalar MACs) below which threading overhead dominates and the
-/// kernel runs sequentially.
+/// driver runs its row blocks sequentially.
 const PAR_THRESHOLD: usize = 64 * 64 * 64;
 
-/// Rows of C per parallel task. Large enough to amortise task overhead,
-/// small enough to load-balance tall-skinny shapes.
-const ROW_BLOCK: usize = 16;
+/// Depth of one packed k-block.
+pub(crate) const KC: usize = 256;
 
-/// Inner-dimension tile: keeps the active slice of B within L2 while a
-/// row block of C is updated.
-const K_BLOCK: usize = 256;
+/// Row panels per parallel C block: tasks own `MC_PANELS · mr` rows, so
+/// the packed A block a task touches stays L2-resident while it sweeps
+/// the packed B panels.
+const MC_PANELS: usize = 16;
+
+/// The microkernel signature: accumulate every `(a_plane, b_plane)` term
+/// product into one `rows × cols` tile of `ctile` (a row-panel slice of
+/// the accumulator, leading dimension `n`, tile origin column `j0`).
+///
+/// Packed-panel geometry: A plane `ta` holds the current `mr × kc` panel
+/// at `a_off`, element `(i, kk)` at `a_off + kk·mr + i`; B plane `tb`
+/// holds the `kc × nr` panel at `b_off`, element `(kk, j)` at
+/// `b_off + kk·nr + j`.
+type MicroFn<T> = fn(
+    terms: &[(usize, usize)],
+    pa: &[&[T]; 3],
+    a_off: usize,
+    pb: &[&[T]; 3],
+    b_off: usize,
+    kc: usize,
+    ctile: &mut [T],
+    n: usize,
+    j0: usize,
+    rows: usize,
+    cols: usize,
+);
+
+/// A register-blocking choice plus the matching microkernel.
+#[doc(hidden)]
+#[derive(Clone, Copy)]
+pub struct MicroKernel<T: 'static> {
+    pub(crate) mr: usize,
+    pub(crate) nr: usize,
+    pub(crate) micro: MicroFn<T>,
+}
+
+/// Scalar types the packed driver can run on (`f32`/`f64`, mirroring
+/// [`Poolable`]). The method is an implementation detail of the kernel
+/// dispatch and not part of the crate's supported API.
+pub trait MicroArch: Real + Poolable {
+    #[doc(hidden)]
+    fn microkernel() -> MicroKernel<Self>;
+}
+
+impl MicroArch for f32 {
+    fn microkernel() -> MicroKernel<f32> {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return MicroKernel { mr: x86::MR, nr: x86::NR, micro: x86::micro_f32_fma };
+            }
+        }
+        MicroKernel { mr: 4, nr: 8, micro: micro_generic::<f32, 4, 8> }
+    }
+}
+
+impl MicroArch for f64 {
+    fn microkernel() -> MicroKernel<f64> {
+        // 4×4 keeps the accumulator tile within the baseline SSE2
+        // register file; the generic body auto-vectorises.
+        MicroKernel { mr: 4, nr: 4, micro: micro_generic::<f64, 4, 4> }
+    }
+}
 
 /// `acc += a · b` for dense row-major operands.
 ///
 /// * `a`: `m × k` (ld = k)
 /// * `b`: `k × n` (ld = n)
 /// * `acc`: `m × n` (ld = n), accumulated in place
-pub fn matmul_acc<T: Real>(a: &[T], b: &[T], acc: &mut [T], m: usize, n: usize, k: usize) {
+pub fn matmul_acc<T: MicroArch>(a: &[T], b: &[T], acc: &mut [T], m: usize, n: usize, k: usize) {
+    matmul_acc_with(a, b, acc, m, n, k, None);
+}
+
+/// [`matmul_acc`] with an explicit threading override (`None` = size
+/// heuristic). Exposed to tests so the sequential and parallel schedules
+/// can be compared bit-for-bit on identical inputs.
+pub(crate) fn matmul_acc_with<T: MicroArch>(
+    a: &[T],
+    b: &[T],
+    acc: &mut [T],
+    m: usize,
+    n: usize,
+    k: usize,
+    parallel: Option<bool>,
+) {
     assert_eq!(a.len(), m * k, "A shape mismatch");
     assert_eq!(b.len(), k * n, "B shape mismatch");
     assert_eq!(acc.len(), m * n, "C shape mismatch");
+    gemm_packed(
+        acc,
+        m,
+        n,
+        k,
+        1,
+        1,
+        &[(0, 0)],
+        |k0, kc, mr, bufs: &mut [PooledBuf<T>; 3]| {
+            pack::pack_a_copy(a, m, k, k0, kc, mr, &mut bufs[0]);
+        },
+        |k0, kc, nr, bufs: &mut [PooledBuf<T>; 3]| {
+            pack::pack_b_copy(b, n, k0, kc, nr, &mut bufs[0]);
+        },
+        parallel,
+    );
+}
+
+/// The blocked driver: packs per k-block via the caller's closures, then
+/// runs the microkernel over every C tile, accumulating all `terms`
+/// plane-products from the same packed buffers.
+///
+/// `pack_a(k0, kc, mr, planes)` must fill `planes[0..planes_a]` with the
+/// `mr`-row panel layout for the k-slice `[k0, k0+kc)`; `pack_b`
+/// likewise with `nr`-column panels. Packing runs on the calling thread
+/// only, so rayon workers never touch the workspace pool. No zero-skip
+/// anywhere: IEEE demands 0·Inf = 0·NaN = NaN, so skipping zero entries
+/// (or empty planes) would silently launder non-finite values out of the
+/// product and hide them from the health checks.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_packed<T, PA, PB>(
+    acc: &mut [T],
+    m: usize,
+    n: usize,
+    k: usize,
+    planes_a: usize,
+    planes_b: usize,
+    terms: &[(usize, usize)],
+    mut pack_a: PA,
+    mut pack_b: PB,
+    parallel: Option<bool>,
+) where
+    T: MicroArch,
+    PA: FnMut(usize, usize, usize, &mut [PooledBuf<T>; 3]),
+    PB: FnMut(usize, usize, usize, &mut [PooledBuf<T>; 3]),
+{
+    debug_assert!(planes_a <= 3 && planes_b <= 3);
     if m == 0 || n == 0 || k == 0 {
         return;
     }
+    let kern = T::microkernel();
+    let (mr, nr) = (kern.mr, kern.nr);
+    let kc_max = KC.min(k);
+    let npan = n.div_ceil(nr);
+    let a_len = m.div_ceil(mr) * mr * kc_max;
+    let b_len = npan * nr * kc_max;
+    let take3 = |planes: usize, len: usize| {
+        let sz = |p: usize| if planes > p { len } else { 0 };
+        [take_scratch::<T>(sz(0)), take_scratch::<T>(sz(1)), take_scratch::<T>(sz(2))]
+    };
+    let mut pa_bufs = take3(planes_a, a_len);
+    let mut pb_bufs = take3(planes_b, b_len);
+    let run_par = parallel.unwrap_or(m * n * k >= PAR_THRESHOLD);
 
-    if m * n * k < PAR_THRESHOLD {
-        for (i, crow) in acc.chunks_exact_mut(n).enumerate() {
-            row_update(&a[i * k..(i + 1) * k], b, crow, n, 0, k);
-        }
-        return;
-    }
+    let mut k0 = 0;
+    while k0 < k {
+        let kc = KC.min(k - k0);
+        pack_a(k0, kc, mr, &mut pa_bufs);
+        pack_b(k0, kc, nr, &mut pb_bufs);
+        let pa: [&[T]; 3] = [&pa_bufs[0], &pa_bufs[1], &pa_bufs[2]];
+        let pb: [&[T]; 3] = [&pb_bufs[0], &pb_bufs[1], &pb_bufs[2]];
 
-    acc.par_chunks_mut(ROW_BLOCK * n)
-        .enumerate()
-        .for_each(|(blk, cblk)| {
-            let i0 = blk * ROW_BLOCK;
-            // Tile over k so the streamed B panel stays cache-resident for
-            // all rows in the block.
-            let mut k0 = 0;
-            while k0 < k {
-                let k1 = (k0 + K_BLOCK).min(k);
-                for (ii, crow) in cblk.chunks_exact_mut(n).enumerate() {
-                    let i = i0 + ii;
-                    row_update(&a[i * k..(i + 1) * k], b, crow, n, k0, k1);
+        // One task = MC_PANELS row panels of C. Looping q (B panel)
+        // outside the row panels keeps each 16 KB B panel hot in L1
+        // while the task's L2-resident A block sweeps past it.
+        let block = |ci: usize, cblk: &mut [T]| {
+            let rows_total = cblk.len() / n;
+            for q in 0..npan {
+                let j0 = q * nr;
+                let cols = nr.min(n - j0);
+                let b_off = q * nr * kc;
+                let mut r0 = 0;
+                let mut ir = 0;
+                while r0 < rows_total {
+                    let rows = mr.min(rows_total - r0);
+                    let a_off = (ci * MC_PANELS + ir) * mr * kc;
+                    (kern.micro)(
+                        terms,
+                        &pa,
+                        a_off,
+                        &pb,
+                        b_off,
+                        kc,
+                        &mut cblk[r0 * n..],
+                        n,
+                        j0,
+                        rows,
+                        cols,
+                    );
+                    r0 += rows;
+                    ir += 1;
                 }
-                k0 = k1;
             }
-        });
+        };
+        if run_par {
+            acc.par_chunks_mut(MC_PANELS * mr * n)
+                .enumerate()
+                .for_each(|(ci, cblk)| block(ci, cblk));
+        } else {
+            for (ci, cblk) in acc.chunks_mut(MC_PANELS * mr * n).enumerate() {
+                block(ci, cblk);
+            }
+        }
+        k0 += kc;
+    }
 }
 
-/// `crow += Σ_{kk in [k0,k1)} a_row[kk] * b[kk*n .. kk*n+n]`
-#[inline]
-fn row_update<T: Real>(a_row: &[T], b: &[T], crow: &mut [T], n: usize, k0: usize, k1: usize) {
-    // No zero-skip on `aik`: IEEE demands 0·Inf = 0·NaN = NaN, so skipping
-    // zero A entries would silently launder non-finite B values (e.g. a
-    // fault-injected Inf) out of the product and hide them from the health
-    // checks. Sparse speedups must come from blocking, not from changing
-    // the arithmetic.
-    for kk in k0..k1 {
-        let aik = a_row[kk];
-        let brow = &b[kk * n..kk * n + n];
-        for (c, &bv) in crow.iter_mut().zip(brow) {
-            *c += aik * bv;
+/// Safe register-blocked microkernel; the compiler unrolls the constant
+/// `MR × NR` tile and vectorises the inner loop for the baseline target.
+#[allow(clippy::too_many_arguments)]
+fn micro_generic<T: Real, const MR: usize, const NR: usize>(
+    terms: &[(usize, usize)],
+    pa: &[&[T]; 3],
+    a_off: usize,
+    pb: &[&[T]; 3],
+    b_off: usize,
+    kc: usize,
+    ctile: &mut [T],
+    n: usize,
+    j0: usize,
+    rows: usize,
+    cols: usize,
+) {
+    let mut acc = [[T::ZERO; NR]; MR];
+    for &(ta, tb) in terms {
+        let ap = &pa[ta][a_off..a_off + MR * kc];
+        let bp = &pb[tb][b_off..b_off + NR * kc];
+        for kk in 0..kc {
+            let arow = &ap[kk * MR..(kk + 1) * MR];
+            let brow = &bp[kk * NR..(kk + 1) * NR];
+            for i in 0..MR {
+                let aik = arow[i];
+                for (av, &bv) in acc[i].iter_mut().zip(brow) {
+                    *av += aik * bv;
+                }
+            }
+        }
+    }
+    for (i, accr) in acc.iter().enumerate().take(rows) {
+        let crow = &mut ctile[i * n + j0..i * n + j0 + cols];
+        for (cv, &av) in crow.iter_mut().zip(&accr[..cols]) {
+            *cv += av;
         }
     }
 }
 
-/// Elementwise `y += alpha * x` over equal-length slices (used to combine
-/// product planes).
-pub fn axpy_slice<T: Real>(alpha: T, x: &[T], y: &mut [T]) {
-    assert_eq!(x.len(), y.len(), "axpy length mismatch");
-    if alpha == T::ZERO {
-        return;
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! AVX2+FMA 6×16 f32 microkernel: 12 ymm accumulators, two B loads
+    //! and six broadcast-FMA pairs per k step.
+    use core::arch::x86_64::*;
+
+    pub(super) const MR: usize = 6;
+    pub(super) const NR: usize = 16;
+
+    #[allow(clippy::too_many_arguments)]
+    pub(super) fn micro_f32_fma(
+        terms: &[(usize, usize)],
+        pa: &[&[f32]; 3],
+        a_off: usize,
+        pb: &[&[f32]; 3],
+        b_off: usize,
+        kc: usize,
+        ctile: &mut [f32],
+        n: usize,
+        j0: usize,
+        rows: usize,
+        cols: usize,
+    ) {
+        assert!(rows <= MR && cols <= NR && cols <= n);
+        assert!(rows == 0 || ctile.len() >= (rows - 1) * n + j0 + cols);
+        for &(ta, tb) in terms {
+            assert!(pa[ta].len() >= a_off + MR * kc, "packed A panel out of range");
+            assert!(pb[tb].len() >= b_off + NR * kc, "packed B panel out of range");
+        }
+        // SAFETY: `MicroArch::microkernel` only hands out this fn pointer
+        // after `is_x86_feature_detected!` confirmed avx2+fma; all pointer
+        // arithmetic below stays inside the ranges asserted above.
+        unsafe { micro_f32_fma_impl(terms, pa, a_off, pb, b_off, kc, ctile, n, j0, rows, cols) }
     }
-    for (yv, &xv) in y.iter_mut().zip(x) {
-        *yv += alpha * xv;
+
+    #[target_feature(enable = "avx2", enable = "fma")]
+    #[allow(clippy::too_many_arguments)]
+    unsafe fn micro_f32_fma_impl(
+        terms: &[(usize, usize)],
+        pa: &[&[f32]; 3],
+        a_off: usize,
+        pb: &[&[f32]; 3],
+        b_off: usize,
+        kc: usize,
+        ctile: &mut [f32],
+        n: usize,
+        j0: usize,
+        rows: usize,
+        cols: usize,
+    ) {
+        let mut acc = [[_mm256_setzero_ps(); 2]; MR];
+        for &(ta, tb) in terms {
+            let ap = pa[ta].as_ptr().add(a_off);
+            let bp = pb[tb].as_ptr().add(b_off);
+            for kk in 0..kc {
+                let b0 = _mm256_loadu_ps(bp.add(kk * NR));
+                let b1 = _mm256_loadu_ps(bp.add(kk * NR + 8));
+                let arow = ap.add(kk * MR);
+                for (i, accr) in acc.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*arow.add(i));
+                    accr[0] = _mm256_fmadd_ps(av, b0, accr[0]);
+                    accr[1] = _mm256_fmadd_ps(av, b1, accr[1]);
+                }
+            }
+        }
+        if cols == NR {
+            for (i, accr) in acc.iter().enumerate().take(rows) {
+                let c = ctile.as_mut_ptr().add(i * n + j0);
+                _mm256_storeu_ps(c, _mm256_add_ps(_mm256_loadu_ps(c), accr[0]));
+                _mm256_storeu_ps(c.add(8), _mm256_add_ps(_mm256_loadu_ps(c.add(8)), accr[1]));
+            }
+        } else {
+            let mut tmp = [0.0f32; NR];
+            for (i, accr) in acc.iter().enumerate().take(rows) {
+                _mm256_storeu_ps(tmp.as_mut_ptr(), accr[0]);
+                _mm256_storeu_ps(tmp.as_mut_ptr().add(8), accr[1]);
+                let crow = ctile.as_mut_ptr().add(i * n + j0);
+                for (j, &t) in tmp.iter().enumerate().take(cols) {
+                    *crow.add(j) += t;
+                }
+            }
+        }
     }
 }
 
 /// Reference (naive, sequential, jik-order) matmul for testing: returns
 /// `A · B` as a fresh matrix. Kept deliberately different in loop order
-/// from the production kernel so the two are independent implementations.
+/// and memory layout from the packed production kernel so the two are
+/// independent implementations.
 pub fn matmul_reference<T: Real>(a: &[T], b: &[T], m: usize, n: usize, k: usize) -> Vec<T> {
     assert_eq!(a.len(), m * k);
     assert_eq!(b.len(), k * n);
@@ -135,8 +413,43 @@ mod tests {
     }
 
     #[test]
+    fn matches_reference_ragged_shapes() {
+        // m, n, k deliberately not multiples of any mr/nr/KC in use, plus
+        // shapes that straddle the KC boundary, on both element widths.
+        let shapes = [
+            (13, 17, 130),
+            (6, 16, 256),
+            (7, 31, 257),
+            (5, 33, 511),
+            (23, 7, 300),
+            (3, 66, 513),
+        ];
+        let mut rng = StdRng::seed_from_u64(9);
+        for &(m, n, k) in &shapes {
+            let a = random_matrix(&mut rng, m * k);
+            let b = random_matrix(&mut rng, k * n);
+            let mut acc = vec![0.0; m * n];
+            matmul_acc(&a, &b, &mut acc, m, n, k);
+            let refc = matmul_reference(&a, &b, m, n, k);
+            for (i, (x, y)) in acc.iter().zip(&refc).enumerate() {
+                assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()), "f64 ({m},{n},{k}) i={i}");
+            }
+
+            let a32: Vec<f32> = a.iter().map(|&x| x as f32).collect();
+            let b32: Vec<f32> = b.iter().map(|&x| x as f32).collect();
+            let mut acc32 = vec![0.0f32; m * n];
+            matmul_acc(&a32, &b32, &mut acc32, m, n, k);
+            for (i, (x, y)) in acc32.iter().zip(&refc).enumerate() {
+                // f32 accumulation (possibly FMA-fused) vs the f64 reference.
+                let tol = 1e-4 * (1.0 + y.abs());
+                assert!((*x as f64 - y).abs() < tol, "f32 ({m},{n},{k}) i={i}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
     fn matches_reference_parallel_path() {
-        // Big enough to exceed PAR_THRESHOLD and exercise k-tiling.
+        // Big enough to exceed PAR_THRESHOLD and span several k-blocks.
         let (m, n, k) = (70, 65, 300);
         let mut rng = StdRng::seed_from_u64(2);
         let a = random_matrix(&mut rng, m * k);
@@ -146,6 +459,35 @@ mod tests {
         let refc = matmul_reference(&a, &b, m, n, k);
         for (i, (x, y)) in acc.iter().zip(&refc).enumerate() {
             assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()), "i={i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn seq_and_par_paths_bit_identical() {
+        // The blocked schedule is shared: forcing the sequential and the
+        // rayon path over the same inputs must agree bit-for-bit, for both
+        // element widths and for shapes with ragged edge panels.
+        let mut rng = StdRng::seed_from_u64(3);
+        for &(m, n, k) in &[(37, 29, 300), (128, 96, 520), (5, 7, 9)] {
+            let a = random_matrix(&mut rng, m * k);
+            let b = random_matrix(&mut rng, k * n);
+            let mut seq = vec![0.0f64; m * n];
+            let mut par = vec![0.0f64; m * n];
+            matmul_acc_with(&a, &b, &mut seq, m, n, k, Some(false));
+            matmul_acc_with(&a, &b, &mut par, m, n, k, Some(true));
+            for (i, (x, y)) in seq.iter().zip(&par).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "f64 ({m},{n},{k}) i={i}");
+            }
+
+            let a32: Vec<f32> = a.iter().map(|&x| x as f32).collect();
+            let b32: Vec<f32> = b.iter().map(|&x| x as f32).collect();
+            let mut seq32 = vec![0.0f32; m * n];
+            let mut par32 = vec![0.0f32; m * n];
+            matmul_acc_with(&a32, &b32, &mut seq32, m, n, k, Some(false));
+            matmul_acc_with(&a32, &b32, &mut par32, m, n, k, Some(true));
+            for (i, (x, y)) in seq32.iter().zip(&par32).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "f32 ({m},{n},{k}) i={i}");
+            }
         }
     }
 
@@ -169,16 +511,6 @@ mod tests {
     }
 
     #[test]
-    fn axpy_basics() {
-        let x = [1.0f32, 2.0, 3.0];
-        let mut y = [10.0f32, 20.0, 30.0];
-        axpy_slice(2.0, &x, &mut y);
-        assert_eq!(y, [12.0, 24.0, 36.0]);
-        axpy_slice(0.0, &x, &mut y);
-        assert_eq!(y, [12.0, 24.0, 36.0]);
-    }
-
-    #[test]
     fn zero_row_times_inf_propagates_nan() {
         // A's only row is all zeros; B holds an Inf. IEEE: 0·Inf = NaN,
         // and the kernel must not optimise it away.
@@ -195,7 +527,7 @@ mod tests {
 
     #[test]
     fn zero_row_times_nan_propagates_on_parallel_path() {
-        // Same property above PAR_THRESHOLD, through the k-tiled path.
+        // Same property above PAR_THRESHOLD, through the blocked path.
         let (m, n, k) = (64, 64, 64);
         let a = vec![0.0f64; m * k];
         let mut b = vec![1.0f64; k * n];
@@ -206,6 +538,25 @@ mod tests {
             assert!(acc[i * n + 7].is_nan(), "row {i} lost the NaN");
         }
         assert_eq!(acc[0], 0.0, "columns without NaN stay zero");
+    }
+
+    #[test]
+    fn edge_panel_padding_cannot_launder_nonfinite() {
+        // Shapes with ragged edge panels where the padded lanes multiply
+        // real non-finite data: the pad results are discarded, the real
+        // outputs must still carry the NaN/Inf.
+        let (m, n, k) = (5, 9, 7); // all ragged for any mr/nr in use
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![1.0f32; k * n];
+        b[3 * n + (n - 1)] = f32::INFINITY; // last (padded-side) column
+        a[(m - 1) * k] = 1.0; // last (padded-side) row is non-zero
+        let mut acc = vec![0.0f32; m * n];
+        matmul_acc(&a, &b, &mut acc, m, n, k);
+        for i in 0..m {
+            assert!(acc[i * n + n - 1].is_nan() || acc[i * n + n - 1].is_infinite(),
+                "row {i}: non-finite lost at ragged edge: {}", acc[i * n + n - 1]);
+        }
+        assert_eq!(acc[(m - 1) * n], 1.0, "real edge-row output wrong");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! `f32` kernel reproduces the hardware arithmetic faithfully — the only
 //! freedom left is summation order, which BLAS never specifies anyway.
 //!
-//! Component products kept per mode (subscripts are split-term indices,
+//! Component products covered per mode (subscripts are split-term indices,
 //! 0 = leading):
 //!
 //! * BF16:   A₀B₀
@@ -16,15 +16,26 @@
 //! * BF16x3: A₀B₀ + A₀B₁ + A₁B₀ + A₀B₂ + A₂B₀ + A₁B₁
 //!   (6 of 9; dropped terms are ~2⁻⁴⁰ and below)
 //! * TF32:   A₀B₀ with TF32 rounding
+//!
+//! Execution does *not* run one GEMM pass per covered term. Following the
+//! cascaded-GEMM regrouping, the B operand is packed as partial-sum
+//! planes `BSₜ = fl(Σ_{j ≤ d-1-t} bⱼ)` and only the `d` diagonal products
+//! `Aₜ·BSₜ` run (see [`cascade_products`] and the `pack` module docs):
+//! the same covered term set at 2 (x2) or 3 (x3) kernel passes, with all
+//! passes sharing one packed buffer set and one FP32 register
+//! accumulator per C tile. The partial-sum rounding perturbs each
+//! covered term by ≤ 2⁻²⁴ relative — below every mode's split-residual
+//! floor, as the error-ordering tests pin down.
 
-use super::kernel::matmul_acc;
+use super::kernel::{gemm_packed, matmul_acc};
+use super::pack;
 use crate::mode::ComputeMode;
-use crate::workspace::{take_scratch, PooledBuf};
-use dcmesh_numerics::split::split_slice_into;
-use dcmesh_numerics::{bf16, tf32};
+use crate::workspace::PooledBuf;
 
-/// The `(a_component, b_component)` product list for a given BF16 split
-/// depth, in decreasing order of magnitude.
+/// The `(a_component, b_component)` product list *covered* by a given
+/// BF16 split depth, in decreasing order of magnitude. This is the
+/// mathematical contract of each mode; see [`cascade_products`] for the
+/// product list actually executed.
 pub fn product_terms(depth: usize) -> &'static [(usize, usize)] {
     match depth {
         1 => &[(0, 0)],
@@ -34,26 +45,24 @@ pub fn product_terms(depth: usize) -> &'static [(usize, usize)] {
     }
 }
 
-/// Splits a dense matrix into up to 3 pooled BF16 component planes
-/// (fixed-size array so no container allocation; planes past `depth` are
-/// zero-length pool checkouts).
-fn split_matrix_pooled(src: &[f32], depth: usize) -> [PooledBuf<f32>; 3] {
-    let len = |d: usize| if depth > d { src.len() } else { 0 };
-    let mut planes = [take_scratch::<f32>(len(0)), take_scratch(len(1)), take_scratch(len(2))];
-    {
-        let [p0, p1, p2] = &mut planes;
-        let mut views: [&mut [f32]; 3] = [&mut p0[..], &mut p1[..], &mut p2[..]];
-        split_slice_into(src, &mut views[..depth]);
-    }
-    planes
+/// The diagonal `(a_plane, b_plane)` products actually executed for a
+/// split depth: raw A plane `t` times cascaded B partial-sum plane `t`.
+/// Expanding the cascades reproduces [`product_terms`] exactly:
+/// `a₀(b₀+b₁+b₂) + a₁(b₀+b₁) + a₂b₀` covers `{00,01,02,10,11,20}`.
+pub fn cascade_products(depth: usize) -> &'static [(usize, usize)] {
+    const DIAG: [(usize, usize); 3] = [(0, 0), (1, 1), (2, 2)];
+    assert!((1..=3).contains(&depth), "unsupported split depth {depth}");
+    &DIAG[..depth]
 }
 
 /// `acc += op-materialised A · B` computed in the given low-precision mode.
 ///
 /// `a` is dense `m × k`, `b` dense `k × n`, `acc` dense `m × n`; all
-/// row-major without padding (callers materialise `op()` first). All
-/// rounded copies and split planes come from the thread-local workspace
-/// pool, and rounding/splitting runs chunk-parallel.
+/// row-major without padding (callers materialise `op()` first). Rounding
+/// and splitting happen inside the pack step of the blocked kernel, so
+/// every source element is converted exactly once per k-block and all
+/// product terms read the same packed planes. All scratch comes from the
+/// thread-local workspace pool.
 pub fn matmul_acc_lowp(
     mode: ComputeMode,
     a: &[f32],
@@ -63,6 +72,9 @@ pub fn matmul_acc_lowp(
     n: usize,
     k: usize,
 ) {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert_eq!(acc.len(), m * n, "C shape mismatch");
     match mode {
         ComputeMode::Standard | ComputeMode::Complex3m => {
             // Native FP32 element arithmetic (3M only changes the complex
@@ -70,26 +82,63 @@ pub fn matmul_acc_lowp(
             matmul_acc(a, b, acc, m, n, k);
         }
         ComputeMode::FloatToTf32 => {
-            let mut ar = take_scratch::<f32>(a.len());
-            let mut br = take_scratch::<f32>(b.len());
-            tf32::round_slice_into(a, &mut ar);
-            tf32::round_slice_into(b, &mut br);
-            matmul_acc(&ar, &br, acc, m, n, k);
+            gemm_packed(
+                acc,
+                m,
+                n,
+                k,
+                1,
+                1,
+                cascade_products(1),
+                |k0, kc, mr, bufs: &mut [PooledBuf<f32>; 3]| {
+                    pack::pack_a_tf32(a, m, k, k0, kc, mr, &mut bufs[0]);
+                },
+                |k0, kc, nr, bufs: &mut [PooledBuf<f32>; 3]| {
+                    pack::pack_b_tf32(b, n, k0, kc, nr, &mut bufs[0]);
+                },
+                None,
+            );
         }
         ComputeMode::FloatToBf16 => {
-            let mut ar = take_scratch::<f32>(a.len());
-            let mut br = take_scratch::<f32>(b.len());
-            bf16::round_slice_into(a, &mut ar);
-            bf16::round_slice_into(b, &mut br);
-            matmul_acc(&ar, &br, acc, m, n, k);
+            gemm_packed(
+                acc,
+                m,
+                n,
+                k,
+                1,
+                1,
+                cascade_products(1),
+                |k0, kc, mr, bufs: &mut [PooledBuf<f32>; 3]| {
+                    pack::pack_a_bf16(a, m, k, k0, kc, mr, &mut bufs[0]);
+                },
+                |k0, kc, nr, bufs: &mut [PooledBuf<f32>; 3]| {
+                    pack::pack_b_bf16(b, n, k0, kc, nr, &mut bufs[0]);
+                },
+                None,
+            );
         }
         ComputeMode::FloatToBf16x2 | ComputeMode::FloatToBf16x3 => {
             let depth = mode.split_depth().expect("split mode");
-            let ap = split_matrix_pooled(a, depth);
-            let bp = split_matrix_pooled(b, depth);
-            for &(ia, ib) in product_terms(depth) {
-                matmul_acc(&ap[ia], &bp[ib], acc, m, n, k);
-            }
+            gemm_packed(
+                acc,
+                m,
+                n,
+                k,
+                depth,
+                depth,
+                cascade_products(depth),
+                |k0, kc, mr, bufs: &mut [PooledBuf<f32>; 3]| {
+                    let [b0, b1, b2] = bufs;
+                    let mut planes: [&mut [f32]; 3] = [b0, b1, b2];
+                    pack::pack_a_split(a, m, k, k0, kc, mr, depth, &mut planes);
+                },
+                |k0, kc, nr, bufs: &mut [PooledBuf<f32>; 3]| {
+                    let [b0, b1, b2] = bufs;
+                    let mut planes: [&mut [f32]; 3] = [b0, b1, b2];
+                    pack::pack_b_cascade(b, n, k0, kc, nr, depth, &mut planes);
+                },
+                None,
+            );
         }
     }
 }
@@ -98,6 +147,7 @@ pub fn matmul_acc_lowp(
 mod tests {
     use super::*;
     use crate::gemm::kernel::matmul_reference;
+    use dcmesh_numerics::split::split_slice_into;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -167,6 +217,106 @@ mod tests {
             let mut sorted = weights.clone();
             sorted.sort_unstable();
             assert_eq!(weights, sorted, "terms must be in decreasing magnitude order");
+        }
+        // The executed cascade runs exactly `depth` diagonal products.
+        for depth in 1..=3 {
+            assert_eq!(cascade_products(depth).len(), depth);
+            assert!(cascade_products(depth).iter().all(|&(i, j)| i == j));
+        }
+    }
+
+    #[test]
+    fn cascade_agrees_with_per_term_reference() {
+        // The executed diagonal products over cascaded B planes must agree
+        // with literally running every covered term as its own product
+        // pass, up to the 2⁻²⁴-relative partial-sum rounding.
+        let (m, n, k) = (9, 13, 40);
+        let mut rng = StdRng::seed_from_u64(21);
+        let a: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+        for mode in [ComputeMode::FloatToBf16x2, ComputeMode::FloatToBf16x3] {
+            let depth = mode.split_depth().unwrap();
+            let split = |src: &[f32]| {
+                let mut planes = vec![vec![0.0f32; src.len()]; depth];
+                let mut views: Vec<&mut [f32]> = planes.iter_mut().map(|p| &mut p[..]).collect();
+                split_slice_into(src, &mut views);
+                planes
+            };
+            let ap = split(&a);
+            let bp = split(&b);
+            // Term-by-term reference in f64 (summation-order differences
+            // are below the comparison tolerance).
+            let mut reference = vec![0.0f64; m * n];
+            for &(ia, ib) in product_terms(depth) {
+                let a64: Vec<f64> = ap[ia].iter().map(|&x| x as f64).collect();
+                let b64: Vec<f64> = bp[ib].iter().map(|&x| x as f64).collect();
+                for (r, p) in reference.iter_mut().zip(matmul_reference(&a64, &b64, m, n, k)) {
+                    *r += p;
+                }
+            }
+            let mut acc = vec![0.0f32; m * n];
+            matmul_acc_lowp(mode, &a, &b, &mut acc, m, n, k);
+            for (i, (&x, &y)) in acc.iter().zip(&reference).enumerate() {
+                let tol = 2f64.powi(-14) * (1.0 + y.abs());
+                assert!(
+                    ((x as f64) - y).abs() < tol,
+                    "{mode:?} i={i}: cascade {x} vs per-term {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_modes_propagate_nonfinite() {
+        // A zero row of A times an Inf in B must still produce NaN through
+        // the split-plane cascade (0·Inf), and a nonzero row must surface
+        // the Inf itself — in every split mode.
+        let (m, n, k) = (2, 3, 4);
+        let mut a = vec![0.5f32; m * k];
+        for v in &mut a[k..] {
+            *v = 0.0; // row 1 all zero
+        }
+        for mode in [
+            ComputeMode::FloatToBf16,
+            ComputeMode::FloatToTf32,
+            ComputeMode::FloatToBf16x2,
+            ComputeMode::FloatToBf16x3,
+        ] {
+            for bad in [f32::INFINITY, f32::NAN] {
+                let mut b = vec![1.0f32; k * n];
+                b[n + 2] = bad;
+                let mut acc = vec![0.0f32; m * n];
+                matmul_acc_lowp(mode, &a, &b, &mut acc, m, n, k);
+                assert!(
+                    !acc[2].is_finite(),
+                    "{mode:?}: nonzero row lost {bad} (got {})",
+                    acc[2]
+                );
+                assert!(
+                    acc[n + 2].is_nan(),
+                    "{mode:?}: zero row × {bad} must be NaN, got {}",
+                    acc[n + 2]
+                );
+                assert!(acc[0].is_finite(), "{mode:?}: finite column corrupted");
+            }
+        }
+    }
+
+    #[test]
+    fn nonfinite_in_a_propagates_through_splits() {
+        // Inf/NaN on the A side: the raw split planes carry the value in
+        // plane 0 with zeroed corrections; products must surface it.
+        let (m, n, k) = (2, 2, 3);
+        for mode in [ComputeMode::FloatToBf16x2, ComputeMode::FloatToBf16x3] {
+            for bad in [f32::INFINITY, f32::NAN] {
+                let mut a = vec![1.0f32; m * k];
+                a[1] = bad; // row 0
+                let b = vec![1.0f32; k * n];
+                let mut acc = vec![0.0f32; m * n];
+                matmul_acc_lowp(mode, &a, &b, &mut acc, m, n, k);
+                assert!(!acc[0].is_finite(), "{mode:?}: {bad} in A lost ({})", acc[0]);
+                assert!(acc[n].is_finite(), "{mode:?}: clean row corrupted");
+            }
         }
     }
 

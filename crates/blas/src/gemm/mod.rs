@@ -14,13 +14,14 @@
 
 pub mod kernel;
 pub mod lowp;
+pub(crate) mod pack;
 
 use crate::config::compute_mode;
 use crate::device::{Domain, GemmDesc};
 use crate::layout::{check_matrix, deinterleave_op, op_view_real, Op};
 use crate::mode::ComputeMode;
 use crate::verbose::logged;
-use crate::workspace::{self, Poolable};
+use crate::workspace;
 use dcmesh_numerics::{Complex, Real, C32, C64};
 use kernel::matmul_acc;
 use lowp::matmul_acc_lowp;
@@ -157,7 +158,7 @@ fn real_gemm_impl<T: Real + LowpDispatch>(
 
 /// Mode dispatch hook: `f32` supports the low-precision paths, `f64` is
 /// always standard.
-trait LowpDispatch: Real + Poolable {
+trait LowpDispatch: kernel::MicroArch {
     fn matmul_dispatch(
         mode: ComputeMode,
         a: &[Self],
@@ -396,7 +397,7 @@ fn complex_product_4m<T: Real + LowpDispatch>(
 /// `pre`/`pim` are overwritten. All temporaries come from the workspace
 /// pool.
 #[allow(clippy::too_many_arguments)]
-fn complex_product_3m<T: Real + Poolable>(
+fn complex_product_3m<T: kernel::MicroArch>(
     are: &[T],
     aim: &[T],
     bre: &[T],

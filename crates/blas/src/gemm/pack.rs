@@ -1,0 +1,755 @@
+//! Operand packing for the blocked GEMM driver.
+//!
+//! The microkernel consumes *panels*: A is repacked into `mr`-row panels
+//! where element `(i, kk)` of panel `p` lives at `p·mr·kc + kk·mr + i`, and
+//! B into `nr`-column panels with element `(kk, j)` of panel `q` at
+//! `q·nr·kc + kk·nr + j`. Both layouts make the microkernel's inner loop a
+//! pair of contiguous streams regardless of the original leading
+//! dimensions. Edge panels (when `m % mr != 0` or `n % nr != 0`) are
+//! zero-padded; the padded lanes only ever touch accumulator rows/columns
+//! that the writeback discards, so padding can never launder a non-finite
+//! value into (or out of) a real output element.
+//!
+//! Packing is also where precision conversion happens: the low-precision
+//! modes round or split elements *as they are packed*, so each source
+//! element is converted exactly once per k-block sweep no matter how many
+//! product terms later read the packed planes.
+//!
+//! For the BF16 split modes the two operands are packed differently:
+//!
+//! * A-side ([`pack_a_split`]): the raw split planes `a₀, a₁, a₂` from
+//!   [`Split2`]/[`Split3`] (each BF16-representable).
+//! * B-side ([`pack_b_cascade`]): *cascaded partial sums*
+//!   `BS_t = fl(b₀ + … + b_{d-1-t})`, i.e. for depth 3 the planes
+//!   `[b₀+b₁+b₂, b₀+b₁, b₀]` and for depth 2 `[b₀+b₁, b₀]`.
+//!
+//! Running only the diagonal products `Aₜ·BSₜ` then covers exactly the
+//! documented term sets (`lowp::product_terms`) with `d` GEMM passes
+//! instead of `3`/`6`: `a₀·(b₀+b₁+b₂) + a₁·(b₀+b₁) + a₂·b₀` expands to
+//! `{00,01,02,10,11,20}`. The partial sums are rounded to `f32`
+//! (relative perturbation ≤ 2⁻²⁴), which sits below the 2⁻¹⁶ / ≈2⁻²⁴
+//! split-residual floors of the x2/x3 modes — the error-ordering tests
+//! in `lowp` pin this down empirically.
+
+use dcmesh_numerics::bf16::Bf16;
+use dcmesh_numerics::split::{Split2, Split3};
+use dcmesh_numerics::tf32::Tf32;
+use dcmesh_numerics::Real;
+
+/// Packs the `[k0, k0+kc)` k-slice of dense row-major `a` (`m × k`) into
+/// `mr`-row panels, applying `f` to each element.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pack_a_with<T: Real>(
+    a: &[T],
+    m: usize,
+    k: usize,
+    k0: usize,
+    kc: usize,
+    mr: usize,
+    dst: &mut [T],
+    f: impl Fn(T) -> T,
+) {
+    let mpan = m.div_ceil(mr);
+    for p in 0..mpan {
+        let base = p * mr * kc;
+        let r0 = p * mr;
+        for i in 0..mr {
+            let r = r0 + i;
+            if r < m {
+                let src = &a[r * k + k0..r * k + k0 + kc];
+                for (kk, &v) in src.iter().enumerate() {
+                    dst[base + kk * mr + i] = f(v);
+                }
+            } else {
+                for kk in 0..kc {
+                    dst[base + kk * mr + i] = T::ZERO;
+                }
+            }
+        }
+    }
+}
+
+/// Packs the `[k0, k0+kc)` k-slice of dense row-major `b` (`k × n`) into
+/// `nr`-column panels, applying `f` to each element.
+#[inline]
+pub(crate) fn pack_b_with<T: Real>(
+    b: &[T],
+    n: usize,
+    k0: usize,
+    kc: usize,
+    nr: usize,
+    dst: &mut [T],
+    f: impl Fn(T) -> T,
+) {
+    let npan = n.div_ceil(nr);
+    for q in 0..npan {
+        let base = q * nr * kc;
+        let c0 = q * nr;
+        let cols = nr.min(n - c0);
+        for kk in 0..kc {
+            let src = &b[(k0 + kk) * n + c0..(k0 + kk) * n + c0 + cols];
+            let drow = &mut dst[base + kk * nr..base + (kk + 1) * nr];
+            for (d, &v) in drow.iter_mut().zip(src) {
+                *d = f(v);
+            }
+            for d in &mut drow[cols..] {
+                *d = T::ZERO;
+            }
+        }
+    }
+}
+
+/// Identity pack (STANDARD / f64 paths).
+pub(crate) fn pack_a_copy<T: Real>(
+    a: &[T],
+    m: usize,
+    k: usize,
+    k0: usize,
+    kc: usize,
+    mr: usize,
+    dst: &mut [T],
+) {
+    pack_a_with(a, m, k, k0, kc, mr, dst, |x| x);
+}
+
+/// Identity pack (STANDARD / f64 paths).
+pub(crate) fn pack_b_copy<T: Real>(
+    b: &[T],
+    n: usize,
+    k0: usize,
+    kc: usize,
+    nr: usize,
+    dst: &mut [T],
+) {
+    pack_b_with(b, n, k0, kc, nr, dst, |x| x);
+}
+
+/// Rounds to BF16 while packing A.
+pub(crate) fn pack_a_bf16(a: &[f32], m: usize, k: usize, k0: usize, kc: usize, mr: usize, dst: &mut [f32]) {
+    pack_a_with(a, m, k, k0, kc, mr, dst, Bf16::round_f32);
+}
+
+/// Rounds to BF16 while packing B (8-lane AVX2 fast path on full panel
+/// rows, bit-identical to the scalar rounding).
+pub(crate) fn pack_b_bf16(b: &[f32], n: usize, k0: usize, kc: usize, nr: usize, dst: &mut [f32]) {
+    let use_vec = avx2_available() && nr.is_multiple_of(8);
+    pack_b_rows(b, n, k0, kc, nr, dst, |src, drow| {
+        #[cfg(target_arch = "x86_64")]
+        if use_vec && src.len().is_multiple_of(8) {
+            // SAFETY: avx2 checked above; src and drow have the same
+            // length (a multiple of 8).
+            unsafe { x86::bf16_round_row(src, drow.as_mut_ptr()) };
+            return;
+        }
+        let _ = use_vec;
+        for (d, &v) in drow.iter_mut().zip(src) {
+            *d = Bf16::round_f32(v);
+        }
+    });
+}
+
+/// Rounds to TF32 while packing A.
+pub(crate) fn pack_a_tf32(a: &[f32], m: usize, k: usize, k0: usize, kc: usize, mr: usize, dst: &mut [f32]) {
+    pack_a_with(a, m, k, k0, kc, mr, dst, Tf32::round_f32);
+}
+
+/// Rounds to TF32 while packing B (8-lane AVX2 fast path on full panel
+/// rows, bit-identical to the scalar rounding).
+pub(crate) fn pack_b_tf32(b: &[f32], n: usize, k0: usize, kc: usize, nr: usize, dst: &mut [f32]) {
+    let use_vec = avx2_available() && nr.is_multiple_of(8);
+    pack_b_rows(b, n, k0, kc, nr, dst, |src, drow| {
+        #[cfg(target_arch = "x86_64")]
+        if use_vec && src.len().is_multiple_of(8) {
+            // SAFETY: avx2 checked above; src and drow have the same
+            // length (a multiple of 8).
+            unsafe { x86::tf32_round_row(src, drow.as_mut_ptr()) };
+            return;
+        }
+        let _ = use_vec;
+        for (d, &v) in drow.iter_mut().zip(src) {
+            *d = Tf32::round_f32(v);
+        }
+    });
+}
+
+/// Shared B-panel traversal: calls `row` once per panel row with the
+/// source slice and the destination row prefix (`cols` elements), then
+/// zero-fills the padded tail itself.
+fn pack_b_rows(
+    b: &[f32],
+    n: usize,
+    k0: usize,
+    kc: usize,
+    nr: usize,
+    dst: &mut [f32],
+    row: impl Fn(&[f32], &mut [f32]),
+) {
+    let npan = n.div_ceil(nr);
+    for q in 0..npan {
+        let base = q * nr * kc;
+        let c0 = q * nr;
+        let cols = nr.min(n - c0);
+        for kk in 0..kc {
+            let src = &b[(k0 + kk) * n + c0..(k0 + kk) * n + c0 + cols];
+            let drow = &mut dst[base + kk * nr..base + (kk + 1) * nr];
+            row(src, &mut drow[..cols]);
+            for d in &mut drow[cols..] {
+                *d = 0.0;
+            }
+        }
+    }
+}
+
+/// Raw BF16 split planes of one element: `[a₀, a₁, a₂]` (unused planes 0).
+#[inline(always)]
+fn split_planes(x: f32, depth: usize) -> [f32; 3] {
+    if depth == 2 {
+        let s = Split2::new(x);
+        [s.hi, s.lo, 0.0]
+    } else {
+        let s = Split3::new(x);
+        [s.hi, s.mid, s.lo]
+    }
+}
+
+/// Cascaded partial-sum planes of one element: plane `t` holds
+/// `fl(b₀ + … + b_{depth-1-t})`. Non-finite values ride along unchanged:
+/// `Split*::new` puts Inf/NaN in the leading term with zero corrections,
+/// so every cascade plane is Inf/NaN too and 0·Inf / 0·NaN still fire in
+/// all `d` products.
+#[inline(always)]
+fn cascade_planes(x: f32, depth: usize) -> [f32; 3] {
+    if depth == 2 {
+        let s = Split2::new(x);
+        [s.hi + s.lo, s.hi, 0.0]
+    } else {
+        let s = Split3::new(x);
+        let s01 = s.hi + s.mid;
+        [s01 + s.lo, s01, s.hi]
+    }
+}
+
+/// Packs A while splitting each element into its raw BF16 component
+/// planes (`depth` ∈ {2, 3}).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn pack_a_split(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    k0: usize,
+    kc: usize,
+    mr: usize,
+    depth: usize,
+    planes: &mut [&mut [f32]; 3],
+) {
+    pack_planes_a(a, m, k, k0, kc, mr, depth, planes);
+}
+
+/// Packs B while converting each element into cascaded partial-sum planes
+/// (`depth` ∈ {2, 3}); see the module docs for why the diagonal products
+/// over these planes reproduce the full split-term sets.
+///
+/// B is the volume side of the split (`k × n` elements vs A's `m × k` at
+/// the paper's tall-skinny shapes), so full-width panel rows take an
+/// 8-lane AVX2 fast path when the host supports it; the vector split is
+/// bit-identical to the scalar one (asserted by
+/// `vector_cascade_matches_scalar`), so the fast path never changes
+/// results, only speed.
+pub(crate) fn pack_b_cascade(
+    b: &[f32],
+    n: usize,
+    k0: usize,
+    kc: usize,
+    nr: usize,
+    depth: usize,
+    planes: &mut [&mut [f32]; 3],
+) {
+    let use_vec = avx2_available() && nr.is_multiple_of(8);
+    let npan = n.div_ceil(nr);
+    for q in 0..npan {
+        let base = q * nr * kc;
+        let c0 = q * nr;
+        let cols = nr.min(n - c0);
+        for kk in 0..kc {
+            let src = &b[(k0 + kk) * n + c0..(k0 + kk) * n + c0 + cols];
+            let row0 = base + kk * nr;
+            #[cfg(target_arch = "x86_64")]
+            if use_vec && cols == nr {
+                // SAFETY: avx2 checked above; src has exactly nr (multiple
+                // of 8) elements and each active plane has nr elements at
+                // row0 (the panel row).
+                unsafe {
+                    x86::cascade_row(
+                        src,
+                        depth,
+                        planes[0].as_mut_ptr().add(row0),
+                        planes[1].as_mut_ptr().add(row0),
+                        if depth > 2 { planes[2].as_mut_ptr().add(row0) } else { core::ptr::null_mut() },
+                    );
+                }
+                continue;
+            }
+            let _ = use_vec;
+            for (j, &v) in src.iter().enumerate() {
+                let t = cascade_planes(v, depth);
+                for (d, pl) in planes.iter_mut().take(depth).enumerate() {
+                    pl[row0 + j] = t[d];
+                }
+            }
+            for j in cols..nr {
+                for pl in planes.iter_mut().take(depth) {
+                    pl[row0 + j] = 0.0;
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn avx2_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! 8-lane AVX2 replicas of the scalar BF16 split/cascade. Exact
+    //! bit-compatibility with the scalar path is a hard requirement (the
+    //! pack must not depend on the host's ISA beyond speed); the rounding
+    //! uses the same integer round-to-nearest-even trick as
+    //! `Bf16::from_f32`, including its NaN-quieting behaviour.
+    use core::arch::x86_64::*;
+
+    /// Vector `Bf16::round_f32`: RNE truncation to the high 16 bits, NaN
+    /// lanes quietened exactly like the scalar (`(bits>>16)|0x0040`).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn bf16_round8(x: __m256) -> __m256 {
+        let bits = _mm256_castps_si256(x);
+        let lsb = _mm256_and_si256(_mm256_srli_epi32(bits, 16), _mm256_set1_epi32(1));
+        let rounded =
+            _mm256_add_epi32(_mm256_add_epi32(bits, _mm256_set1_epi32(0x7FFF)), lsb);
+        let kept = _mm256_and_si256(rounded, _mm256_set1_epi32(0xFFFF_0000u32 as i32));
+        let quiet = _mm256_or_si256(
+            _mm256_and_si256(bits, _mm256_set1_epi32(0xFFFF_0000u32 as i32)),
+            _mm256_set1_epi32(0x0040_0000),
+        );
+        let nan = _mm256_cmp_ps(x, x, _CMP_UNORD_Q);
+        _mm256_blendv_ps(_mm256_castsi256_ps(kept), _mm256_castsi256_ps(quiet), nan)
+    }
+
+    /// Vector `Split3::new` (depth 3) / `Split2::new` (depth 2): returns
+    /// the raw planes with corrections zeroed on non-finite leads, exactly
+    /// like the scalar constructors.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn split8(x: __m256, depth: usize) -> (__m256, __m256, __m256) {
+        let hi = bf16_round8(x);
+        let abs_hi =
+            _mm256_and_ps(hi, _mm256_castsi256_ps(_mm256_set1_epi32(0x7FFF_FFFF)));
+        let finite = _mm256_cmp_ps(abs_hi, _mm256_set1_ps(f32::INFINITY), _CMP_LT_OQ);
+        let r1 = _mm256_sub_ps(x, hi);
+        if depth == 2 {
+            let lo = _mm256_and_ps(bf16_round8(r1), finite);
+            (hi, lo, _mm256_setzero_ps())
+        } else {
+            let mid = _mm256_and_ps(bf16_round8(r1), finite);
+            let lo = _mm256_and_ps(bf16_round8(_mm256_sub_ps(r1, mid)), finite);
+            (hi, mid, lo)
+        }
+    }
+
+    /// Vector `Tf32::round_f32`: RNE truncation of the low 13 mantissa
+    /// bits. Unlike BF16, the scalar TF32 rounding passes non-finite
+    /// values through untouched (no NaN quieting) — replicated here by
+    /// blending on an all-ones-exponent test.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn tf32_round8(x: __m256) -> __m256 {
+        let bits = _mm256_castps_si256(x);
+        let lsb = _mm256_and_si256(_mm256_srli_epi32(bits, 13), _mm256_set1_epi32(1));
+        let rounded = _mm256_and_si256(
+            _mm256_add_epi32(_mm256_add_epi32(bits, _mm256_set1_epi32(0xFFF)), lsb),
+            _mm256_set1_epi32(!0x1FFF),
+        );
+        let expmask = _mm256_set1_epi32(0x7F80_0000);
+        let special =
+            _mm256_cmpeq_epi32(_mm256_and_si256(bits, expmask), expmask);
+        _mm256_blendv_ps(
+            _mm256_castsi256_ps(rounded),
+            x,
+            _mm256_castsi256_ps(special),
+        )
+    }
+
+    /// Rounds one full panel row (`src.len()` a multiple of 8) to BF16.
+    ///
+    /// # Safety
+    /// Caller must have verified avx2 support and that `dst` addresses at
+    /// least `src.len()` writable elements.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn bf16_round_row(src: &[f32], dst: *mut f32) {
+        debug_assert!(src.len().is_multiple_of(8));
+        for j in (0..src.len()).step_by(8) {
+            let x = _mm256_loadu_ps(src.as_ptr().add(j));
+            _mm256_storeu_ps(dst.add(j), bf16_round8(x));
+        }
+    }
+
+    /// Rounds one full panel row (`src.len()` a multiple of 8) to TF32.
+    ///
+    /// # Safety
+    /// Caller must have verified avx2 support and that `dst` addresses at
+    /// least `src.len()` writable elements.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn tf32_round_row(src: &[f32], dst: *mut f32) {
+        debug_assert!(src.len().is_multiple_of(8));
+        for j in (0..src.len()).step_by(8) {
+            let x = _mm256_loadu_ps(src.as_ptr().add(j));
+            _mm256_storeu_ps(dst.add(j), tf32_round8(x));
+        }
+    }
+
+    /// Splits 8 consecutive elements into their raw BF16 planes, spilled
+    /// to stack rows for the caller to scatter into the panel layout.
+    ///
+    /// # Safety
+    /// Caller must have verified avx2 support and that `src` addresses at
+    /// least 8 readable elements.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn split_rows8(src: *const f32, depth: usize, out: &mut [[f32; 8]; 3]) {
+        let x = _mm256_loadu_ps(src);
+        let (hi, mid, lo) = split8(x, depth);
+        _mm256_storeu_ps(out[0].as_mut_ptr(), hi);
+        _mm256_storeu_ps(out[1].as_mut_ptr(), mid);
+        if depth > 2 {
+            _mm256_storeu_ps(out[2].as_mut_ptr(), lo);
+        }
+    }
+
+    /// Packs one full panel row (`src.len() == nr`, multiple of 8) of
+    /// cascaded partial-sum planes. `p2` is only read for depth 3.
+    ///
+    /// # Safety
+    /// Caller must have verified avx2 support and that each non-null
+    /// plane pointer addresses at least `src.len()` writable elements.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn cascade_row(
+        src: &[f32],
+        depth: usize,
+        p0: *mut f32,
+        p1: *mut f32,
+        p2: *mut f32,
+    ) {
+        debug_assert_eq!(src.len() % 8, 0);
+        for j in (0..src.len()).step_by(8) {
+            let x = _mm256_loadu_ps(src.as_ptr().add(j));
+            let (hi, mid, lo) = split8(x, depth);
+            if depth == 2 {
+                // mid holds the depth-2 correction term.
+                _mm256_storeu_ps(p0.add(j), _mm256_add_ps(hi, mid));
+                _mm256_storeu_ps(p1.add(j), hi);
+            } else {
+                let s01 = _mm256_add_ps(hi, mid);
+                _mm256_storeu_ps(p0.add(j), _mm256_add_ps(s01, lo));
+                _mm256_storeu_ps(p1.add(j), s01);
+                _mm256_storeu_ps(p2.add(j), hi);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pack_planes_a(
+    a: &[f32],
+    m: usize,
+    k: usize,
+    k0: usize,
+    kc: usize,
+    mr: usize,
+    depth: usize,
+    planes: &mut [&mut [f32]; 3],
+) {
+    let use_vec = avx2_available();
+    let mpan = m.div_ceil(mr);
+    for p in 0..mpan {
+        let base = p * mr * kc;
+        let r0 = p * mr;
+        for i in 0..mr {
+            let r = r0 + i;
+            if r < m {
+                let src = &a[r * k + k0..r * k + k0 + kc];
+                let mut kk = 0;
+                // The split math vectorises 8-wide even though the panel
+                // layout forces an mr-strided scatter on the way out; the
+                // scatter targets the (L1-resident) panel buffer, so the
+                // rounding arithmetic is the part worth vectorising.
+                #[cfg(target_arch = "x86_64")]
+                if use_vec {
+                    let mut tmp = [[0.0f32; 8]; 3];
+                    while kk + 8 <= kc {
+                        // SAFETY: avx2 checked above; src has >= kk+8
+                        // elements.
+                        unsafe { x86::split_rows8(src.as_ptr().add(kk), depth, &mut tmp) };
+                        for (d, pl) in planes.iter_mut().take(depth).enumerate() {
+                            for (j, &v) in tmp[d].iter().enumerate() {
+                                pl[base + (kk + j) * mr + i] = v;
+                            }
+                        }
+                        kk += 8;
+                    }
+                }
+                let _ = use_vec;
+                for (kk, &v) in src.iter().enumerate().skip(kk) {
+                    let t = split_planes(v, depth);
+                    for (d, pl) in planes.iter_mut().take(depth).enumerate() {
+                        pl[base + kk * mr + i] = t[d];
+                    }
+                }
+            } else {
+                for kk in 0..kc {
+                    for pl in planes.iter_mut().take(depth) {
+                        pl[base + kk * mr + i] = 0.0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_panel_layout_and_padding() {
+        // 3×4 matrix, mr = 2 → two panels, second padded by one row.
+        let a: Vec<f32> = (1..=12).map(|x| x as f32).collect();
+        let (m, k, mr, kc) = (3, 4, 2, 4);
+        let mut dst = vec![f32::NAN; 2 * mr * kc];
+        pack_a_copy(&a, m, k, 0, kc, mr, &mut dst);
+        // Panel 0, kk = 0 holds column 0 of rows 0..2.
+        assert_eq!(&dst[0..2], &[1.0, 5.0]);
+        // Panel 1, kk = 3 holds column 3 of row 2 plus a zero pad lane.
+        assert_eq!(&dst[mr * kc + 3 * mr..mr * kc + 4 * mr], &[12.0, 0.0]);
+    }
+
+    #[test]
+    fn b_panel_layout_and_padding() {
+        // 2×5 matrix, nr = 4 → two panels, second padded by three columns.
+        let b: Vec<f32> = (1..=10).map(|x| x as f32).collect();
+        let (n, nr, kc) = (5, 4, 2);
+        let mut dst = vec![f32::NAN; 2 * nr * kc];
+        pack_b_copy(&b, n, 0, kc, nr, &mut dst);
+        // Panel 0, kk = 1 holds columns 0..4 of row 1.
+        assert_eq!(&dst[nr..2 * nr], &[6.0, 7.0, 8.0, 9.0]);
+        // Panel 1, kk = 0 holds column 4 then zero padding.
+        assert_eq!(&dst[nr * kc..nr * kc + nr], &[5.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn k_slice_offsets_respected() {
+        let a: Vec<f32> = (0..8).map(|x| x as f32).collect(); // 1×8
+        let mut dst = vec![0.0f32; 4];
+        pack_a_copy(&a, 1, 8, 4, 4, 1, &mut dst);
+        assert_eq!(dst, [4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn cascade_planes_cover_term_sums() {
+        let x = 0.1234567f32;
+        let s = Split3::new(x);
+        let c = cascade_planes(x, 3);
+        assert_eq!(c[0], (s.hi + s.mid) + s.lo);
+        assert_eq!(c[1], s.hi + s.mid);
+        assert_eq!(c[2], s.hi);
+        let s2 = Split2::new(x);
+        let c2 = cascade_planes(x, 2);
+        assert_eq!(c2[0], s2.hi + s2.lo);
+        assert_eq!(c2[1], s2.hi);
+    }
+
+    #[test]
+    fn cascade_preserves_nonfinite() {
+        for depth in [2, 3] {
+            let inf = cascade_planes(f32::INFINITY, depth);
+            let nan = cascade_planes(f32::NAN, depth);
+            for t in 0..depth {
+                assert!(inf[t].is_infinite(), "depth {depth} plane {t}");
+                assert!(nan[t].is_nan(), "depth {depth} plane {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn vector_cascade_matches_scalar() {
+        // n == nr == 16 forces the AVX2 fast path (where available); the
+        // packed planes must match the scalar per-element cascade bit for
+        // bit, including NaN/Inf/subnormal/zero/overflow lanes.
+        let specials = [
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            0.0,
+            -0.0,
+            f32::MIN_POSITIVE,
+            1.0e-42,        // subnormal
+            f32::MAX,       // rounds to Inf in BF16
+            -f32::MAX,
+            1.0,
+            -1.5,
+            0.1234567,
+            3.9999998,
+            -2.7182817,
+            65504.0,
+            1.0e30,
+        ];
+        let (n, nr, kc) = (16, 16, 3);
+        let mut b = vec![0.0f32; kc * n];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = specials[i % specials.len()] * if i % 3 == 0 { 1.0 } else { 0.731 };
+        }
+        for depth in [2usize, 3] {
+            let mut p0 = vec![0.0f32; nr * kc];
+            let mut p1 = vec![0.0f32; nr * kc];
+            let mut p2 = vec![0.0f32; nr * kc];
+            {
+                let mut planes: [&mut [f32]; 3] = [&mut p0, &mut p1, &mut p2];
+                pack_b_cascade(&b, n, 0, kc, nr, depth, &mut planes);
+            }
+            for kk in 0..kc {
+                for j in 0..n {
+                    let expect = cascade_planes(b[kk * n + j], depth);
+                    let got = [p0[kk * nr + j], p1[kk * nr + j], p2[kk * nr + j]];
+                    for d in 0..depth {
+                        assert_eq!(
+                            got[d].to_bits(),
+                            expect[d].to_bits(),
+                            "depth {depth} kk={kk} j={j} plane {d}: {} vs {}",
+                            got[d],
+                            expect[d]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn special_values(len: usize) -> Vec<f32> {
+        let specials = [
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            0.0,
+            -0.0,
+            f32::MIN_POSITIVE,
+            1.0e-42,
+            f32::MAX,
+            -f32::MAX,
+            1.0,
+            -1.5,
+            0.1234567,
+            3.9999998,
+            -2.7182817,
+            65504.0,
+            1.0e30,
+        ];
+        (0..len)
+            .map(|i| specials[i % specials.len()] * if i % 3 == 0 { 1.0 } else { 0.731 })
+            .collect()
+    }
+
+    #[test]
+    fn vector_b_round_matches_scalar() {
+        // n == nr == 16 forces the AVX2 fast path (where available); the
+        // rounded panels must match scalar Bf16/Tf32 rounding bit for bit,
+        // including NaN payloads (BF16 quietens, TF32 passes through).
+        let (n, nr, kc) = (16, 16, 4);
+        let b = special_values(kc * n);
+        let mut got = vec![0.0f32; nr * kc];
+        pack_b_bf16(&b, n, 0, kc, nr, &mut got);
+        for kk in 0..kc {
+            for j in 0..n {
+                let expect = Bf16::round_f32(b[kk * n + j]);
+                assert_eq!(
+                    got[kk * nr + j].to_bits(),
+                    expect.to_bits(),
+                    "bf16 kk={kk} j={j}"
+                );
+            }
+        }
+        pack_b_tf32(&b, n, 0, kc, nr, &mut got);
+        for kk in 0..kc {
+            for j in 0..n {
+                let expect = Tf32::round_f32(b[kk * n + j]);
+                assert_eq!(
+                    got[kk * nr + j].to_bits(),
+                    expect.to_bits(),
+                    "tf32 kk={kk} j={j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vector_split_pack_matches_scalar() {
+        // kc = 16 ≥ 8 exercises the vectorised A-split (where available),
+        // including its scalar tail (kc not a multiple of 8 below).
+        for (kc_full, kc_used) in [(16usize, 16usize), (16, 13)] {
+            let (m, mr) = (3usize, 2usize);
+            let a = special_values(m * kc_full);
+            for depth in [2usize, 3] {
+                let mpan = m.div_ceil(mr);
+                let mut p0 = vec![0.0f32; mpan * mr * kc_used];
+                let mut p1 = vec![0.0f32; mpan * mr * kc_used];
+                let mut p2 = vec![0.0f32; mpan * mr * kc_used];
+                {
+                    let mut planes: [&mut [f32]; 3] = [&mut p0, &mut p1, &mut p2];
+                    pack_a_split(&a, m, kc_full, 0, kc_used, mr, depth, &mut planes);
+                }
+                for r in 0..m {
+                    for kk in 0..kc_used {
+                        let expect = split_planes(a[r * kc_full + kk], depth);
+                        let pbase = (r / mr) * mr * kc_used;
+                        let idx = pbase + kk * mr + (r % mr);
+                        let got = [p0[idx], p1[idx], p2[idx]];
+                        for d in 0..depth {
+                            assert_eq!(
+                                got[d].to_bits(),
+                                expect[d].to_bits(),
+                                "depth {depth} r={r} kk={kk} plane {d}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_pack_matches_scalar_split() {
+        let a: Vec<f32> = (0..12).map(|i| (i as f32 * 0.731).sin()).collect(); // 3×4
+        let (m, k, mr, kc) = (3, 4, 4, 4);
+        let mut p0 = vec![0.0f32; mr * kc];
+        let mut p1 = vec![0.0f32; mr * kc];
+        let mut p2 = vec![0.0f32; mr * kc];
+        {
+            let mut planes: [&mut [f32]; 3] = [&mut p0, &mut p1, &mut p2];
+            pack_a_split(&a, m, k, 0, kc, mr, 3, &mut planes);
+        }
+        for r in 0..m {
+            for kk in 0..k {
+                let s = Split3::new(a[r * k + kk]);
+                let idx = kk * mr + r;
+                assert_eq!([p0[idx], p1[idx], p2[idx]], [s.hi, s.mid, s.lo]);
+            }
+        }
+    }
+}
