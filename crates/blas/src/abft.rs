@@ -1,0 +1,390 @@
+//! ABFT-style row-checksum verification of GEMM outputs.
+//!
+//! Algorithm-based fault tolerance for `C ← α·op(A)·op(B) + β·C`: the
+//! row sums of the output are linearly determined by the inputs,
+//!
+//! ```text
+//! Σ_j C[i][j] = α·Σ_t op(A)[i][t]·(Σ_j op(B)[t][j]) + β·Σ_j C_pre[i][j]
+//! ```
+//!
+//! so an O(m·n + m·k + k·n) check covers the O(m·n·k) product. A silent
+//! bit flip in the output (or in the accumulator state that produced it)
+//! breaks the identity by roughly the magnitude of the flipped value,
+//! while legitimate rounding stays within a mode-aware bound derived
+//! from the magnitude checksum `Σ|a|·|b|`.
+//!
+//! The bound is deliberately loose (large safety factor, linear in
+//! `k + n`): a false positive here is *systematic* — the same data
+//! re-trips the check after every rollback, so the supervisor would loop
+//! forever. The price is that low-order mantissa flips hide inside the
+//! rounding envelope of the active compute mode; those are the domain of
+//! the supervisor's `verify_bursts` bit-compare, not of this check (see
+//! DESIGN.md, "coverage boundaries").
+//!
+//! Checks are sampled 1-in-N by the process-wide GEMM call counter
+//! (shared with [`crate::fault`], so fault-plan triggers and check
+//! indices line up in tests). Verification runs *after* fault injection
+//! so an injected flip lands between the product and its checksum.
+
+use crate::layout::Op;
+use crate::mode::ComputeMode;
+use dcmesh_numerics::{Complex, C64};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Safety factor on the rounding bound. Generous on purpose: a missed
+/// small-mantissa flip costs one extra `verify_bursts` replay, a false
+/// positive costs the run.
+const SAFETY: f64 = 64.0;
+
+/// One detected checksum violation.
+#[derive(Clone, Debug)]
+pub struct AbftViolation {
+    /// Routine whose output failed the check (`"SGEMM"`, ...).
+    pub routine: &'static str,
+    /// Absolute GEMM call index (process-wide counter).
+    pub call: u64,
+    /// Output row with the worst checksum defect.
+    pub row: usize,
+    /// Observed row sum `Σ_j C[i][j]`.
+    pub observed: C64,
+    /// Expected row sum from the input checksums.
+    pub expected: C64,
+    /// The rounding bound the defect exceeded.
+    pub tolerance: f64,
+    /// Compute mode active at the call.
+    pub mode: ComputeMode,
+}
+
+impl core::fmt::Display for AbftViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} call {} row {}: row-sum {:.6e}{:+.6e}i, checksum expects {:.6e}{:+.6e}i \
+             (defect {:.3e} > bound {:.3e}, mode {:?})",
+            self.routine,
+            self.call,
+            self.row,
+            self.observed.re,
+            self.observed.im,
+            self.expected.re,
+            self.expected.im,
+            (self.observed - self.expected).abs(),
+            self.tolerance,
+            self.mode,
+        )
+    }
+}
+
+struct AbftInstalled {
+    period: u64,
+    base_call: u64,
+}
+
+static INSTALLED: Mutex<Option<AbftInstalled>> = Mutex::new(None);
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static CHECKS: AtomicU64 = AtomicU64::new(0);
+static VIOLATIONS: AtomicU64 = AtomicU64::new(0);
+static PENDING: Mutex<Option<AbftViolation>> = Mutex::new(None);
+static PENDING_FLAG: AtomicBool = AtomicBool::new(false);
+
+/// Enables checksum verification of every `period`-th GEMM call
+/// (counted from now; `1` checks every call). Replaces any previous
+/// installation and drops a pending violation.
+pub fn install_abft(period: u64) {
+    assert!(period > 0, "ABFT period must be non-zero");
+    let mut guard = INSTALLED.lock();
+    *guard = Some(AbftInstalled {
+        period,
+        base_call: crate::fault::gemm_call_count(),
+    });
+    ACTIVE.store(true, Ordering::Relaxed);
+    *PENDING.lock() = None;
+    PENDING_FLAG.store(false, Ordering::Relaxed);
+}
+
+/// Disables checksum verification.
+pub fn clear_abft() {
+    let mut guard = INSTALLED.lock();
+    *guard = None;
+    ACTIVE.store(false, Ordering::Relaxed);
+    *PENDING.lock() = None;
+    PENDING_FLAG.store(false, Ordering::Relaxed);
+}
+
+/// True while verification is installed.
+pub fn abft_installed() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Total checksum verifications performed by this process.
+pub fn abft_check_count() -> u64 {
+    CHECKS.load(Ordering::Relaxed)
+}
+
+/// Total violations detected by this process.
+pub fn abft_violation_count() -> u64 {
+    VIOLATIONS.load(Ordering::Relaxed)
+}
+
+/// Takes the pending violation, if any. The first violation after the
+/// last take is kept; later ones only bump the counter (the supervisor
+/// rolls back past all of them anyway).
+pub fn take_abft_violation() -> Option<AbftViolation> {
+    if !PENDING_FLAG.load(Ordering::Relaxed) {
+        return None;
+    }
+    let mut guard = PENDING.lock();
+    PENDING_FLAG.store(false, Ordering::Relaxed);
+    guard.take()
+}
+
+/// Element types the checksum accumulates: everything is promoted to a
+/// complex f64 (reals with a zero imaginary part).
+pub(crate) trait AbftElem: Copy {
+    /// The value as a complex f64.
+    fn acc(self) -> C64;
+    /// Unit roundoff of the element type.
+    fn elem_eps() -> f64;
+}
+
+impl AbftElem for f32 {
+    fn acc(self) -> C64 {
+        C64 { re: self as f64, im: 0.0 }
+    }
+    fn elem_eps() -> f64 {
+        f32::EPSILON as f64
+    }
+}
+
+impl AbftElem for f64 {
+    fn acc(self) -> C64 {
+        C64 { re: self, im: 0.0 }
+    }
+    fn elem_eps() -> f64 {
+        f64::EPSILON
+    }
+}
+
+impl<T: AbftElem> AbftElem for Complex<T> {
+    fn acc(self) -> C64 {
+        C64 { re: self.re.acc().re, im: self.im.acc().re }
+    }
+    fn elem_eps() -> f64 {
+        T::elem_eps()
+    }
+}
+
+/// Unit roundoff of the product under `mode`, never smaller than the
+/// element type's own.
+fn mode_eps(mode: ComputeMode, elem_eps: f64) -> f64 {
+    let m = match mode {
+        ComputeMode::Standard | ComputeMode::Complex3m => elem_eps,
+        ComputeMode::FloatToBf16 => 2f64.powi(-8),
+        ComputeMode::FloatToBf16x2 => 2f64.powi(-16),
+        ComputeMode::FloatToBf16x3 => 2f64.powi(-23),
+        ComputeMode::FloatToTf32 => 2f64.powi(-11),
+    };
+    m.max(elem_eps)
+}
+
+/// Logical `op(X)[r][c]` of a stored matrix with leading dimension `ld`.
+fn op_elem<T: AbftElem>(op: Op, s: &[T], ld: usize, r: usize, c: usize) -> C64 {
+    match op {
+        Op::None => s[r * ld + c].acc(),
+        Op::Trans => s[c * ld + r].acc(),
+        Op::ConjTrans => s[c * ld + r].acc().conj(),
+    }
+}
+
+/// The β·C contribution captured before the product overwrites C.
+pub(crate) struct PreSums {
+    call: u64,
+    /// `β·Σ_j C_pre[i][j]` per row.
+    sums: Vec<C64>,
+    /// `|β|·Σ_j |C_pre[i][j]|` per row.
+    mags: Vec<f64>,
+}
+
+/// Decides whether this GEMM call is sampled and, if so, captures the
+/// β-scaled row sums of C before the product. Must run before the
+/// product is computed.
+pub(crate) fn pre_gemm<T: AbftElem>(
+    beta: T,
+    c: &[T],
+    m: usize,
+    n: usize,
+    ldc: usize,
+) -> Option<PreSums> {
+    if !ACTIVE.load(Ordering::Relaxed) || m == 0 || n == 0 {
+        return None;
+    }
+    {
+        let guard = INSTALLED.lock();
+        let installed = guard.as_ref()?;
+        let rel = crate::fault::gemm_call_count().saturating_sub(installed.base_call);
+        if !rel.is_multiple_of(installed.period) {
+            return None;
+        }
+    }
+    // Let the GEMM's own shape validation report malformed storage.
+    if c.len() < (m - 1) * ldc + n {
+        return None;
+    }
+    let call = crate::fault::gemm_call_count();
+    let beta_acc = beta.acc();
+    let mut sums = vec![C64::zero(); m];
+    let mut mags = vec![0.0f64; m];
+    if beta_acc != C64::zero() {
+        let beta_abs = beta_acc.abs();
+        for i in 0..m {
+            let mut s = C64::zero();
+            let mut mag = 0.0f64;
+            for j in 0..n {
+                let v = c[i * ldc + j].acc();
+                s += v;
+                mag += v.abs();
+            }
+            sums[i] = beta_acc * s;
+            mags[i] = beta_abs * mag;
+        }
+    }
+    Some(PreSums { call, sums, mags })
+}
+
+/// Verifies the sampled call's output against the input checksums. Runs
+/// after the product *and* after fault injection, so injected flips are
+/// inside the checked window.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn check_gemm<T: AbftElem>(
+    routine: &'static str,
+    pre: PreSums,
+    transa: Op,
+    transb: Op,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: T,
+    a: &[T],
+    lda: usize,
+    b: &[T],
+    ldb: usize,
+    c: &[T],
+    ldc: usize,
+    mode: ComputeMode,
+) {
+    CHECKS.fetch_add(1, Ordering::Relaxed);
+    let alpha_acc = alpha.acc();
+    let alpha_abs = alpha_acc.abs();
+
+    // Column sums of op(B): v[t] = Σ_j op(B)[t][j].
+    let mut bsum = vec![C64::zero(); k];
+    let mut bmag = vec![0.0f64; k];
+    if alpha_acc != C64::zero() {
+        for t in 0..k {
+            let mut s = C64::zero();
+            let mut mag = 0.0f64;
+            for j in 0..n {
+                let v = op_elem(transb, b, ldb, t, j);
+                s += v;
+                mag += v.abs();
+            }
+            bsum[t] = s;
+            bmag[t] = mag;
+        }
+    }
+
+    let eps_total = SAFETY * mode_eps(mode, T::elem_eps()) * (k + n) as f64;
+    let mut worst: Option<AbftViolation> = None;
+    for i in 0..m {
+        let mut lhs = C64::zero();
+        let mut mag = 0.0f64;
+        if alpha_acc != C64::zero() {
+            for t in 0..k {
+                let av = op_elem(transa, a, lda, i, t);
+                lhs += av * bsum[t];
+                mag += av.abs() * bmag[t];
+            }
+        }
+        let expected = alpha_acc * lhs + pre.sums[i];
+        let bound = eps_total * (alpha_abs * mag + pre.mags[i]);
+        let mut observed = C64::zero();
+        for j in 0..n {
+            observed += c[i * ldc + j].acc();
+        }
+        let defect = (observed - expected).abs();
+        // NaN/Inf in the row sum always violates (comparisons with NaN
+        // are false, so check the complement).
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !(defect <= bound) {
+            let v = AbftViolation {
+                routine,
+                call: pre.call,
+                row: i,
+                observed,
+                expected,
+                tolerance: bound,
+                mode,
+            };
+            // A NaN defect outranks any finite one (same complement trick).
+            #[allow(clippy::neg_cmp_op_on_partial_ord)]
+            let worse = match &worst {
+                None => true,
+                Some(w) => {
+                    let wd = (w.observed - w.expected).abs();
+                    !(defect <= wd)
+                }
+            };
+            if worse {
+                worst = Some(v);
+            }
+        }
+    }
+
+    if let Some(v) = worst {
+        VIOLATIONS.fetch_add(1, Ordering::Relaxed);
+        dcmesh_telemetry::instant(
+            "abft_violation",
+            vec![
+                dcmesh_telemetry::Attr {
+                    key: "routine",
+                    value: dcmesh_telemetry::AttrValue::Str(v.routine),
+                },
+                dcmesh_telemetry::Attr {
+                    key: "call",
+                    value: dcmesh_telemetry::AttrValue::U64(v.call),
+                },
+                dcmesh_telemetry::Attr {
+                    key: "detail",
+                    value: dcmesh_telemetry::AttrValue::Text(v.to_string()),
+                },
+            ],
+        );
+        let mut guard = PENDING.lock();
+        if guard.is_none() {
+            *guard = Some(v);
+            PENDING_FLAG.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Anything exercising the installed-plan statics lives in the
+    // `abft_detection` integration binary: the sampling counter and the
+    // pending-violation slot are process-global, and parallel unit tests
+    // would race on them. Only pure functions are tested here.
+    use super::*;
+
+    #[test]
+    fn mode_eps_is_monotone_in_precision() {
+        let e32 = f32::EPSILON as f64;
+        assert!(mode_eps(ComputeMode::FloatToBf16, e32) > mode_eps(ComputeMode::FloatToTf32, e32));
+        assert!(
+            mode_eps(ComputeMode::FloatToTf32, e32) > mode_eps(ComputeMode::FloatToBf16x2, e32)
+        );
+        // Never below the element type's own roundoff.
+        assert_eq!(mode_eps(ComputeMode::FloatToBf16x3, e32), e32.max(2f64.powi(-23)));
+        assert_eq!(mode_eps(ComputeMode::Standard, f64::EPSILON), f64::EPSILON);
+    }
+}

@@ -28,8 +28,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FaultKind {
     /// XOR one mantissa bit of the value (bit index taken modulo the
-    /// mantissa width of the element type).
+    /// mantissa width of the element type). Bounded corruption: the
+    /// value changes by at most a factor of 2.
     FlipMantissaBit(u32),
+    /// XOR one bit anywhere in the element word (bit index modulo the
+    /// full bit width), exponent and sign included — the silent-data-
+    /// corruption model, where a flipped high exponent bit changes the
+    /// value by hundreds of orders of magnitude without any NaN/Inf
+    /// signature for the non-finite health checks to see.
+    FlipBit(u32),
     /// Overwrite with NaN.
     Nan,
     /// Overwrite with +Inf.
@@ -126,6 +133,125 @@ impl FaultPlan {
     }
 }
 
+/// One scheduled raw bit flip: GEMM call `call` (relative to plan
+/// install), bit `bit` of the targeted element's word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BitFlip {
+    /// Relative GEMM call index the flip lands on.
+    pub call: u64,
+    /// Bit index within the element word (modulo the type's width).
+    pub bit: u32,
+}
+
+/// A deterministic silent-data-corruption plan: raw single-bit flips in
+/// GEMM outputs, exponent and sign bits included.
+///
+/// The chaos-testing counterpart of [`FaultPlan`] for the SDC defense:
+/// where `FlipMantissaBit`/`Nan`/`Inf` model faults the non-finite and
+/// divergence health checks can see, a raw [`FaultKind::FlipBit`]
+/// produces a finite but wildly wrong value that only the ABFT checksum
+/// (or a `verify_bursts` replay) can catch. Like `RankKillPlan` it has
+/// a text spec grammar so coordinators can pass plans to worker
+/// processes through the environment:
+///
+/// ```text
+/// <seed>:<call>@<bit>[,<call>@<bit>...]      e.g.  "7:12@62,40@30"
+/// ```
+///
+/// Each flip fires once, at its relative call index. The shared GEMM
+/// call counter is never reset, so after a supervisor rollback the
+/// replayed calls have fresh indices and the flip does **not** re-fire —
+/// recovery from a detected flip is bit-identical to a clean run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitFlipPlan {
+    seed: u64,
+    flips: Vec<BitFlip>,
+}
+
+impl BitFlipPlan {
+    /// An empty plan; the seed picks which output element each flip
+    /// corrupts (and, for complex elements, which component).
+    pub fn new(seed: u64) -> BitFlipPlan {
+        BitFlipPlan { seed, flips: Vec::new() }
+    }
+
+    /// Adds a flip (builder style).
+    pub fn with_flip(mut self, call: u64, bit: u32) -> BitFlipPlan {
+        self.flips.push(BitFlip { call, bit });
+        self
+    }
+
+    /// The scheduled flips.
+    pub fn flips(&self) -> &[BitFlip] {
+        &self.flips
+    }
+
+    /// The seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Parses the `<seed>:<call>@<bit>,...` spec. The `<seed>:` prefix
+    /// is optional (defaults to 0); an empty flip list is allowed
+    /// (`"7:"` is a plan that never fires).
+    pub fn parse(spec: &str) -> Result<BitFlipPlan, String> {
+        let (seed_part, flips_part) = match spec.split_once(':') {
+            Some((s, rest)) => (Some(s), rest),
+            None => (None, spec),
+        };
+        let seed = match seed_part {
+            Some(s) => s
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| format!("bad bit-flip seed {s:?} in {spec:?}"))?,
+            None => 0,
+        };
+        let mut plan = BitFlipPlan::new(seed);
+        for item in flips_part.split(',') {
+            let item = item.trim();
+            if item.is_empty() {
+                continue;
+            }
+            let (call, bit) = item
+                .split_once('@')
+                .ok_or_else(|| format!("bad bit-flip item {item:?} (want <call>@<bit>)"))?;
+            let call = call
+                .trim()
+                .parse::<u64>()
+                .map_err(|_| format!("bad call index in bit-flip item {item:?}"))?;
+            let bit = bit
+                .trim()
+                .parse::<u32>()
+                .map_err(|_| format!("bad bit index in bit-flip item {item:?}"))?;
+            plan = plan.with_flip(call, bit);
+        }
+        Ok(plan)
+    }
+
+    /// The spec string [`BitFlipPlan::parse`] round-trips.
+    pub fn to_spec(&self) -> String {
+        let items: Vec<String> =
+            self.flips.iter().map(|f| format!("{}@{}", f.call, f.bit)).collect();
+        format!("{}:{}", self.seed, items.join(","))
+    }
+
+    /// Lowers the plan onto the [`FaultPlan`] machinery (one
+    /// [`Trigger::Once`] site per flip).
+    pub fn to_fault_plan(&self) -> FaultPlan {
+        let mut plan = FaultPlan::new(self.seed);
+        for f in &self.flips {
+            plan = plan.with_site(FaultSite::once(f.call, FaultKind::FlipBit(f.bit)));
+        }
+        plan
+    }
+}
+
+/// Installs a [`BitFlipPlan`], replacing any installed [`FaultPlan`].
+/// Call indices count GEMM calls from this moment.
+pub fn install_bit_flip_plan(plan: &BitFlipPlan) {
+    install_fault_plan(plan.to_fault_plan());
+}
+
 struct Installed {
     plan: FaultPlan,
     base_call: u64,
@@ -177,6 +303,7 @@ impl FaultTarget for f32 {
     fn corrupted(self, kind: FaultKind, _entropy: u64) -> f32 {
         match kind {
             FaultKind::FlipMantissaBit(bit) => f32::from_bits(self.to_bits() ^ (1 << (bit % 23))),
+            FaultKind::FlipBit(bit) => f32::from_bits(self.to_bits() ^ (1 << (bit % 32))),
             FaultKind::Nan => f32::NAN,
             FaultKind::Inf => f32::INFINITY,
         }
@@ -189,6 +316,7 @@ impl FaultTarget for f64 {
             FaultKind::FlipMantissaBit(bit) => {
                 f64::from_bits(self.to_bits() ^ (1u64 << (bit % 52)))
             }
+            FaultKind::FlipBit(bit) => f64::from_bits(self.to_bits() ^ (1u64 << (bit % 64))),
             FaultKind::Nan => f64::NAN,
             FaultKind::Inf => f64::INFINITY,
         }
@@ -276,6 +404,49 @@ mod tests {
         assert!(zc.re.is_nan() ^ zc.im.is_nan());
         let zc1 = z.corrupted(FaultKind::Nan, 1);
         assert!(zc1.im.is_nan() && !zc1.re.is_nan());
+    }
+
+    #[test]
+    fn flip_bit_reaches_exponent_and_sign() {
+        let x = 1.5f64;
+        // Bit 61 is a high stored exponent bit: clearing it rescales the
+        // value by 2^-512 — enormous corruption, yet finite, so invisible
+        // to NaN/Inf checks.
+        let flipped = x.corrupted(FaultKind::FlipBit(61), 0);
+        assert!(flipped.is_finite() && flipped != x);
+        assert!(flipped.abs() < 1e-100, "1.5 with exponent bit 61 cleared: {flipped}");
+        assert_eq!(flipped.corrupted(FaultKind::FlipBit(61), 0), x);
+        // Bit 63 is the sign.
+        assert_eq!(x.corrupted(FaultKind::FlipBit(63), 0), -1.5);
+        let y = 2.0f32;
+        assert_eq!(y.corrupted(FaultKind::FlipBit(31), 0), -2.0);
+    }
+
+    #[test]
+    fn bit_flip_plan_spec_roundtrips() {
+        let plan = BitFlipPlan::new(7).with_flip(12, 62).with_flip(40, 30);
+        assert_eq!(plan.to_spec(), "7:12@62,40@30");
+        assert_eq!(BitFlipPlan::parse("7:12@62,40@30").unwrap(), plan);
+        // Seedless form, whitespace tolerance, empty list.
+        assert_eq!(BitFlipPlan::parse("3@5").unwrap(), BitFlipPlan::new(0).with_flip(3, 5));
+        assert_eq!(
+            BitFlipPlan::parse(" 9 : 1@2 , 3@4 ").unwrap_or_else(|e| panic!("{e}")),
+            BitFlipPlan::new(9).with_flip(1, 2).with_flip(3, 4)
+        );
+        assert_eq!(BitFlipPlan::parse("7:").unwrap(), BitFlipPlan::new(7));
+        assert!(BitFlipPlan::parse("x:1@2").is_err());
+        assert!(BitFlipPlan::parse("1@").is_err());
+        assert!(BitFlipPlan::parse("12").is_err());
+    }
+
+    #[test]
+    fn bit_flip_plan_lowers_to_once_sites() {
+        let plan = BitFlipPlan::new(5).with_flip(3, 61).to_fault_plan();
+        assert_eq!(plan.sites().len(), 1);
+        assert_eq!(plan.sites()[0].trigger, Trigger::Once(3));
+        assert_eq!(plan.sites()[0].kind, FaultKind::FlipBit(61));
+        assert_eq!(plan.sites()[0].routine, None);
+        assert_eq!(plan.sites()[0].mode, None);
     }
 
     #[test]

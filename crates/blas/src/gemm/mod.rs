@@ -68,10 +68,16 @@ pub fn sgemm(
 ) {
     let mode = compute_mode();
     let desc = GemmDesc { domain: Domain::Real32, m, n, k, mode };
+    let abft = crate::abft::pre_gemm(beta, c, m, n, ldc);
     logged("SGEMM", transa, transb, desc, || {
         real_gemm_impl(mode, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
     });
     crate::fault::post_gemm("SGEMM", c, m, n, ldc);
+    if let Some(pre) = abft {
+        crate::abft::check_gemm(
+            "SGEMM", pre, transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc, mode,
+        );
+    }
 }
 
 /// Double-precision real GEMM. Alternative compute modes do not apply.
@@ -92,6 +98,7 @@ pub fn dgemm(
     ldc: usize,
 ) {
     let desc = GemmDesc { domain: Domain::Real64, m, n, k, mode: ComputeMode::Standard };
+    let abft = crate::abft::pre_gemm(beta, c, m, n, ldc);
     logged("DGEMM", transa, transb, desc, || {
         real_gemm_impl(
             ComputeMode::Standard,
@@ -111,6 +118,25 @@ pub fn dgemm(
         );
     });
     crate::fault::post_gemm("DGEMM", c, m, n, ldc);
+    if let Some(pre) = abft {
+        crate::abft::check_gemm(
+            "DGEMM",
+            pre,
+            transa,
+            transb,
+            m,
+            n,
+            k,
+            alpha,
+            a,
+            lda,
+            b,
+            ldb,
+            c,
+            ldc,
+            ComputeMode::Standard,
+        );
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -261,10 +287,16 @@ pub fn cgemm(
 ) {
     let mode = compute_mode();
     let desc = GemmDesc { domain: Domain::Complex32, m, n, k, mode };
+    let abft = crate::abft::pre_gemm(beta, c, m, n, ldc);
     logged("CGEMM", transa, transb, desc, || {
         complex_gemm_impl(mode, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
     });
     crate::fault::post_gemm("CGEMM", c, m, n, ldc);
+    if let Some(pre) = abft {
+        crate::abft::check_gemm(
+            "CGEMM", pre, transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc, mode,
+        );
+    }
 }
 
 /// Double-precision complex GEMM. Honours `COMPLEX_3M` only.
@@ -289,10 +321,16 @@ pub fn zgemm(
         _ => ComputeMode::Standard,
     };
     let desc = GemmDesc { domain: Domain::Complex64, m, n, k, mode };
+    let abft = crate::abft::pre_gemm(beta, c, m, n, ldc);
     logged("ZGEMM", transa, transb, desc, || {
         complex_gemm_impl(mode, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
     });
     crate::fault::post_gemm("ZGEMM", c, m, n, ldc);
+    if let Some(pre) = abft {
+        crate::abft::check_gemm(
+            "ZGEMM", pre, transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc, mode,
+        );
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

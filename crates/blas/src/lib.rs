@@ -46,6 +46,7 @@
 //! assert_eq!(c_std, c_bf16);
 //! ```
 
+pub mod abft;
 pub mod config;
 pub mod device;
 pub mod fault;
@@ -61,7 +62,14 @@ pub mod workspace;
 pub use config::{
     compute_mode, reset_compute_mode, set_compute_mode, try_compute_mode, with_compute_mode,
 };
-pub use fault::{clear_fault_plan, install_fault_plan, FaultKind, FaultPlan, FaultSite, Trigger};
+pub use abft::{
+    abft_check_count, abft_installed, abft_violation_count, clear_abft, install_abft,
+    take_abft_violation, AbftViolation,
+};
+pub use fault::{
+    clear_fault_plan, install_bit_flip_plan, install_fault_plan, BitFlip, BitFlipPlan, FaultKind,
+    FaultPlan, FaultSite, Trigger,
+};
 pub use gemm::{cgemm, dgemm, sgemm, zgemm};
 pub use herk::{cherk, zherk, Uplo};
 pub use level2::{cgemv, dgemv, sgemv, zgemv};

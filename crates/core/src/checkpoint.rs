@@ -17,9 +17,12 @@ use std::fmt;
 
 /// File magic: "DCMESHCK".
 const MAGIC: &[u8; 8] = b"DCMESHCK";
-/// Format version. Version 2 added the payload checksum; version-1
-/// files (which could not detect payload corruption) are rejected.
-const VERSION: u32 = 2;
+/// Format version. Version 3 added the boundary excitation count, which
+/// reseeds the resumed integrator's force field — without it a resumed
+/// excited trajectory silently diverges from the uninterrupted one on
+/// the first half-kick. Version 2 added the payload checksum. Older
+/// files are rejected.
+const VERSION: u32 = 3;
 
 /// FNV-1a/64 over the payload — detects any bit flip in the body, so a
 /// corrupted checkpoint is quarantined at load instead of silently
@@ -42,6 +45,12 @@ pub struct Checkpoint<T: Real> {
     pub system: AtomicSystem,
     /// QD steps completed when the checkpoint was taken.
     pub steps_done: u64,
+    /// Shadow-channel excitation count (`nexc`) at the boundary — the
+    /// value the last ionic step softened its forces with. Seeds
+    /// [`dcmesh_qxmd::MdIntegrator::resume`] so the resumed integrator's
+    /// cached force field is bit-identical to the one the interrupted
+    /// run carried.
+    pub nexc: f64,
 }
 
 /// Checkpoint decoding error.
@@ -177,6 +186,7 @@ impl<T: Real> Checkpoint<T> {
     pub fn encode(&self) -> Bytes {
         let mut buf = BytesMut::new();
         buf.put_u64_le(self.steps_done);
+        buf.put_f64_le(self.nexc);
 
         // Electronic state.
         let st = &self.state;
@@ -242,6 +252,10 @@ impl<T: Real> Checkpoint<T> {
             )));
         }
         let steps_done = buf.get_u64_le();
+        if buf.remaining() < 8 {
+            return Err(err("truncated excitation count"));
+        }
+        let nexc = buf.get_f64_le();
 
         let psi = get_complex_vec::<T>(&mut buf)?;
         let psi0 = get_complex_vec::<T>(&mut buf)?;
@@ -293,6 +307,7 @@ impl<T: Real> Checkpoint<T> {
             },
             system: AtomicSystem { species, positions, velocities, box_length },
             steps_done,
+            nexc,
         })
     }
 
@@ -384,7 +399,7 @@ mod tests {
         for _ in 0..7 {
             qd_step(&p, &mut state, &mut scratch);
         }
-        let ck = Checkpoint { state, system: pto_supercell(2), steps_done: 7 };
+        let ck = Checkpoint { state, system: pto_supercell(2), steps_done: 7, nexc: 0.125 };
         (p, ck)
     }
 
@@ -394,6 +409,7 @@ mod tests {
         let bytes = ck.encode();
         let back = Checkpoint::<f32>::decode(bytes).expect("decode");
         assert_eq!(back.steps_done, 7);
+        assert_eq!(back.nexc.to_bits(), ck.nexc.to_bits());
         assert_eq!(back.state.step, ck.state.step);
         assert_eq!(back.state.time.to_bits(), ck.state.time.to_bits());
         for (a, b) in back.state.psi.iter().zip(&ck.state.psi) {

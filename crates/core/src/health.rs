@@ -98,6 +98,16 @@ pub enum HealthViolation {
         /// The orthonormalisation error, including the eigenvalue evidence.
         detail: String,
     },
+    /// Silent data corruption: an ABFT row-checksum on a sampled GEMM
+    /// failed, or a `verify_bursts` replay produced different bits.
+    /// Unlike the divergence violations this is *not* a precision
+    /// problem — the supervisor rolls back and retries at the **same**
+    /// compute mode instead of escalating.
+    SilentCorruption {
+        /// What was detected and where (checksum defect, routine, call
+        /// index, or the replay mismatch evidence).
+        detail: String,
+    },
 }
 
 impl fmt::Display for HealthViolation {
@@ -120,6 +130,9 @@ impl fmt::Display for HealthViolation {
             }
             HealthViolation::SingularOverlap { detail } => {
                 write!(f, "SCF refresh failed: {detail}")
+            }
+            HealthViolation::SilentCorruption { detail } => {
+                write!(f, "silent data corruption: {detail}")
             }
         }
     }

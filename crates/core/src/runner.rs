@@ -121,6 +121,39 @@ impl ResultMark {
     }
 }
 
+/// Surfaces a pending ABFT checksum violation as a
+/// [`HealthViolation::SilentCorruption`] divergence. Polled after every
+/// QD step and after the boundary SCF refresh in supervised runs, so a
+/// corrupted GEMM output is caught within one step of the sampled call
+/// that detected it — before the next checkpoint can absorb it.
+pub(crate) fn poll_abft(step: u64) -> Result<(), RunError> {
+    let Some(v) = mkl_lite::take_abft_violation() else { return Ok(()) };
+    let violation = HealthViolation::SilentCorruption { detail: v.to_string() };
+    dcmesh_telemetry::instant(
+        "health_violation",
+        vec![
+            dcmesh_telemetry::Attr {
+                key: "step",
+                value: dcmesh_telemetry::AttrValue::U64(step),
+            },
+            dcmesh_telemetry::Attr {
+                key: "detail",
+                value: dcmesh_telemetry::AttrValue::Text(violation.to_string()),
+            },
+        ],
+    );
+    Err(RunError::Diverged { step, mode: mkl_lite::compute_mode(), violation })
+}
+
+/// The excitation fraction the ionic integrator softens its forces
+/// with: the latest shadow-channel excitation count over the electron
+/// count. Every site that (re)builds an [`MdIntegrator`] mid-trajectory
+/// must seed it with this exact value ([`MdIntegrator::resume`]) or the
+/// rebuild is not bit-exact.
+pub(crate) fn excitation_fraction(last_nexc: f64, params: &LfdParams) -> f64 {
+    (last_nexc / params.n_electrons()).clamp(0.0, 1.0)
+}
+
 /// One MD burst: `qd_steps_per_md` QD steps (with record thinning),
 /// then the boundary work — shadow sync, FP64 SCF refresh, ionic step,
 /// potential update. The operation order is exactly the historical run
@@ -162,6 +195,11 @@ pub(crate) fn run_burst<T: LfdScalar>(
     for s in 0..burst {
         let obs = qd_step_with_policy(params, state, scratch, policy);
         if let Some(mon) = monitor.as_deref_mut() {
+            // ABFT first: a corrupted GEMM also corrupts the observables,
+            // and the downstream symptom (blowup, NaN) must not be
+            // misattributed as a precision problem — SilentCorruption
+            // retries the same mode, the health violations escalate.
+            poll_abft(obs.step)?;
             mon.check_step(&obs).map_err(|violation| {
                 dcmesh_telemetry::instant(
                     "health_violation",
@@ -207,6 +245,9 @@ pub(crate) fn run_burst<T: LfdScalar>(
     _burst_span.end_attr("shadow_drift", dcmesh_telemetry::AttrValue::F64(drift));
     result.scf_drift.push(report.defect_before);
     if let Some(mon) = monitor.as_mut() {
+        // Same ordering as the step check: checksum evidence outranks
+        // the boundary drift symptoms it may have caused.
+        poll_abft(*steps_done as u64)?;
         mon.check_boundary(report.defect_before, drift).map_err(|violation| {
             dcmesh_telemetry::instant(
                 "health_violation",
@@ -223,8 +264,7 @@ pub(crate) fn run_burst<T: LfdScalar>(
         })?;
     }
 
-    let excitation_fraction = (*last_nexc / params.n_electrons()).clamp(0.0, 1.0);
-    md.step(system, excitation_fraction);
+    md.step(system, excitation_fraction(*last_nexc, params));
     result.ion_temperature.push(md.temperature(system));
 
     // Ion motion updates the potential the electrons feel.
@@ -342,21 +382,27 @@ pub fn run_with_checkpoints_crashing<T: LfdScalar>(
     params.validate();
     std::fs::create_dir_all(dir)?;
 
-    let (mut system, mut state, mut steps_done) = match scan_and_load::<T>(dir, &params)? {
-        Some(resumed) => resumed,
-        None => fresh_start::<T>(cfg, &params)?,
-    };
+    let (mut system, mut state, mut steps_done, mut last_nexc) =
+        match scan_and_load::<T>(dir, &params)? {
+            Some(resumed) => resumed,
+            None => {
+                let (system, state, steps) = fresh_start::<T>(cfg, &params)?;
+                (system, state, steps, 0.0)
+            }
+        };
 
-    let mut md = MdIntegrator::new(
+    // Reseed the integrator's force field with the checkpointed
+    // excitation so resume is bit-exact (zero on a fresh start).
+    let mut md = MdIntegrator::resume(
         &system,
         cfg.qd_steps_per_md as f64 * cfg.dt,
         cfg.ehrenfest_softening,
+        excitation_fraction(last_nexc, &params),
     );
     let mut scratch = QdScratch::new(&params);
     let mode = mkl_lite::compute_mode();
     let mut result = RunResult::new(&cfg.label, mode, 0);
 
-    let mut last_nexc = 0.0f64;
     let mut bursts_this_invocation = 0u32;
     while steps_done < cfg.total_qd_steps {
         run_burst(
@@ -378,6 +424,7 @@ pub fn run_with_checkpoints_crashing<T: LfdScalar>(
             state: state.clone(),
             system: system.clone(),
             steps_done: steps_done as u64,
+            nexc: last_nexc,
         };
         ck.save(&dir.join(format!("dcmesh-{steps_done}.ck")))?;
 
@@ -393,10 +440,15 @@ pub fn run_with_checkpoints_crashing<T: LfdScalar>(
 /// decodes and matches the deck. Failures are quarantined (renamed to
 /// `.ck.bad`) so a corrupt newest checkpoint cannot wedge every future
 /// resume, and older checkpoints are tried in turn.
+/// A restart point as the run loops consume it: ionic state, electronic
+/// state, QD steps completed, and the boundary excitation count that
+/// reseeds the integrator's force field.
+pub(crate) type ResumePoint<T> = (AtomicSystem, LfdState<T>, usize, f64);
+
 pub(crate) fn scan_and_load<T: LfdScalar>(
     dir: &Path,
     params: &LfdParams,
-) -> Result<Option<(AtomicSystem, LfdState<T>, usize)>, RunError> {
+) -> Result<Option<ResumePoint<T>>, RunError> {
     use crate::checkpoint::Checkpoint;
 
     let mut found: Vec<(u64, std::path::PathBuf)> = Vec::new();
@@ -416,7 +468,9 @@ pub(crate) fn scan_and_load<T: LfdScalar>(
     for (_, path) in found {
         let problem = match Checkpoint::<T>::load(&path) {
             Ok(ck) => match ck.validate(params) {
-                Ok(()) => return Ok(Some((ck.system, ck.state, ck.steps_done as usize))),
+                Ok(()) => {
+                    return Ok(Some((ck.system, ck.state, ck.steps_done as usize, ck.nexc)))
+                }
                 Err(e) => e.to_string(),
             },
             Err(e) => e.to_string(),

@@ -16,7 +16,7 @@
 //!   queue/domain-<d>.claimed.rank<r> domain claimed by rank r
 //!   done/domain-<d>.json             completed domain + final observables
 //!   ck/domain-<d>/dcmesh-<step>.ck   shared v2 checkpoints (crash-atomic)
-//!   hb/rank-<r>.hb           heartbeat (seq counter, atomically renamed)
+//!   hb/rank-<r>.hb           heartbeat (atomically renamed; mtime = liveness)
 //!   hb/rank-<r>.exit         clean-completion marker
 //!   trace/events-rank<r>.jsonl       per-rank telemetry for `profile merge`
 //!   trace/events-coord.jsonl         coordinator lifecycle events
@@ -27,10 +27,16 @@
 //! Robustness is the headline:
 //!
 //! * **Dead-rank detection** is by heartbeat timeout: every worker runs a
-//!   heartbeat thread bumping a sequence counter; the coordinator declares
-//!   a rank dead when the counter stops advancing for
-//!   [`ShardConfig::heartbeat_timeout`] (a killed *or hung* process looks
-//!   the same). Process exit status alone is never trusted as liveness.
+//!   heartbeat thread atomically rewriting its heartbeat file; the
+//!   coordinator watches the file's *mtime* for change and declares a
+//!   rank dead when it stops changing for
+//!   [`ShardConfig::heartbeat_timeout`], measured on the coordinator's
+//!   own monotonic clock. Stamps are compared only against the previous
+//!   stamp — never against wall-clock time — so worker and coordinator
+//!   clocks need not agree, and a worker whose heartbeat *content* is
+//!   torn or unparsable but still being rewritten counts as alive. A
+//!   killed *or hung* process looks the same either way. Process exit
+//!   status alone is never trusted as liveness.
 //! * **Respawn with bounded retries and exponential backoff**: a dead
 //!   rank is relaunched up to [`ShardConfig::max_respawns`] times, with
 //!   `backoff_base · 2^k` (capped) between attempts. Its claimed domains
@@ -56,6 +62,7 @@
 use crate::config::RunConfig;
 use crate::runner::DCMESH_RANK_ENV;
 use crate::supervisor::{run_supervised_observed, BurstObserver, SupervisorConfig};
+use dcmesh_numerics::reduce;
 use dcmesh_telemetry::json::{self, JsonValue};
 use dcmesh_telemetry::{export, instant, metrics, sink, Attr, AttrValue};
 use mkl_lite::ComputeMode;
@@ -66,7 +73,7 @@ use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime};
 
 /// Set to `1` in a worker process's environment by the coordinator.
 /// Binaries that can serve as workers call [`maybe_run_worker`] first
@@ -78,6 +85,18 @@ pub const SHARD_DIR_ENV: &str = "DCMESH_SHARD_DIR";
 pub const SHARD_INCARNATION_ENV: &str = "DCMESH_SHARD_INCARNATION";
 /// [`RankKillPlan`] spec passed through to workers.
 pub const SHARD_KILL_ENV: &str = "DCMESH_SHARD_KILL";
+/// Optional `mkl_lite::BitFlipPlan` spec every worker installs at
+/// startup — silent-data-corruption injection for the CI chaos smoke.
+/// Workers inherit the coordinator's environment, so exporting this on
+/// the coordinator arms the whole fleet.
+pub const SHARD_BITFLIP_ENV: &str = "DCMESH_BITFLIP";
+/// Optional ABFT sampling period ([`SupervisorConfig::abft_check_period`])
+/// applied in every worker's supervisor; unset, empty or `0` = off.
+pub const SHARD_ABFT_ENV: &str = "DCMESH_ABFT_PERIOD";
+/// Optional replay-verification cadence
+/// ([`SupervisorConfig::verify_bursts`]) applied in every worker's
+/// supervisor; unset, empty or `0` = off.
+pub const SHARD_VERIFY_ENV: &str = "DCMESH_VERIFY_BURSTS";
 
 /// Exit code of a worker dying to an injected [`RankKillPlan`] kill —
 /// distinguishable in logs from a clean exit or a panic.
@@ -608,6 +627,12 @@ fn req_env(key: &str) -> Result<String, ShardError> {
     std::env::var(key).map_err(|_| ShardError::Worker(format!("missing environment {key}")))
 }
 
+/// An optional positive-integer knob from the environment (absent,
+/// empty, unparsable, or zero all mean "off").
+fn env_period(key: &str) -> Option<u64> {
+    std::env::var(key).ok()?.trim().parse::<u64>().ok().filter(|&v| v > 0)
+}
+
 fn worker_main_from_env() -> Result<(), ShardError> {
     let run_dir = PathBuf::from(req_env(SHARD_DIR_ENV)?);
     let rank: usize = req_env(DCMESH_RANK_ENV)?
@@ -682,6 +707,16 @@ pub fn worker_main(
             "rank {rank} out of range for a {}-rank fleet",
             m.ranks
         )));
+    }
+    // CI chaos smoke: a BitFlipPlan spec in the environment arms the GEMM
+    // bit-flip injector in this worker; the supervisor's ABFT sampling and
+    // rollback must then recover to the same bits as a clean fleet.
+    if let Ok(spec) = std::env::var(SHARD_BITFLIP_ENV) {
+        if !spec.trim().is_empty() {
+            let plan = mkl_lite::BitFlipPlan::parse(&spec)
+                .map_err(|e| ShardError::Worker(format!("bad {SHARD_BITFLIP_ENV}: {e}")))?;
+            mkl_lite::install_bit_flip_plan(&plan);
+        }
     }
     let hb = Arc::new(HbState {
         seq: AtomicU64::new(0),
@@ -785,6 +820,8 @@ fn run_domain(
     let sup = SupervisorConfig {
         checkpoint_dir: Some(ck_dir(run, domain)),
         deescalate_after: m.deescalate_after,
+        abft_check_period: env_period(SHARD_ABFT_ENV),
+        verify_bursts: env_period(SHARD_VERIFY_ENV),
         ..SupervisorConfig::default()
     };
     hb.domain.store(domain as u64, Ordering::Relaxed);
@@ -807,12 +844,15 @@ fn run_domain(
                 "{{\"domain\":{domain},\"status\":\"ok\",\"rank\":{rank},\
                  \"incarnation\":{incarnation},\"resumed_from_step\":{resumed},\
                  \"final_step\":{},\"ekin_bits\":{},\"nexc_bits\":{},\"etot_bits\":{},\
-                 \"escalations\":{},\"final_mode\":{},\"label\":{}}}",
+                 \"escalations\":{},\"sdc_recoveries\":{},\"lowdin_fallbacks\":{},\
+                 \"final_mode\":{},\"label\":{}}}",
                 last.map(|o| o.step).unwrap_or(0),
                 bits_hex(last.map(|o| o.ekin).unwrap_or(0.0)),
                 bits_hex(last.map(|o| o.nexc).unwrap_or(0.0)),
                 bits_hex(last.map(|o| o.etot).unwrap_or(0.0)),
                 run_out.escalations.len(),
+                run_out.sdc_recoveries,
+                run_out.lowdin_fallbacks,
                 json::escape_string(run_out.final_mode.env_value().unwrap_or("STANDARD")),
                 json::escape_string(&run_out.result.label),
             )
@@ -860,7 +900,17 @@ fn export_worker_trace(run: &Path, rank: usize) -> Result<(), std::io::Error> {
 
 /// Per-rank coordinator-side state machine.
 enum RankState {
-    Running { child: Child, incarnation: u32, last_seq: u64, last_change: Instant },
+    Running {
+        child: Child,
+        incarnation: u32,
+        /// Heartbeat-file mtime at the last observed *change* (`None`
+        /// until the file is first seen). Only ever compared against the
+        /// next observation — never against wall-clock time.
+        last_stamp: Option<SystemTime>,
+        /// Coordinator-local monotonic instant of that change; the
+        /// timeout is measured from here.
+        last_change: Instant,
+    },
     Backoff { incarnation: u32, until: Instant },
     Finished,
     Degraded,
@@ -892,6 +942,12 @@ pub struct DomainOutcome {
     pub etot_bits: u64,
     /// Escalations the per-rank supervisor performed on this domain.
     pub escalations: u64,
+    /// Silent-data-corruption rollbacks (ABFT checksum violations or
+    /// replay mismatches) the supervisor recovered from on this domain.
+    pub sdc_recoveries: u64,
+    /// Löwdin→Gram-Schmidt orthonormalisation fallbacks during the
+    /// domain run — previously discarded silently, now surfaced.
+    pub lowdin_fallbacks: u64,
     /// Error text for failed domains.
     pub error: Option<String>,
 }
@@ -925,7 +981,29 @@ pub struct ShardReport {
     pub elapsed: Duration,
 }
 
+/// Cross-rank deterministic merge of one per-domain observable: the
+/// domains' final values combined through the fixed-shape reduction tree
+/// **in domain-id order**. The tree's shape depends only on the domain
+/// count — never on which ranks produced the outcomes, how many ranks
+/// survived, or in what order domains finished — so a degraded 2-rank
+/// fleet merges to exactly the same bits as a healthy 4-rank one.
+/// Failed domains contribute their zeroed bit pattern (+0.0).
+fn merge_domain_bits(domains: &[DomainOutcome], field: fn(&DomainOutcome) -> u64) -> u64 {
+    debug_assert!(domains.windows(2).all(|w| w[0].domain < w[1].domain));
+    reduce::sum_with(domains.len(), |i| f64::from_bits(field(&domains[i]))).to_bits()
+}
+
 impl ShardReport {
+    /// The fleet-level merged observables `(ekin, nexc, etot)` as bit
+    /// patterns — see [`merge_domain_bits`]. Derived from the domain
+    /// outcomes, so a parsed report agrees with the one that was written.
+    pub fn merged_bits(&self) -> (u64, u64, u64) {
+        (
+            merge_domain_bits(&self.domains, |d| d.ekin_bits),
+            merge_domain_bits(&self.domains, |d| d.nexc_bits),
+            merge_domain_bits(&self.domains, |d| d.etot_bits),
+        )
+    }
     /// Domains whose supervised run failed (not rank deaths — those are
     /// recovered; these are numeric/IO failures reported by the worker).
     pub fn failed_domains(&self) -> Vec<usize> {
@@ -948,7 +1026,8 @@ impl ShardReport {
                 format!(
                     "{{\"domain\":{},\"ok\":{},\"rank\":{},\"incarnation\":{},\
                      \"resumed_from_step\":{resumed},\"final_step\":{},\"ekin_bits\":{},\
-                     \"nexc_bits\":{},\"etot_bits\":{},\"escalations\":{},\"error\":{error}}}",
+                     \"nexc_bits\":{},\"etot_bits\":{},\"escalations\":{},\
+                     \"sdc_recoveries\":{},\"lowdin_fallbacks\":{},\"error\":{error}}}",
                     d.domain,
                     d.ok,
                     d.rank,
@@ -958,6 +1037,8 @@ impl ShardReport {
                     bits_hex(f64::from_bits(d.nexc_bits)),
                     bits_hex(f64::from_bits(d.etot_bits)),
                     d.escalations,
+                    d.sdc_recoveries,
+                    d.lowdin_fallbacks,
                 )
             })
             .collect();
@@ -971,14 +1052,20 @@ impl ShardReport {
                 )
             })
             .collect();
+        let (me, mn, mt) = self.merged_bits();
         format!(
             "{{\"completed\":{},\"heartbeat_misses\":{},\"restarts\":{},\
-             \"degraded_ranks\":[{}],\"elapsed_ms\":{},\"domains\":[{}],\"ranks\":[{}]}}",
+             \"degraded_ranks\":[{}],\"elapsed_ms\":{},\
+             \"merged_ekin_bits\":{},\"merged_nexc_bits\":{},\"merged_etot_bits\":{},\
+             \"domains\":[{}],\"ranks\":[{}]}}",
             self.failed_domains().is_empty(),
             self.heartbeat_misses,
             self.restarts,
             self.degraded_ranks.iter().map(ToString::to_string).collect::<Vec<_>>().join(","),
             self.elapsed.as_millis(),
+            bits_hex(f64::from_bits(me)),
+            bits_hex(f64::from_bits(mn)),
+            bits_hex(f64::from_bits(mt)),
             domains.join(","),
             ranks.join(","),
         )
@@ -1005,6 +1092,8 @@ impl ShardReport {
                 nexc_bits: parse_bits_hex(d.get("nexc_bits")).unwrap_or(0),
                 etot_bits: parse_bits_hex(d.get("etot_bits")).unwrap_or(0),
                 escalations: num(d.get("escalations")),
+                sdc_recoveries: num(d.get("sdc_recoveries")),
+                lowdin_fallbacks: num(d.get("lowdin_fallbacks")),
                 error: d.get("error").and_then(JsonValue::as_str).map(String::from),
             });
         }
@@ -1048,13 +1137,16 @@ fn spawn_worker(cfg: &ShardConfig, rank: usize, incarnation: u32) -> Result<Chil
         .spawn()
 }
 
-/// Reads a heartbeat file's sequence counter (0 when absent/torn).
-fn read_hb_seq(run: &Path, rank: usize) -> u64 {
-    fs::read_to_string(hb_path(run, rank))
-        .ok()
-        .and_then(|t| json::parse(&t).ok())
-        .and_then(|d| d.get("seq").and_then(JsonValue::as_f64))
-        .unwrap_or(0.0) as u64
+/// Reads a heartbeat file's modification stamp (`None` when absent).
+/// Liveness is *mtime-change detection*: each atomic rewrite of the
+/// heartbeat bumps the mtime, so a stamp different from the last one
+/// observed means the worker made progress — even if the file content is
+/// torn or unparsable. The stamp is never compared against the
+/// coordinator's wall clock (filesystem and coordinator clocks need not
+/// agree); staleness is judged by the coordinator-local monotonic delta
+/// since the last observed change.
+fn read_hb_stamp(run: &Path, rank: usize) -> Option<SystemTime> {
+    fs::metadata(hb_path(run, rank)).and_then(|m| m.modified()).ok()
 }
 
 /// Returns the dead rank's claimed domains to the open queue (used on
@@ -1199,7 +1291,7 @@ pub fn run_coordinator(cfg: &ShardConfig) -> Result<ShardReport, ShardError> {
         let mut any_alive = false;
         for rank in 0..cfg.ranks {
             match &mut slots[rank] {
-                RankState::Running { child, incarnation, last_seq, last_change } => {
+                RankState::Running { child, incarnation, last_stamp, last_change } => {
                     // Clean completion: the exit marker is written before
                     // the process exits, so marker + reaped child is
                     // unambiguous. Death detection itself never trusts
@@ -1212,9 +1304,9 @@ pub fn run_coordinator(cfg: &ShardConfig) -> Result<ShardReport, ShardError> {
                         slots[rank] = RankState::Finished;
                         continue;
                     }
-                    let seq = read_hb_seq(run, rank);
-                    if seq != *last_seq {
-                        *last_seq = seq;
+                    let stamp = read_hb_stamp(run, rank);
+                    if stamp != *last_stamp {
+                        *last_stamp = stamp;
                         *last_change = Instant::now();
                     } else if last_change.elapsed() > cfg.heartbeat_timeout {
                         // Dead (or wedged): declared via heartbeat
@@ -1315,7 +1407,7 @@ fn spawn_slot(
             Ok(RankState::Running {
                 child,
                 incarnation,
-                last_seq: 0,
+                last_stamp: None,
                 last_change: Instant::now(),
             })
         }
@@ -1392,6 +1484,8 @@ fn finalize(
                     nexc_bits: parse_bits_hex(doc.get("nexc_bits")).unwrap_or(0),
                     etot_bits: parse_bits_hex(doc.get("etot_bits")).unwrap_or(0),
                     escalations: num(doc.get("escalations")),
+                    sdc_recoveries: num(doc.get("sdc_recoveries")),
+                    lowdin_fallbacks: num(doc.get("lowdin_fallbacks")),
                     error: doc.get("error").and_then(JsonValue::as_str).map(String::from),
                 });
             }
@@ -1406,6 +1500,8 @@ fn finalize(
                 nexc_bits: 0,
                 etot_bits: 0,
                 escalations: 0,
+                sdc_recoveries: 0,
+                lowdin_fallbacks: 0,
                 error: Some("done file missing or unparsable".into()),
             }),
         }
@@ -1570,6 +1666,8 @@ mod tests {
                 nexc_bits: f64::to_bits(-0.0),
                 etot_bits: u64::MAX,
                 escalations: 1,
+                sdc_recoveries: 2,
+                lowdin_fallbacks: 3,
                 error: None,
             }],
             ranks: vec![RankSummary { rank: 0, incarnations: 1, degraded: false }],
@@ -1584,9 +1682,49 @@ mod tests {
         assert_eq!(d.nexc_bits, f64::to_bits(-0.0));
         assert_eq!(d.etot_bits, u64::MAX, "NaN patterns survive the hex encoding");
         assert_eq!(d.resumed_from_step, Some(20));
+        assert_eq!(d.sdc_recoveries, 2);
+        assert_eq!(d.lowdin_fallbacks, 3);
         assert_eq!(back.restarts, 2);
         assert_eq!(back.degraded_ranks, vec![3]);
         assert!(back.failed_domains().is_empty());
+        assert_eq!(back.merged_bits(), report.merged_bits(), "merge survives the roundtrip");
+    }
+
+    #[test]
+    fn merged_bits_depend_only_on_domain_observables() {
+        let outcome = |domain: usize, rank: usize, v: f64| DomainOutcome {
+            domain,
+            ok: true,
+            rank,
+            incarnation: rank as u32,
+            resumed_from_step: None,
+            final_step: 60,
+            ekin_bits: v.to_bits(),
+            nexc_bits: (v * 0.25).to_bits(),
+            etot_bits: (-v).to_bits(),
+            escalations: 0,
+            sdc_recoveries: 0,
+            lowdin_fallbacks: 0,
+            error: None,
+        };
+        let vals: Vec<f64> = (0..6).map(|i| 0.1 + (i as f64) * 0.7).collect();
+        // A healthy fleet: each domain done by its own rank...
+        let healthy: Vec<_> =
+            vals.iter().enumerate().map(|(d, &v)| outcome(d, d % 4, v)).collect();
+        // ...and a degraded fleet where two survivors finished everything
+        // (different ranks/incarnations, same observables).
+        let degraded: Vec<_> =
+            vals.iter().enumerate().map(|(d, &v)| outcome(d, d % 2, v)).collect();
+        let m = |d: &[DomainOutcome]| {
+            (
+                merge_domain_bits(d, |o| o.ekin_bits),
+                merge_domain_bits(d, |o| o.nexc_bits),
+                merge_domain_bits(d, |o| o.etot_bits),
+            )
+        };
+        assert_eq!(m(&healthy), m(&degraded), "merge must ignore which rank did the work");
+        // The merge is the fixed-shape tree over domain-id order.
+        assert_eq!(m(&healthy).0, reduce::sum_f64(&vals).to_bits());
     }
 
     #[test]

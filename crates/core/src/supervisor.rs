@@ -22,7 +22,9 @@ use crate::checkpoint::Checkpoint;
 use crate::config::RunConfig;
 use crate::error::RunError;
 use crate::health::{HealthConfig, HealthMonitor, HealthViolation};
-use crate::runner::{fresh_start, run_burst, scan_and_load, ResultMark, RunResult};
+use crate::runner::{
+    excitation_fraction, fresh_start, run_burst, scan_and_load, ResultMark, RunResult,
+};
 use dcmesh_lfd::nonlocal::LfdScalar;
 use dcmesh_lfd::policy::PrecisionPolicy;
 use dcmesh_lfd::propagator::QdScratch;
@@ -61,6 +63,29 @@ pub fn deescalation_counter() -> &'static Arc<dcmesh_telemetry::metrics::Counter
         dcmesh_telemetry::metrics::counter(
             "supervisor_deescalations_total",
             "precision de-escalations performed by the supervisor",
+        )
+    })
+}
+
+/// Silent-data-corruption recoveries (same-mode rollbacks) performed
+/// across all supervised runs in this process.
+pub fn sdc_recovery_counter() -> &'static Arc<dcmesh_telemetry::metrics::Counter> {
+    static C: OnceLock<Arc<dcmesh_telemetry::metrics::Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        dcmesh_telemetry::metrics::counter(
+            "supervisor_sdc_recoveries_total",
+            "same-mode rollbacks after detected silent data corruption",
+        )
+    })
+}
+
+/// Burst replays performed by the `verify_bursts` sampler.
+pub fn burst_verification_counter() -> &'static Arc<dcmesh_telemetry::metrics::Counter> {
+    static C: OnceLock<Arc<dcmesh_telemetry::metrics::Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        dcmesh_telemetry::metrics::counter(
+            "supervisor_burst_verifications_total",
+            "bursts replayed from snapshot and bit-compared by verify_bursts",
         )
     })
 }
@@ -104,6 +129,21 @@ pub struct SupervisorConfig {
     /// re-escalated by the ordinary machinery. `None` (the default)
     /// keeps escalation sticky, the conservative paper-faithful policy.
     pub deescalate_after: Option<u32>,
+    /// Silent-data-corruption defense, part 1: `Some(n)` installs ABFT
+    /// row-checksum verification on every `n`-th GEMM call for the
+    /// duration of the run (an O(n²) check of O(n³) work, see
+    /// [`mkl_lite::abft`]). A checksum violation surfaces as
+    /// [`HealthViolation::SilentCorruption`]: the supervisor rolls the
+    /// burst back and retries at the **same** mode — corruption is
+    /// transient, not a precision problem. `None` (default) disables.
+    pub abft_check_period: Option<u64>,
+    /// Silent-data-corruption defense, part 2: `Some(n)` replays every
+    /// `n`-th clean burst from its pre-burst snapshot and bit-compares
+    /// the resulting state. A mismatch means one of the two executions
+    /// was corrupted (this catches flips *below* the ABFT rounding
+    /// bound); it is handled exactly like a checksum violation. `None`
+    /// (default) disables.
+    pub verify_bursts: Option<u64>,
 }
 
 impl Default for SupervisorConfig {
@@ -114,6 +154,8 @@ impl Default for SupervisorConfig {
             max_retries_per_burst: ComputeMode::ESCALATION_LADDER.len() as u32,
             checkpoint_dir: None,
             deescalate_after: None,
+            abft_check_period: None,
+            verify_bursts: None,
         }
     }
 }
@@ -190,6 +232,15 @@ pub struct SupervisedRun {
     /// or `None` for a fresh start. Shard workers report this so a
     /// recovered rank can prove it replayed from the shared checkpoint.
     pub resumed_from_step: Option<u64>,
+    /// Same-mode rollbacks after detected silent data corruption (ABFT
+    /// checksum violations and `verify_bursts` replay mismatches).
+    pub sdc_recoveries: u64,
+    /// Eigensolver blocks whose Löwdin orthonormalisation collapsed and
+    /// fell back to modified Gram–Schmidt during this run (counter delta
+    /// of `orth_lowdin_fallbacks_total`). Nonzero values mean the
+    /// orthonormality the SCF refresh reports was maintained by the
+    /// fallback path — worth knowing when reading the drift columns.
+    pub lowdin_fallbacks: u64,
 }
 
 /// Hooks a caller can attach to the supervised burst loop. The shard
@@ -240,6 +291,26 @@ pub fn run_supervised_observed<T: LfdScalar>(
     let params = cfg.lfd_params();
     params.validate();
 
+    // SDC defense: sampled GEMM checksums for the duration of the run.
+    // The guard clears the process-global installation on every exit
+    // path so an error return cannot leak checks into later runs.
+    struct AbftGuard(bool);
+    impl Drop for AbftGuard {
+        fn drop(&mut self) {
+            if self.0 {
+                mkl_lite::clear_abft();
+            }
+        }
+    }
+    let _abft_guard = match sup.abft_check_period {
+        Some(period) => {
+            mkl_lite::install_abft(period.max(1));
+            AbftGuard(true)
+        }
+        None => AbftGuard(false),
+    };
+    let lowdin_base = dcmesh_lfd::eigensolve::lowdin_fallback_counter().get();
+
     if let Some(dir) = &sup.checkpoint_dir {
         std::fs::create_dir_all(dir)?;
     }
@@ -247,14 +318,24 @@ pub fn run_supervised_observed<T: LfdScalar>(
         Some(dir) => scan_and_load::<T>(dir, &params)?,
         None => None,
     };
-    let resumed_from_step = resumed.as_ref().map(|(_, _, steps)| *steps as u64);
-    let (mut system, mut state, mut steps_done) = match resumed {
+    let resumed_from_step = resumed.as_ref().map(|(_, _, steps, _)| *steps as u64);
+    let (mut system, mut state, mut steps_done, mut last_nexc) = match resumed {
         Some(r) => r,
-        None => fresh_start::<T>(cfg, &params)?,
+        None => {
+            let (system, state, steps) = fresh_start::<T>(cfg, &params)?;
+            (system, state, steps, 0.0)
+        }
     };
 
     let md_dt = cfg.qd_steps_per_md as f64 * cfg.dt;
-    let mut md = MdIntegrator::new(&system, md_dt, cfg.ehrenfest_softening);
+    // Seed the integrator's force field with the (checkpointed)
+    // excitation so a resumed run is bit-exact; zero on a fresh start.
+    let mut md = MdIntegrator::resume(
+        &system,
+        md_dt,
+        cfg.ehrenfest_softening,
+        excitation_fraction(last_nexc, &params),
+    );
     let mut scratch = QdScratch::new(&params);
 
     let policy = PrecisionPolicy::Ambient;
@@ -267,7 +348,7 @@ pub fn run_supervised_observed<T: LfdScalar>(
     // Per-burst SCF defects observed since the last rollback or mode
     // change — the window the de-escalation trend check reads.
     let mut clean_defects: Vec<f64> = Vec::new();
-    let mut last_nexc = 0.0f64;
+    let mut sdc_recoveries = 0u64;
 
     while steps_done < cfg.total_qd_steps {
         let burst_index = (steps_done / cfg.qd_steps_per_md.max(1)) as u64;
@@ -297,18 +378,48 @@ pub fn run_supervised_observed<T: LfdScalar>(
                     Some(&mut monitor),
                 )
             });
+            // SDC defense, part 2: replay sampled clean bursts from the
+            // snapshot and demand identical bits.
+            let burst_out = burst_out.and_then(|()| {
+                let sampled = sup
+                    .verify_bursts
+                    .is_some_and(|every| every > 0 && burst_index.is_multiple_of(every));
+                if !sampled {
+                    return Ok(());
+                }
+                verify_burst_replay(
+                    cfg,
+                    &params,
+                    &policy,
+                    current,
+                    md_dt,
+                    &snap_state,
+                    &snap_system,
+                    snap_steps,
+                    snap_nexc,
+                    &state,
+                    &system,
+                    &mut scratch,
+                )
+            });
             match burst_out {
                 Ok(()) => break,
                 Err(RunError::Diverged { step, mode, violation }) => {
                     // Roll the burst back to the snapshot. Rebuilding
-                    // the integrator from the restored system is the
-                    // checkpoint resume path, which is bit-exact.
+                    // the integrator from the restored system — seeded
+                    // with the snapshot excitation — is the checkpoint
+                    // resume path, which is bit-exact.
                     state = snap_state.clone();
                     system = snap_system.clone();
                     steps_done = snap_steps;
                     last_nexc = snap_nexc;
                     mark.restore(&mut result);
-                    md = MdIntegrator::new(&system, md_dt, cfg.ehrenfest_softening);
+                    md = MdIntegrator::resume(
+                        &system,
+                        md_dt,
+                        cfg.ehrenfest_softening,
+                        excitation_fraction(snap_nexc, &params),
+                    );
                     monitor.reset();
                     clean_defects.clear();
                     rollback_counter().inc();
@@ -321,6 +432,43 @@ pub fn run_supervised_observed<T: LfdScalar>(
                     );
 
                     attempt += 1;
+                    // Silent corruption is transient, not a precision
+                    // problem: retry the burst at the *same* mode. The
+                    // GEMM call counter is never reset, so a one-shot
+                    // injected flip does not re-fire on the retry — the
+                    // recovered burst is bit-identical to a clean run.
+                    if matches!(violation, HealthViolation::SilentCorruption { .. }) {
+                        sdc_recoveries += 1;
+                        sdc_recovery_counter().inc();
+                        dcmesh_telemetry::instant(
+                            "sdc_rollback",
+                            vec![
+                                dcmesh_telemetry::Attr {
+                                    key: "step",
+                                    value: dcmesh_telemetry::AttrValue::U64(step),
+                                },
+                                dcmesh_telemetry::Attr {
+                                    key: "detail",
+                                    value: dcmesh_telemetry::AttrValue::Text(
+                                        violation.to_string(),
+                                    ),
+                                },
+                                dcmesh_telemetry::Attr {
+                                    key: "attempt",
+                                    value: dcmesh_telemetry::AttrValue::U64(attempt as u64),
+                                },
+                            ],
+                        );
+                        if attempt > sup.max_retries_per_burst {
+                            return Err(RunError::EscalationExhausted {
+                                step,
+                                mode,
+                                violation,
+                                attempts: attempt,
+                            });
+                        }
+                        continue;
+                    }
                     let next = sup
                         .ladder
                         .iter()
@@ -424,6 +572,7 @@ pub fn run_supervised_observed<T: LfdScalar>(
                 state: state.clone(),
                 system: system.clone(),
                 steps_done: steps_done as u64,
+                nexc: last_nexc,
             };
             ck.save(&dir.join(format!("dcmesh-{steps_done}.ck")))?;
             dcmesh_telemetry::instant(
@@ -437,7 +586,134 @@ pub fn run_supervised_observed<T: LfdScalar>(
         observer.burst_committed(burst_index, steps_done as u64);
     }
 
-    Ok(SupervisedRun { result, escalations, deescalations, final_mode: current, resumed_from_step })
+    Ok(SupervisedRun {
+        result,
+        escalations,
+        deescalations,
+        final_mode: current,
+        resumed_from_step,
+        sdc_recoveries,
+        lowdin_fallbacks: dcmesh_lfd::eigensolve::lowdin_fallback_counter()
+            .get()
+            .saturating_sub(lowdin_base),
+    })
+}
+
+/// Replays a just-completed burst from its pre-burst snapshot and
+/// bit-compares the resulting electronic and ionic state against the
+/// primary execution. The replay rebuilds its integrator from the
+/// snapshot system — the checkpoint resume path, which is bit-exact — so
+/// any difference means one of the two executions was silently
+/// corrupted.
+#[allow(clippy::too_many_arguments)]
+fn verify_burst_replay<T: LfdScalar>(
+    cfg: &RunConfig,
+    params: &dcmesh_lfd::LfdParams,
+    policy: &PrecisionPolicy,
+    mode: ComputeMode,
+    md_dt: f64,
+    snap_state: &dcmesh_lfd::LfdState<T>,
+    snap_system: &dcmesh_qxmd::AtomicSystem,
+    snap_steps: usize,
+    snap_nexc: f64,
+    state: &dcmesh_lfd::LfdState<T>,
+    system: &dcmesh_qxmd::AtomicSystem,
+    scratch: &mut QdScratch<T>,
+) -> Result<(), RunError> {
+    burst_verification_counter().inc();
+    let mut v_state = snap_state.clone();
+    let mut v_system = snap_system.clone();
+    let mut v_steps = snap_steps;
+    let mut v_nexc = snap_nexc;
+    let mut v_md = MdIntegrator::resume(
+        &v_system,
+        md_dt,
+        cfg.ehrenfest_softening,
+        excitation_fraction(snap_nexc, params),
+    );
+    let mut v_result = RunResult::new(&cfg.label, mode, 0);
+    with_compute_mode(mode, || {
+        run_burst(
+            cfg,
+            params,
+            policy,
+            &mut v_system,
+            &mut v_state,
+            &mut v_md,
+            scratch,
+            &mut v_steps,
+            &mut v_nexc,
+            &mut v_result,
+            None,
+        )
+    })?;
+    // A checksum violation during the (unmonitored) replay must not
+    // linger into the next monitored step.
+    let detail = if let Some(v) = mkl_lite::take_abft_violation() {
+        Some(format!("burst replay tripped the GEMM checksum: {v}"))
+    } else {
+        replay_mismatch(state, system, &v_state, &v_system)
+    };
+    if let Some(detail) = detail {
+        dcmesh_telemetry::instant(
+            "verify_burst_mismatch",
+            vec![
+                dcmesh_telemetry::Attr {
+                    key: "step",
+                    value: dcmesh_telemetry::AttrValue::U64(v_steps as u64),
+                },
+                dcmesh_telemetry::Attr {
+                    key: "detail",
+                    value: dcmesh_telemetry::AttrValue::Text(detail.clone()),
+                },
+            ],
+        );
+        return Err(RunError::Diverged {
+            step: v_steps as u64,
+            mode,
+            violation: HealthViolation::SilentCorruption { detail },
+        });
+    }
+    Ok(())
+}
+
+/// Bit-compares the evolving state of the primary execution against the
+/// replay: wave function, ionic positions and velocities. (Occupations,
+/// reference spectrum and the local potential are derived from these.)
+fn replay_mismatch<T: LfdScalar>(
+    state: &dcmesh_lfd::LfdState<T>,
+    system: &dcmesh_qxmd::AtomicSystem,
+    v_state: &dcmesh_lfd::LfdState<T>,
+    v_system: &dcmesh_qxmd::AtomicSystem,
+) -> Option<String> {
+    for (i, (a, b)) in state.psi.iter().zip(&v_state.psi).enumerate() {
+        if a.re.to_f64().to_bits() != b.re.to_f64().to_bits()
+            || a.im.to_f64().to_bits() != b.im.to_f64().to_bits()
+        {
+            return Some(format!(
+                "burst replay produced different bits at psi[{i}]: \
+                 primary ({:e}, {:e}) vs replay ({:e}, {:e})",
+                a.re.to_f64(),
+                a.im.to_f64(),
+                b.re.to_f64(),
+                b.im.to_f64()
+            ));
+        }
+    }
+    for (name, prim, rep) in [
+        ("position", &system.positions, &v_system.positions),
+        ("velocity", &system.velocities, &v_system.velocities),
+    ] {
+        for (i, (a, b)) in prim.iter().zip(rep.iter()).enumerate() {
+            if a.to_bits() != b.to_bits() {
+                return Some(format!(
+                    "burst replay produced different bits at {name}[{i}]: \
+                     primary {a:e} vs replay {b:e}"
+                ));
+            }
+        }
+    }
+    None
 }
 
 /// Decides whether the supervisor should step down one ladder rung after

@@ -51,7 +51,8 @@ proptest! {
             induced_coupling: 0.0,
         };
         let state = LfdState::<f32>::initialize(&p, cosine_potential(&p.mesh, 0.1));
-        let ck = Checkpoint { state, system: dcmesh_qxmd::pto_supercell(1), steps_done: 0 };
+        let ck =
+            Checkpoint { state, system: dcmesh_qxmd::pto_supercell(1), steps_done: 0, nexc: 0.0 };
         let mut raw = ck.encode().to_vec();
         if flip_byte < raw.len() {
             raw[flip_byte] ^= 1 << flip_bit;

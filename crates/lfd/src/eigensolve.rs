@@ -25,7 +25,9 @@ use crate::mesh::Mesh3;
 use dcmesh_linalg::hermitian::eigh;
 use dcmesh_linalg::orth::{lowdin_orthonormalize, modified_gram_schmidt};
 use dcmesh_numerics::{c64, C64};
+use dcmesh_telemetry::metrics;
 use mkl_lite::{zgemm, Op};
+use std::sync::{Arc, OnceLock};
 
 /// Result of an eigensolve.
 #[derive(Clone, Debug)]
@@ -164,14 +166,40 @@ pub fn lowest_eigenpairs(
     EigenSolution { eigenvalues: prev, states: x, residual, iterations }
 }
 
+/// Times the Löwdin orthonormalisation of a CheFSI filter block found a
+/// collapsed overlap and fell back to modified Gram–Schmidt. The
+/// fallback is benign for convergence (the next filter pass repopulates
+/// zeroed columns) but each occurrence is evidence of a rank-deficient
+/// block, so it must be visible in run summaries instead of silently
+/// swallowed.
+pub fn lowdin_fallback_counter() -> &'static Arc<metrics::Counter> {
+    static C: OnceLock<Arc<metrics::Counter>> = OnceLock::new();
+    C.get_or_init(|| {
+        metrics::counter(
+            "orth_lowdin_fallbacks_total",
+            "eigensolver blocks whose Löwdin orthonormalisation collapsed and fell back to MGS",
+        )
+    })
+}
+
 /// Löwdin-orthonormalises the filter block, falling back to modified
 /// Gram–Schmidt when the overlap matrix has collapsed. The Chebyshev
 /// filter amplifies the wanted subspace so aggressively that a block can
 /// go numerically rank-deficient mid-iteration; unlike the SCF refresh
 /// (where a singular overlap is a health violation), here MGS simply
 /// zeroes the dependent columns and the next filter pass repopulates them.
+/// The discarded Löwdin error is recorded — counter plus telemetry
+/// instant — so run summaries can surface how often it happened.
 fn orthonormalize_block(x: &mut [C64], ngrid: usize, n_states: usize) {
-    if lowdin_orthonormalize(x, ngrid, n_states).is_err() {
+    if let Err(e) = lowdin_orthonormalize(x, ngrid, n_states) {
+        lowdin_fallback_counter().inc();
+        dcmesh_telemetry::instant(
+            "orth_lowdin_fallback",
+            vec![dcmesh_telemetry::Attr {
+                key: "error",
+                value: dcmesh_telemetry::AttrValue::Text(e.to_string()),
+            }],
+        );
         modified_gram_schmidt(x, ngrid, n_states, 1e-14);
     }
 }

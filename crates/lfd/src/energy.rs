@@ -13,7 +13,7 @@ use crate::hamiltonian::apply_kinetic;
 use crate::nonlocal::{projector_weight, LfdScalar};
 use crate::policy::{CallSite, PrecisionPolicy};
 use crate::state::{LfdParams, LfdState};
-use dcmesh_numerics::Complex;
+use dcmesh_numerics::{reduce, Complex};
 use mkl_lite::Op;
 
 /// Energy breakdown for one QD step.
@@ -80,10 +80,8 @@ pub fn calc_energy_with_policy<T: LfdScalar>(
         &mut m,
         n_orb,
     ));
-    let mut ekin = 0.0f64;
-    for o in 0..n_orb {
-        ekin += state.occ[o].to_f64() * m[o * n_orb + o].re.to_f64();
-    }
+    let ekin =
+        reduce::sum_with(n_orb, |o| state.occ[o].to_f64() * m[o * n_orb + o].re.to_f64());
 
     // BLAS (subspace): E_nl matrix = C†·(W·C) with W the projector
     // weights; diag gives the per-orbital nonlocal energies.
@@ -110,10 +108,8 @@ pub fn calc_energy_with_policy<T: LfdScalar>(
         &mut enl_m,
         n_orb,
     ));
-    let mut enl = 0.0f64;
-    for o in 0..n_orb {
-        enl += state.occ[o].to_f64() * enl_m[o * n_orb + o].re.to_f64();
-    }
+    let enl =
+        reduce::sum_with(n_orb, |o| state.occ[o].to_f64() * enl_m[o * n_orb + o].re.to_f64());
 
     // BLAS (subspace): excitation-energy transform E = P†·(diag(ε)·P);
     // the weighted diagonal measures the energy of the propagated state
@@ -141,29 +137,26 @@ pub fn calc_energy_with_policy<T: LfdScalar>(
         &mut exc_m,
         n_orb,
     ));
-    let mut eexc = 0.0f64;
-    for o in 0..n_orb {
-        let f = state.occ[o].to_f64();
-        eexc += f * (exc_m[o * n_orb + o].re.to_f64() - state.eps[o]);
-    }
+    let eexc = reduce::sum_with(n_orb, |o| {
+        state.occ[o].to_f64() * (exc_m[o * n_orb + o].re.to_f64() - state.eps[o])
+    });
 
     // Mesh reduction: E_pot = Σ_g V(g)·ρ(g)·ΔV (identical in all modes).
-    let mut epot = 0.0f64;
-    for g in 0..ngrid {
-        let v = state.vloc[g].to_f64();
-        if v == 0.0 {
-            continue;
-        }
-        let mut rho = 0.0f64;
-        for o in 0..n_orb {
-            let f = state.occ[o].to_f64();
-            if f != 0.0 {
-                rho += f * state.psi[g * n_orb + o].norm_sqr().to_f64();
+    let epot = dv
+        * reduce::sum_with(ngrid, |g| {
+            let v = state.vloc[g].to_f64();
+            if v == 0.0 {
+                return 0.0;
             }
-        }
-        epot += v * rho;
-    }
-    epot *= dv;
+            let mut rho = 0.0f64;
+            for o in 0..n_orb {
+                let f = state.occ[o].to_f64();
+                if f != 0.0 {
+                    rho += f * state.psi[g * n_orb + o].norm_sqr().to_f64();
+                }
+            }
+            v * rho
+        });
 
     Energies { ekin, epot, enl, etot: ekin + epot + enl, eexc }
 }

@@ -13,8 +13,7 @@
 use crate::hamiltonian::{C1, RADIUS};
 use crate::mesh::Mesh3;
 use crate::state::{LfdParams, LfdState};
-use dcmesh_numerics::Real;
-use rayon::prelude::*;
+use dcmesh_numerics::{reduce, Real};
 
 /// Average current density along z (a.u.), including the diamagnetic
 /// `A·n/Ω` term.
@@ -26,39 +25,38 @@ pub fn current_density<T: Real>(params: &LfdParams, state: &LfdState<T>, a_total
     let psi = &state.psi;
     let occ: Vec<f64> = state.occ.iter().map(|f| f.to_f64()).collect();
 
-    // Paramagnetic term: Σ f·Im(ψ* ∂z ψ), accumulated in f64.
-    let para: f64 = (0..nx)
-        .into_par_iter()
-        .map(|ix| {
-            let mut acc = 0.0f64;
-            for iy in 0..ny {
-                for iz in 0..nz {
-                    let g = (ix * ny + iy) * nz + iz;
-                    let row = &psi[g * n_orb..(g + 1) * n_orb];
-                    #[allow(clippy::needless_range_loop)]
-                    for s in 1..=RADIUS {
-                        let zp = (ix * ny + iy) * nz + Mesh3::wrap(iz, s as isize, nz);
-                        let zm = (ix * ny + iy) * nz + Mesh3::wrap(iz, -(s as isize), nz);
-                        let c = C1[s] * h_inv;
-                        let plus = &psi[zp * n_orb..(zp + 1) * n_orb];
-                        let minus = &psi[zm * n_orb..(zm + 1) * n_orb];
-                        for (o, &f) in occ.iter().enumerate() {
-                            if f == 0.0 {
-                                continue;
-                            }
-                            let d_re = (plus[o].re - minus[o].re).to_f64();
-                            let d_im = (plus[o].im - minus[o].im).to_f64();
-                            // Im(ψ*·dψ) = re·d_im − im·d_re
-                            acc += f
-                                * c
-                                * (row[o].re.to_f64() * d_im - row[o].im.to_f64() * d_re);
+    // Paramagnetic term: Σ f·Im(ψ* ∂z ψ), accumulated in f64. Per-yz
+    // planes are computed in parallel, but the plane partials are folded
+    // through the fixed reduction tree in ix order — bit-identical at
+    // any rayon thread count (scheduling only decides *when* a plane is
+    // computed, never how the sum is grouped).
+    let para: f64 = reduce::par_map_sum(nx, |ix| {
+        let mut acc = 0.0f64;
+        for iy in 0..ny {
+            for iz in 0..nz {
+                let g = (ix * ny + iy) * nz + iz;
+                let row = &psi[g * n_orb..(g + 1) * n_orb];
+                #[allow(clippy::needless_range_loop)]
+                for s in 1..=RADIUS {
+                    let zp = (ix * ny + iy) * nz + Mesh3::wrap(iz, s as isize, nz);
+                    let zm = (ix * ny + iy) * nz + Mesh3::wrap(iz, -(s as isize), nz);
+                    let c = C1[s] * h_inv;
+                    let plus = &psi[zp * n_orb..(zp + 1) * n_orb];
+                    let minus = &psi[zm * n_orb..(zm + 1) * n_orb];
+                    for (o, &f) in occ.iter().enumerate() {
+                        if f == 0.0 {
+                            continue;
                         }
+                        let d_re = (plus[o].re - minus[o].re).to_f64();
+                        let d_im = (plus[o].im - minus[o].im).to_f64();
+                        // Im(ψ*·dψ) = re·d_im − im·d_re
+                        acc += f * c * (row[o].re.to_f64() * d_im - row[o].im.to_f64() * d_re);
                     }
                 }
             }
-            acc
-        })
-        .sum();
+        }
+        acc
+    });
 
     let n_elec = state.electron_count(params);
     let volume = mesh.volume();

@@ -19,7 +19,7 @@
 use crate::nonlocal::LfdScalar;
 use crate::policy::{CallSite, PrecisionPolicy};
 use crate::state::{LfdParams, LfdState};
-use dcmesh_numerics::Complex;
+use dcmesh_numerics::{reduce, Complex};
 use mkl_lite::Op;
 
 /// The GEMM dimensions `(m, n, k)` of the remap projection for a given
@@ -93,11 +93,7 @@ pub fn remap_occ_with_policy<T: LfdScalar>(
     ));
 
     let per_orbital_occ = 2.0;
-    let mut nexc = 0.0f64;
-    for a in 0..n {
-        nexc += per_orbital_occ * w[a * n + a].re.to_f64();
-    }
-    nexc
+    reduce::sum_with(n, |a| per_orbital_occ * w[a * n + a].re.to_f64())
 }
 
 #[cfg(test)]

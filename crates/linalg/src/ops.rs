@@ -1,6 +1,6 @@
 //! Small dense helpers over row-major `C64` matrices.
 
-use dcmesh_numerics::{c64, C64};
+use dcmesh_numerics::{c64, reduce, C64};
 use mkl_lite::{zgemm, Op};
 
 /// Returns the `n × n` identity.
@@ -44,9 +44,9 @@ pub fn max_abs_diff(a: &[C64], b: &[C64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
 }
 
-/// Frobenius norm.
+/// Frobenius norm (deterministic fixed-shape accumulation).
 pub fn frobenius_norm(a: &[C64]) -> f64 {
-    a.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    reduce::sum_norm_sqr(a).sqrt()
 }
 
 /// Max deviation of `A` from Hermitian symmetry (`|A − A†|_max`).

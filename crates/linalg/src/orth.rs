@@ -11,11 +11,15 @@
 //!   perturbs the propagated state least).
 //!
 //! Matrices are row-major `rows × cols`, orbitals stored as **columns**.
+//!
+//! All inner-product and projection accumulations run through
+//! [`dcmesh_numerics::reduce`]'s fixed-shape trees, so both schemes are
+//! bit-deterministic regardless of how the surrounding run is threaded.
 
 use crate::cholesky::{cholesky_factor, trsm_right_lower_conjtrans};
 use crate::hermitian::eigh;
 use crate::ops::matmul_hermitian_left;
-use dcmesh_numerics::C64;
+use dcmesh_numerics::{reduce, C64};
 use std::fmt;
 
 /// Why an orthonormalisation could not be performed.
@@ -69,16 +73,15 @@ pub fn modified_gram_schmidt(a: &mut [C64], rows: usize, cols: usize, tol: f64) 
     for j in 0..cols {
         // Project out previously orthonormalised columns.
         for prev in 0..j {
-            let mut dot = C64::zero(); // <prev, j>
-            for i in 0..rows {
-                dot += a[i * cols + prev].conj().mul_4m(a[i * cols + j]);
-            }
+            // <prev, j>, over the fixed reduction tree.
+            let dot =
+                reduce::sum_with(rows, |i| a[i * cols + prev].conj().mul_4m(a[i * cols + j]));
             for i in 0..rows {
                 let p = a[i * cols + prev].mul_4m(dot);
                 a[i * cols + j] -= p;
             }
         }
-        let norm: f64 = (0..rows).map(|i| a[i * cols + j].norm_sqr()).sum::<f64>().sqrt();
+        let norm = reduce::sum_with(rows, |i| a[i * cols + j].norm_sqr()).sqrt();
         if norm <= tol {
             for i in 0..rows {
                 a[i * cols + j] = C64::zero();
@@ -124,12 +127,10 @@ pub fn lowdin_orthonormalize(a: &mut [C64], rows: usize, cols: usize) -> Result<
     let mut s_inv_half = vec![C64::zero(); n * n];
     for i in 0..n {
         for j in 0..n {
-            let mut acc = C64::zero();
-            for k in 0..n {
+            s_inv_half[i * n + j] = reduce::sum_with(n, |k| {
                 let w = 1.0 / eig.eigenvalues[k].sqrt();
-                acc += v[i * n + k].scale(w).mul_4m(v[j * n + k].conj());
-            }
-            s_inv_half[i * n + j] = acc;
+                v[i * n + k].scale(w).mul_4m(v[j * n + k].conj())
+            });
         }
     }
 
@@ -138,11 +139,7 @@ pub fn lowdin_orthonormalize(a: &mut [C64], rows: usize, cols: usize) -> Result<
     for r in 0..rows {
         let row = &a[r * n..(r + 1) * n];
         for (j, out) in row_buf.iter_mut().enumerate() {
-            let mut acc = C64::zero();
-            for k in 0..n {
-                acc += row[k].mul_4m(s_inv_half[k * n + j]);
-            }
-            *out = acc;
+            *out = reduce::sum_with(n, |k| row[k].mul_4m(s_inv_half[k * n + j]));
         }
         a[r * n..(r + 1) * n].copy_from_slice(&row_buf);
     }

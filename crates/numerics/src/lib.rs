@@ -43,6 +43,7 @@ pub mod error_model;
 pub mod format;
 pub mod fp16;
 pub mod real;
+pub mod reduce;
 pub mod split;
 pub mod tf32;
 

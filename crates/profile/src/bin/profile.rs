@@ -6,6 +6,8 @@
 //! profile table  <events.jsonl> [--json PATH] [--metrics PATH]
 //! profile fold   <events.jsonl> [--root NAME] [--by-mode] [--by-shape]
 //! profile merge  <a.jsonl> <b.jsonl> [...] --out merged.json
+//! profile diff   <base.jsonl> <test.jsonl> [--root NAME] [--by-mode]
+//!                [--by-shape] [--svg PATH] [--ansi]
 //! ```
 //!
 //! `flame` writes a self-contained SVG (`--svg`) and/or an ANSI terminal
@@ -14,11 +16,14 @@
 //! shape) GEMM attribution table and the per-phase table; `--json` also
 //! writes the machine-readable GEMM rows. `merge` joins several ranks'
 //! dumps into one Chrome trace with per-rank pids and epoch-aligned
-//! clocks. All subcommands print ingestion/coverage warnings to stderr;
-//! `--metrics metrics.prom` adds producer-side drop counters to that
-//! check.
+//! clocks. `diff` compares two dumps as a red/blue differential
+//! flamegraph (layout from the test profile, red = frame grew, blue =
+//! shrank); with neither `--svg` nor `--ansi` it prints the two-count
+//! `difffolded` collapsed text. All subcommands print ingestion/coverage
+//! warnings to stderr; `--metrics metrics.prom` adds producer-side drop
+//! counters to that check.
 
-use dcmesh_profile::{flame, fold, ingest, merge, table};
+use dcmesh_profile::{diff, flame, fold, ingest, merge, table};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
@@ -27,7 +32,8 @@ fn usage() -> ExitCode {
          [--svg PATH] [--ansi] [--folded PATH] [--metrics PATH]\n  profile table  \
          <events.jsonl> [--json PATH] [--metrics PATH]\n  profile fold   <events.jsonl> \
          [--root NAME] [--by-mode] [--by-shape]\n  profile merge  <a.jsonl> <b.jsonl> [...] \
-         --out merged.json"
+         --out merged.json\n  profile diff   <base.jsonl> <test.jsonl> [--root NAME] \
+         [--by-mode] [--by-shape] [--svg PATH] [--ansi]"
     );
     ExitCode::from(2)
 }
@@ -153,6 +159,35 @@ fn cmd_fold(mut args: Vec<String>) -> Result<(), ExitCode> {
     Ok(())
 }
 
+fn cmd_diff(mut args: Vec<String>) -> Result<(), ExitCode> {
+    let svg_path = take_value(&mut args, "--svg");
+    let ansi = take_flag(&mut args, "--ansi");
+    let opts = fold_opts(&mut args);
+    let [base_path, test_path] = args.as_slice() else { return Err(usage()) };
+
+    let base = fold::fold(&ingest_with_warnings(base_path, None)?, &opts);
+    let test = fold::fold(&ingest_with_warnings(test_path, None)?, &opts);
+    if base.lines.is_empty() && test.lines.is_empty() {
+        eprintln!("profile: warning: nothing to diff (empty traces or --root matched nothing)");
+    }
+    let tree = diff::build_diff_tree(&base, &test);
+    if let Some(p) = &svg_path {
+        let title = format!("{base_path} → {test_path}");
+        write(p, &diff::render_diff_svg(&tree, &title))?;
+        eprintln!(
+            "profile: wrote {p} (base {:.3} ms → test {:.3} ms)",
+            tree.base_total_ns / 1e6,
+            tree.test_total_ns / 1e6
+        );
+    }
+    if ansi {
+        print!("{}", diff::render_diff_ansi(&tree));
+    } else if svg_path.is_none() {
+        print!("{}", diff::to_collapsed_diff(&base, &test));
+    }
+    Ok(())
+}
+
 fn cmd_merge(mut args: Vec<String>) -> Result<(), ExitCode> {
     let Some(out) = take_value(&mut args, "--out") else { return Err(usage()) };
     if args.is_empty() {
@@ -176,6 +211,7 @@ fn main() -> ExitCode {
         "table" => cmd_table(argv),
         "fold" => cmd_fold(argv),
         "merge" => cmd_merge(argv),
+        "diff" => cmd_diff(argv),
         _ => Err(usage()),
     };
     match result {

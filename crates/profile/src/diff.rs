@@ -1,0 +1,384 @@
+//! Differential (red/blue) flamegraphs: two folded profiles compared
+//! frame by frame.
+//!
+//! The classic before/after question — "which frames got slower when we
+//! switched compute modes / changed the kernel?" — answered in the
+//! Brendan Gregg differential-flamegraph convention: the layout (frame
+//! widths) comes from the **test** profile, while the colour encodes the
+//! per-frame change against the **base** profile. Red = the frame grew
+//! (regression), blue = it shrank (improvement), near-white = unchanged.
+//! Intensity scales with the delta's share of the largest observed
+//! delta, on a square-root ramp so small-but-real changes stay visible.
+//!
+//! Frames present only in the base (they vanished entirely) have zero
+//! width in the test layout and therefore do not appear in the SVG —
+//! the standard limitation of the layout-from-test convention. The ANSI
+//! renderer and the two-count collapsed output show them regardless, so
+//! no delta is silently dropped.
+//!
+//! The two-count collapsed text ([`to_collapsed_diff`]) is the
+//! `difffolded.pl` format (`stack base_ns test_ns`), consumable by the
+//! external flamegraph toolchain as well.
+
+use crate::flame::Frame;
+use crate::fold::Folded;
+use std::collections::BTreeMap;
+
+/// One node of the differential flame tree: the union of both profiles'
+/// stacks, carrying totals from each side.
+#[derive(Clone, Debug, Default)]
+pub struct DiffFrame {
+    /// Frame label.
+    pub name: String,
+    /// Weighted self nanoseconds in the base profile.
+    pub base_self_ns: f64,
+    /// Weighted self nanoseconds in the test profile.
+    pub test_self_ns: f64,
+    /// Inclusive nanoseconds in the base profile.
+    pub base_total_ns: f64,
+    /// Inclusive nanoseconds in the test profile.
+    pub test_total_ns: f64,
+    /// Child frames by label (union of both sides).
+    pub children: BTreeMap<String, DiffFrame>,
+}
+
+impl DiffFrame {
+    /// Signed inclusive change, test − base (positive = regression).
+    pub fn delta_ns(&self) -> f64 {
+        self.test_total_ns - self.base_total_ns
+    }
+
+    /// Depth of the subtree rooted here (a leaf is 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.values().map(DiffFrame::depth).max().unwrap_or(0)
+    }
+
+    /// Largest |delta| in the subtree — the colour normaliser.
+    fn max_abs_delta(&self) -> f64 {
+        self.children
+            .values()
+            .map(DiffFrame::max_abs_delta)
+            .fold(self.delta_ns().abs(), f64::max)
+    }
+}
+
+fn add_side(root: &mut DiffFrame, folded: &Folded, test_side: bool) {
+    for (stack, ns) in &folded.lines {
+        let mut node = &mut *root;
+        if test_side {
+            node.test_total_ns += ns;
+        } else {
+            node.base_total_ns += ns;
+        }
+        for part in stack.split(';') {
+            node = node
+                .children
+                .entry(part.to_string())
+                .or_insert_with(|| DiffFrame { name: part.to_string(), ..Default::default() });
+            if test_side {
+                node.test_total_ns += ns;
+            } else {
+                node.base_total_ns += ns;
+            }
+        }
+        if test_side {
+            node.test_self_ns += ns;
+        } else {
+            node.base_self_ns += ns;
+        }
+    }
+}
+
+/// Builds the union flame tree of two folded sets. The returned root is
+/// the synthetic `all` frame; its two totals are the two grand totals.
+pub fn build_diff_tree(base: &Folded, test: &Folded) -> DiffFrame {
+    let mut root = DiffFrame { name: "all".to_string(), ..Default::default() };
+    add_side(&mut root, base, false);
+    add_side(&mut root, test, true);
+    root
+}
+
+/// The test-side frame tree of a diff (same shape as [`Frame`]), for
+/// callers wanting the plain flame view of the test profile.
+pub fn test_tree(root: &DiffFrame) -> Frame {
+    Frame {
+        name: root.name.clone(),
+        self_ns: root.test_self_ns,
+        total_ns: root.test_total_ns,
+        children: root
+            .children
+            .values()
+            .filter(|c| c.test_total_ns > 0.0)
+            .map(|c| (c.name.clone(), test_tree(c)))
+            .collect(),
+    }
+}
+
+/// White→red for regressions, white→blue for improvements, on a
+/// square-root intensity ramp.
+fn diff_color(delta: f64, max_abs: f64) -> (u8, u8, u8) {
+    if max_abs <= 0.0 || delta == 0.0 {
+        return (245, 245, 245);
+    }
+    let t = (delta.abs() / max_abs).clamp(0.0, 1.0).sqrt();
+    if delta > 0.0 {
+        (250 - (30.0 * t) as u8, 250 - (195.0 * t) as u8, 250 - (205.0 * t) as u8)
+    } else {
+        (250 - (190.0 * t) as u8, 250 - (155.0 * t) as u8, 250 - (30.0 * t) as u8)
+    }
+}
+
+const ROW_H: f64 = 17.0;
+const WIDTH: f64 = 1200.0;
+const PAD: f64 = 10.0;
+const CHAR_W: f64 = 7.2;
+
+fn svg_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+/// `+1.234 ms (+5.6%)`-style delta description; the percentage is
+/// relative to the base (absent when the frame is new).
+fn delta_text(frame: &DiffFrame) -> String {
+    let d = frame.delta_ns();
+    if frame.base_total_ns > 0.0 {
+        format!("{:+.3} ms ({:+.1}%)", d / 1e6, 100.0 * d / frame.base_total_ns)
+    } else {
+        format!("{:+.3} ms (new)", d / 1e6)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn svg_frame(
+    out: &mut String,
+    frame: &DiffFrame,
+    x: f64,
+    depth: usize,
+    max_depth: usize,
+    scale: f64,
+    max_abs: f64,
+) {
+    let w = frame.test_total_ns * scale;
+    if w < 0.3 {
+        return;
+    }
+    let y = PAD + (max_depth - depth) as f64 * ROW_H;
+    let (r, g, b) = diff_color(frame.delta_ns(), max_abs);
+    let title = format!(
+        "{} — base {:.3} ms → test {:.3} ms, {}",
+        svg_escape(&frame.name),
+        frame.base_total_ns / 1e6,
+        frame.test_total_ns / 1e6,
+        delta_text(frame),
+    );
+    out.push_str(&format!(
+        "<g><title>{title}</title><rect x=\"{x:.2}\" y=\"{y:.1}\" width=\"{w:.2}\" \
+         height=\"{:.1}\" fill=\"rgb({r},{g},{b})\" stroke=\"#bbb\" stroke-width=\"0.4\" \
+         rx=\"2\"/>",
+        ROW_H - 1.0
+    ));
+    let max_chars = ((w - 6.0) / CHAR_W) as usize;
+    if max_chars >= 3 {
+        let label: String = if frame.name.chars().count() <= max_chars {
+            frame.name.clone()
+        } else {
+            let head: String = frame.name.chars().take(max_chars.saturating_sub(2)).collect();
+            format!("{head}..")
+        };
+        out.push_str(&format!(
+            "<text x=\"{:.2}\" y=\"{:.1}\" font-size=\"12\" font-family=\"monospace\">{}</text>",
+            x + 3.0,
+            y + ROW_H - 5.0,
+            svg_escape(&label)
+        ));
+    }
+    out.push_str("</g>\n");
+    let mut cx = x;
+    for child in frame.children.values() {
+        svg_frame(out, child, cx, depth + 1, max_depth, scale, max_abs);
+        cx += child.test_total_ns * scale;
+    }
+}
+
+/// Renders the differential flame tree as a self-contained SVG: layout
+/// from the test profile, red/blue colouring by delta against the base.
+pub fn render_diff_svg(root: &DiffFrame, title: &str) -> String {
+    let max_depth = root.depth().saturating_sub(1).max(1);
+    let height = PAD * 2.0 + (max_depth + 1) as f64 * ROW_H + 24.0;
+    let scale =
+        if root.test_total_ns > 0.0 { (WIDTH - 2.0 * PAD) / root.test_total_ns } else { 0.0 };
+    let max_abs = root.max_abs_delta();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {WIDTH} {height:.0}\">\n\
+         <rect width=\"100%\" height=\"100%\" fill=\"#fdf6e3\"/>\n\
+         <text x=\"{PAD}\" y=\"{:.0}\" font-size=\"14\" font-family=\"monospace\">{} — base \
+         {:.3} ms → test {:.3} ms ({}) — red grew, blue shrank</text>\n",
+        height - 8.0,
+        svg_escape(title),
+        root.base_total_ns / 1e6,
+        root.test_total_ns / 1e6,
+        delta_text(root),
+    ));
+    svg_frame(&mut out, root, PAD, 0, max_depth, scale, max_abs);
+    out.push_str("</svg>\n");
+    out
+}
+
+fn ansi_frame(out: &mut String, frame: &DiffFrame, depth: usize, max_abs: f64, bar_w: usize) {
+    let d = frame.delta_ns();
+    // Keep frames whose *subtree* still carries a visible delta, so a
+    // small parent never hides a large child.
+    if max_abs > 0.0 && frame.max_abs_delta() / max_abs < 0.005 {
+        return;
+    }
+    let share = if max_abs > 0.0 { (d.abs() / max_abs).clamp(0.0, 1.0) } else { 0.0 };
+    let filled = ((share * bar_w as f64).round() as usize).min(bar_w);
+    let (r, g, b) = diff_color(d, max_abs);
+    out.push_str(&format!(
+        "{:indent$}\x1b[38;2;{r};{g};{b}m{:<bar$}\x1b[0m {:>22}  {}\n",
+        "",
+        if filled > 0 { "█".repeat(filled) } else { "·".to_string() },
+        delta_text(frame),
+        frame.name,
+        indent = depth * 2,
+        bar = bar_w.saturating_sub(depth * 2).max(1),
+    ));
+    // Worst regressions first, then the biggest improvements.
+    let mut kids: Vec<&DiffFrame> = frame.children.values().collect();
+    kids.sort_by(|a, b| {
+        b.delta_ns().partial_cmp(&a.delta_ns()).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for child in kids {
+        ansi_frame(out, child, depth + 1, max_abs, bar_w);
+    }
+}
+
+/// Renders the diff for a terminal: depth-indented union tree (vanished
+/// frames included), red/blue bars proportional to each frame's share of
+/// the largest delta, worst regressions first.
+pub fn render_diff_ansi(root: &DiffFrame) -> String {
+    let mut out = String::new();
+    ansi_frame(&mut out, root, 0, root.max_abs_delta(), 24);
+    out
+}
+
+/// The `difffolded.pl` two-count collapsed format: one line per union
+/// stack, `stack base_ns test_ns`. Deterministic (sorted) and lossless —
+/// vanished and new stacks carry an explicit 0 on the missing side.
+pub fn to_collapsed_diff(base: &Folded, test: &Folded) -> String {
+    let mut stacks: BTreeMap<&str, (f64, f64)> = BTreeMap::new();
+    for (stack, ns) in &base.lines {
+        stacks.entry(stack).or_default().0 = *ns;
+    }
+    for (stack, ns) in &test.lines {
+        stacks.entry(stack).or_default().1 = *ns;
+    }
+    let mut out = String::new();
+    for (stack, (b, t)) in stacks {
+        out.push_str(&format!("{stack} {} {}\n", b.round() as u64, t.round() as u64));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn folded(lines: &[(&str, f64)]) -> Folded {
+        let mut f = Folded::default();
+        for (stack, ns) in lines {
+            f.lines.insert(stack.to_string(), *ns);
+        }
+        f
+    }
+
+    fn base() -> Folded {
+        folded(&[
+            ("burst;qd_step;CGEMM", 600.0),
+            ("burst;qd_step", 300.0),
+            ("burst;old_phase", 100.0),
+        ])
+    }
+
+    fn test_profile() -> Folded {
+        folded(&[
+            ("burst;qd_step;CGEMM", 900.0),
+            ("burst;qd_step", 250.0),
+            ("burst;new_phase", 50.0),
+        ])
+    }
+
+    #[test]
+    fn union_tree_carries_both_sides() {
+        let root = build_diff_tree(&base(), &test_profile());
+        assert_eq!(root.base_total_ns, 1000.0);
+        assert_eq!(root.test_total_ns, 1200.0);
+        assert_eq!(root.delta_ns(), 200.0);
+        let burst = &root.children["burst"];
+        let gemm = &burst.children["qd_step"].children["CGEMM"];
+        assert_eq!(gemm.delta_ns(), 300.0, "regressed frame");
+        assert_eq!(burst.children["qd_step"].delta_ns(), 250.0, "300 self shrink +300 child");
+        // Vanished and new frames both exist in the union.
+        assert_eq!(burst.children["old_phase"].test_total_ns, 0.0);
+        assert_eq!(burst.children["new_phase"].base_total_ns, 0.0);
+        assert_eq!(root.max_abs_delta(), 300.0);
+    }
+
+    #[test]
+    fn svg_layout_is_test_sided_and_colour_coded() {
+        let root = build_diff_tree(&base(), &test_profile());
+        let svg = render_diff_svg(&root, "diff");
+        assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("CGEMM"));
+        assert!(svg.contains("new_phase"), "new frames are part of the test layout");
+        assert!(!svg.contains("old_phase"), "vanished frames have zero test width");
+        // CGEMM regressed by the full max delta: saturated red (220,55,45).
+        assert!(svg.contains("rgb(220,55,45)"), "missing saturated red: {svg}");
+        assert!(svg.contains("red grew, blue shrank"));
+        assert_eq!(svg.matches("<g>").count(), svg.matches("</g>").count());
+    }
+
+    #[test]
+    fn ansi_shows_vanished_frames() {
+        let root = build_diff_tree(&base(), &test_profile());
+        let text = render_diff_ansi(&root);
+        assert!(text.contains("old_phase"), "vanished frame dropped: {text}");
+        assert!(text.contains("CGEMM"));
+        let gemm = text.find("CGEMM").unwrap();
+        let old = text.find("old_phase").unwrap();
+        assert!(gemm < old, "regressions must come before improvements");
+        assert!(text.contains("(new)"));
+    }
+
+    #[test]
+    fn collapsed_diff_is_two_count_and_lossless() {
+        let text = to_collapsed_diff(&base(), &test_profile());
+        assert!(text.contains("burst;qd_step;CGEMM 600 900\n"));
+        assert!(text.contains("burst;old_phase 100 0\n"), "{text}");
+        assert!(text.contains("burst;new_phase 0 50\n"));
+    }
+
+    #[test]
+    fn identical_profiles_diff_to_neutral() {
+        let root = build_diff_tree(&base(), &base());
+        assert_eq!(root.delta_ns(), 0.0);
+        assert_eq!(root.max_abs_delta(), 0.0);
+        let svg = render_diff_svg(&root, "same");
+        assert!(svg.contains("rgb(245,245,245)"), "unchanged frames are near-white");
+        // Empty-vs-empty must not divide by zero.
+        let empty = build_diff_tree(&Folded::default(), &Folded::default());
+        let _ = render_diff_svg(&empty, "empty");
+        let _ = render_diff_ansi(&empty);
+    }
+
+    #[test]
+    fn test_tree_projection_matches_plain_flame_shape() {
+        let root = build_diff_tree(&base(), &test_profile());
+        let plain = test_tree(&root);
+        assert_eq!(plain.total_ns, 1200.0);
+        assert!(!plain.children["burst"].children.contains_key("old_phase"));
+        assert_eq!(plain.children["burst"].children["qd_step"].children["CGEMM"].total_ns, 900.0);
+    }
+}

@@ -15,6 +15,10 @@
 //!   joined into one Chrome trace with per-rank pids, clock-aligned via
 //!   the shared `run_epoch` stamped in each stream's `telemetry_meta`
 //!   header.
+//! * **Differential flamegraphs** ([`diff`]) — two traces compared
+//!   frame by frame in the red/blue convention (red = grew, blue =
+//!   shrank): the before/after view for compute-mode switches and
+//!   kernel changes.
 //!
 //! Ingestion ([`ingest`]) is deliberately forgiving: ring-dropped events
 //! and truncated tails degrade into counted warnings, not errors, and
@@ -22,14 +26,17 @@
 //! downstream total so sampled and full traces are comparable.
 //!
 //! The `profile` binary in this crate exposes all of it as a CLI:
-//! `profile flame`, `profile table`, `profile merge`, `profile fold`.
+//! `profile flame`, `profile table`, `profile merge`, `profile fold`,
+//! `profile diff`.
 
+pub mod diff;
 pub mod flame;
 pub mod fold;
 pub mod ingest;
 pub mod merge;
 pub mod table;
 
+pub use diff::{build_diff_tree, render_diff_ansi, render_diff_svg, to_collapsed_diff, DiffFrame};
 pub use flame::{build_tree, render_ansi, render_svg, Frame};
 pub use fold::{fold, FoldOptions, Folded};
 pub use ingest::{coverage_warnings, ingest_jsonl, Meta, Span, Trace};

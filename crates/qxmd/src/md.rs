@@ -15,10 +15,29 @@ pub struct MdIntegrator {
 }
 
 impl MdIntegrator {
-    /// Creates an integrator and evaluates initial forces.
+    /// Creates an integrator and evaluates initial forces (at zero
+    /// excitation — correct for a trajectory that has not stepped yet).
     pub fn new(system: &AtomicSystem, dt: f64, softening: f64) -> MdIntegrator {
+        MdIntegrator::resume(system, dt, softening, 0.0)
+    }
+
+    /// Rebuilds an integrator mid-trajectory. The cached force field is
+    /// re-evaluated at `excitation_fraction` — the value the **last**
+    /// [`MdIntegrator::step`] used. Positions do not move between that
+    /// step's force evaluation and the next one, and `evaluate` is a
+    /// pure function, so the rebuilt field is bit-identical to the one
+    /// the replaced integrator carried. This is what makes checkpoint
+    /// resume, supervisor rollback and burst-replay verification
+    /// bit-exact; `new` (excitation 0) would silently diverge on the
+    /// first half-kick of any excited trajectory.
+    pub fn resume(
+        system: &AtomicSystem,
+        dt: f64,
+        softening: f64,
+        excitation_fraction: f64,
+    ) -> MdIntegrator {
         assert!(dt > 0.0 && dt.is_finite(), "bad MD timestep");
-        let field = evaluate(system, 0.0, softening);
+        let field = evaluate(system, excitation_fraction, softening);
         MdIntegrator { dt, softening, field }
     }
 
@@ -52,15 +71,17 @@ impl MdIntegrator {
         }
     }
 
-    /// Ionic kinetic energy (Hartree).
+    /// Ionic kinetic energy (Hartree), accumulated over the fixed-shape
+    /// reduction tree (feeds the `ekin` observable — part of the
+    /// bit-reproducibility contract).
     pub fn kinetic_energy(&self, system: &AtomicSystem) -> f64 {
-        (0..system.len())
-            .map(|i| {
-                let m = system.species[i].mass();
-                let v2: f64 = (0..3).map(|c| system.velocities[3 * i + c].powi(2)).sum();
-                0.5 * m * v2
-            })
-            .sum()
+        dcmesh_numerics::reduce::sum_with(system.len(), |i| {
+            let m = system.species[i].mass();
+            let v2 = system.velocities[3 * i].powi(2)
+                + system.velocities[3 * i + 1].powi(2)
+                + system.velocities[3 * i + 2].powi(2);
+            0.5 * m * v2
+        })
     }
 
     /// Classical potential energy from the last force evaluation.
@@ -128,6 +149,39 @@ mod tests {
             min_seen = min_seen.min(s.positions[2]);
         }
         assert!(min_seen < start - 0.05, "no oscillation: min {min_seen} from {start}");
+    }
+
+    #[test]
+    fn resume_rebuilds_the_live_integrator_bit_exactly() {
+        let mut s = pto_supercell(2);
+        s.positions[0] += 0.2;
+        let mut md = MdIntegrator::new(&s, 10.0, 0.5);
+        for _ in 0..5 {
+            md.step(&mut s, 0.3);
+        }
+
+        // Rebuild from the system alone, seeding the force field with the
+        // excitation fraction the last step used, and advance both.
+        let mut s_resumed = s.clone();
+        let mut md_resumed = MdIntegrator::resume(&s_resumed, 10.0, 0.5, 0.3);
+        let mut s_fresh = s.clone();
+        let mut md_fresh = MdIntegrator::new(&s_fresh, 10.0, 0.5);
+        md.step(&mut s, 0.35);
+        md_resumed.step(&mut s_resumed, 0.35);
+        md_fresh.step(&mut s_fresh, 0.35);
+
+        for (a, b) in s.positions.iter().zip(&s_resumed.positions) {
+            assert_eq!(a.to_bits(), b.to_bits(), "resume diverged in positions");
+        }
+        for (a, b) in s.velocities.iter().zip(&s_resumed.velocities) {
+            assert_eq!(a.to_bits(), b.to_bits(), "resume diverged in velocities");
+        }
+        // ...whereas a `new` integrator (zero-excitation field) is not
+        // bit-exact mid-trajectory — the hazard `resume` exists to close.
+        assert!(
+            s.velocities.iter().zip(&s_fresh.velocities).any(|(a, b)| a.to_bits() != b.to_bits()),
+            "zero-excitation rebuild unexpectedly matched — test lost its discriminating power"
+        );
     }
 
     #[test]

@@ -43,9 +43,77 @@ pub mod prelude {
     }
 }
 
+/// `rayon::ThreadPoolBuilder` — sequential shim. Built pools carry no
+/// threads; [`ThreadPool::install`] runs the closure on the calling
+/// thread. Thread-count reproducibility tests thus hold trivially under
+/// the shim and remain meaningful when the real crate is swapped in.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default (ignored) settings.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Records the requested thread count (informational only).
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the (threadless) pool; never fails in the shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads.max(1) })
+    }
+}
+
+/// A pool built by [`ThreadPoolBuilder`].
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` "inside" the pool — on the calling thread in the shim.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    /// The thread count the pool was built with.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (never constructed by the
+/// shim, kept for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl core::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("thread pool build failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    #[test]
+    fn pool_install_runs_on_calling_thread() {
+        let pool = super::ThreadPoolBuilder::new().num_threads(4).build().expect("build");
+        assert_eq!(pool.current_num_threads(), 4);
+        let here = std::thread::current().id();
+        let (val, tid) = pool.install(|| (21 * 2, std::thread::current().id()));
+        assert_eq!(val, 42);
+        assert_eq!(tid, here, "sequential shim must not spawn");
+    }
 
     #[test]
     fn shims_behave_like_std() {
