@@ -401,6 +401,26 @@ fn json_f64(v: f64) -> String {
     if v.is_finite() { format!("{v:.1}") } else { "null".to_string() }
 }
 
+/// Today's civil date (UTC) as `YYYY-MM-DD`, from the system clock —
+/// the days-to-civil conversion is the classic era/epoch-shift
+/// algorithm, exact over the entire `u64` seconds range used here.
+fn civil_date_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = yoe + era * 400 + i64::from(m <= 2);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
 fn main() {
     let o = parse_args();
     if let Some(path) = &o.from_trace {
@@ -556,14 +576,17 @@ fn main() {
     // (or the `telemetry_check` artifact) would carry.
     workspace::publish_metrics();
     let pool = workspace::combined_stats();
+    let hit_ratio = pool.hit_ratio();
+    // The ratio is a fraction by contract — an idle pool reports 1.0,
+    // never NaN — and a violation here means the JSON below (and every
+    // dashboard reading it) would carry garbage.
+    assert!(
+        hit_ratio.is_finite() && (0.0..=1.0).contains(&hit_ratio),
+        "pool hit_ratio must be a finite fraction in [0, 1], got {hit_ratio}"
+    );
     eprintln!(
         "pool  takes {} misses {} grows {} returns {} bytes_outstanding {} hit_ratio {:.4}",
-        pool.takes,
-        pool.misses,
-        pool.grows,
-        pool.returns,
-        pool.bytes_outstanding,
-        pool.hit_ratio()
+        pool.takes, pool.misses, pool.grows, pool.returns, pool.bytes_outstanding, hit_ratio
     );
     eprintln!("--- telemetry metrics ---\n{}", dcmesh_telemetry::export::prometheus_dump());
 
@@ -582,12 +605,7 @@ fn main() {
     json.push_str(&format!(
         "  \"pool\": {{\"takes\": {}, \"misses\": {}, \"grows\": {}, \"returns\": {}, \
          \"bytes_outstanding\": {}, \"hit_ratio\": {:.4}}},\n",
-        pool.takes,
-        pool.misses,
-        pool.grows,
-        pool.returns,
-        pool.bytes_outstanding,
-        pool.hit_ratio()
+        pool.takes, pool.misses, pool.grows, pool.returns, pool.bytes_outstanding, hit_ratio
     ));
     json.push_str("  \"calls\": [\n");
     let rows: Vec<String> = entries
@@ -617,9 +635,48 @@ fn main() {
     json.push_str("\n  ],\n");
     json.push_str("  \"host_prep\": [\n");
     json.push_str(&prep_lines.join(",\n"));
+    json.push_str("\n  ],\n");
+
+    // --- dated history: carry prior runs' summary rows forward ---
+    // Each run appends (or, same-day, replaces) one compact entry, so
+    // the checked-in baseline accumulates a trend line CI can plot
+    // without any external storage.
+    let today = civil_date_utc();
+    let gate_ns = |mode: ComputeMode| {
+        entries
+            .iter()
+            .find(|e| e.routine == "SGEMM" && e.mode == mode && e.m == 128 && e.n == 1920)
+            .map(|e| e.ns_per_call)
+            .unwrap_or(f64::NAN)
+    };
+    let new_entry = format!(
+        "{{\"date\":\"{today}\",\"k_scale\":{},\"hit_ratio\":{:.4},\
+         \"sgemm_128x1920_ns_per_call\":{{\"STANDARD\":{},\"FLOAT_TO_BF16X2\":{},\
+         \"FLOAT_TO_BF16X3\":{}}}}}",
+        o.k_scale,
+        hit_ratio,
+        json_f64(gate_ns(ComputeMode::Standard)),
+        json_f64(gate_ns(ComputeMode::FloatToBf16x2)),
+        json_f64(gate_ns(ComputeMode::FloatToBf16x3)),
+    );
+    let mut history: Vec<String> = std::fs::read_to_string(&o.out)
+        .ok()
+        .and_then(|old| dcmesh_telemetry::json::parse(&old).ok())
+        .and_then(|doc| {
+            doc.get("history")
+                .and_then(|h| h.as_array())
+                .map(|a| a.iter().map(dcmesh_telemetry::json::dump).collect())
+        })
+        .unwrap_or_default();
+    // Same-day reruns replace their entry instead of stacking up.
+    history.retain(|h| !h.contains(&format!("\"date\":\"{today}\"")));
+    history.push(new_entry);
+    json.push_str("  \"history\": [\n    ");
+    json.push_str(&history.join(",\n    "));
     json.push_str("\n  ]\n}\n");
     std::fs::write(&o.out, &json).expect("write BENCH_gemm.json");
-    eprintln!("[wrote {}]", o.out);
+    eprintln!("[wrote {} ({} history entr{})]", o.out, history.len(),
+        if history.len() == 1 { "y" } else { "ies" });
 
     if o.enforce_zero_alloc && !dirty_modes.is_empty() {
         eprintln!("steady-state allocations detected in: {}", dirty_modes.join(", "));

@@ -14,7 +14,17 @@
 //!   spans carrying mode/shape attributes, burst spans, and the
 //!   simulated `xe-gpu` kernel timeline as a second process track;
 //! * `metrics.prom` — Prometheus text dump with the escalation/rollback
-//!   counters and workspace-pool gauges.
+//!   counters, workspace-pool gauges, and the per-callsite ledger
+//!   series;
+//! * `ledger.json` — the per-(callsite, shape-class, mode)
+//!   accuracy/cost ledger (schema-versioned; see
+//!   `dcmesh_telemetry::ledger`).
+//!
+//! `--ledger-gate` additionally demands the ledger *attributed* the
+//! injected fault: the CGEMM callsite's FLOAT_TO_BF16 entry must carry
+//! the non-finite-output detection and the resulting escalation — the
+//! end-to-end check that the suspect-attribution chain (BLAS probe →
+//! supervisor decision → ledger row) holds together.
 //!
 //! `--overhead-gate` instead measures the **disabled path**: per-span
 //! cost at `TELEMETRY=off` times the spans-per-QD-step count, as a
@@ -30,8 +40,8 @@
 //! `trace/metrics-coord.prom` exposes the shard counters, and every
 //! surviving rank left a parseable per-rank trace for `profile merge`.
 //!
-//! Usage: `telemetry_check [--out-dir DIR] [--overhead-gate]
-//! [--max-overhead-pct F] [--shard-dir DIR]`
+//! Usage: `telemetry_check [--out-dir DIR] [--ledger-gate]
+//! [--overhead-gate] [--max-overhead-pct F] [--shard-dir DIR]`
 
 use dcmesh::config::{RunConfig, SystemPreset};
 use dcmesh::supervisor::{run_supervised, SupervisorConfig};
@@ -58,6 +68,7 @@ const SPANS_PER_QD_STEP: u64 = 1 + 6 + 9;
 struct Options {
     out_dir: String,
     overhead_gate: bool,
+    ledger_gate: bool,
     max_overhead_pct: f64,
     shard_dir: Option<String>,
 }
@@ -66,6 +77,7 @@ fn parse_args() -> Options {
     let mut o = Options {
         out_dir: "telemetry-artifacts".to_string(),
         overhead_gate: false,
+        ledger_gate: false,
         max_overhead_pct: 2.0,
         shard_dir: None,
     };
@@ -85,6 +97,7 @@ fn parse_args() -> Options {
                 }))
             }
             "--overhead-gate" => o.overhead_gate = true,
+            "--ledger-gate" => o.ledger_gate = true,
             "--max-overhead-pct" => {
                 o.max_overhead_pct =
                     args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -159,10 +172,11 @@ fn check_trace_rows(rows: &[JsonValue], problems: &mut Vec<String>) {
 
 /// The artifact-producing pass: fault-injected supervised run at level
 /// `full`, export, schema-check.
-fn run_trace_check(out_dir: &Path) -> Vec<String> {
+fn run_trace_check(out_dir: &Path, ledger_gate: bool) -> Vec<String> {
     let mut problems = Vec::new();
     telemetry::set_level(TelemetryLevel::Full);
     sink::clear();
+    telemetry::ledger::clear();
 
     // A device model makes every logged BLAS call carry a modelled
     // device time, which feeds the simulated kernel track below.
@@ -212,15 +226,21 @@ fn run_trace_check(out_dir: &Path) -> Vec<String> {
         eprintln!("note: sink dropped {} events (ring full)", sink::dropped_events());
     }
 
-    // --- export the three artifacts ---
+    // --- export the four artifacts ---
     std::fs::create_dir_all(out_dir).expect("create out dir");
     let jsonl = export::jsonl(&events);
     let trace = export::chrome_trace(&events);
-    let prom = export::prometheus_dump();
+    // The ledger series ride in the same scrape body as the counters.
+    let prom = format!("{}{}", export::prometheus_dump(), telemetry::ledger::prometheus_text());
+    let ledger_text = telemetry::ledger::ledger_json();
     std::fs::write(out_dir.join("events.jsonl"), &jsonl).expect("write events.jsonl");
     std::fs::write(out_dir.join("trace.json"), &trace).expect("write trace.json");
     std::fs::write(out_dir.join("metrics.prom"), &prom).expect("write metrics.prom");
-    eprintln!("[wrote {}/{{events.jsonl, trace.json, metrics.prom}}]", out_dir.display());
+    std::fs::write(out_dir.join("ledger.json"), &ledger_text).expect("write ledger.json");
+    eprintln!(
+        "[wrote {}/{{events.jsonl, trace.json, metrics.prom, ledger.json}}]",
+        out_dir.display()
+    );
 
     // --- schema checks ---
     match export::parse_jsonl(&jsonl) {
@@ -309,7 +329,96 @@ fn run_trace_check(out_dir: &Path) -> Vec<String> {
             fail(&mut problems, format!("metrics.prom missing {series}"));
         }
     }
+
+    check_ledger(&ledger_text, &prom, ledger_gate, &mut problems);
     problems
+}
+
+/// Schema-checks `ledger.json` and, under `--ledger-gate`, demands the
+/// injected CGEMM fault was attributed end to end: the BLAS layer's
+/// non-finite probe must have flagged the CGEMM callsite, and the
+/// supervisor's escalation must have landed on that same row rather
+/// than the anonymous `supervisor/burst` fallback.
+fn check_ledger(ledger_text: &str, prom: &str, ledger_gate: bool, problems: &mut Vec<String>) {
+    let doc = match telemetry::json::parse(ledger_text) {
+        Ok(d) => d,
+        Err(e) => {
+            fail(problems, format!("ledger.json is not valid JSON: {e:?}"));
+            return;
+        }
+    };
+    if doc.get("version").and_then(JsonValue::as_f64)
+        != Some(telemetry::ledger::LEDGER_SCHEMA_VERSION as f64)
+    {
+        fail(
+            problems,
+            format!(
+                "ledger.json version != {} : {:?}",
+                telemetry::ledger::LEDGER_SCHEMA_VERSION,
+                doc.get("version")
+            ),
+        );
+    }
+    let entries = match doc.get("entries").and_then(JsonValue::as_array) {
+        Some(e) if !e.is_empty() => e,
+        _ => {
+            fail(problems, "ledger.json has no entries".into());
+            return;
+        }
+    };
+    for (i, e) in entries.iter().enumerate() {
+        for field in [
+            "callsite",
+            "shape",
+            "mode",
+            "calls",
+            "wall_s",
+            "escalations",
+            "rollbacks",
+            "nonfinite_outputs",
+            "abft_checks",
+            "abft_violations",
+            "residuals",
+        ] {
+            if e.get(field).is_none() {
+                fail(problems, format!("ledger.json entry {i} missing {field:?}"));
+                break;
+            }
+        }
+    }
+    if !prom.contains("dcmesh_ledger_calls_total") {
+        fail(problems, "metrics.prom missing dcmesh_ledger_calls_total".into());
+    }
+    if !ledger_gate {
+        return;
+    }
+    let field_str =
+        |e: &JsonValue, f: &str| e.get(f).and_then(JsonValue::as_str).unwrap_or("").to_string();
+    let field_f64 = |e: &JsonValue, f: &str| e.get(f).and_then(JsonValue::as_f64).unwrap_or(0.0);
+    let cgemm_bf16 = entries.iter().find(|e| {
+        field_str(e, "callsite").contains("cgemm") && field_str(e, "mode") == "FLOAT_TO_BF16"
+    });
+    match cgemm_bf16 {
+        None => fail(problems, "ledger-gate: no cgemm FLOAT_TO_BF16 entry".into()),
+        Some(e) => {
+            if field_f64(e, "calls") < 1.0 {
+                fail(problems, "ledger-gate: cgemm FLOAT_TO_BF16 entry has no calls".into());
+            }
+        }
+    }
+    let attributed = entries.iter().any(|e| {
+        field_str(e, "callsite").contains("cgemm")
+            && field_f64(e, "nonfinite_outputs") >= 1.0
+            && field_f64(e, "escalations") >= 1.0
+    });
+    if !attributed {
+        fail(
+            problems,
+            "ledger-gate: injected CGEMM fault was not attributed (no cgemm entry with \
+             nonfinite_outputs >= 1 and escalations >= 1)"
+                .into(),
+        );
+    }
 }
 
 /// The disabled-path gate: measures ns/span at `off` and the QD-step
@@ -503,7 +612,7 @@ fn main() {
     } else if o.overhead_gate {
         run_overhead_gate(o.max_overhead_pct)
     } else {
-        run_trace_check(Path::new(&o.out_dir))
+        run_trace_check(Path::new(&o.out_dir), o.ledger_gate)
     };
     if !problems.is_empty() {
         eprintln!("telemetry_check: {} problem(s)", problems.len());

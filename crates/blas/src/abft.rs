@@ -175,6 +175,58 @@ impl<T: AbftElem> AbftElem for Complex<T> {
     }
 }
 
+/// Scans a GEMM output for non-finite values (cheap O(m·n) pass, only
+/// when telemetry events are on) and, on the first hit, records it in
+/// the ledger and marks the callsite as the suspect for whatever
+/// rollback/escalation the supervisor decides next. Runs after fault
+/// injection so injected NaNs are attributed to the callsite that
+/// produced them — the supervisor's own health check sees only the
+/// recorded wavefunction, long after call context is gone.
+pub(crate) fn probe_nonfinite<T: AbftElem>(
+    routine: &'static str,
+    c: &[T],
+    m: usize,
+    n: usize,
+    k: usize,
+    ldc: usize,
+    mode: ComputeMode,
+) {
+    if !dcmesh_telemetry::events_enabled() || m == 0 || n == 0 {
+        return;
+    }
+    if c.len() < (m - 1) * ldc + n {
+        return;
+    }
+    let hit = (0..m).any(|i| {
+        c[i * ldc..i * ldc + n].iter().any(|v| {
+            let z = v.acc();
+            !z.re.is_finite() || !z.im.is_finite()
+        })
+    });
+    if hit {
+        let cs = dcmesh_telemetry::callsite_for(routine);
+        let mode_str = mode.env_value().unwrap_or("STANDARD");
+        dcmesh_telemetry::ledger::record_nonfinite_output(cs, m, n, k, mode_str);
+        dcmesh_telemetry::instant(
+            "nonfinite_output",
+            vec![
+                dcmesh_telemetry::Attr {
+                    key: "routine",
+                    value: dcmesh_telemetry::AttrValue::Str(routine),
+                },
+                dcmesh_telemetry::Attr {
+                    key: "callsite",
+                    value: dcmesh_telemetry::AttrValue::Str(cs),
+                },
+                dcmesh_telemetry::Attr {
+                    key: "mode",
+                    value: dcmesh_telemetry::AttrValue::Str(mode_str),
+                },
+            ],
+        );
+    }
+}
+
 /// Unit roundoff of the product under `mode`, never smaller than the
 /// element type's own.
 fn mode_eps(mode: ComputeMode, elem_eps: f64) -> f64 {
@@ -296,6 +348,11 @@ pub(crate) fn check_gemm<T: AbftElem>(
 
     let eps_total = SAFETY * mode_eps(mode, T::elem_eps()) * (k + n) as f64;
     let mut worst: Option<AbftViolation> = None;
+    // Worst defect/bound ratio across the checked rows, for the ledger's
+    // residual histogram. NaN is sticky: a poisoned row must reach the
+    // overflow bucket, not be masked by a later finite row.
+    let mut max_ratio = 0.0f64;
+    let mut ratio_nan = false;
     for i in 0..m {
         let mut lhs = C64::zero();
         let mut mag = 0.0f64;
@@ -313,6 +370,12 @@ pub(crate) fn check_gemm<T: AbftElem>(
             observed += c[i * ldc + j].acc();
         }
         let defect = (observed - expected).abs();
+        let ratio = if bound > 0.0 { defect / bound } else if defect > 0.0 { f64::INFINITY } else { 0.0 };
+        if ratio.is_nan() {
+            ratio_nan = true;
+        } else if ratio > max_ratio {
+            max_ratio = ratio;
+        }
         // NaN/Inf in the row sum always violates (comparisons with NaN
         // are false, so check the complement).
         #[allow(clippy::neg_cmp_op_on_partial_ord)]
@@ -341,6 +404,17 @@ pub(crate) fn check_gemm<T: AbftElem>(
         }
     }
 
+    if dcmesh_telemetry::events_enabled() {
+        let cs = dcmesh_telemetry::callsite_for(routine);
+        let mode_str = mode.env_value().unwrap_or("STANDARD");
+        let final_ratio = if ratio_nan { f64::NAN } else { max_ratio };
+        if worst.is_some() {
+            dcmesh_telemetry::ledger::record_abft_violation(cs, m, n, k, mode_str, final_ratio);
+        } else {
+            dcmesh_telemetry::ledger::record_abft_check(cs, m, n, k, mode_str, final_ratio);
+        }
+    }
+
     if let Some(v) = worst {
         VIOLATIONS.fetch_add(1, Ordering::Relaxed);
         dcmesh_telemetry::instant(
@@ -349,6 +423,18 @@ pub(crate) fn check_gemm<T: AbftElem>(
                 dcmesh_telemetry::Attr {
                     key: "routine",
                     value: dcmesh_telemetry::AttrValue::Str(v.routine),
+                },
+                dcmesh_telemetry::Attr {
+                    key: "callsite",
+                    value: dcmesh_telemetry::AttrValue::Str(dcmesh_telemetry::callsite_for(
+                        v.routine,
+                    )),
+                },
+                dcmesh_telemetry::Attr {
+                    key: "mode",
+                    value: dcmesh_telemetry::AttrValue::Str(
+                        v.mode.env_value().unwrap_or("STANDARD"),
+                    ),
                 },
                 dcmesh_telemetry::Attr {
                     key: "call",

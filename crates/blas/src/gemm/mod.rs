@@ -73,6 +73,7 @@ pub fn sgemm(
         real_gemm_impl(mode, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
     });
     crate::fault::post_gemm("SGEMM", c, m, n, ldc);
+    crate::abft::probe_nonfinite("SGEMM", c, m, n, k, ldc, mode);
     if let Some(pre) = abft {
         crate::abft::check_gemm(
             "SGEMM", pre, transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc, mode,
@@ -118,6 +119,7 @@ pub fn dgemm(
         );
     });
     crate::fault::post_gemm("DGEMM", c, m, n, ldc);
+    crate::abft::probe_nonfinite("DGEMM", c, m, n, k, ldc, ComputeMode::Standard);
     if let Some(pre) = abft {
         crate::abft::check_gemm(
             "DGEMM",
@@ -292,6 +294,7 @@ pub fn cgemm(
         complex_gemm_impl(mode, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
     });
     crate::fault::post_gemm("CGEMM", c, m, n, ldc);
+    crate::abft::probe_nonfinite("CGEMM", c, m, n, k, ldc, mode);
     if let Some(pre) = abft {
         crate::abft::check_gemm(
             "CGEMM", pre, transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc, mode,
@@ -326,6 +329,7 @@ pub fn zgemm(
         complex_gemm_impl(mode, transa, transb, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
     });
     crate::fault::post_gemm("ZGEMM", c, m, n, ldc);
+    crate::abft::probe_nonfinite("ZGEMM", c, m, n, k, ldc, mode);
     if let Some(pre) = abft {
         crate::abft::check_gemm(
             "ZGEMM", pre, transa, transb, m, n, k, alpha, a, lda, b, ldb, c, ldc, mode,

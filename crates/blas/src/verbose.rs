@@ -285,6 +285,8 @@ pub(crate) fn logged<R>(
     if !recording() && !events {
         return f();
     }
+    let mode_str = desc.mode.env_value().unwrap_or("STANDARD");
+    let callsite = if events { Some(telemetry::callsite_for(routine)) } else { None };
     let mut span = telemetry::sampled_span(routine);
     let pool_before = if span.armed() {
         span = span
@@ -293,8 +295,11 @@ pub(crate) fn logged<R>(
             .attr("m", AttrValue::U64(desc.m as u64))
             .attr("n", AttrValue::U64(desc.n as u64))
             .attr("k", AttrValue::U64(desc.k as u64))
-            .attr("mode", AttrValue::Str(desc.mode.env_value().unwrap_or("STANDARD")))
-            .enter();
+            .attr("mode", AttrValue::Str(mode_str));
+        if let Some(cs) = callsite {
+            span = span.attr("callsite", AttrValue::Str(cs));
+        }
+        span = span.enter();
         Some(pool_traffic())
     } else {
         None
@@ -306,6 +311,17 @@ pub(crate) fn logged<R>(
     if events {
         blas_calls_total().inc();
         blas_wall_ns().observe(wall.as_nanos() as u64);
+        // Ledger statistics fold every call (not sampled): the
+        // autotuner reads cost from here, not from sampled spans.
+        telemetry::ledger::record_call(
+            callsite.expect("set when events"),
+            desc.m,
+            desc.n,
+            desc.k,
+            mode_str,
+            wall.as_secs_f64(),
+            device_seconds,
+        );
     }
     if let Some((takes0, misses0)) = pool_before {
         let (takes1, misses1) = pool_traffic();

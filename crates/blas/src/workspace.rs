@@ -358,6 +358,23 @@ mod tests {
     }
 
     #[test]
+    fn idle_pool_hit_ratio_is_nan_safe() {
+        // With zero takes the ratio must be a well-defined 1.0 (vacuous
+        // truth: every checkout so far was served), never NaN or 0 —
+        // gemm_hostperf writes it through `{:.4}` into JSON, where a
+        // NaN would corrupt the report.
+        let s = PoolStats::default();
+        assert_eq!(s.takes, 0);
+        assert_eq!(s.hit_ratio(), 1.0);
+        assert!(s.hit_ratio().is_finite());
+        with_fresh_workspace(|| {
+            let live = stats::<f32>();
+            assert_eq!(live.takes, 0, "fresh workspace has no takes");
+            assert_eq!(live.hit_ratio(), 1.0);
+        });
+    }
+
+    #[test]
     fn publish_metrics_surfaces_pool_gauges() {
         with_fresh_workspace(|| {
             let _b = take_zeroed::<f64>(32);

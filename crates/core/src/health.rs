@@ -110,6 +110,22 @@ pub enum HealthViolation {
     },
 }
 
+impl HealthViolation {
+    /// Stable snake_case kind label, used as the ledger attribution key
+    /// and in telemetry attributes.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HealthViolation::NonFinite { .. } => "non_finite",
+            HealthViolation::ExcitationBlowup { .. } => "excitation_blowup",
+            HealthViolation::ExcitationRate { .. } => "excitation_rate",
+            HealthViolation::ScfDefectRunaway { .. } => "scf_defect_runaway",
+            HealthViolation::ShadowDriftRunaway { .. } => "shadow_drift_runaway",
+            HealthViolation::SingularOverlap { .. } => "singular_overlap",
+            HealthViolation::SilentCorruption { .. } => "silent_corruption",
+        }
+    }
+}
+
 impl fmt::Display for HealthViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

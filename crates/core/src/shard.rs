@@ -668,12 +668,15 @@ fn write_heartbeat(run: &Path, rank: usize, pid: u32, hb: &HbState) {
 }
 
 /// The burst observer a worker attaches to each supervised domain run:
-/// bumps the heartbeat's progress counters and fires the deterministic
-/// kill point. Burst counting spans domains within one incarnation.
+/// bumps the heartbeat's progress counters, fires the deterministic
+/// kill point, and flushes the rank's accumulated telemetry to its
+/// event stream at every commit so `profile watch` can tail the run
+/// live. Burst counting spans domains within one incarnation.
 struct WorkerObserver {
     hb: Arc<HbState>,
     kill_at: Option<u64>,
     rank: usize,
+    run: PathBuf,
 }
 
 impl BurstObserver for WorkerObserver {
@@ -687,6 +690,12 @@ impl BurstObserver for WorkerObserver {
             eprintln!("shard worker rank {}: injected kill at burst {n}", self.rank);
             std::process::exit(KILL_EXIT_CODE);
         }
+    }
+
+    fn burst_committed(&mut self, _burst_index: u64, _steps_done: u64) {
+        // Telemetry loss here only degrades the live view; the run
+        // itself must not fail over an observability append.
+        let _ = flush_worker_events(&self.run, self.rank);
     }
 }
 
@@ -741,7 +750,16 @@ pub fn worker_main(
         })
     };
 
+    // Stamp this process's rank into the telemetry metadata before the
+    // stream header is written, so tailers and the merger can tell the
+    // per-rank streams apart without trusting filenames.
+    sink::set_rank(rank as u64);
     rank_instant("worker_start", rank, incarnation);
+    // Start this incarnation's event stream fresh: its `telemetry_meta`
+    // header carries *this* process's run epoch, and a dead
+    // incarnation's tail must not prefix it (the clocks would not
+    // align). Live tailers detect the truncation and re-read.
+    let _ = fs::write(rank_events_path(run_dir, rank), export::jsonl(&sink::drain()));
     let kill_at = kill.kill_burst_for(rank, incarnation);
 
     loop {
@@ -825,7 +843,8 @@ fn run_domain(
         ..SupervisorConfig::default()
     };
     hb.domain.store(domain as u64, Ordering::Relaxed);
-    let mut observer = WorkerObserver { hb: hb.clone(), kill_at, rank };
+    let mut observer =
+        WorkerObserver { hb: hb.clone(), kill_at, rank, run: run.to_path_buf() };
     // Element width f32: the paper's mixed-precision configuration (the
     // FP64 baseline has no low-precision modes to escalate between).
     let out = run_supervised_observed::<f32>(&cfg, m.start_mode, &sup, &mut observer);
@@ -888,11 +907,31 @@ fn parse_bits_hex(v: Option<&JsonValue>) -> Option<u64> {
     u64::from_str_radix(v?.as_str()?.strip_prefix("0x")?, 16).ok()
 }
 
-/// Exports this rank's telemetry (events at whatever `TELEMETRY` level
-/// the fleet runs at) for the multi-rank `profile merge`.
-fn export_worker_trace(run: &Path, rank: usize) -> Result<(), std::io::Error> {
+/// Appends this rank's accumulated telemetry to its event stream. The
+/// first flush of an incarnation writes the `telemetry_meta` header;
+/// later flushes append body lines only, so the stream stays a single
+/// well-formed JSONL dump that `profile merge` ingests whole and
+/// `profile watch` tails incrementally. Called after every committed
+/// burst and once more at clean worker exit.
+fn flush_worker_events(run: &Path, rank: usize) -> Result<(), std::io::Error> {
+    use std::io::Write as _;
     let events = sink::drain();
-    fs::write(rank_events_path(run, rank), export::jsonl(&events))
+    let path = rank_events_path(run, rank);
+    let fresh = !path.exists();
+    if !fresh && events.is_empty() {
+        return Ok(());
+    }
+    let mut f = fs::OpenOptions::new().create(true).append(true).open(path)?;
+    let text =
+        if fresh { export::jsonl(&events) } else { export::jsonl_body(&events) };
+    f.write_all(text.as_bytes())
+}
+
+/// Exports this rank's telemetry (events at whatever `TELEMETRY` level
+/// the fleet runs at) for the multi-rank `profile merge`: the final
+/// flush of whatever the per-burst appends have not yet drained.
+fn export_worker_trace(run: &Path, rank: usize) -> Result<(), std::io::Error> {
+    flush_worker_events(run, rank)
 }
 
 // ---------------------------------------------------------------------------

@@ -423,12 +423,34 @@ pub fn run_supervised_observed<T: LfdScalar>(
                     monitor.reset();
                     clean_defects.clear();
                     rollback_counter().inc();
+                    // Feed the ledger: the violation and the rollback are
+                    // attributed to the suspect callsite when the BLAS
+                    // layer flagged one (ABFT violation or non-finite
+                    // output), else to a supervisor row. The suspect is
+                    // kept until the escalation decision below consumes
+                    // it.
+                    if dcmesh_telemetry::events_enabled() {
+                        let mode_label = mode.env_value().unwrap_or("STANDARD");
+                        dcmesh_telemetry::ledger::record_health_violation(
+                            violation.kind(),
+                            mode_label,
+                        );
+                        dcmesh_telemetry::ledger::record_rollback(mode_label);
+                    }
                     dcmesh_telemetry::instant(
                         "rollback",
-                        vec![dcmesh_telemetry::Attr {
-                            key: "step",
-                            value: dcmesh_telemetry::AttrValue::U64(step),
-                        }],
+                        vec![
+                            dcmesh_telemetry::Attr {
+                                key: "step",
+                                value: dcmesh_telemetry::AttrValue::U64(step),
+                            },
+                            dcmesh_telemetry::Attr {
+                                key: "mode",
+                                value: dcmesh_telemetry::AttrValue::Str(
+                                    mode.env_value().unwrap_or("STANDARD"),
+                                ),
+                            },
+                        ],
                     );
 
                     attempt += 1;
@@ -486,6 +508,12 @@ pub fn run_supervised_observed<T: LfdScalar>(
                         }
                     };
                     escalation_counter().inc();
+                    if dcmesh_telemetry::events_enabled() {
+                        dcmesh_telemetry::ledger::record_escalation(
+                            current.env_value().unwrap_or("STANDARD"),
+                            next.env_value().unwrap_or("STANDARD"),
+                        );
+                    }
                     dcmesh_telemetry::instant(
                         "escalation",
                         vec![
@@ -528,6 +556,12 @@ pub fn run_supervised_observed<T: LfdScalar>(
         // the de-escalation policy.
         let defect = result.scf_drift.last().copied().unwrap_or(0.0);
         scf_defect_histogram().observe((defect.max(0.0) * 1e12) as u64);
+        if dcmesh_telemetry::events_enabled() {
+            dcmesh_telemetry::ledger::record_scf_defect(
+                current.env_value().unwrap_or("STANDARD"),
+                defect,
+            );
+        }
         if let Some(next) = consider_deescalation(sup, start_mode, current, defect, &mut clean_defects)
         {
             deescalation_counter().inc();

@@ -72,6 +72,7 @@ pub fn lowest_eigenpairs(
         .attr("ngrid", dcmesh_telemetry::AttrValue::U64(ngrid as u64))
         .attr("n_states", dcmesh_telemetry::AttrValue::U64(n_states as u64))
         .enter();
+    let _phase = dcmesh_telemetry::phase_scope("lfd::eigensolve");
 
     let sqrt_dv = mesh.dv().sqrt();
     let mut x: Vec<C64> = match guess {

@@ -157,6 +157,7 @@ pub fn qd_step_with_policy<T: LfdScalar>(
     // (1) Local propagation — mesh kernels only.
     {
         let _s = dcmesh_telemetry::span("qd_propagate").enter();
+        let _p = dcmesh_telemetry::phase_scope("lfd::qd_propagate");
         taylor_propagate(params, state, a_mid, scratch);
     }
 
@@ -164,24 +165,28 @@ pub fn qd_step_with_policy<T: LfdScalar>(
     // scratch so steps (3) and (5) read it without a per-step allocation.
     {
         let _s = dcmesh_telemetry::span("qd_nonlocal").enter();
+        let _p = dcmesh_telemetry::phase_scope("lfd::qd_nonlocal");
         nlp_prop_with_scratch(params, state, policy, &mut scratch.nlp);
     }
 
     // (3) Energies — BLAS 4–6 (+ one kinetic mesh sweep).
     let e: Energies = {
         let _s = dcmesh_telemetry::span("qd_energy").enter();
+        let _p = dcmesh_telemetry::phase_scope("lfd::qd_energy");
         calc_energy_with_policy(params, state, &scratch.nlp.projection, &mut scratch.h_out, policy)
     };
 
     // (4) Occupation remap — BLAS 7–8.
     let nexc = {
         let _s = dcmesh_telemetry::span("qd_remap_occ").enter();
+        let _p = dcmesh_telemetry::phase_scope("lfd::qd_remap_occ");
         remap_occ_with_policy(params, state, policy)
     };
 
     // (5) Shadow dynamics — BLAS 9.
     {
         let _s = dcmesh_telemetry::span("qd_shadow").enter();
+        let _p = dcmesh_telemetry::phase_scope("lfd::qd_shadow");
         shadow_update_with_policy(params, state, &scratch.nlp.projection, policy);
     }
 
@@ -190,6 +195,7 @@ pub fn qd_step_with_policy<T: LfdScalar>(
     let a_now = state.a_total(params, t_next);
     let javg = {
         let _s = dcmesh_telemetry::span("qd_field").enter();
+        let _p = dcmesh_telemetry::phase_scope("lfd::qd_field");
         let javg = current_density(params, state, a_now);
         advance_induced_field(params, state, javg);
         javg

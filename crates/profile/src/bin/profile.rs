@@ -1,13 +1,16 @@
 //! `profile`: trace analysis CLI over `events.jsonl` telemetry dumps.
 //!
 //! ```text
-//! profile flame  <events.jsonl> [--root NAME] [--by-mode] [--by-shape]
+//! profile flame  <events.jsonl> [--stream] [--root NAME] [--by-mode] [--by-shape]
 //!                [--svg PATH] [--ansi] [--folded PATH] [--metrics PATH]
-//! profile table  <events.jsonl> [--json PATH] [--metrics PATH]
-//! profile fold   <events.jsonl> [--root NAME] [--by-mode] [--by-shape]
+//! profile table  <events.jsonl> [--stream] [--json PATH] [--metrics PATH]
+//! profile fold   <events.jsonl> [--stream] [--root NAME] [--by-mode] [--by-shape]
 //! profile merge  <a.jsonl> <b.jsonl> [...] --out merged.json
 //! profile diff   <base.jsonl> <test.jsonl> [--root NAME] [--by-mode]
 //!                [--by-shape] [--svg PATH] [--ansi]
+//! profile watch  <run-dir|events.jsonl> [...] [--interval-ms N] [--once]
+//!                [--prom PATH]
+//! profile synth  --out PATH [--min-bytes N]
 //! ```
 //!
 //! `flame` writes a self-contained SVG (`--svg`) and/or an ANSI terminal
@@ -22,18 +25,32 @@
 //! `difffolded` collapsed text. All subcommands print ingestion/coverage
 //! warnings to stderr; `--metrics metrics.prom` adds producer-side drop
 //! counters to that check.
+//!
+//! `--stream` on `flame`/`table`/`fold` reads the input incrementally —
+//! memory stays bounded by the open-span depth plus the fold/table group
+//! count, never by the dump size — and produces byte-identical output to
+//! the batch path. `watch` tails live streams (re-scanning run
+//! directories for per-rank `events*.jsonl`) and redraws the merged
+//! precision ledger every `--interval-ms` (default 1000); `--once` prints
+//! a single snapshot and exits, `--prom` additionally maintains a
+//! Prometheus scrape file. `synth` writes a deterministic synthetic dump
+//! of at least `--min-bytes` (default 100 MiB) for exercising the
+//! streaming path.
 
-use dcmesh_profile::{diff, flame, fold, ingest, merge, table};
+use dcmesh_profile::{diff, flame, fold, ingest, merge, table, watch};
+use std::io::{BufRead, BufReader, IsTerminal, Write as _};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  profile flame  <events.jsonl> [--root NAME] [--by-mode] [--by-shape] \
-         [--svg PATH] [--ansi] [--folded PATH] [--metrics PATH]\n  profile table  \
-         <events.jsonl> [--json PATH] [--metrics PATH]\n  profile fold   <events.jsonl> \
-         [--root NAME] [--by-mode] [--by-shape]\n  profile merge  <a.jsonl> <b.jsonl> [...] \
-         --out merged.json\n  profile diff   <base.jsonl> <test.jsonl> [--root NAME] \
-         [--by-mode] [--by-shape] [--svg PATH] [--ansi]"
+        "usage:\n  profile flame  <events.jsonl> [--stream] [--root NAME] [--by-mode] \
+         [--by-shape] [--svg PATH] [--ansi] [--folded PATH] [--metrics PATH]\n  profile table  \
+         <events.jsonl> [--stream] [--json PATH] [--metrics PATH]\n  profile fold   \
+         <events.jsonl> [--stream] [--root NAME] [--by-mode] [--by-shape]\n  profile merge  \
+         <a.jsonl> <b.jsonl> [...] --out merged.json\n  profile diff   <base.jsonl> \
+         <test.jsonl> [--root NAME] [--by-mode] [--by-shape] [--svg PATH] [--ansi]\n  \
+         profile watch  <run-dir|events.jsonl> [...] [--interval-ms N] [--once] [--prom PATH]\n  \
+         profile synth  --out PATH [--min-bytes N]"
     );
     ExitCode::from(2)
 }
@@ -74,18 +91,73 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
     }
 }
 
+fn print_warnings(trace: &ingest::Trace, metrics_path: Option<String>) -> Result<(), ExitCode> {
+    let prom = match metrics_path {
+        Some(p) => Some(read(&p)?),
+        None => None,
+    };
+    for w in ingest::coverage_warnings(trace, prom.as_deref()) {
+        eprintln!("profile: warning: {w}");
+    }
+    Ok(())
+}
+
 fn ingest_with_warnings(
     input: &str,
     metrics_path: Option<String>,
 ) -> Result<ingest::Trace, ExitCode> {
     let trace = ingest::ingest_jsonl(&read(input)?);
-    let prom = match metrics_path {
-        Some(p) => Some(read(&p)?),
-        None => None,
-    };
-    for w in ingest::coverage_warnings(&trace, prom.as_deref()) {
-        eprintln!("profile: warning: {w}");
+    print_warnings(&trace, metrics_path)?;
+    Ok(trace)
+}
+
+/// Streams `input` line by line through a [`ingest::StreamingIngester`],
+/// handing every closed span to `on_span` as soon as it closes. Memory
+/// is bounded by the open-span depth; the returned trace carries the
+/// end-of-stream warnings and counters (its record vectors are already
+/// drained). Lines are fed exactly as the batch path's `str::lines()`
+/// would produce them, so both paths emit bit-identical output.
+fn stream_spans(
+    input: &str,
+    mut on_span: impl FnMut(&ingest::Span),
+) -> Result<ingest::Trace, ExitCode> {
+    let file = std::fs::File::open(input).map_err(|e| {
+        eprintln!("profile: cannot read {input}: {e}");
+        ExitCode::from(1)
+    })?;
+    let mut reader = BufReader::new(file);
+    let mut ing = ingest::StreamingIngester::new();
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        let n = reader.read_until(b'\n', &mut buf).map_err(|e| {
+            eprintln!("profile: read error on {input}: {e}");
+            ExitCode::from(1)
+        })?;
+        if n == 0 {
+            break;
+        }
+        let mut end = buf.len();
+        if buf.get(end.wrapping_sub(1)) == Some(&b'\n') {
+            end -= 1;
+        }
+        if buf.get(end.wrapping_sub(1)) == Some(&b'\r') {
+            end -= 1;
+        }
+        let line = String::from_utf8_lossy(&buf[..end]);
+        ing.feed_line(&line);
+        for span in ing.take_closed_spans() {
+            on_span(&span);
+        }
+        ing.take_closed_instants();
+        ing.take_closed_device();
     }
+    let mut trace = ing.finish();
+    for span in trace.spans.drain(..) {
+        on_span(&span);
+    }
+    trace.instants.clear();
+    trace.device.clear();
     Ok(trace)
 }
 
@@ -102,11 +174,19 @@ fn cmd_flame(mut args: Vec<String>) -> Result<(), ExitCode> {
     let folded_path = take_value(&mut args, "--folded");
     let metrics = take_value(&mut args, "--metrics");
     let ansi = take_flag(&mut args, "--ansi");
+    let stream = take_flag(&mut args, "--stream");
     let opts = fold_opts(&mut args);
     let [input] = args.as_slice() else { return Err(usage()) };
 
-    let trace = ingest_with_warnings(input, metrics)?;
-    let folded = fold::fold(&trace, &opts);
+    let folded = if stream {
+        let mut acc = fold::FoldAccum::new(opts.clone());
+        let trace = stream_spans(input, |s| acc.add_span(s))?;
+        print_warnings(&trace, metrics)?;
+        acc.finish()
+    } else {
+        let trace = ingest_with_warnings(input, metrics)?;
+        fold::fold(&trace, &opts)
+    };
     if folded.lines.is_empty() {
         eprintln!("profile: warning: no spans folded (empty trace or --root matched nothing)");
     }
@@ -133,13 +213,23 @@ fn cmd_flame(mut args: Vec<String>) -> Result<(), ExitCode> {
 fn cmd_table(mut args: Vec<String>) -> Result<(), ExitCode> {
     let json_path = take_value(&mut args, "--json");
     let metrics = take_value(&mut args, "--metrics");
+    let stream = take_flag(&mut args, "--stream");
     let [input] = args.as_slice() else { return Err(usage()) };
 
-    let trace = ingest_with_warnings(input, metrics)?;
-    let rows = table::gemm_table(&trace);
+    let mut acc = table::TableAccum::new();
+    if stream {
+        let trace = stream_spans(input, |s| acc.add_span(s))?;
+        print_warnings(&trace, metrics)?;
+    } else {
+        let trace = ingest_with_warnings(input, metrics)?;
+        for span in &trace.spans {
+            acc.add_span(span);
+        }
+    }
+    let rows = acc.gemm_rows();
     println!("== BLAS calls by (routine, mode, shape) — speedup vs FP32 ==");
     print!("{}", table::render_gemm_table(&rows));
-    let phases = table::phase_table(&trace);
+    let phases = acc.phase_rows();
     if !phases.is_empty() {
         println!("\n== Phase wall time by enclosing burst mode ==");
         print!("{}", table::render_phase_table(&phases));
@@ -152,10 +242,19 @@ fn cmd_table(mut args: Vec<String>) -> Result<(), ExitCode> {
 }
 
 fn cmd_fold(mut args: Vec<String>) -> Result<(), ExitCode> {
+    let stream = take_flag(&mut args, "--stream");
     let opts = fold_opts(&mut args);
     let [input] = args.as_slice() else { return Err(usage()) };
-    let trace = ingest_with_warnings(input, None)?;
-    print!("{}", fold::fold(&trace, &opts).to_collapsed());
+    let folded = if stream {
+        let mut acc = fold::FoldAccum::new(opts.clone());
+        let trace = stream_spans(input, |s| acc.add_span(s))?;
+        print_warnings(&trace, None)?;
+        acc.finish()
+    } else {
+        let trace = ingest_with_warnings(input, None)?;
+        fold::fold(&trace, &opts)
+    };
+    print!("{}", folded.to_collapsed());
     Ok(())
 }
 
@@ -200,6 +299,169 @@ fn cmd_merge(mut args: Vec<String>) -> Result<(), ExitCode> {
     Ok(())
 }
 
+fn cmd_watch(mut args: Vec<String>) -> Result<(), ExitCode> {
+    let interval_ms: u64 = match take_value(&mut args, "--interval-ms") {
+        Some(v) => v.parse().map_err(|_| usage())?,
+        None => 1000,
+    };
+    let once = take_flag(&mut args, "--once");
+    let prom_path = take_value(&mut args, "--prom");
+    if args.is_empty() {
+        return Err(usage());
+    }
+    let mut session = watch::WatchSession::new(&args);
+    let tty = std::io::stdout().is_terminal();
+    loop {
+        session.tick();
+        if let Some(p) = &prom_path {
+            watch::write_atomic(std::path::Path::new(p), &session.prometheus()).map_err(|e| {
+                eprintln!("profile: cannot write {p}: {e}");
+                ExitCode::from(1)
+            })?;
+        }
+        let mut out = String::new();
+        if tty && !once {
+            // Clear + home, so the dashboard redraws in place.
+            out.push_str("\x1b[2J\x1b[H");
+        }
+        out.push_str(&session.render());
+        print!("{out}");
+        let _ = std::io::stdout().flush();
+        if once {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(50)));
+    }
+}
+
+/// Deterministic synthetic event stream: repeated bursts of QD steps
+/// with CGEMM leaf spans (callsite/shape/mode attributes included) plus
+/// a sprinkle of instants and a few malformed lines, until the dump
+/// reaches `--min-bytes`. Every run produces identical bytes — the
+/// streaming-vs-batch CI gate depends on that.
+fn cmd_synth(mut args: Vec<String>) -> Result<(), ExitCode> {
+    let Some(out_path) = take_value(&mut args, "--out") else { return Err(usage()) };
+    let min_bytes: u64 = match take_value(&mut args, "--min-bytes") {
+        Some(v) => v.parse().map_err(|_| usage())?,
+        None => 100 * 1024 * 1024,
+    };
+    if !args.is_empty() {
+        return Err(usage());
+    }
+    let file = std::fs::File::create(&out_path).map_err(|e| {
+        eprintln!("profile: cannot write {out_path}: {e}");
+        ExitCode::from(1)
+    })?;
+    let mut w = std::io::BufWriter::new(file);
+    let mut written: u64 = 0;
+    let mut seq: u64 = 0;
+    let mut ts: u64 = 0;
+    // Fixed-seed LCG: shape and timing variety without `rand`.
+    let mut lcg: u64 = 0x9e3779b97f4a7c15;
+    let mut next = |m: u64| {
+        lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (lcg >> 33) % m
+    };
+    let emit = |w: &mut std::io::BufWriter<std::fs::File>,
+                    written: &mut u64,
+                    line: String|
+     -> Result<(), ExitCode> {
+        *written += line.len() as u64 + 1;
+        writeln!(w, "{line}").map_err(|e| {
+            eprintln!("profile: write error on {out_path}: {e}");
+            ExitCode::from(1)
+        })
+    };
+    let event = |seq: u64, ts: u64, kind: &str, name: &str, args: &str| {
+        format!(
+            "{{\"seq\":{seq},\"ts_ns\":{ts},\"kind\":\"{kind}\",\"name\":\"{name}\",\
+             \"track\":\"host\",\"tid\":0,\"args\":{{{args}}}}}"
+        )
+    };
+    emit(
+        &mut w,
+        &mut written,
+        event(seq, ts, "i", "telemetry_meta", "\"run_epoch\":1000000,\"rank\":0,\"sample_n\":1"),
+    )?;
+    const MODES: [&str; 3] = ["BF16X2", "FLOAT_TO_BF16", "STANDARD"];
+    const SHAPES: [(u64, u64, u64); 4] =
+        [(64, 448, 2048), (128, 896, 4096), (256, 896, 4096), (64, 64, 64)];
+    let mut burst = 0u64;
+    while written < min_bytes {
+        let mode = MODES[(burst % 3) as usize];
+        seq += 1;
+        emit(&mut w, &mut written, event(seq, ts, "B", "burst", &format!("\"mode\":\"{mode}\"")))?;
+        for _ in 0..8 {
+            seq += 1;
+            ts += 1 + next(100);
+            emit(&mut w, &mut written, event(seq, ts, "B", "qd_step", ""))?;
+            seq += 1;
+            ts += 1;
+            emit(&mut w, &mut written, event(seq, ts, "B", "qd_propagate", ""))?;
+            for _ in 0..4 {
+                let (m, n, k) = SHAPES[next(4) as usize];
+                seq += 1;
+                ts += 1;
+                emit(
+                    &mut w,
+                    &mut written,
+                    event(
+                        seq,
+                        ts,
+                        "B",
+                        "CGEMM",
+                        &format!(
+                            "\"callsite\":\"lfd::qd_propagate/cgemm\",\"m\":{m},\"n\":{n},\
+                             \"k\":{k},\"mode\":\"{mode}\""
+                        ),
+                    ),
+                )?;
+                seq += 1;
+                ts += 100 + next(5000);
+                emit(
+                    &mut w,
+                    &mut written,
+                    event(seq, ts, "E", "CGEMM", &format!("\"wall_s\":{}e-6", 1 + next(50))),
+                )?;
+            }
+            seq += 1;
+            ts += 1 + next(200);
+            emit(&mut w, &mut written, event(seq, ts, "E", "qd_propagate", ""))?;
+            seq += 1;
+            ts += 1;
+            emit(&mut w, &mut written, event(seq, ts, "E", "qd_step", ""))?;
+        }
+        if burst % 97 == 11 {
+            seq += 1;
+            emit(
+                &mut w,
+                &mut written,
+                event(
+                    seq,
+                    ts,
+                    "i",
+                    "rollback",
+                    &format!("\"step\":{burst},\"mode\":\"{mode}\""),
+                ),
+            )?;
+        }
+        if burst % 193 == 42 {
+            // A torn line, as a crashed writer would leave behind.
+            emit(&mut w, &mut written, format!("{{\"seq\":{seq},\"ts_ns\":{ts},\"ki"))?;
+        }
+        seq += 1;
+        ts += 1 + next(50);
+        emit(&mut w, &mut written, event(seq, ts, "E", "burst", ""))?;
+        burst += 1;
+    }
+    w.flush().map_err(|e| {
+        eprintln!("profile: write error on {out_path}: {e}");
+        ExitCode::from(1)
+    })?;
+    eprintln!("profile: wrote {out_path} ({written} bytes, {burst} bursts)");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
@@ -212,6 +474,8 @@ fn main() -> ExitCode {
         "fold" => cmd_fold(argv),
         "merge" => cmd_merge(argv),
         "diff" => cmd_diff(argv),
+        "watch" => cmd_watch(argv),
+        "synth" => cmd_synth(argv),
         _ => Err(usage()),
     };
     match result {

@@ -77,26 +77,52 @@ fn under_root(span: &Span, root: &str) -> bool {
         || (span.stack.is_empty() && span.name == root)
 }
 
-/// Folds a trace into collapsed stacks of weighted self time.
-pub fn fold(trace: &Trace, opts: &FoldOptions) -> Folded {
-    let mut folded = Folded::default();
-    for span in &trace.spans {
-        if let Some(root) = &opts.root {
+/// Incremental folding: feed spans one at a time (streaming ingestion)
+/// and take the [`Folded`] result at the end. [`fold`] is the batch
+/// wrapper over this, so both paths produce identical output.
+#[derive(Clone, Debug, Default)]
+pub struct FoldAccum {
+    opts: FoldOptions,
+    folded: Folded,
+}
+
+impl FoldAccum {
+    /// An empty accumulator with the given options.
+    pub fn new(opts: FoldOptions) -> Self {
+        FoldAccum { opts, folded: Folded::default() }
+    }
+
+    /// Folds one span in.
+    pub fn add_span(&mut self, span: &Span) {
+        if let Some(root) = &self.opts.root {
             if !under_root(span, root) {
-                continue;
+                return;
             }
         }
         if span.self_ns == 0 {
-            continue;
+            return;
         }
         let mut stack = span.stack.join(";");
         if !stack.is_empty() {
             stack.push(';');
         }
-        stack.push_str(&frame_label(span, opts));
-        *folded.lines.entry(stack).or_insert(0.0) += span.self_ns as f64 * span.weight;
+        stack.push_str(&frame_label(span, &self.opts));
+        *self.folded.lines.entry(stack).or_insert(0.0) += span.self_ns as f64 * span.weight;
     }
-    folded
+
+    /// The folded result so far.
+    pub fn finish(self) -> Folded {
+        self.folded
+    }
+}
+
+/// Folds a trace into collapsed stacks of weighted self time.
+pub fn fold(trace: &Trace, opts: &FoldOptions) -> Folded {
+    let mut acc = FoldAccum::new(opts.clone());
+    for span in &trace.spans {
+        acc.add_span(span);
+    }
+    acc.finish()
 }
 
 #[cfg(test)]

@@ -18,6 +18,14 @@
 //! string join), its `sample_weight` (1 when unsampled), and its **self
 //! time** (duration minus children), computed incrementally during the
 //! stack replay.
+//!
+//! Ingestion is **streaming-first**: [`StreamingIngester`] folds one line
+//! at a time in bounded memory (the only retained state is the open-frame
+//! stacks plus whatever closed records the consumer hasn't drained via
+//! [`StreamingIngester::take_closed_spans`]), and the batch entry point
+//! [`ingest_jsonl`] is a thin wrapper that feeds every line and calls
+//! [`StreamingIngester::finish`] — so the batch and streaming paths are
+//! bit-identical by construction.
 
 use dcmesh_telemetry::json::{self, JsonValue};
 use std::collections::BTreeMap;
@@ -56,6 +64,11 @@ pub struct Span {
     pub self_ns: u64,
     /// True when the matching `E` was missing (dropped or truncated).
     pub truncated: bool,
+    /// Compute mode of the enclosing `burst` span (or of this span, if
+    /// it *is* a burst), resolved from the open-frame stack at close
+    /// time. Stack-based so streaming consumers never need to retain
+    /// closed bursts for time-containment lookups.
+    pub burst_mode: Option<String>,
 }
 
 impl Span {
@@ -101,6 +114,20 @@ pub struct DeviceSlice {
     pub attrs: BTreeMap<String, JsonValue>,
 }
 
+/// Maximum offending lines identified individually in the skip report;
+/// beyond this only the total is kept (a corrupt multi-GB stream must
+/// not grow an unbounded report).
+pub const MAX_SKIP_REPORT: usize = 8;
+
+/// Location of one malformed input line, for the skip report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SkipRecord {
+    /// 1-based line number in the stream.
+    pub line_no: u64,
+    /// Byte offset of the line's first byte (assumes LF line endings).
+    pub byte_offset: u64,
+}
+
 /// A fully ingested trace.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
@@ -116,6 +143,8 @@ pub struct Trace {
     pub warnings: Vec<String>,
     /// Lines that failed to parse as JSON.
     pub skipped_lines: u64,
+    /// Locations of the first [`MAX_SKIP_REPORT`] malformed lines.
+    pub skipped: Vec<SkipRecord>,
     /// `E` events with no open frame to close.
     pub orphan_ends: u64,
     /// Spans closed without their own `E` (dropped events or truncation).
@@ -163,21 +192,86 @@ pub fn prom_value(dump: &str, series: &str) -> Option<f64> {
 /// Ingests a JSONL event dump. Never fails: malformed input degrades into
 /// counted warnings rather than errors, because a truncated trace from a
 /// crashed run is exactly what one most wants to profile.
+///
+/// This is the batch convenience over [`StreamingIngester`]: every line
+/// is fed through the same incremental machinery, so the result is
+/// bit-identical to a chunked streaming run over the same bytes.
 pub fn ingest_jsonl(text: &str) -> Trace {
-    let mut trace = Trace::default();
-    // Per-tid stacks of open frames.
-    let mut stacks: BTreeMap<u64, Vec<OpenFrame>> = BTreeMap::new();
-    let mut last_ts: u64 = 0;
-
+    let mut ing = StreamingIngester::new();
     for line in text.lines() {
+        ing.feed_line(line);
+    }
+    ing.finish()
+}
+
+/// Incremental JSONL ingestion in bounded memory.
+///
+/// Feed one line at a time with [`feed_line`](Self::feed_line); closed
+/// records accumulate in the internal [`Trace`] until drained with
+/// [`take_closed_spans`](Self::take_closed_spans) (and the instant /
+/// device equivalents). A consumer that drains after every chunk holds
+/// only the open-frame stacks — O(max span depth × threads) — no matter
+/// how many gigabytes flow through. [`finish`](Self::finish) closes
+/// still-open frames as truncated and returns the trace with the
+/// end-of-stream warnings attached.
+#[derive(Default)]
+pub struct StreamingIngester {
+    trace: Trace,
+    /// Per-tid stacks of open frames.
+    stacks: BTreeMap<u64, Vec<OpenFrame>>,
+    /// Maximum host-track timestamp observed (close point for truncated
+    /// frames at end of stream).
+    last_ts: u64,
+    /// 1-based number of the next line to be fed.
+    next_line_no: u64,
+    /// Byte offset of the next line's first byte (LF endings assumed).
+    byte_offset: u64,
+}
+
+impl StreamingIngester {
+    /// A fresh ingester at line 1, byte 0.
+    pub fn new() -> Self {
+        StreamingIngester::default()
+    }
+
+    /// Stream metadata seen so far (populated once the `telemetry_meta`
+    /// header line has been fed).
+    pub fn meta(&self) -> &Meta {
+        &self.trace.meta
+    }
+
+    /// Spans closed so far, draining them from the internal trace.
+    pub fn take_closed_spans(&mut self) -> Vec<Span> {
+        std::mem::take(&mut self.trace.spans)
+    }
+
+    /// Instants seen so far, draining them from the internal trace.
+    pub fn take_closed_instants(&mut self) -> Vec<InstantEvent> {
+        std::mem::take(&mut self.trace.instants)
+    }
+
+    /// Device slices seen so far, draining them from the internal trace.
+    pub fn take_closed_device(&mut self) -> Vec<DeviceSlice> {
+        std::mem::take(&mut self.trace.device)
+    }
+
+    /// Feeds one line (without its trailing newline). Malformed lines
+    /// are counted — and the first [`MAX_SKIP_REPORT`] located by line
+    /// number and byte offset — never fatal.
+    pub fn feed_line(&mut self, line: &str) {
+        self.next_line_no += 1;
+        let line_no = self.next_line_no;
+        let line_start = self.byte_offset;
+        self.byte_offset += line.len() as u64 + 1;
+        let line = line.strip_suffix('\r').unwrap_or(line);
         if line.trim().is_empty() {
-            continue;
+            return;
         }
         let row = match json::parse(line) {
             Ok(v) => v,
             Err(_) => {
-                trace.skipped_lines += 1;
-                continue;
+                self.record_skip(line_no, line_start);
+                return;
             }
         };
         let name = row.get("name").and_then(JsonValue::as_str).unwrap_or("").to_string();
@@ -188,7 +282,7 @@ pub fn ingest_jsonl(text: &str) -> Trace {
         let attrs = attrs_of(&row);
 
         if name == "telemetry_meta" {
-            trace.meta = Meta {
+            self.trace.meta = Meta {
                 run_epoch_unix_ns: attrs
                     .get("run_epoch")
                     .and_then(JsonValue::as_f64)
@@ -198,10 +292,10 @@ pub fn ingest_jsonl(text: &str) -> Trace {
                     as u64,
                 present: true,
             };
-            continue;
+            return;
         }
         if track == "host" {
-            last_ts = last_ts.max(ts_ns);
+            self.last_ts = self.last_ts.max(ts_ns);
         }
 
         match kind {
@@ -211,7 +305,7 @@ pub fn ingest_jsonl(text: &str) -> Trace {
                     .and_then(JsonValue::as_f64)
                     .filter(|w| *w >= 1.0)
                     .unwrap_or(1.0);
-                stacks.entry(tid).or_default().push(OpenFrame {
+                self.stacks.entry(tid).or_default().push(OpenFrame {
                     name,
                     start_ns: ts_ns,
                     weight,
@@ -220,60 +314,81 @@ pub fn ingest_jsonl(text: &str) -> Trace {
                 });
             }
             "E" => {
-                let stack = stacks.entry(tid).or_default();
+                let stack = self.stacks.entry(tid).or_default();
                 match stack.iter().rposition(|f| f.name == name) {
-                    None => trace.orphan_ends += 1,
+                    None => self.trace.orphan_ends += 1,
                     Some(pos) => {
                         // Frames above `pos` lost their own E events: close
                         // them at this timestamp, innermost first.
                         while stack.len() > pos + 1 {
-                            close_frame(&mut trace, stack, tid, ts_ns, BTreeMap::new(), true);
+                            close_frame(&mut self.trace, stack, tid, ts_ns, BTreeMap::new(), true);
                         }
-                        close_frame(&mut trace, stack, tid, ts_ns, attrs, false);
+                        close_frame(&mut self.trace, stack, tid, ts_ns, attrs, false);
                     }
                 }
             }
-            "i" => trace.instants.push(InstantEvent { name, ts_ns, tid, attrs }),
+            "i" => self.trace.instants.push(InstantEvent { name, ts_ns, tid, attrs }),
             "X" => {
                 let dur_ns =
                     row.get("dur_ns").and_then(JsonValue::as_f64).unwrap_or(0.0) as u64;
-                trace.device.push(DeviceSlice { name, start_ns: ts_ns, dur_ns, attrs });
+                self.trace.device.push(DeviceSlice { name, start_ns: ts_ns, dur_ns, attrs });
             }
-            _ => trace.skipped_lines += 1,
+            _ => self.record_skip(line_no, line_start),
         }
     }
 
-    // Close whatever survives to end-of-stream as truncated.
-    for (&tid, stack) in stacks.iter_mut() {
-        while !stack.is_empty() {
-            close_frame(&mut trace, stack, tid, last_ts, BTreeMap::new(), true);
+    fn record_skip(&mut self, line_no: u64, byte_offset: u64) {
+        self.trace.skipped_lines += 1;
+        if self.trace.skipped.len() < MAX_SKIP_REPORT {
+            self.trace.skipped.push(SkipRecord { line_no, byte_offset });
         }
     }
 
-    if trace.skipped_lines > 0 {
-        trace
-            .warnings
-            .push(format!("{} malformed line(s) skipped (truncated dump?)", trace.skipped_lines));
+    /// Closes still-open frames as truncated, attaches the end-of-stream
+    /// warnings, and returns the trace (minus anything already drained).
+    pub fn finish(mut self) -> Trace {
+        for (&tid, stack) in self.stacks.iter_mut() {
+            while !stack.is_empty() {
+                close_frame(&mut self.trace, stack, tid, self.last_ts, BTreeMap::new(), true);
+            }
+        }
+        let trace = &mut self.trace;
+        if trace.skipped_lines > 0 {
+            let mut w = format!(
+                "{} malformed line(s) skipped (truncated dump?); first at {}",
+                trace.skipped_lines,
+                trace
+                    .skipped
+                    .iter()
+                    .map(|s| format!("line {} (byte {})", s.line_no, s.byte_offset))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            if trace.skipped_lines > trace.skipped.len() as u64 {
+                w.push_str(", ...");
+            }
+            trace.warnings.push(w);
+        }
+        if trace.orphan_ends > 0 {
+            trace.warnings.push(format!(
+                "{} span end(s) had no matching begin (ring dropped the begins)",
+                trace.orphan_ends
+            ));
+        }
+        if trace.truncated_spans > 0 {
+            trace.warnings.push(format!(
+                "{} span(s) closed without their end event (dropped or truncated)",
+                trace.truncated_spans
+            ));
+        }
+        if !trace.meta.present {
+            trace.warnings.push(
+                "no telemetry_meta header: rank defaults to 0 and clocks cannot be aligned"
+                    .to_string(),
+            );
+        }
+        self.trace
     }
-    if trace.orphan_ends > 0 {
-        trace.warnings.push(format!(
-            "{} span end(s) had no matching begin (ring dropped the begins)",
-            trace.orphan_ends
-        ));
-    }
-    if trace.truncated_spans > 0 {
-        trace.warnings.push(format!(
-            "{} span(s) closed without their end event (dropped or truncated)",
-            trace.truncated_spans
-        ));
-    }
-    if !trace.meta.present {
-        trace.warnings.push(
-            "no telemetry_meta header: rank defaults to 0 and clocks cannot be aligned"
-                .to_string(),
-        );
-    }
-    trace
 }
 
 /// Pops the innermost open frame on `stack` into `trace.spans`.
@@ -295,6 +410,21 @@ fn close_frame(
     if truncated {
         trace.truncated_spans += 1;
     }
+    // Resolve the enclosing burst's compute mode from the open-frame
+    // stack (innermost burst wins; the span's own mode if it *is* a
+    // burst). Doing this at close time keeps the streaming path free of
+    // any need to retain closed bursts.
+    let burst_mode = if frame.name == "burst" {
+        attrs.get("mode").and_then(JsonValue::as_str).map(str::to_string)
+    } else {
+        stack
+            .iter()
+            .rev()
+            .find(|f| f.name == "burst")
+            .and_then(|f| f.attrs.get("mode"))
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+    };
     trace.spans.push(Span {
         name: frame.name,
         tid,
@@ -305,6 +435,7 @@ fn close_frame(
         attrs,
         self_ns: dur.saturating_sub(frame.children_ns),
         truncated,
+        burst_mode,
     });
 }
 
@@ -442,6 +573,103 @@ mod tests {
         assert_eq!(t.spans.len(), 1);
         assert_eq!(t.spans[0].dur_ns(), 0);
         assert_eq!(t.spans[0].self_ns, 0);
+    }
+
+    #[test]
+    fn skip_report_locates_malformed_lines() {
+        let good = line(0, "B", "burst", 0, "");
+        let bad1 = "not json at all";
+        let good2 = line(1, "E", "burst", 10, "");
+        let bad2 = "{torn";
+        let text = [good.as_str(), bad1, good2.as_str(), bad2].join("\n");
+        let t = ingest_jsonl(&text);
+        assert_eq!(t.skipped_lines, 2);
+        assert_eq!(
+            t.skipped,
+            vec![
+                SkipRecord { line_no: 2, byte_offset: good.len() as u64 + 1 },
+                SkipRecord {
+                    line_no: 4,
+                    byte_offset: (good.len() + 1 + bad1.len() + 1 + good2.len() + 1) as u64,
+                },
+            ]
+        );
+        let w = t.warnings.iter().find(|w| w.contains("malformed")).unwrap();
+        assert!(w.contains("line 2 (byte"), "{w}");
+        assert!(w.contains("line 4 (byte"), "{w}");
+        assert!(!w.contains(", ..."), "all offenders listed: {w}");
+    }
+
+    #[test]
+    fn skip_report_caps_at_max() {
+        let text: Vec<String> = (0..MAX_SKIP_REPORT + 3).map(|i| format!("junk {i}")).collect();
+        let t = ingest_jsonl(&text.join("\n"));
+        assert_eq!(t.skipped_lines, (MAX_SKIP_REPORT + 3) as u64);
+        assert_eq!(t.skipped.len(), MAX_SKIP_REPORT);
+        let w = t.warnings.iter().find(|w| w.contains("malformed")).unwrap();
+        assert!(w.ends_with(", ..."), "overflow marker present: {w}");
+    }
+
+    #[test]
+    fn streaming_drains_match_batch() {
+        let text = [
+            line(0, "B", "burst", 0, "\"mode\":\"BF16X2\""),
+            line(1, "B", "CGEMM", 10, "\"m\":8"),
+            line(2, "E", "CGEMM", 30, ""),
+            line(3, "i", "escalation", 40, ""),
+            line(4, "E", "burst", 100, ""),
+            line(5, "B", "qd_step", 110, ""), // left open: truncated
+        ]
+        .join("\n");
+        let batch = ingest_jsonl(&text);
+
+        let mut ing = StreamingIngester::new();
+        let mut spans = Vec::new();
+        let mut instants = Vec::new();
+        for l in text.lines() {
+            ing.feed_line(l);
+            // Drain after every line — the harshest bounded-memory mode.
+            spans.extend(ing.take_closed_spans());
+            instants.extend(ing.take_closed_instants());
+        }
+        let tail = ing.finish();
+        spans.extend(tail.spans);
+        instants.extend(tail.instants);
+
+        assert_eq!(spans.len(), batch.spans.len());
+        for (a, b) in spans.iter().zip(&batch.spans) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.start_ns, b.start_ns);
+            assert_eq!(a.end_ns, b.end_ns);
+            assert_eq!(a.self_ns, b.self_ns);
+            assert_eq!(a.stack, b.stack);
+            assert_eq!(a.truncated, b.truncated);
+            assert_eq!(a.burst_mode, b.burst_mode);
+        }
+        assert_eq!(instants.len(), batch.instants.len());
+        assert_eq!(tail.warnings, batch.warnings);
+    }
+
+    #[test]
+    fn burst_mode_resolves_from_open_stack() {
+        let text = [
+            line(0, "B", "burst", 0, "\"mode\":\"BF16X2\""),
+            line(1, "B", "qd_step", 5, ""),
+            line(2, "B", "qd_propagate", 10, ""),
+            line(3, "E", "qd_propagate", 20, ""),
+            line(4, "E", "qd_step", 25, ""),
+            line(5, "E", "burst", 30, ""),
+            line(6, "B", "orphan_phase", 40, ""),
+            line(7, "E", "orphan_phase", 50, ""),
+        ]
+        .join("\n");
+        let t = ingest_jsonl(&text);
+        let prop = t.spans_named("qd_propagate").next().unwrap();
+        assert_eq!(prop.burst_mode.as_deref(), Some("BF16X2"));
+        let burst = t.spans_named("burst").next().unwrap();
+        assert_eq!(burst.burst_mode.as_deref(), Some("BF16X2"), "a burst carries its own mode");
+        let orphan = t.spans_named("orphan_phase").next().unwrap();
+        assert_eq!(orphan.burst_mode, None, "no enclosing burst");
     }
 
     #[test]

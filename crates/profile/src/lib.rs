@@ -19,15 +19,23 @@
 //!   frame by frame in the red/blue convention (red = grew, blue =
 //!   shrank): the before/after view for compute-mode switches and
 //!   kernel changes.
+//! * **Live watch** ([`watch`]) — tail `events*.jsonl` streams mid-run
+//!   (single-process or one per shard rank) and render the merged
+//!   per-(callsite, shape, mode) precision ledger as it evolves, with
+//!   an optional Prometheus scrape file.
 //!
 //! Ingestion ([`ingest`]) is deliberately forgiving: ring-dropped events
 //! and truncated tails degrade into counted warnings, not errors, and
 //! `sample_weight` attributes from span-aware sampling rescale every
-//! downstream total so sampled and full traces are comparable.
+//! downstream total so sampled and full traces are comparable. It is
+//! also streaming-first: [`ingest::StreamingIngester`] folds a stream
+//! line by line in memory bounded by the open-span depth, and the batch
+//! [`ingest_jsonl`] is a thin wrapper over it, so batch and `--stream`
+//! outputs are bit-identical by construction.
 //!
 //! The `profile` binary in this crate exposes all of it as a CLI:
 //! `profile flame`, `profile table`, `profile merge`, `profile fold`,
-//! `profile diff`.
+//! `profile diff`, `profile watch`, `profile synth`.
 
 pub mod diff;
 pub mod flame;
@@ -35,10 +43,12 @@ pub mod fold;
 pub mod ingest;
 pub mod merge;
 pub mod table;
+pub mod watch;
 
 pub use diff::{build_diff_tree, render_diff_ansi, render_diff_svg, to_collapsed_diff, DiffFrame};
 pub use flame::{build_tree, render_ansi, render_svg, Frame};
 pub use fold::{fold, FoldOptions, Folded};
-pub use ingest::{coverage_warnings, ingest_jsonl, Meta, Span, Trace};
+pub use ingest::{coverage_warnings, ingest_jsonl, Meta, Span, StreamingIngester, Trace};
 pub use merge::merge_jsonl;
-pub use table::{gemm_table, gemm_table_json, phase_table, CallRow, PhaseRow};
+pub use table::{gemm_table, gemm_table_json, phase_table, CallRow, PhaseRow, TableAccum};
+pub use watch::{WatchLedger, WatchSession};

@@ -72,74 +72,127 @@ fn is_blas_call(span: &Span) -> bool {
         && span.attr_str("mode").is_some()
 }
 
-/// Builds the per-(routine, mode, shape) call table, baseline speedups
-/// included. Rows are sorted by routine, then shape, then mode, so the
-/// FP32 baseline and its low-precision variants sit adjacent.
-pub fn gemm_table(trace: &Trace) -> Vec<CallRow> {
-    struct Acc {
-        calls: f64,
-        wall_s: f64,
-        device_s: f64,
-        device_samples: f64,
-    }
-    let mut groups: BTreeMap<(String, u64, u64, u64, String), Acc> = BTreeMap::new();
-    for span in trace.spans.iter().filter(|s| is_blas_call(s)) {
-        let key = (
-            span.name.clone(),
-            span.attr_f64("m").unwrap_or(0.0) as u64,
-            span.attr_f64("n").unwrap_or(0.0) as u64,
-            span.attr_f64("k").unwrap_or(0.0) as u64,
-            span.attr_str("mode").unwrap_or("-").to_string(),
-        );
-        let wall = span.attr_f64("wall_s").unwrap_or(span.dur_ns() as f64 / 1e9);
-        let acc = groups.entry(key).or_insert(Acc {
-            calls: 0.0,
-            wall_s: 0.0,
-            device_s: 0.0,
-            device_samples: 0.0,
-        });
-        acc.calls += span.weight;
-        acc.wall_s += wall * span.weight;
-        if let Some(dev) = span.attr_f64("device_s") {
-            acc.device_s += dev * span.weight;
-            acc.device_samples += span.weight;
-        }
+/// Incremental table building: feed spans one at a time (streaming
+/// ingestion) and materialise the GEMM and phase tables at the end.
+/// [`gemm_table`] / [`phase_table`] are batch wrappers over this, so
+/// both paths produce identical rows. Memory is bounded by the number
+/// of distinct (routine, shape, mode) and (phase, mode) groups, never
+/// by the stream length.
+#[derive(Clone, Debug, Default)]
+pub struct TableAccum {
+    gemm_groups: BTreeMap<(String, u64, u64, u64, String), GemmAcc>,
+    phase_groups: BTreeMap<(String, String), f64>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct GemmAcc {
+    calls: f64,
+    wall_s: f64,
+    device_s: f64,
+    device_samples: f64,
+}
+
+impl TableAccum {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        TableAccum::default()
     }
 
-    let mut rows: Vec<CallRow> = groups
-        .into_iter()
-        .map(|((routine, m, n, k, mode), acc)| CallRow {
-            routine,
-            mode,
-            m,
-            n,
-            k,
-            calls: acc.calls,
-            mean_wall_s: acc.wall_s / acc.calls.max(1e-12),
-            mean_device_s: (acc.device_samples > 0.0)
-                .then(|| acc.device_s / acc.device_samples),
-            speedup_vs_fp32: None,
-        })
-        .collect();
-
-    // Baseline per (routine, shape): the STANDARD row's effective time.
-    let baselines: BTreeMap<(String, u64, u64, u64), f64> = rows
-        .iter()
-        .filter(|r| r.mode == BASELINE_MODE)
-        .map(|r| ((r.routine.clone(), r.m, r.n, r.k), r.effective_s()))
-        .collect();
-    for row in &mut rows {
-        if let Some(base) = baselines.get(&(row.routine.clone(), row.m, row.n, row.k)) {
-            let own = row.effective_s();
-            if own > 0.0 {
-                row.speedup_vs_fp32 = Some(base / own);
+    /// Folds one span into both tables.
+    pub fn add_span(&mut self, span: &Span) {
+        if is_blas_call(span) {
+            let key = (
+                span.name.clone(),
+                span.attr_f64("m").unwrap_or(0.0) as u64,
+                span.attr_f64("n").unwrap_or(0.0) as u64,
+                span.attr_f64("k").unwrap_or(0.0) as u64,
+                span.attr_str("mode").unwrap_or("-").to_string(),
+            );
+            let wall = span.attr_f64("wall_s").unwrap_or(span.dur_ns() as f64 / 1e9);
+            let acc = self.gemm_groups.entry(key).or_default();
+            acc.calls += span.weight;
+            acc.wall_s += wall * span.weight;
+            if let Some(dev) = span.attr_f64("device_s") {
+                acc.device_s += dev * span.weight;
+                acc.device_samples += span.weight;
             }
         }
+        if PHASES.contains(&span.name.as_str()) {
+            let mode = span.burst_mode.as_deref().unwrap_or("-");
+            *self.phase_groups.entry((span.name.clone(), mode.to_string())).or_insert(0.0) +=
+                span.dur_ns() as f64 * span.weight;
+        }
     }
-    rows.sort_by(|a, b| {
-        (&a.routine, a.m, a.n, a.k, &a.mode).cmp(&(&b.routine, b.m, b.n, b.k, &b.mode))
-    });
-    rows
+
+    /// The per-(routine, mode, shape) call table, baseline speedups
+    /// included. Rows are sorted by routine, then shape, then mode, so
+    /// the FP32 baseline and its low-precision variants sit adjacent.
+    pub fn gemm_rows(&self) -> Vec<CallRow> {
+        let mut rows: Vec<CallRow> = self
+            .gemm_groups
+            .iter()
+            .map(|((routine, m, n, k, mode), acc)| CallRow {
+                routine: routine.clone(),
+                mode: mode.clone(),
+                m: *m,
+                n: *n,
+                k: *k,
+                calls: acc.calls,
+                mean_wall_s: acc.wall_s / acc.calls.max(1e-12),
+                mean_device_s: (acc.device_samples > 0.0)
+                    .then(|| acc.device_s / acc.device_samples),
+                speedup_vs_fp32: None,
+            })
+            .collect();
+
+        // Baseline per (routine, shape): the STANDARD row's effective time.
+        let baselines: BTreeMap<(String, u64, u64, u64), f64> = rows
+            .iter()
+            .filter(|r| r.mode == BASELINE_MODE)
+            .map(|r| ((r.routine.clone(), r.m, r.n, r.k), r.effective_s()))
+            .collect();
+        for row in &mut rows {
+            if let Some(base) = baselines.get(&(row.routine.clone(), row.m, row.n, row.k)) {
+                let own = row.effective_s();
+                if own > 0.0 {
+                    row.speedup_vs_fp32 = Some(base / own);
+                }
+            }
+        }
+        rows.sort_by(|a, b| {
+            (&a.routine, a.m, a.n, a.k, &a.mode).cmp(&(&b.routine, b.m, b.n, b.k, &b.mode))
+        });
+        rows
+    }
+
+    /// The per-(phase, mode) wall-time attribution table, sorted by
+    /// descending total.
+    pub fn phase_rows(&self) -> Vec<PhaseRow> {
+        let grand: f64 = self.phase_groups.values().sum();
+        let mut rows: Vec<PhaseRow> = self
+            .phase_groups
+            .iter()
+            .map(|((phase, mode), total_ns)| PhaseRow {
+                phase: phase.clone(),
+                mode: mode.clone(),
+                total_ns: *total_ns,
+                share: total_ns / grand.max(1.0),
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.total_ns.partial_cmp(&a.total_ns).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        rows
+    }
+}
+
+/// Builds the per-(routine, mode, shape) call table from a full trace.
+pub fn gemm_table(trace: &Trace) -> Vec<CallRow> {
+    let mut acc = TableAccum::new();
+    for span in &trace.spans {
+        acc.add_span(span);
+    }
+    acc.gemm_rows()
 }
 
 /// Phase span names attributed in the Figure 3a-style table.
@@ -156,42 +209,15 @@ pub const PHASES: &[&str] = &[
     "md_step",
 ];
 
-/// The mode of the burst enclosing `span`, if any.
-fn enclosing_burst_mode<'a>(span: &Span, bursts: &'a [(&Span, &str)]) -> &'a str {
-    bursts
-        .iter()
-        .find(|(b, _)| {
-            b.tid == span.tid && b.start_ns <= span.start_ns && span.end_ns <= b.end_ns
-        })
-        .map(|(_, mode)| *mode)
-        .unwrap_or("-")
-}
-
-/// Builds the per-(phase, mode) wall-time attribution table, sorted by
-/// descending total.
+/// Builds the per-(phase, mode) wall-time attribution table from a full
+/// trace. Attribution uses the span's stack-resolved `burst_mode`, so
+/// the streaming path needs no retained burst spans.
 pub fn phase_table(trace: &Trace) -> Vec<PhaseRow> {
-    let bursts: Vec<(&Span, &str)> = trace
-        .spans_named("burst")
-        .map(|b| (b, b.attr_str("mode").unwrap_or("-")))
-        .collect();
-    let mut groups: BTreeMap<(String, String), f64> = BTreeMap::new();
-    for span in trace.spans.iter().filter(|s| PHASES.contains(&s.name.as_str())) {
-        let mode = enclosing_burst_mode(span, &bursts);
-        *groups.entry((span.name.clone(), mode.to_string())).or_insert(0.0) +=
-            span.dur_ns() as f64 * span.weight;
+    let mut acc = TableAccum::new();
+    for span in &trace.spans {
+        acc.add_span(span);
     }
-    let grand: f64 = groups.values().sum();
-    let mut rows: Vec<PhaseRow> = groups
-        .into_iter()
-        .map(|((phase, mode), total_ns)| PhaseRow {
-            phase,
-            mode,
-            total_ns,
-            share: total_ns / grand.max(1.0),
-        })
-        .collect();
-    rows.sort_by(|a, b| b.total_ns.partial_cmp(&a.total_ns).unwrap_or(std::cmp::Ordering::Equal));
-    rows
+    acc.phase_rows()
 }
 
 /// Renders the GEMM table as aligned text (the Tables VI/VII layout).

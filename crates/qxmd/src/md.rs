@@ -48,6 +48,7 @@ impl MdIntegrator {
             .attr("atoms", dcmesh_telemetry::AttrValue::U64(system.len() as u64))
             .attr("nexc", dcmesh_telemetry::AttrValue::F64(excitation_fraction))
             .enter();
+        let _phase = dcmesh_telemetry::phase_scope("qxmd::md_step");
         let n = system.len();
         let dt = self.dt;
         // Half kick + drift.

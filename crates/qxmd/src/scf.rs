@@ -55,6 +55,7 @@ pub fn scf_refresh<T: Real>(
     let _span = dcmesh_telemetry::span("scf_refresh")
         .attr("n_orb", dcmesh_telemetry::AttrValue::U64(params.n_orb as u64))
         .enter();
+    let _phase = dcmesh_telemetry::phase_scope("qxmd::scf_refresh");
     let n_orb = params.n_orb;
     let ngrid = params.mesh.len();
     let dv = params.mesh.dv();
@@ -151,6 +152,7 @@ pub fn initial_scf<T: Real>(
 ) -> Result<ScfReport, OrthError> {
     assert!(max_iterations >= 1);
     let _span = dcmesh_telemetry::span("initial_scf").enter();
+    let _phase = dcmesh_telemetry::phase_scope("qxmd::initial_scf");
     let mut report = scf_refresh(params, state)?;
     for _ in 1..max_iterations {
         let next = scf_refresh(params, state)?;

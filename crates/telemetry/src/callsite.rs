@@ -1,0 +1,150 @@
+//! Callsite identity: stable IDs for every BLAS call's provenance.
+//!
+//! The per-callsite autotuner (ROADMAP) needs to know *which* call in
+//! the program issued a GEMM, not just its shape — `lfd::eigensolve`
+//! can afford a different precision than `lfd::qd_propagate`. The paper
+//! family this follows ("Tunable Precision Emulation via Automatic BLAS
+//! Offloading", PAPERS.md) keys its decisions on exactly this
+//! (call-phase, routine) pair.
+//!
+//! A callsite ID is `"{phase}/{routine}"`, e.g. `lfd::eigensolve/cgemm`
+//! or `qxmd::scf_refresh/dgemm`. The **phase** half is set by the
+//! enclosing code via [`phase_scope`] — an RAII guard holding a
+//! thread-local `&'static str` — and the **routine** half is supplied by
+//! `mkl_lite::logged` at the call chokepoint. IDs are interned to
+//! `&'static str` so they can ride in [`crate::AttrValue::Str`] span
+//! attributes and be hashed/compared by pointer-free `&str` equality in
+//! the [`crate::ledger`] without per-call allocation after first use.
+//!
+//! Phase scoping is *unconditional* (one `Cell` swap, no atomics, no
+//! branches on telemetry level) so the phase is always correct even if
+//! telemetry is enabled mid-run.
+
+use std::cell::Cell;
+use std::collections::BTreeSet;
+use std::sync::Mutex;
+
+/// Phase used when no [`phase_scope`] is active.
+pub const DEFAULT_PHASE: &str = "app";
+
+thread_local! {
+    static CURRENT_PHASE: Cell<&'static str> = const { Cell::new(DEFAULT_PHASE) };
+}
+
+/// RAII guard restoring the previous phase on drop. Created by
+/// [`phase_scope`].
+pub struct PhaseScope {
+    prev: &'static str,
+}
+
+impl Drop for PhaseScope {
+    fn drop(&mut self) {
+        CURRENT_PHASE.with(|c| c.set(self.prev));
+    }
+}
+
+/// Enters a named phase on this thread (e.g. `"lfd::eigensolve"`).
+/// Nested scopes shadow outer ones; the guard restores the outer phase
+/// on drop. Cost is one thread-local `Cell` swap regardless of
+/// telemetry level.
+#[must_use = "the phase ends when the returned guard is dropped"]
+pub fn phase_scope(name: &'static str) -> PhaseScope {
+    CURRENT_PHASE.with(|c| {
+        let prev = c.get();
+        c.set(name);
+        PhaseScope { prev }
+    })
+}
+
+/// The phase currently active on this thread ([`DEFAULT_PHASE`] when no
+/// scope is active).
+pub fn current_phase() -> &'static str {
+    CURRENT_PHASE.with(|c| c.get())
+}
+
+fn registry() -> &'static Mutex<BTreeSet<&'static str>> {
+    static REGISTRY: Mutex<BTreeSet<&'static str>> = Mutex::new(BTreeSet::new());
+    &REGISTRY
+}
+
+/// Interns an arbitrary string, returning a `&'static str` that lives
+/// for the process. Each unique string leaks exactly once; repeated
+/// calls return the existing interned copy.
+pub fn intern(s: &str) -> &'static str {
+    let mut reg = registry().lock().unwrap();
+    if let Some(existing) = reg.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    reg.insert(leaked);
+    leaked
+}
+
+/// Mints the callsite ID for a routine called from the current phase:
+/// `"{phase}/{routine-lowercased}"`. The result is interned, so the
+/// common path after warm-up is one lock plus a `BTreeSet` lookup and
+/// no allocation.
+pub fn callsite_for(routine: &str) -> &'static str {
+    let phase = current_phase();
+    let mut id = String::with_capacity(phase.len() + 1 + routine.len());
+    id.push_str(phase);
+    id.push('/');
+    for ch in routine.chars() {
+        id.extend(ch.to_lowercase());
+    }
+    intern(&id)
+}
+
+/// Every callsite ID minted so far, sorted. Diagnostic surface for the
+/// ledger exporter and tests.
+pub fn all_callsites() -> Vec<&'static str> {
+    registry().lock().unwrap().iter().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_phase_is_app() {
+        // Other tests on this thread may have scopes open; run in a
+        // fresh thread to observe the default.
+        std::thread::spawn(|| {
+            assert_eq!(current_phase(), DEFAULT_PHASE);
+            assert_eq!(callsite_for("SGEMM"), "app/sgemm");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn scopes_nest_and_restore() {
+        std::thread::spawn(|| {
+            let _outer = phase_scope("lfd::eigensolve");
+            assert_eq!(current_phase(), "lfd::eigensolve");
+            assert_eq!(callsite_for("CGEMM"), "lfd::eigensolve/cgemm");
+            {
+                let _inner = phase_scope("lfd::qd_propagate");
+                assert_eq!(callsite_for("ZGEMM"), "lfd::qd_propagate/zgemm");
+            }
+            assert_eq!(current_phase(), "lfd::eigensolve");
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let a = callsite_for("DGEMM_callsite_test");
+        let b = callsite_for("DGEMM_callsite_test");
+        assert!(std::ptr::eq(a, b), "same pointer for repeated interns");
+        assert!(all_callsites().contains(&a));
+    }
+
+    #[test]
+    fn phase_is_thread_local() {
+        let _scope = phase_scope("qxmd::md_step");
+        let other = std::thread::spawn(current_phase).join().unwrap();
+        assert_eq!(other, DEFAULT_PHASE);
+    }
+}

@@ -104,6 +104,16 @@ pub fn jsonl(events: &[Event]) -> String {
     let mut out = String::new();
     out.push_str(&jsonl_line(&sink::run_meta_event()));
     out.push('\n');
+    out.push_str(&jsonl_body(events));
+    out
+}
+
+/// The JSONL body alone — no `telemetry_meta` header. For appending
+/// incremental batches to a stream whose header was already written
+/// (the shard worker's per-burst flush), so live consumers like
+/// `profile watch` can tail a run in progress.
+pub fn jsonl_body(events: &[Event]) -> String {
+    let mut out = String::new();
     for ev in events {
         out.push_str(&jsonl_line(ev));
         out.push('\n');

@@ -95,6 +95,28 @@ pub fn number(v: f64) -> String {
     }
 }
 
+/// Serialises a [`JsonValue`] back to compact JSON text. Object keys
+/// come out in `BTreeMap` order, numbers in their shortest
+/// round-trippable form, non-finite numbers as `null` — so
+/// `parse(dump(v))` round-trips for everything JSON can represent.
+pub fn dump(v: &JsonValue) -> String {
+    match v {
+        JsonValue::Null => "null".to_string(),
+        JsonValue::Bool(b) => b.to_string(),
+        JsonValue::Number(n) => number(*n),
+        JsonValue::String(s) => escape_string(s),
+        JsonValue::Array(items) => {
+            let body: Vec<String> = items.iter().map(dump).collect();
+            format!("[{}]", body.join(","))
+        }
+        JsonValue::Object(members) => {
+            let body: Vec<String> =
+                members.iter().map(|(k, v)| format!("{}:{}", escape_string(k), dump(v))).collect();
+            format!("{{{}}}", body.join(","))
+        }
+    }
+}
+
 /// A parse failure with byte offset.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ParseError {
@@ -329,5 +351,14 @@ mod tests {
         assert_eq!(number(f64::NAN), "null");
         assert_eq!(number(f64::INFINITY), "null");
         assert_eq!(number(1.5), "1.5");
+    }
+
+    #[test]
+    fn dump_round_trips_through_parse() {
+        let text = r#"{"a":[1,2.5,-300],"b":{"c":"x\ny","d":true,"e":null},"z":"q\"uote"}"#;
+        let v = parse(text).expect("parse");
+        let dumped = dump(&v);
+        assert_eq!(parse(&dumped).expect("reparse"), v);
+        assert_eq!(dumped, text, "compact form is canonical");
     }
 }

@@ -1,0 +1,678 @@
+//! The accuracy/cost ledger: streaming per-(callsite, shape-class, mode)
+//! statistics folding every signal the future precision autotuner needs.
+//!
+//! Producers feed the ledger directly on the hot path (one mutex-guarded
+//! `BTreeMap` update per BLAS call, only when `TELEMETRY != off`):
+//!
+//! * `mkl_lite::logged` — call counts, wall seconds, modelled device
+//!   seconds (→ observed-vs-model time misfit).
+//! * `mkl_lite::abft` — row-checksum residual ratios (defect/bound) into
+//!   a log₁₀-decade histogram, plus violation counts.
+//! * the GEMM wrappers — non-finite output detections, which also mark
+//!   the callsite as the *suspect* for the next rollback/escalation.
+//! * the supervisor — rollbacks, escalations (attributed to the suspect
+//!   callsite when one is pending), health violations, and the SCF
+//!   defect trend.
+//!
+//! Consumers: [`ledger_json`] (the `ledger.json` artifact, schema
+//! version 1, documented in DESIGN.md), [`prometheus_text`] (labelled
+//! gauge/counter series), and the shared plain-text renderer
+//! [`render_rows`] reused by `profile watch` for its live dashboard.
+//!
+//! Keys intern through [`crate::callsite`], so steady-state recording
+//! allocates nothing per call beyond the map probe.
+
+use crate::callsite::intern;
+use crate::json;
+use crate::metrics::escape_label_value;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of log₁₀ decade buckets in a [`ResidualHist`]: upper bounds
+/// 1e-12, 1e-11, …, 1e4 (everything above — or NaN — lands in +Inf).
+pub const RESIDUAL_DECADES: usize = 17;
+
+const RESIDUAL_MIN_EXP: i32 = -12;
+
+/// Upper-bound label for residual bucket `i` (`"1e-12"` … `"1e4"`,
+/// then `"+Inf"`).
+pub fn residual_bucket_label(i: usize) -> String {
+    if i >= RESIDUAL_DECADES {
+        "+Inf".to_string()
+    } else {
+        format!("1e{}", RESIDUAL_MIN_EXP + i as i32)
+    }
+}
+
+fn residual_bucket_index(v: f64) -> usize {
+    if v.is_nan() || v.is_infinite() {
+        return RESIDUAL_DECADES;
+    }
+    for i in 0..RESIDUAL_DECADES {
+        if v <= 10f64.powi(RESIDUAL_MIN_EXP + i as i32) {
+            return i;
+        }
+    }
+    RESIDUAL_DECADES
+}
+
+/// A fixed-size log₁₀-decade histogram of dimensionless residual ratios
+/// (ABFT defect/bound, SCF defect). NaN and +Inf observations land in
+/// the overflow bucket, so a poisoned residual is never silently lost.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ResidualHist {
+    /// Total observations.
+    pub count: u64,
+    /// Largest finite observation (0 when none).
+    pub max: f64,
+    /// Per-decade counts, index `RESIDUAL_DECADES` = overflow/+Inf.
+    pub buckets: [u64; RESIDUAL_DECADES + 1],
+}
+
+impl ResidualHist {
+    /// Records one ratio.
+    pub fn observe(&mut self, v: f64) {
+        self.count += 1;
+        self.buckets[residual_bucket_index(v)] += 1;
+        if v.is_finite() && v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Non-empty `(bucket_label, count)` pairs in ascending order.
+    pub fn nonzero_buckets(&self) -> Vec<(String, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (residual_bucket_label(i), n))
+            .collect()
+    }
+
+    /// Folds another histogram into this one (watch-side rank merging).
+    pub fn merge(&mut self, other: &ResidualHist) {
+        self.count += other.count;
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+}
+
+/// Ledger key: who called, at what shape class, in which mode.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Key {
+    /// Interned callsite ID (`"{phase}/{routine}"`).
+    pub callsite: &'static str,
+    /// Interned shape class (`"128x1024x262144"`, pow2-ceiling per dim;
+    /// `"-"` for shapeless entries like supervisor rows).
+    pub shape: &'static str,
+    /// Interned compute-mode label (`"STANDARD"`, `"FLOAT_TO_BF16"`, …).
+    pub mode: &'static str,
+}
+
+/// Streaming statistics accumulated under one [`Key`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Stats {
+    /// BLAS calls recorded (un-sampled: every call counts).
+    pub calls: u64,
+    /// Total host wall seconds across those calls.
+    pub wall_s: f64,
+    /// Total modelled device seconds (when the device model ran).
+    pub device_s: f64,
+    /// Calls that carried a device-model prediction.
+    pub device_samples: u64,
+    /// Precision escalations attributed to this key.
+    pub escalations: u64,
+    /// Burst rollbacks attributed to this key.
+    pub rollbacks: u64,
+    /// Supervisor health violations attributed to this key.
+    pub health_violations: u64,
+    /// Non-finite GEMM outputs detected at this key.
+    pub nonfinite_outputs: u64,
+    /// ABFT row-checksum verifications performed.
+    pub abft_checks: u64,
+    /// ABFT verifications that exceeded the error bound.
+    pub abft_violations: u64,
+    /// Residual-ratio histogram (ABFT defect/bound, or SCF defect for
+    /// the `supervisor/scf` row).
+    pub residuals: ResidualHist,
+}
+
+impl Stats {
+    /// Observed-vs-device-model time misfit: wall ÷ modelled seconds.
+    /// `None` when no device-model sample exists.
+    pub fn time_misfit(&self) -> Option<f64> {
+        if self.device_samples > 0 && self.device_s > 0.0 {
+            Some(self.wall_s / self.device_s)
+        } else {
+            None
+        }
+    }
+
+    /// Folds another stats block into this one.
+    pub fn merge(&mut self, other: &Stats) {
+        self.calls += other.calls;
+        self.wall_s += other.wall_s;
+        self.device_s += other.device_s;
+        self.device_samples += other.device_samples;
+        self.escalations += other.escalations;
+        self.rollbacks += other.rollbacks;
+        self.health_violations += other.health_violations;
+        self.nonfinite_outputs += other.nonfinite_outputs;
+        self.abft_checks += other.abft_checks;
+        self.abft_violations += other.abft_violations;
+        self.residuals.merge(&other.residuals);
+    }
+}
+
+/// One exported ledger row: a [`Key`] plus its [`Stats`]. The same
+/// shape is built by `profile watch` from ingested event streams, so
+/// both sides share the JSON/Prometheus/dashboard renderers below.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Callsite ID.
+    pub callsite: String,
+    /// Shape class.
+    pub shape: String,
+    /// Compute-mode label.
+    pub mode: String,
+    /// Accumulated statistics.
+    pub stats: Stats,
+}
+
+static LEDGER: Mutex<BTreeMap<Key, Stats>> = Mutex::new(BTreeMap::new());
+static SUSPECT: Mutex<Option<Key>> = Mutex::new(None);
+
+/// Pow2-ceiling shape class for a GEMM problem, e.g. `(100, 1000,
+/// 250000)` → `"128x1024x262144"`. Bucketing keeps the ledger bounded
+/// across jittering dimensions while preserving the cost class.
+pub fn shape_class(m: usize, n: usize, k: usize) -> &'static str {
+    fn ceil2(v: usize) -> usize {
+        v.max(1).next_power_of_two()
+    }
+    intern(&format!("{}x{}x{}", ceil2(m), ceil2(n), ceil2(k)))
+}
+
+const SHAPELESS: &str = "-";
+
+fn key(callsite: &'static str, shape: &'static str, mode: &str) -> Key {
+    Key { callsite, shape, mode: intern(mode) }
+}
+
+fn with_stats(k: Key, f: impl FnOnce(&mut Stats)) {
+    let mut ledger = LEDGER.lock().unwrap();
+    f(ledger.entry(k).or_default());
+}
+
+/// Records one BLAS call: wall time and (when available) the modelled
+/// device time. Called from `mkl_lite::logged` for *every* call when
+/// telemetry is on — streaming statistics, not sampled.
+pub fn record_call(
+    callsite: &'static str,
+    m: usize,
+    n: usize,
+    k: usize,
+    mode: &str,
+    wall_s: f64,
+    device_s: Option<f64>,
+) {
+    with_stats(key(callsite, shape_class(m, n, k), mode), |s| {
+        s.calls += 1;
+        s.wall_s += wall_s;
+        if let Some(d) = device_s {
+            s.device_s += d;
+            s.device_samples += 1;
+        }
+    });
+}
+
+/// Records one ABFT row-checksum verification and its worst
+/// defect/bound ratio across the checked rows.
+pub fn record_abft_check(
+    callsite: &'static str,
+    m: usize,
+    n: usize,
+    k: usize,
+    mode: &str,
+    max_ratio: f64,
+) {
+    with_stats(key(callsite, shape_class(m, n, k), mode), |s| {
+        s.abft_checks += 1;
+        s.residuals.observe(max_ratio);
+    });
+}
+
+/// Records an ABFT violation (bound exceeded) and marks this key as the
+/// suspect for the next rollback/escalation.
+pub fn record_abft_violation(
+    callsite: &'static str,
+    m: usize,
+    n: usize,
+    k: usize,
+    mode: &str,
+    max_ratio: f64,
+) {
+    let k = key(callsite, shape_class(m, n, k), mode);
+    with_stats(k, |s| {
+        s.abft_violations += 1;
+        s.residuals.observe(max_ratio);
+    });
+    *SUSPECT.lock().unwrap() = Some(k);
+}
+
+/// Records a non-finite GEMM output detected at a callsite, and marks
+/// it as the suspect for the next rollback/escalation.
+pub fn record_nonfinite_output(
+    callsite: &'static str,
+    m: usize,
+    n: usize,
+    k: usize,
+    mode: &str,
+) {
+    let k = key(callsite, shape_class(m, n, k), mode);
+    with_stats(k, |s| s.nonfinite_outputs += 1);
+    *SUSPECT.lock().unwrap() = Some(k);
+}
+
+fn supervisor_key(site: &str, mode: &str) -> Key {
+    key(intern(site), intern(SHAPELESS), mode)
+}
+
+/// Records a burst rollback. Attributed to the pending suspect callsite
+/// when one exists (the suspect is *kept* — the escalation decision
+/// follows the rollback), else to `supervisor/burst`.
+pub fn record_rollback(mode: &str) {
+    let k = SUSPECT
+        .lock()
+        .unwrap()
+        .unwrap_or_else(|| supervisor_key("supervisor/burst", mode));
+    with_stats(k, |s| s.rollbacks += 1);
+}
+
+/// Records a precision escalation `from` → `to`, consuming the pending
+/// suspect callsite when one exists (else `supervisor/burst` under the
+/// `from` mode).
+pub fn record_escalation(from_mode: &str, _to_mode: &str) {
+    let k = SUSPECT
+        .lock()
+        .unwrap()
+        .take()
+        .unwrap_or_else(|| supervisor_key("supervisor/burst", from_mode));
+    with_stats(k, |s| s.escalations += 1);
+}
+
+/// Records a supervisor health violation. Attributed to the pending
+/// suspect when one exists, else to `supervisor/{kind}`.
+pub fn record_health_violation(kind: &str, mode: &str) {
+    let k = SUSPECT.lock().unwrap().unwrap_or_else(|| {
+        supervisor_key(&format!("supervisor/{}", kind.to_lowercase()), mode)
+    });
+    with_stats(k, |s| s.health_violations += 1);
+}
+
+/// Records one committed-burst SCF defect under the `supervisor/scf`
+/// row — the accuracy trend the autotuner will read.
+pub fn record_scf_defect(mode: &str, defect: f64) {
+    with_stats(supervisor_key("supervisor/scf", mode), |s| {
+        s.residuals.observe(defect);
+    });
+}
+
+/// Clears all ledger state including the pending suspect (tests,
+/// per-run harnesses).
+pub fn clear() {
+    LEDGER.lock().unwrap().clear();
+    *SUSPECT.lock().unwrap() = None;
+}
+
+/// Snapshot of every row, sorted by (callsite, shape, mode).
+pub fn snapshot() -> Vec<Row> {
+    LEDGER
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(k, s)| Row {
+            callsite: k.callsite.to_string(),
+            shape: k.shape.to_string(),
+            mode: k.mode.to_string(),
+            stats: s.clone(),
+        })
+        .collect()
+}
+
+/// Current ledger schema version (see DESIGN.md "Observability").
+pub const LEDGER_SCHEMA_VERSION: u64 = 1;
+
+/// Renders rows as the `ledger.json` document: `{"version": 1,
+/// "entries": [...]}` with one object per row.
+pub fn rows_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"version\": {LEDGER_SCHEMA_VERSION},\n"));
+    out.push_str("  \"entries\": [");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        let s = &r.stats;
+        out.push_str(&format!(
+            "\"callsite\":{},\"shape\":{},\"mode\":{},",
+            json::escape_string(&r.callsite),
+            json::escape_string(&r.shape),
+            json::escape_string(&r.mode)
+        ));
+        out.push_str(&format!(
+            "\"calls\":{},\"wall_s\":{},\"device_s\":{},\"device_samples\":{},",
+            s.calls,
+            json::number(s.wall_s),
+            json::number(s.device_s),
+            s.device_samples
+        ));
+        let misfit = match s.time_misfit() {
+            Some(m) => json::number(m),
+            None => "null".to_string(),
+        };
+        out.push_str(&format!("\"time_misfit\":{misfit},"));
+        out.push_str(&format!(
+            "\"escalations\":{},\"rollbacks\":{},\"health_violations\":{},\
+             \"nonfinite_outputs\":{},\"abft_checks\":{},\"abft_violations\":{},",
+            s.escalations,
+            s.rollbacks,
+            s.health_violations,
+            s.nonfinite_outputs,
+            s.abft_checks,
+            s.abft_violations
+        ));
+        out.push_str(&format!(
+            "\"residuals\":{{\"count\":{},\"max\":{},\"buckets\":[",
+            s.residuals.count,
+            json::number(s.residuals.max)
+        ));
+        for (j, (le, n)) in s.residuals.nonzero_buckets().iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},{}]", json::escape_string(le), n));
+        }
+        out.push_str("]}}");
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Renders rows as Prometheus text: labelled counter/gauge families
+/// keyed by `callsite`/`shape`/`mode`, label values escaped via
+/// [`escape_label_value`].
+pub fn rows_prometheus(rows: &[Row]) -> String {
+    fn labels(r: &Row) -> String {
+        format!(
+            "{{callsite=\"{}\",shape=\"{}\",mode=\"{}\"}}",
+            escape_label_value(&r.callsite),
+            escape_label_value(&r.shape),
+            escape_label_value(&r.mode)
+        )
+    }
+    struct Family {
+        name: &'static str,
+        kind: &'static str,
+        help: &'static str,
+        get: fn(&Stats) -> Option<f64>,
+    }
+    let families = [
+        Family {
+            name: "dcmesh_ledger_calls_total",
+            kind: "counter",
+            help: "BLAS calls recorded per (callsite, shape, mode)",
+            get: |s| Some(s.calls as f64),
+        },
+        Family {
+            name: "dcmesh_ledger_wall_seconds_total",
+            kind: "counter",
+            help: "host wall seconds per (callsite, shape, mode)",
+            get: |s| Some(s.wall_s),
+        },
+        Family {
+            name: "dcmesh_ledger_device_seconds_total",
+            kind: "counter",
+            help: "modelled device seconds per (callsite, shape, mode)",
+            get: |s| (s.device_samples > 0).then_some(s.device_s),
+        },
+        Family {
+            name: "dcmesh_ledger_time_misfit_ratio",
+            kind: "gauge",
+            help: "observed wall / modelled device seconds",
+            get: |s| s.time_misfit(),
+        },
+        Family {
+            name: "dcmesh_ledger_escalations_total",
+            kind: "counter",
+            help: "precision escalations attributed to the key",
+            get: |s| Some(s.escalations as f64),
+        },
+        Family {
+            name: "dcmesh_ledger_rollbacks_total",
+            kind: "counter",
+            help: "burst rollbacks attributed to the key",
+            get: |s| Some(s.rollbacks as f64),
+        },
+        Family {
+            name: "dcmesh_ledger_health_violations_total",
+            kind: "counter",
+            help: "supervisor health violations attributed to the key",
+            get: |s| Some(s.health_violations as f64),
+        },
+        Family {
+            name: "dcmesh_ledger_nonfinite_outputs_total",
+            kind: "counter",
+            help: "non-finite GEMM outputs detected at the key",
+            get: |s| Some(s.nonfinite_outputs as f64),
+        },
+        Family {
+            name: "dcmesh_ledger_abft_checks_total",
+            kind: "counter",
+            help: "ABFT row-checksum verifications",
+            get: |s| Some(s.abft_checks as f64),
+        },
+        Family {
+            name: "dcmesh_ledger_abft_violations_total",
+            kind: "counter",
+            help: "ABFT verifications exceeding the error bound",
+            get: |s| Some(s.abft_violations as f64),
+        },
+        Family {
+            name: "dcmesh_ledger_residual_max",
+            kind: "gauge",
+            help: "largest finite residual ratio observed",
+            get: |s| (s.residuals.count > 0).then_some(s.residuals.max),
+        },
+    ];
+    let mut out = String::new();
+    for fam in &families {
+        let mut lines = Vec::new();
+        for r in rows {
+            if let Some(v) = (fam.get)(&r.stats) {
+                lines.push(format!("{}{} {}\n", fam.name, labels(r), v));
+            }
+        }
+        if lines.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("# HELP {} {}\n", fam.name, fam.help));
+        out.push_str(&format!("# TYPE {} {}\n", fam.name, fam.kind));
+        for l in lines {
+            out.push_str(&l);
+        }
+    }
+    out
+}
+
+/// Renders rows as the fixed-width plain-text table shared by
+/// `ledger.json` printouts and the `profile watch` dashboard.
+pub fn render_rows(rows: &[Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<34} {:>20} {:<14} {:>8} {:>10} {:>7} {:>4} {:>4} {:>5} {:>5} {:>7} {:>9}\n",
+        "CALLSITE",
+        "SHAPE",
+        "MODE",
+        "CALLS",
+        "WALL_S",
+        "MISFIT",
+        "ESC",
+        "RB",
+        "ABFT",
+        "VIOL",
+        "NONFIN",
+        "RES_MAX"
+    ));
+    for r in rows {
+        let s = &r.stats;
+        let misfit = match s.time_misfit() {
+            Some(m) => format!("{m:.2}"),
+            None => "-".to_string(),
+        };
+        let res_max =
+            if s.residuals.count > 0 { format!("{:.2e}", s.residuals.max) } else { "-".into() };
+        out.push_str(&format!(
+            "{:<34} {:>20} {:<14} {:>8} {:>10.4} {:>7} {:>4} {:>4} {:>5} {:>5} {:>7} {:>9}\n",
+            r.callsite,
+            r.shape,
+            r.mode,
+            s.calls,
+            s.wall_s,
+            misfit,
+            s.escalations,
+            s.rollbacks,
+            s.abft_checks,
+            s.abft_violations,
+            s.nonfinite_outputs,
+            res_max
+        ));
+    }
+    out
+}
+
+/// The live ledger as `ledger.json` text.
+pub fn ledger_json() -> String {
+    rows_json(&snapshot())
+}
+
+/// The live ledger as Prometheus text.
+pub fn prometheus_text() -> String {
+    rows_prometheus(&snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The ledger is global state shared across parallel tests; every
+    // test uses unique callsite names and asserts only on its own rows.
+
+    fn row<'a>(rows: &'a [Row], cs: &str) -> &'a Row {
+        rows.iter().find(|r| r.callsite == cs).expect("row present")
+    }
+
+    #[test]
+    fn shape_class_buckets_pow2() {
+        assert_eq!(shape_class(128, 896, 262144), "128x1024x262144");
+        assert_eq!(shape_class(100, 1000, 250000), "128x1024x262144");
+        assert_eq!(shape_class(1, 1, 1), "1x1x1");
+        assert_eq!(shape_class(0, 3, 5), "1x4x8");
+    }
+
+    #[test]
+    fn residual_hist_buckets_decades() {
+        let mut h = ResidualHist::default();
+        h.observe(5e-13); // <= 1e-12
+        h.observe(0.5); // <= 1e0
+        h.observe(f64::NAN); // overflow
+        h.observe(1e9); // overflow
+        assert_eq!(h.count, 4);
+        assert_eq!(h.max, 1e9);
+        let nz = h.nonzero_buckets();
+        assert_eq!(
+            nz,
+            vec![("1e-12".into(), 1), ("1e0".into(), 1), ("+Inf".into(), 2)]
+        );
+    }
+
+    #[test]
+    fn calls_accumulate_and_misfit_computes() {
+        let cs = intern("ledger_test::calls/sgemm");
+        record_call(cs, 128, 896, 4096, "STANDARD", 0.5, Some(0.25));
+        record_call(cs, 128, 896, 4096, "STANDARD", 0.5, Some(0.25));
+        record_call(cs, 128, 896, 4096, "STANDARD", 0.25, None);
+        let rows = snapshot();
+        let r = row(&rows, cs);
+        assert_eq!(r.stats.calls, 3);
+        assert_eq!(r.stats.device_samples, 2);
+        assert!((r.stats.wall_s - 1.25).abs() < 1e-12);
+        assert_eq!(r.stats.time_misfit(), Some(2.5));
+        assert_eq!(r.shape, "128x1024x4096");
+    }
+
+    #[test]
+    fn suspect_flows_from_violation_to_escalation() {
+        let cs = intern("ledger_test::suspect/cgemm");
+        record_abft_violation(cs, 64, 64, 64, "FLOAT_TO_BF16", 12.0);
+        record_rollback("FLOAT_TO_BF16"); // peeks, keeps suspect
+        record_escalation("FLOAT_TO_BF16", "FLOAT_TO_BF16X2"); // consumes
+        record_escalation("FLOAT_TO_BF16X2", "FLOAT_TO_BF16X3"); // no suspect
+        let rows = snapshot();
+        let r = row(&rows, cs);
+        assert_eq!(r.stats.abft_violations, 1);
+        assert_eq!(r.stats.rollbacks, 1);
+        assert_eq!(r.stats.escalations, 1);
+        // The second escalation fell back to the supervisor row.
+        let sup = rows
+            .iter()
+            .find(|r| r.callsite == "supervisor/burst" && r.mode == "FLOAT_TO_BF16X2")
+            .expect("fallback row");
+        assert!(sup.stats.escalations >= 1);
+    }
+
+    #[test]
+    fn json_and_prometheus_render() {
+        let cs = intern("ledger_test::render/zgemm");
+        record_call(cs, 32, 32, 32, "BF16X2", 0.125, Some(0.1));
+        record_abft_check(cs, 32, 32, 32, "BF16X2", 1e-3);
+        let rows: Vec<Row> =
+            snapshot().into_iter().filter(|r| r.callsite == cs).collect();
+        let doc = rows_json(&rows);
+        let parsed = json::parse(&doc).expect("ledger.json parses");
+        assert_eq!(parsed.get("version").unwrap().as_f64(), Some(1.0));
+        let entries = parsed.get("entries").unwrap().as_array().unwrap();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.get("callsite").unwrap().as_str(), Some(cs));
+        assert_eq!(e.get("calls").unwrap().as_f64(), Some(1.0));
+        assert_eq!(e.get("abft_checks").unwrap().as_f64(), Some(1.0));
+        let prom = rows_prometheus(&rows);
+        assert!(prom.contains("# TYPE dcmesh_ledger_calls_total counter"), "{prom}");
+        assert!(
+            prom.contains(&format!(
+                "dcmesh_ledger_calls_total{{callsite=\"{cs}\",shape=\"32x32x32\",mode=\"BF16X2\"}} 1"
+            )),
+            "{prom}"
+        );
+        let table = render_rows(&rows);
+        assert!(table.contains("CALLSITE"), "{table}");
+        assert!(table.contains(cs), "{table}");
+    }
+
+    #[test]
+    fn scf_defect_lands_under_supervisor_row() {
+        record_scf_defect("STANDARD_ledger_test", 3.5e-13);
+        let rows = snapshot();
+        let r = rows
+            .iter()
+            .find(|r| r.callsite == "supervisor/scf" && r.mode == "STANDARD_ledger_test")
+            .expect("scf row");
+        assert_eq!(r.stats.residuals.count, 1);
+        assert_eq!(r.shape, "-");
+    }
+}

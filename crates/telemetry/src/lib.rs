@@ -20,6 +20,12 @@
 //!   histograms, dumped in Prometheus text format.
 //! * **Exporters** ([`export`]) — JSONL event log, Chrome trace-event
 //!   JSON (loadable in Perfetto / `chrome://tracing`), Prometheus text.
+//! * **Callsite identity** ([`callsite`]) — stable `{phase}/{routine}`
+//!   IDs for every BLAS call, minted from RAII phase scopes.
+//! * **Accuracy/cost ledger** ([`ledger`]) — streaming per-(callsite,
+//!   shape-class, mode) statistics (calls, wall/device seconds, ABFT
+//!   residual histograms, escalations/rollbacks), exported as
+//!   `ledger.json` and labelled Prometheus series.
 //!
 //! Control mirrors the `MKL_VERBOSE` convention: the `TELEMETRY`
 //! environment variable (`off` | `events` | `full`) or the programmatic
@@ -47,14 +53,17 @@
 //! println!("{}", telemetry::export::chrome_trace(&events));
 //! ```
 
+pub mod callsite;
 pub mod event;
 pub mod export;
 pub mod json;
+pub mod ledger;
 pub mod level;
 pub mod metrics;
 pub mod sink;
 pub mod span;
 
+pub use callsite::{callsite_for, current_phase, phase_scope, PhaseScope};
 pub use event::{Attr, AttrValue, Event, EventKind, Track};
 pub use level::{
     events_enabled, level, set_level, spans_enabled, with_level, TelemetryLevel,

@@ -219,6 +219,22 @@ pub fn histogram(name: &'static str, help: &'static str) -> Arc<Histogram> {
     )
 }
 
+/// Escapes a string for use inside a Prometheus label value: backslash,
+/// double quote, and newline get escaped per the text exposition format
+/// (`\\`, `\"`, `\n`). Everything else passes through unchanged.
+pub fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
 /// Renders every registered metric in Prometheus text exposition format.
 pub fn prometheus_dump() -> String {
     let reg = REGISTRY.lock();
@@ -303,5 +319,52 @@ mod tests {
     fn type_confusion_panics() {
         counter("metrics_test_confused", "as counter");
         gauge("metrics_test_confused", "as gauge");
+    }
+
+    #[test]
+    fn label_escaping_covers_quotes_backslashes_newlines() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value(r#"say "hi""#), r#"say \"hi\""#);
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("line1\nline2"), r"line1\nline2");
+        // Combined: every special character in one value, in order.
+        assert_eq!(escape_label_value("\\\"\n"), "\\\\\\\"\\n");
+        // Idempotence is NOT expected: escaping an escaped string
+        // escapes the backslashes again.
+        assert_eq!(escape_label_value(r"\n"), r"\\n");
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive() {
+        // A value exactly on a bucket's upper bound must land in that
+        // bucket (`le` semantics), not the next one up.
+        let h = Histogram::default();
+        h.observe(1); // upper bound of bucket 1 is 2^1 - 1 = 1
+        assert_eq!(h.cumulative_buckets(), vec![(1, 1)]);
+        let h = Histogram::default();
+        h.observe(3); // upper bound of bucket 2 is 2^2 - 1 = 3
+        assert_eq!(h.cumulative_buckets(), vec![(3, 1)]);
+        let h = Histogram::default();
+        h.observe(4); // first value of bucket 3 (le 7)
+        assert_eq!(h.cumulative_buckets(), vec![(7, 1)]);
+        let h = Histogram::default();
+        h.observe(1023);
+        h.observe(1024);
+        assert_eq!(h.cumulative_buckets(), vec![(1023, 1), (2047, 2)]);
+    }
+
+    #[test]
+    fn prometheus_dump_emits_inf_bucket_equal_to_count() {
+        let h = histogram("metrics_test_inf_bucket_ns", "inf bucket test");
+        h.observe(0);
+        h.observe(u64::MAX); // saturates into the last bucket
+        let dump = prometheus_dump();
+        let inf_line = dump
+            .lines()
+            .find(|l| l.starts_with("metrics_test_inf_bucket_ns_bucket{le=\"+Inf\"}"))
+            .expect("+Inf bucket line present");
+        assert_eq!(inf_line, "metrics_test_inf_bucket_ns_bucket{le=\"+Inf\"} 2");
+        // The +Inf bucket must equal _count per the exposition format.
+        assert!(dump.contains("metrics_test_inf_bucket_ns_count 2"), "{dump}");
     }
 }
