@@ -31,6 +31,16 @@
 //! fraction of the measured QD-step time. CI fails the gate above
 //! `--max-overhead-pct` (default 2%).
 //!
+//! `--advise-gate` runs the offline-advisor loop end to end: a clean
+//! supervised run and a fault-injected one (same deck, same
+//! `FLOAT_TO_BF16` start mode) each export a `ledger.json`, both run
+//! directories are archived into `runs.jsonl`, and
+//! `dcmesh_profile::advise` is asked for a plan. The gate demands the
+//! advisor's recommendation for the faulted CGEMM callsite is at least
+//! as precise (by escalation rank) as the mode the live supervisor
+//! actually settled on — the offline plan must never underbid the
+//! online escalator. The plan is written to `advice.json`.
+//!
 //! `--shard-dir DIR` instead validates the artifacts of a completed
 //! `dcmesh-shard` run directory: `report.json` parses and reports no
 //! failed domains, the coordinator's `trace/events-coord.jsonl` carries
@@ -41,7 +51,8 @@
 //! surviving rank left a parseable per-rank trace for `profile merge`.
 //!
 //! Usage: `telemetry_check [--out-dir DIR] [--ledger-gate]
-//! [--overhead-gate] [--max-overhead-pct F] [--shard-dir DIR]`
+//! [--overhead-gate] [--max-overhead-pct F] [--advise-gate]
+//! [--shard-dir DIR]`
 
 use dcmesh::config::{RunConfig, SystemPreset};
 use dcmesh::supervisor::{run_supervised, SupervisorConfig};
@@ -69,6 +80,7 @@ struct Options {
     out_dir: String,
     overhead_gate: bool,
     ledger_gate: bool,
+    advise_gate: bool,
     max_overhead_pct: f64,
     shard_dir: Option<String>,
 }
@@ -78,6 +90,7 @@ fn parse_args() -> Options {
         out_dir: "telemetry-artifacts".to_string(),
         overhead_gate: false,
         ledger_gate: false,
+        advise_gate: false,
         max_overhead_pct: 2.0,
         shard_dir: None,
     };
@@ -98,6 +111,7 @@ fn parse_args() -> Options {
             }
             "--overhead-gate" => o.overhead_gate = true,
             "--ledger-gate" => o.ledger_gate = true,
+            "--advise-gate" => o.advise_gate = true,
             "--max-overhead-pct" => {
                 o.max_overhead_pct =
                     args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
@@ -421,6 +435,126 @@ fn check_ledger(ledger_text: &str, prom: &str, ledger_gate: bool, problems: &mut
     }
 }
 
+/// Runs one supervised pass of the tiny deck at level `full` and leaves
+/// its precision ledger as `<dir>/ledger.json`, shaped like a run
+/// directory `dcmesh_profile::archive::collect_run` can fold. Returns
+/// the mode the supervisor settled on.
+fn supervised_ledger_run(
+    dir: &Path,
+    faulted: bool,
+    problems: &mut Vec<String>,
+) -> Option<ComputeMode> {
+    telemetry::set_level(TelemetryLevel::Full);
+    sink::clear();
+    telemetry::ledger::clear();
+    let _model = xe_gpu::install_default_model();
+    if faulted {
+        install_fault_plan(FaultPlan::new(7).with_site(
+            FaultSite::every(1, FaultKind::Nan)
+                .on_routine("CGEMM")
+                .in_mode(ComputeMode::FloatToBf16),
+        ));
+    }
+    let cfg = tiny_deck();
+    let out = run_supervised::<f32>(&cfg, ComputeMode::FloatToBf16, &SupervisorConfig::default());
+    clear_fault_plan();
+    let out = match out {
+        Ok(o) => o,
+        Err(e) => {
+            fail(problems, format!("advise-gate: supervised run in {} failed: {e:?}", dir.display()));
+            return None;
+        }
+    };
+    std::fs::create_dir_all(dir).expect("create run dir");
+    std::fs::write(dir.join("ledger.json"), telemetry::ledger::ledger_json())
+        .expect("write ledger.json");
+    eprintln!(
+        "advise-gate: {} run settled on {:?} ({} escalation(s))",
+        if faulted { "faulted" } else { "clean" },
+        out.final_mode,
+        out.escalations.len()
+    );
+    Some(out.final_mode)
+}
+
+/// The offline-advisor gate: clean + fault-injected runs of the same
+/// deck are archived, advised over, and the recommendation for the
+/// faulted CGEMM callsite must be at least as precise as the mode the
+/// live supervisor settled on.
+fn run_advise_gate(out_dir: &Path) -> Vec<String> {
+    use dcmesh_profile::{advise, archive};
+    let mut problems = Vec::new();
+
+    let clean_dir = out_dir.join("clean");
+    let fault_dir = out_dir.join("fault");
+    let Some(_clean_mode) = supervised_ledger_run(&clean_dir, false, &mut problems) else {
+        return problems;
+    };
+    let Some(settled) = supervised_ledger_run(&fault_dir, true, &mut problems) else {
+        return problems;
+    };
+    if settled == ComputeMode::FloatToBf16 {
+        fail(&mut problems, "advise-gate: faulted run never escalated past FLOAT_TO_BF16".into());
+    }
+
+    let runs_path = out_dir.join("archive").join("runs.jsonl");
+    for dir in [&clean_dir, &fault_dir] {
+        match archive::collect_run(dir, Some("FLOAT_TO_BF16+supervised")) {
+            Ok(rec) => match archive::append(&runs_path, &rec) {
+                Ok(_) => eprintln!(
+                    "advise-gate: archived {} ({} ledger rows)",
+                    rec.run_id,
+                    rec.entries.len()
+                ),
+                Err(e) => fail(&mut problems, format!("advise-gate: append: {e}")),
+            },
+            Err(e) => {
+                fail(&mut problems, format!("advise-gate: collect {}: {e}", dir.display()))
+            }
+        }
+    }
+    let (records, warnings) = match archive::read_archive(&runs_path) {
+        Ok(rw) => rw,
+        Err(e) => {
+            fail(&mut problems, format!("advise-gate: read archive: {e}"));
+            return problems;
+        }
+    };
+    for w in warnings {
+        fail(&mut problems, format!("advise-gate: archive warning: {w}"));
+    }
+    if records.len() != 2 {
+        fail(&mut problems, format!("advise-gate: expected 2 archived runs, got {}", records.len()));
+    }
+
+    let plan = advise::advise(&records);
+    std::fs::write(out_dir.join("advice.json"), advise::advice_json(&plan))
+        .expect("write advice.json");
+    eprint!("{}", advise::render_advice(&plan));
+    let cgemm: Vec<_> = plan.plan.iter().filter(|c| c.callsite.contains("cgemm")).collect();
+    if cgemm.is_empty() {
+        fail(&mut problems, "advise-gate: no cgemm callsite in the advice plan".into());
+    }
+    for c in cgemm {
+        if c.recommended_mode.escalation_rank() < settled.escalation_rank() {
+            fail(
+                &mut problems,
+                format!(
+                    "advise-gate: {} {} recommends {:?} (rank {}), less precise than the \
+                     supervisor's settled {:?} (rank {})",
+                    c.callsite,
+                    c.shape,
+                    c.recommended_mode,
+                    c.recommended_mode.escalation_rank(),
+                    settled,
+                    settled.escalation_rank()
+                ),
+            );
+        }
+    }
+    problems
+}
+
 /// The disabled-path gate: measures ns/span at `off` and the QD-step
 /// time, then bounds instrumentation overhead per step.
 fn run_overhead_gate(max_pct: f64) -> Vec<String> {
@@ -611,6 +745,8 @@ fn main() {
         run_shard_check(Path::new(dir))
     } else if o.overhead_gate {
         run_overhead_gate(o.max_overhead_pct)
+    } else if o.advise_gate {
+        run_advise_gate(Path::new(&o.out_dir))
     } else {
         run_trace_check(Path::new(&o.out_dir), o.ledger_gate)
     };

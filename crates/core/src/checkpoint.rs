@@ -26,8 +26,10 @@ const VERSION: u32 = 3;
 
 /// FNV-1a/64 over the payload — detects any bit flip in the body, so a
 /// corrupted checkpoint is quarantined at load instead of silently
-/// seeding a wrong-but-plausible resumed trajectory.
-fn fnv1a64(data: &[u8]) -> u64 {
+/// seeding a wrong-but-plausible resumed trajectory. Also reused by
+/// [`crate::config::RunConfig::deck_hash`] to fingerprint decks for the
+/// ledger archive.
+pub(crate) fn fnv1a64(data: &[u8]) -> u64 {
     let mut h = 0xcbf2_9ce4_8422_2325u64;
     for &b in data {
         h ^= b as u64;

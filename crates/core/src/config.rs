@@ -238,6 +238,17 @@ impl RunConfig {
         ))
     }
 
+    /// FNV-1a/64 fingerprint of the canonical deck text, as
+    /// `"0x{:016x}"`. Two configs hash equal exactly when their
+    /// round-tripped decks are byte-identical, so the run archive can
+    /// group runs of the same physics across fleet shapes and mode
+    /// policies. `None` when the label cannot round-trip through deck
+    /// text (such a config cannot be sharded or archived by deck).
+    pub fn deck_hash(&self) -> Option<String> {
+        let text = self.to_deck_text().ok()?;
+        Some(format!("0x{:016x}", crate::checkpoint::fnv1a64(text.as_bytes())))
+    }
+
     /// Sanity checks.
     pub fn validate(&self) -> Result<(), DeckError> {
         let err = |msg: String| Err(DeckError::new(0, msg));

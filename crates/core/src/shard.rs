@@ -415,6 +415,11 @@ fn manifest_path(run: &Path) -> PathBuf {
 pub fn rank_events_path(run: &Path, rank: usize) -> PathBuf {
     trace_dir(run).join(format!("events-rank{rank}.jsonl"))
 }
+/// Path of the per-rank precision-ledger snapshot `profile archive`
+/// merges into one cross-rank ledger when folding a sharded run.
+pub fn rank_ledger_path(run: &Path, rank: usize) -> PathBuf {
+    trace_dir(run).join(format!("ledger-rank{rank}.json"))
+}
 /// Path of the final machine-readable [`ShardReport`].
 pub fn report_path(run: &Path) -> PathBuf {
     run.join("report.json")
@@ -752,8 +757,11 @@ pub fn worker_main(
 
     // Stamp this process's rank into the telemetry metadata before the
     // stream header is written, so tailers and the merger can tell the
-    // per-rank streams apart without trusting filenames.
+    // per-rank streams apart without trusting filenames. The fleet size
+    // goes into the ledger header the same way — each rank's ledger
+    // snapshot then documents the fleet it was part of.
     sink::set_rank(rank as u64);
+    dcmesh_telemetry::ledger::set_rank_count(m.ranks as u64);
     rank_instant("worker_start", rank, incarnation);
     // Start this incarnation's event stream fresh: its `telemetry_meta`
     // header carries *this* process's run epoch, and a dead
@@ -929,9 +937,15 @@ fn flush_worker_events(run: &Path, rank: usize) -> Result<(), std::io::Error> {
 
 /// Exports this rank's telemetry (events at whatever `TELEMETRY` level
 /// the fleet runs at) for the multi-rank `profile merge`: the final
-/// flush of whatever the per-burst appends have not yet drained.
+/// flush of whatever the per-burst appends have not yet drained, plus
+/// this rank's precision-ledger snapshot (atomic — an archiver folding
+/// a finished run never reads a torn document).
 fn export_worker_trace(run: &Path, rank: usize) -> Result<(), std::io::Error> {
-    flush_worker_events(run, rank)
+    flush_worker_events(run, rank)?;
+    write_atomic(
+        &rank_ledger_path(run, rank),
+        &dcmesh_telemetry::ledger::ledger_json(),
+    )
 }
 
 // ---------------------------------------------------------------------------

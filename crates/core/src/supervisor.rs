@@ -288,6 +288,9 @@ pub fn run_supervised_observed<T: LfdScalar>(
     cfg.validate()?;
     crate::runner::init_rank_from_env()?;
     mkl_lite::try_compute_mode().map_err(RunError::InvalidComputeMode)?;
+    if let Some(hash) = cfg.deck_hash() {
+        dcmesh_telemetry::ledger::set_deck_hash(&hash);
+    }
     let params = cfg.lfd_params();
     params.validate();
 

@@ -11,6 +11,10 @@
 //! profile watch  <run-dir|events.jsonl> [...] [--interval-ms N] [--once]
 //!                [--prom PATH]
 //! profile synth  --out PATH [--min-bytes N]
+//! profile synth  --ledger-dir DIR [--slow-callsite CS] [--slow-factor F]
+//! profile archive <run-dir> --archive PATH [--mode-policy P]
+//! profile trend  --archive PATH [--bench BENCH_gemm.json] [--svg PATH]
+//! profile advise --archive PATH [--out advice.json] [--deck HASH]
 //! ```
 //!
 //! `flame` writes a self-contained SVG (`--svg`) and/or an ANSI terminal
@@ -35,9 +39,21 @@
 //! a single snapshot and exits, `--prom` additionally maintains a
 //! Prometheus scrape file. `synth` writes a deterministic synthetic dump
 //! of at least `--min-bytes` (default 100 MiB) for exercising the
-//! streaming path.
+//! streaming path; with `--ledger-dir` it instead writes a deterministic
+//! synthetic run directory (a `ledger.json`) for exercising the cross-run
+//! machinery, optionally with a planted per-callsite slowdown.
+//!
+//! The cross-run trio: `archive` folds a finished run directory into the
+//! append-only `runs.jsonl` store (idempotent per content-derived run
+//! id); `trend` compares each key's newest archived run against the
+//! median/MAD baseline of its priors and **exits 1 when any wall-time,
+//! time-misfit, escalation-rate, or residual-shift regression is
+//! flagged** (0 clean, 2 usage) — wire it straight into CI; `advise`
+//! joins the archived accuracy evidence against the xe-gpu roofline
+//! model and writes the per-callsite recommended-mode plan
+//! (`advice.json`, schema v1).
 
-use dcmesh_profile::{diff, flame, fold, ingest, merge, table, watch};
+use dcmesh_profile::{advise, archive, diff, flame, fold, ingest, merge, table, trend, watch};
 use std::io::{BufRead, BufReader, IsTerminal, Write as _};
 use std::process::ExitCode;
 
@@ -50,7 +66,11 @@ fn usage() -> ExitCode {
          <a.jsonl> <b.jsonl> [...] --out merged.json\n  profile diff   <base.jsonl> \
          <test.jsonl> [--root NAME] [--by-mode] [--by-shape] [--svg PATH] [--ansi]\n  \
          profile watch  <run-dir|events.jsonl> [...] [--interval-ms N] [--once] [--prom PATH]\n  \
-         profile synth  --out PATH [--min-bytes N]"
+         profile synth  --out PATH [--min-bytes N]\n  \
+         profile synth  --ledger-dir DIR [--slow-callsite CS] [--slow-factor F]\n  \
+         profile archive <run-dir> --archive PATH [--mode-policy P]\n  \
+         profile trend  --archive PATH [--bench BENCH_gemm.json] [--svg PATH]\n  \
+         profile advise --archive PATH [--out advice.json] [--deck HASH]"
     );
     ExitCode::from(2)
 }
@@ -340,6 +360,9 @@ fn cmd_watch(mut args: Vec<String>) -> Result<(), ExitCode> {
 /// reaches `--min-bytes`. Every run produces identical bytes — the
 /// streaming-vs-batch CI gate depends on that.
 fn cmd_synth(mut args: Vec<String>) -> Result<(), ExitCode> {
+    if let Some(dir) = take_value(&mut args, "--ledger-dir") {
+        return cmd_synth_ledger(dir, args);
+    }
     let Some(out_path) = take_value(&mut args, "--out") else { return Err(usage()) };
     let min_bytes: u64 = match take_value(&mut args, "--min-bytes") {
         Some(v) => v.parse().map_err(|_| usage())?,
@@ -462,6 +485,173 @@ fn cmd_synth(mut args: Vec<String>) -> Result<(), ExitCode> {
     Ok(())
 }
 
+/// `synth --ledger-dir`: a deterministic synthetic run directory (just
+/// a schema-v2 `ledger.json`) for exercising the cross-run archive and
+/// sentinel without running physics. `--slow-callsite`/`--slow-factor`
+/// plant a wall-time slowdown at exactly one callsite — the CI trend
+/// gate archives a clean and a slowed directory and asserts the
+/// sentinel flags that callsite and nothing else.
+fn cmd_synth_ledger(dir: String, mut args: Vec<String>) -> Result<(), ExitCode> {
+    use dcmesh_telemetry::ledger::{LedgerMeta, ResidualHist, Row, Stats};
+    let slow_callsite = take_value(&mut args, "--slow-callsite");
+    let slow_factor: f64 = match take_value(&mut args, "--slow-factor") {
+        Some(v) => v.parse().map_err(|_| usage())?,
+        None => 1.0,
+    };
+    if !args.is_empty() {
+        return Err(usage());
+    }
+    let mk_row = |callsite: &str, shape: &str, mode: &str, calls: u64, wall_s: f64, device_s: f64| {
+        let mut residuals = ResidualHist::default();
+        for i in 0..calls.min(32) {
+            residuals.observe(1e-7 * (1.0 + (i % 7) as f64));
+        }
+        let factor = match &slow_callsite {
+            Some(cs) if cs == callsite => slow_factor,
+            _ => 1.0,
+        };
+        Row {
+            callsite: callsite.to_string(),
+            shape: shape.to_string(),
+            mode: mode.to_string(),
+            stats: Stats {
+                calls,
+                wall_s: wall_s * factor,
+                device_s,
+                device_samples: calls,
+                abft_checks: calls.min(32),
+                residuals,
+                ..Stats::default()
+            },
+        }
+    };
+    let rows = vec![
+        mk_row("lfd::qd_propagate/cgemm", "128x1024x4096", "FLOAT_TO_BF16", 180, 0.90, 0.45),
+        mk_row("lfd::orth/cgemm", "128x128x4096", "FLOAT_TO_BF16", 60, 0.12, 0.06),
+        mk_row("qxmd::forces/sgemm", "128x512x2048", "STANDARD", 40, 0.30, 0.20),
+    ];
+    let meta = LedgerMeta {
+        version: dcmesh_telemetry::ledger::LEDGER_SCHEMA_VERSION,
+        deck_hash: "0x5e1ec7ab1e000001".to_string(),
+        ranks: 1,
+        telemetry_level: "full".to_string(),
+        sample_period: 1,
+        rows: rows.len() as u64,
+    };
+    let path = std::path::Path::new(&dir);
+    std::fs::create_dir_all(path).map_err(|e| {
+        eprintln!("profile: cannot create {dir}: {e}");
+        ExitCode::from(1)
+    })?;
+    let doc = dcmesh_telemetry::ledger::rows_json_with_meta(&meta, &rows);
+    let ledger_path = path.join("ledger.json");
+    write(&ledger_path.display().to_string(), &doc)?;
+    eprintln!(
+        "profile: wrote {} ({} rows{})",
+        ledger_path.display(),
+        rows.len(),
+        match &slow_callsite {
+            Some(cs) => format!(", {cs} slowed {slow_factor}x"),
+            None => String::new(),
+        }
+    );
+    Ok(())
+}
+
+fn cmd_archive(mut args: Vec<String>) -> Result<(), ExitCode> {
+    let Some(archive_path) = take_value(&mut args, "--archive") else { return Err(usage()) };
+    let mode_policy = take_value(&mut args, "--mode-policy");
+    let [run_dir] = args.as_slice() else { return Err(usage()) };
+    let rec = archive::collect_run(std::path::Path::new(run_dir), mode_policy.as_deref())
+        .map_err(|e| {
+            eprintln!("profile: {e}");
+            ExitCode::from(1)
+        })?;
+    let appended =
+        archive::append(std::path::Path::new(&archive_path), &rec).map_err(|e| {
+            eprintln!("profile: {e}");
+            ExitCode::from(1)
+        })?;
+    if appended {
+        eprintln!(
+            "profile: archived {} ({} ledger rows, deck {}, {} rank(s), policy {})",
+            rec.run_id,
+            rec.entries.len(),
+            rec.deck_hash,
+            rec.ranks,
+            rec.mode_policy
+        );
+    } else {
+        eprintln!("profile: {} already archived, skipped", rec.run_id);
+    }
+    Ok(())
+}
+
+fn read_archive_records(path: &str) -> Result<Vec<archive::RunRecord>, ExitCode> {
+    let (records, warnings) = archive::read_archive(std::path::Path::new(path)).map_err(|e| {
+        eprintln!("profile: {e}");
+        ExitCode::from(1)
+    })?;
+    for w in warnings {
+        eprintln!("profile: warning: {w}");
+    }
+    Ok(records)
+}
+
+fn cmd_trend(mut args: Vec<String>) -> Result<(), ExitCode> {
+    let Some(archive_path) = take_value(&mut args, "--archive") else { return Err(usage()) };
+    let bench = take_value(&mut args, "--bench");
+    let svg_path = take_value(&mut args, "--svg");
+    if !args.is_empty() {
+        return Err(usage());
+    }
+    let records = read_archive_records(&archive_path)?;
+    let mut groups = trend::build_groups(&records);
+    if let Some(b) = &bench {
+        let extra = trend::bench_history_groups(&read(b)?).map_err(|e| {
+            eprintln!("profile: {b}: {e}");
+            ExitCode::from(1)
+        })?;
+        groups.extend(extra);
+    }
+    let regressions = trend::detect(&groups);
+    print!("{}", trend::render_report(&groups, &regressions));
+    if let Some(p) = &svg_path {
+        write(p, &trend::render_svg(&groups, &regressions))?;
+        eprintln!("profile: wrote {p}");
+    }
+    if regressions.is_empty() {
+        Ok(())
+    } else {
+        eprintln!("profile: {} regression(s) flagged", regressions.len());
+        Err(ExitCode::from(1))
+    }
+}
+
+fn cmd_advise(mut args: Vec<String>) -> Result<(), ExitCode> {
+    let Some(archive_path) = take_value(&mut args, "--archive") else { return Err(usage()) };
+    let out = take_value(&mut args, "--out");
+    let deck = take_value(&mut args, "--deck");
+    if !args.is_empty() {
+        return Err(usage());
+    }
+    let mut records = read_archive_records(&archive_path)?;
+    if let Some(hash) = &deck {
+        records.retain(|r| &r.deck_hash == hash);
+        if records.is_empty() {
+            eprintln!("profile: no archived runs with deck hash {hash}");
+            return Err(ExitCode::from(1));
+        }
+    }
+    let plan = advise::advise(&records);
+    print!("{}", advise::render_advice(&plan));
+    if let Some(p) = &out {
+        write(p, &advise::advice_json(&plan))?;
+        eprintln!("profile: wrote {p} ({} callsite plan(s))", plan.plan.len());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.is_empty() {
@@ -476,6 +666,9 @@ fn main() -> ExitCode {
         "diff" => cmd_diff(argv),
         "watch" => cmd_watch(argv),
         "synth" => cmd_synth(argv),
+        "archive" => cmd_archive(argv),
+        "trend" => cmd_trend(argv),
+        "advise" => cmd_advise(argv),
         _ => Err(usage()),
     };
     match result {

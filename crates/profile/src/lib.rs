@@ -23,6 +23,19 @@
 //!   (single-process or one per shard rank) and render the merged
 //!   per-(callsite, shape, mode) precision ledger as it evolves, with
 //!   an optional Prometheus scrape file.
+//! * **Run archive** ([`archive`]) — fold a finished run directory's
+//!   precision ledger, shard manifest, and run report into one line of
+//!   an append-only `runs.jsonl`, keyed by a content-hashed run id so
+//!   re-archiving is idempotent.
+//! * **Regression sentinel** ([`trend`]) — per-(callsite, shape, mode)
+//!   baselines over the archive with median/MAD robust statistics;
+//!   flags wall-time, time-misfit, escalation-rate, and
+//!   residual-histogram-shift regressions, renders ANSI sparkline and
+//!   SVG reports, and exits nonzero for CI.
+//! * **Offline precision advisor** ([`advise`]) — joins archived
+//!   ledger evidence against the `XeStackModel` roofline to emit a
+//!   per-callsite recommended-mode plan (`advice.json`) with predicted
+//!   cost and error-budget headroom.
 //!
 //! Ingestion ([`ingest`]) is deliberately forgiving: ring-dropped events
 //! and truncated tails degrade into counted warnings, not errors, and
@@ -35,16 +48,22 @@
 //!
 //! The `profile` binary in this crate exposes all of it as a CLI:
 //! `profile flame`, `profile table`, `profile merge`, `profile fold`,
-//! `profile diff`, `profile watch`, `profile synth`.
+//! `profile diff`, `profile watch`, `profile synth`, `profile archive`,
+//! `profile trend`, `profile advise`.
 
+pub mod advise;
+pub mod archive;
 pub mod diff;
 pub mod flame;
 pub mod fold;
 pub mod ingest;
 pub mod merge;
 pub mod table;
+pub mod trend;
 pub mod watch;
 
+pub use advise::{advise, advice_json, Advice, CallsiteAdvice};
+pub use archive::{append as archive_append, collect_run, read_archive, RunRecord};
 pub use diff::{build_diff_tree, render_diff_ansi, render_diff_svg, to_collapsed_diff, DiffFrame};
 pub use flame::{build_tree, render_ansi, render_svg, Frame};
 pub use fold::{fold, FoldOptions, Folded};

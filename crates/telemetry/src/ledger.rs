@@ -15,9 +15,16 @@
 //!   defect trend.
 //!
 //! Consumers: [`ledger_json`] (the `ledger.json` artifact, schema
-//! version 1, documented in DESIGN.md), [`prometheus_text`] (labelled
+//! version 2, documented in DESIGN.md), [`prometheus_text`] (labelled
 //! gauge/counter series), and the shared plain-text renderer
 //! [`render_rows`] reused by `profile watch` for its live dashboard.
+//!
+//! Since schema v2 the document is **self-describing**: a `meta` header
+//! ([`LedgerMeta`]) stamps the deck hash, fleet rank count, telemetry
+//! level, sampling period and row count into the artifact, so an
+//! archived run needs no side-channel context. [`parse_ledger`] reads
+//! both v2 and headerless v1 documents back into [`Row`]s — the
+//! round-trip the cross-run archive (`profile archive`) is built on.
 //!
 //! Keys intern through [`crate::callsite`], so steady-state recording
 //! allocates nothing per call beyond the map probe.
@@ -171,7 +178,7 @@ impl Stats {
 /// One exported ledger row: a [`Key`] plus its [`Stats`]. The same
 /// shape is built by `profile watch` from ingested event streams, so
 /// both sides share the JSON/Prometheus/dashboard renderers below.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Row {
     /// Callsite ID.
     pub callsite: String,
@@ -185,6 +192,71 @@ pub struct Row {
 
 static LEDGER: Mutex<BTreeMap<Key, Stats>> = Mutex::new(BTreeMap::new());
 static SUSPECT: Mutex<Option<Key>> = Mutex::new(None);
+static RUN_META: Mutex<(Option<String>, Option<u64>)> = Mutex::new((None, None));
+
+/// The self-describing header of a schema-v2 `ledger.json` document.
+/// Every field an archived run would otherwise need side-channel
+/// context for: which deck produced it, how many ranks contributed,
+/// and how the telemetry layer was configured when it recorded.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LedgerMeta {
+    /// Schema version of the parsed document (1 for headerless legacy
+    /// documents, [`LEDGER_SCHEMA_VERSION`] for current ones).
+    pub version: u64,
+    /// FNV-1a/64 hash of the canonical deck text as `"0x{:016x}"`, or
+    /// `"-"` when the producer never stamped one (legacy v1, tests).
+    pub deck_hash: String,
+    /// Ranks contributing to the document (1 for single-process runs).
+    pub ranks: u64,
+    /// Telemetry level the run recorded at (`"off"`/`"events"`/`"full"`).
+    pub telemetry_level: String,
+    /// Span sampling interval (1 = every BLAS call; ledger counts are
+    /// un-sampled either way, this documents the span stream next door).
+    pub sample_period: u64,
+    /// Number of ledger rows in the document.
+    pub rows: u64,
+}
+
+impl Default for LedgerMeta {
+    fn default() -> Self {
+        LedgerMeta {
+            version: 1,
+            deck_hash: "-".to_string(),
+            ranks: 1,
+            telemetry_level: "-".to_string(),
+            sample_period: 1,
+            rows: 0,
+        }
+    }
+}
+
+/// Stamps the deck hash (`"0x{:016x}"` form) the next exported ledger
+/// header will carry. The supervisor calls this at run start.
+pub fn set_deck_hash(hash: &str) {
+    RUN_META.lock().unwrap().0 = Some(hash.to_string());
+}
+
+/// Stamps the fleet rank count for the exported header. Shard workers
+/// call this after reading the manifest; single-process runs leave the
+/// default of 1.
+pub fn set_rank_count(ranks: u64) {
+    RUN_META.lock().unwrap().1 = Some(ranks);
+}
+
+/// The header the live ledger would export right now: the stamped
+/// deck hash / rank count plus the current telemetry level and span
+/// sampling interval, with `rows` set to `row_count`.
+pub fn current_meta(row_count: u64) -> LedgerMeta {
+    let (hash, ranks) = RUN_META.lock().unwrap().clone();
+    LedgerMeta {
+        version: LEDGER_SCHEMA_VERSION,
+        deck_hash: hash.unwrap_or_else(|| "-".to_string()),
+        ranks: ranks.unwrap_or(1),
+        telemetry_level: crate::level::level().env_value().to_string(),
+        sample_period: crate::span::sample_interval(),
+        rows: row_count,
+    }
+}
 
 /// Pow2-ceiling shape class for a GEMM problem, e.g. `(100, 1000,
 /// 250000)` → `"128x1024x262144"`. Bucketing keeps the ledger bounded
@@ -321,11 +393,12 @@ pub fn record_scf_defect(mode: &str, defect: f64) {
     });
 }
 
-/// Clears all ledger state including the pending suspect (tests,
-/// per-run harnesses).
+/// Clears all ledger state including the pending suspect and the
+/// stamped run metadata (tests, per-run harnesses).
 pub fn clear() {
     LEDGER.lock().unwrap().clear();
     *SUSPECT.lock().unwrap() = None;
+    *RUN_META.lock().unwrap() = (None, None);
 }
 
 /// Snapshot of every row, sorted by (callsite, shape, mode).
@@ -344,63 +417,209 @@ pub fn snapshot() -> Vec<Row> {
 }
 
 /// Current ledger schema version (see DESIGN.md "Observability").
-pub const LEDGER_SCHEMA_VERSION: u64 = 1;
+/// v2 added the self-describing `meta` header; v1 documents (entries
+/// only) are still readable through [`parse_ledger`].
+pub const LEDGER_SCHEMA_VERSION: u64 = 2;
 
-/// Renders rows as the `ledger.json` document: `{"version": 1,
-/// "entries": [...]}` with one object per row.
-pub fn rows_json(rows: &[Row]) -> String {
+/// Renders one row as its compact `ledger.json` entry object. The same
+/// fragment is embedded verbatim in the cross-run archive's
+/// `runs.jsonl`, so both artifacts share one row schema.
+pub fn row_json(r: &Row) -> String {
+    let mut out = String::from("{");
+    let s = &r.stats;
+    out.push_str(&format!(
+        "\"callsite\":{},\"shape\":{},\"mode\":{},",
+        json::escape_string(&r.callsite),
+        json::escape_string(&r.shape),
+        json::escape_string(&r.mode)
+    ));
+    out.push_str(&format!(
+        "\"calls\":{},\"wall_s\":{},\"device_s\":{},\"device_samples\":{},",
+        s.calls,
+        json::number(s.wall_s),
+        json::number(s.device_s),
+        s.device_samples
+    ));
+    let misfit = match s.time_misfit() {
+        Some(m) => json::number(m),
+        None => "null".to_string(),
+    };
+    out.push_str(&format!("\"time_misfit\":{misfit},"));
+    out.push_str(&format!(
+        "\"escalations\":{},\"rollbacks\":{},\"health_violations\":{},\
+         \"nonfinite_outputs\":{},\"abft_checks\":{},\"abft_violations\":{},",
+        s.escalations,
+        s.rollbacks,
+        s.health_violations,
+        s.nonfinite_outputs,
+        s.abft_checks,
+        s.abft_violations
+    ));
+    out.push_str(&format!(
+        "\"residuals\":{{\"count\":{},\"max\":{},\"buckets\":[",
+        s.residuals.count,
+        json::number(s.residuals.max)
+    ));
+    for (j, (le, n)) in s.residuals.nonzero_buckets().iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{},{}]", json::escape_string(le), n));
+    }
+    out.push_str("]}}");
+    out
+}
+
+/// Renders the `meta` header object of a schema-v2 document.
+pub fn meta_json(meta: &LedgerMeta) -> String {
+    format!(
+        "{{\"deck_hash\":{},\"ranks\":{},\"telemetry_level\":{},\
+         \"sample_period\":{},\"rows\":{}}}",
+        json::escape_string(&meta.deck_hash),
+        meta.ranks,
+        json::escape_string(&meta.telemetry_level),
+        meta.sample_period,
+        meta.rows
+    )
+}
+
+/// Renders rows under an explicit header as the `ledger.json`
+/// document: `{"version": 2, "meta": {...}, "entries": [...]}`.
+pub fn rows_json_with_meta(meta: &LedgerMeta, rows: &[Row]) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"version\": {LEDGER_SCHEMA_VERSION},\n"));
+    out.push_str(&format!("  \"meta\": {},\n", meta_json(meta)));
     out.push_str("  \"entries\": [");
     for (i, r) in rows.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str("\n    {");
-        let s = &r.stats;
-        out.push_str(&format!(
-            "\"callsite\":{},\"shape\":{},\"mode\":{},",
-            json::escape_string(&r.callsite),
-            json::escape_string(&r.shape),
-            json::escape_string(&r.mode)
-        ));
-        out.push_str(&format!(
-            "\"calls\":{},\"wall_s\":{},\"device_s\":{},\"device_samples\":{},",
-            s.calls,
-            json::number(s.wall_s),
-            json::number(s.device_s),
-            s.device_samples
-        ));
-        let misfit = match s.time_misfit() {
-            Some(m) => json::number(m),
-            None => "null".to_string(),
-        };
-        out.push_str(&format!("\"time_misfit\":{misfit},"));
-        out.push_str(&format!(
-            "\"escalations\":{},\"rollbacks\":{},\"health_violations\":{},\
-             \"nonfinite_outputs\":{},\"abft_checks\":{},\"abft_violations\":{},",
-            s.escalations,
-            s.rollbacks,
-            s.health_violations,
-            s.nonfinite_outputs,
-            s.abft_checks,
-            s.abft_violations
-        ));
-        out.push_str(&format!(
-            "\"residuals\":{{\"count\":{},\"max\":{},\"buckets\":[",
-            s.residuals.count,
-            json::number(s.residuals.max)
-        ));
-        for (j, (le, n)) in s.residuals.nonzero_buckets().iter().enumerate() {
-            if j > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!("[{},{}]", json::escape_string(le), n));
-        }
-        out.push_str("]}}");
+        out.push_str("\n    ");
+        out.push_str(&row_json(r));
     }
     out.push_str("\n  ]\n}\n");
     out
+}
+
+/// Renders rows as the `ledger.json` document under the live run's
+/// metadata header (see [`current_meta`]).
+pub fn rows_json(rows: &[Row]) -> String {
+    rows_json_with_meta(&current_meta(rows.len() as u64), rows)
+}
+
+/// Parses one entry object back into a [`Row`]. The derived
+/// `time_misfit` field is ignored (it is recomputed from the parsed
+/// stats); unknown fields are ignored for forward tolerance.
+pub fn parse_row(e: &json::JsonValue) -> Result<Row, String> {
+    let str_field = |f: &str| -> Result<String, String> {
+        e.get(f)
+            .and_then(json::JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("entry missing string field {f:?}"))
+    };
+    let num = |f: &str| e.get(f).and_then(json::JsonValue::as_f64).unwrap_or(0.0);
+    let mut residuals = ResidualHist::default();
+    if let Some(res) = e.get("residuals") {
+        residuals.count = res.get("count").and_then(json::JsonValue::as_f64).unwrap_or(0.0) as u64;
+        residuals.max = res.get("max").and_then(json::JsonValue::as_f64).unwrap_or(0.0);
+        for pair in res.get("buckets").and_then(json::JsonValue::as_array).unwrap_or(&[]) {
+            let items = pair.as_array().unwrap_or(&[]);
+            let (Some(label), Some(count)) = (
+                items.first().and_then(json::JsonValue::as_str),
+                items.get(1).and_then(json::JsonValue::as_f64),
+            ) else {
+                return Err("residual bucket is not a [label, count] pair".to_string());
+            };
+            let idx = (0..=RESIDUAL_DECADES)
+                .find(|&i| residual_bucket_label(i) == label)
+                .ok_or_else(|| format!("unknown residual bucket label {label:?}"))?;
+            residuals.buckets[idx] = count as u64;
+        }
+    }
+    Ok(Row {
+        callsite: str_field("callsite")?,
+        shape: str_field("shape")?,
+        mode: str_field("mode")?,
+        stats: Stats {
+            calls: num("calls") as u64,
+            wall_s: num("wall_s"),
+            device_s: num("device_s"),
+            device_samples: num("device_samples") as u64,
+            escalations: num("escalations") as u64,
+            rollbacks: num("rollbacks") as u64,
+            health_violations: num("health_violations") as u64,
+            nonfinite_outputs: num("nonfinite_outputs") as u64,
+            abft_checks: num("abft_checks") as u64,
+            abft_violations: num("abft_violations") as u64,
+            residuals,
+        },
+    })
+}
+
+/// Parses a `ledger.json` document — current schema v2 or headerless
+/// legacy v1 — back into its header and rows. A v1 document gets a
+/// default header (`deck_hash`/`telemetry_level` `"-"`, 1 rank) with
+/// `rows` filled from the entry count, so archive consumers handle
+/// both generations uniformly. Versions newer than
+/// [`LEDGER_SCHEMA_VERSION`] are an error: the caller should warn and
+/// skip rather than misread fields it does not understand.
+pub fn parse_ledger(text: &str) -> Result<(LedgerMeta, Vec<Row>), String> {
+    let doc = json::parse(text).map_err(|e| format!("ledger does not parse: {e}"))?;
+    let version = doc
+        .get("version")
+        .and_then(json::JsonValue::as_f64)
+        .ok_or_else(|| "ledger has no version".to_string())? as u64;
+    if version > LEDGER_SCHEMA_VERSION {
+        return Err(format!(
+            "ledger schema v{version} is newer than supported v{LEDGER_SCHEMA_VERSION}"
+        ));
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(json::JsonValue::as_array)
+        .ok_or_else(|| "ledger has no entries array".to_string())?;
+    let rows: Vec<Row> = entries.iter().map(parse_row).collect::<Result<_, _>>()?;
+    let mut meta = LedgerMeta { version, rows: rows.len() as u64, ..LedgerMeta::default() };
+    if let Some(m) = doc.get("meta") {
+        let s = |f: &str| m.get(f).and_then(json::JsonValue::as_str).map(str::to_string);
+        let n = |f: &str| m.get(f).and_then(json::JsonValue::as_f64);
+        if let Some(h) = s("deck_hash") {
+            meta.deck_hash = h;
+        }
+        if let Some(r) = n("ranks") {
+            meta.ranks = r as u64;
+        }
+        if let Some(l) = s("telemetry_level") {
+            meta.telemetry_level = l;
+        }
+        if let Some(p) = n("sample_period") {
+            meta.sample_period = p as u64;
+        }
+    }
+    Ok((meta, rows))
+}
+
+/// Merges ledger rows from several sources (per-rank documents, or the
+/// same run re-read) into one sorted row set keyed by (callsite, shape,
+/// mode). Merging goes through the commutative [`Stats::merge`] /
+/// [`ResidualHist::merge`] folds over a sorted map, so the result is
+/// **bit-identical under any permutation of the sources** — the same
+/// guarantee the cross-rank observable merge gives (PR 8), now for the
+/// observability plane.
+pub fn merge_rows(sources: &[Vec<Row>]) -> Vec<Row> {
+    let mut merged: BTreeMap<(String, String, String), Stats> = BTreeMap::new();
+    for rows in sources {
+        for r in rows {
+            merged
+                .entry((r.callsite.clone(), r.shape.clone(), r.mode.clone()))
+                .or_default()
+                .merge(&r.stats);
+        }
+    }
+    merged
+        .into_iter()
+        .map(|((callsite, shape, mode), stats)| Row { callsite, shape, mode, stats })
+        .collect()
 }
 
 /// Renders rows as Prometheus text: labelled counter/gauge families
@@ -644,7 +863,13 @@ mod tests {
             snapshot().into_iter().filter(|r| r.callsite == cs).collect();
         let doc = rows_json(&rows);
         let parsed = json::parse(&doc).expect("ledger.json parses");
-        assert_eq!(parsed.get("version").unwrap().as_f64(), Some(1.0));
+        assert_eq!(
+            parsed.get("version").unwrap().as_f64(),
+            Some(LEDGER_SCHEMA_VERSION as f64)
+        );
+        let meta = parsed.get("meta").expect("v2 meta header");
+        assert_eq!(meta.get("rows").unwrap().as_f64(), Some(1.0));
+        assert!(meta.get("deck_hash").unwrap().as_str().is_some());
         let entries = parsed.get("entries").unwrap().as_array().unwrap();
         assert_eq!(entries.len(), 1);
         let e = &entries[0];
@@ -674,5 +899,232 @@ mod tests {
             .expect("scf row");
         assert_eq!(r.stats.residuals.count, 1);
         assert_eq!(r.shape, "-");
+    }
+
+    /// Deterministic synthetic rows exercising every stats field,
+    /// including awkward f64s (subnormal-adjacent, many digits) and
+    /// residual observations in several decades.
+    fn synthetic_rows() -> Vec<Row> {
+        let mut h = ResidualHist::default();
+        h.observe(3.141592653589793e-9);
+        h.observe(0.7);
+        h.observe(f64::INFINITY);
+        let mut rows = vec![
+            Row {
+                callsite: "md/cgemm".to_string(),
+                shape: "128x1024x4096".to_string(),
+                mode: "FLOAT_TO_BF16".to_string(),
+                stats: Stats {
+                    calls: 180,
+                    wall_s: 0.123456789012345,
+                    device_s: 0.0456,
+                    device_samples: 180,
+                    escalations: 1,
+                    rollbacks: 1,
+                    health_violations: 0,
+                    nonfinite_outputs: 2,
+                    abft_checks: 90,
+                    abft_violations: 1,
+                    residuals: h,
+                },
+            },
+            Row {
+                callsite: "supervisor/scf".to_string(),
+                shape: "-".to_string(),
+                mode: "STANDARD".to_string(),
+                stats: Stats { calls: 0, wall_s: 0.0, ..Stats::default() },
+            },
+        ];
+        rows.sort_by(|a, b| {
+            (&a.callsite, &a.shape, &a.mode).cmp(&(&b.callsite, &b.shape, &b.mode))
+        });
+        rows
+    }
+
+    #[test]
+    fn v2_document_round_trips_bit_identically() {
+        let rows = synthetic_rows();
+        let meta = LedgerMeta {
+            version: LEDGER_SCHEMA_VERSION,
+            deck_hash: "0x00c0ffee00c0ffee".to_string(),
+            ranks: 4,
+            telemetry_level: "full".to_string(),
+            sample_period: 8,
+            rows: rows.len() as u64,
+        };
+        let doc = rows_json_with_meta(&meta, &rows);
+        let (meta2, rows2) = parse_ledger(&doc).expect("v2 parses");
+        assert_eq!(meta2, meta);
+        assert_eq!(rows2, rows);
+        // f64 fields must round-trip to the exact bit pattern, not just
+        // PartialEq (which the struct comparison above already implies
+        // for non-NaN values — make the bit claim explicit anyway).
+        assert_eq!(
+            rows2[0].stats.wall_s.to_bits(),
+            rows[0].stats.wall_s.to_bits()
+        );
+        assert_eq!(
+            rows2[0].stats.residuals.max.to_bits(),
+            rows[0].stats.residuals.max.to_bits()
+        );
+        // And the re-render of the parse is byte-identical.
+        assert_eq!(rows_json_with_meta(&meta2, &rows2), doc);
+    }
+
+    #[test]
+    fn v1_headerless_document_still_parses() {
+        let v1 = r#"{
+  "version": 1,
+  "entries": [
+    {"callsite":"md/cgemm","shape":"64x64x64","mode":"STANDARD",
+     "calls":7,"wall_s":0.5,"device_s":0.25,"device_samples":7,
+     "time_misfit":2,"escalations":0,"rollbacks":0,"health_violations":0,
+     "nonfinite_outputs":0,"abft_checks":3,"abft_violations":0,
+     "residuals":{"count":3,"max":0.001,"buckets":[["1e-3",3]]}}
+  ]
+}"#;
+        let (meta, rows) = parse_ledger(v1).expect("v1 parses");
+        assert_eq!(meta.version, 1);
+        assert_eq!(meta.deck_hash, "-");
+        assert_eq!(meta.ranks, 1);
+        assert_eq!(meta.rows, 1);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].callsite, "md/cgemm");
+        assert_eq!(rows[0].stats.calls, 7);
+        assert_eq!(rows[0].stats.residuals.buckets[9], 3); // 1e-3 decade
+        // Future schemas are refused, not misread.
+        assert!(parse_ledger(r#"{"version": 99, "entries": []}"#).is_err());
+    }
+
+    #[test]
+    fn merge_rows_is_order_independent() {
+        // Three per-rank row sets with overlapping keys and f64 stats
+        // chosen so naive different-order summation WOULD diverge in
+        // the last bit if merge_rows didn't canonicalise the fold order.
+        let mk = |cs: &str, wall: f64, dev: f64, res: &[f64]| {
+            let mut h = ResidualHist::default();
+            for &v in res {
+                h.observe(v);
+            }
+            Row {
+                callsite: cs.to_string(),
+                shape: "128x128x128".to_string(),
+                mode: "FLOAT_TO_BF16X2".to_string(),
+                stats: Stats {
+                    calls: 1,
+                    wall_s: wall,
+                    device_s: dev,
+                    device_samples: 1,
+                    residuals: h,
+                    ..Stats::default()
+                },
+            }
+        };
+        let ranks = [
+            vec![mk("a/sgemm", 0.1, 0.3, &[1e-7]), mk("b/cgemm", 1e-9, 1e-9, &[2.5])],
+            vec![mk("b/cgemm", 1e9, 0.125, &[f64::NAN]), mk("c/zgemm", 0.7, 0.2, &[])],
+            vec![mk("a/sgemm", 3.0, 1e-3, &[1e-13, 1e3])],
+        ];
+        let reference = merge_rows(&ranks);
+        // Every permutation of the three sources must give byte-identical
+        // serialized rows (bit-identical f64s included).
+        let ref_bytes: Vec<String> = reference.iter().map(row_json).collect();
+        let perms: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        for p in perms {
+            let permuted: Vec<Vec<Row>> = p.iter().map(|&i| ranks[i].clone()).collect();
+            let merged = merge_rows(&permuted);
+            let bytes: Vec<String> = merged.iter().map(row_json).collect();
+            assert_eq!(bytes, ref_bytes, "permutation {p:?} diverged");
+            for (a, b) in merged.iter().zip(reference.iter()) {
+                assert_eq!(a.stats.wall_s.to_bits(), b.stats.wall_s.to_bits());
+                assert_eq!(a.stats.device_s.to_bits(), b.stats.device_s.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn stats_and_hist_merge_are_commutative() {
+        let mut h1 = ResidualHist::default();
+        h1.observe(1e-5);
+        h1.observe(f64::INFINITY);
+        let mut h2 = ResidualHist::default();
+        h2.observe(0.25);
+        let mut ab = h1.clone();
+        ab.merge(&h2);
+        let mut ba = h2.clone();
+        ba.merge(&h1);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.max.to_bits(), ba.max.to_bits());
+
+        let s1 = Stats { calls: 3, wall_s: 0.1, device_s: 1e-9, device_samples: 3, ..Stats::default() };
+        let s2 = Stats { calls: 5, wall_s: 1e9, device_s: 0.3, device_samples: 5, ..Stats::default() };
+        let mut m1 = s1.clone();
+        m1.merge(&s2);
+        let mut m2 = s2.clone();
+        m2.merge(&s1);
+        assert_eq!(m1.wall_s.to_bits(), m2.wall_s.to_bits());
+        assert_eq!(m1.device_s.to_bits(), m2.device_s.to_bits());
+        assert_eq!(m1, m2);
+    }
+
+    // Property tests over shape_class boundaries: a pseudo-random dim
+    // sweep plus the exact edges. (proptest resolves to the vendored
+    // shim offline, so the sweep is a deterministic LCG, same idea.)
+
+    #[test]
+    fn shape_class_pow2_fixed_points_and_boundaries() {
+        for e in 0..20u32 {
+            let p = 1usize << e;
+            // An exact power of two is its own bucket...
+            assert_eq!(shape_class(p, 1, 1), format!("{p}x1x1").as_str());
+            // ...one above rounds up to the next...
+            assert_eq!(shape_class(p + 1, 1, 1), format!("{}x1x1", p << 1).as_str());
+            // ...and one below (when not itself a power of two) rounds
+            // up to p.
+            if p > 2 {
+                assert_eq!(shape_class(p - 1, 1, 1), format!("{p}x1x1").as_str());
+            }
+        }
+    }
+
+    #[test]
+    fn shape_class_zero_dims_do_not_panic() {
+        assert_eq!(shape_class(0, 0, 0), "1x1x1");
+        assert_eq!(shape_class(0, 17, 0), "1x32x1");
+    }
+
+    #[test]
+    fn shape_class_labels_round_trip_through_json() {
+        let mut lcg = 0x2545f4914f6cdd1du64;
+        for _ in 0..200 {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let m = (lcg >> 33) as usize % 5000;
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let n = (lcg >> 33) as usize % 5000;
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = (lcg >> 33) as usize % 5000;
+            let label = shape_class(m, n, k);
+            // Each dim in the label is a power of two >= the (nonzero-
+            // clamped) input dim, and < 2x it.
+            let dims: Vec<usize> =
+                label.split('x').map(|d| d.parse().expect("numeric dim")).collect();
+            assert_eq!(dims.len(), 3);
+            for (d, orig) in dims.iter().zip([m, n, k]) {
+                let orig = orig.max(1);
+                assert!(d.is_power_of_two(), "{label}");
+                assert!(*d >= orig && *d < 2 * orig.next_power_of_two(), "{label}");
+            }
+            // And the label survives the JSON exporter byte-for-byte.
+            let row = Row {
+                callsite: "prop/sgemm".to_string(),
+                shape: label.to_string(),
+                mode: "STANDARD".to_string(),
+                stats: Stats::default(),
+            };
+            let parsed = parse_row(&json::parse(&row_json(&row)).expect("row parses"))
+                .expect("row round-trips");
+            assert_eq!(parsed.shape, label);
+        }
     }
 }

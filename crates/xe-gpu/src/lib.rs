@@ -47,7 +47,7 @@ pub mod trace;
 
 pub use device::{DeviceSpec, Engine, MAX_1550_STACK};
 pub use kernels::{KernelDesc, StreamKernel};
-pub use perf::XeStackModel;
+pub use perf::{ModePrediction, XeStackModel};
 pub use power::{PowerModel, MAX_1550_STACK_POWER};
 pub use scale::{Fabric, MultiStackModel, HDR_FABRIC, XE_LINK};
 pub use trace::{KernelEvent, Tracer};

@@ -77,6 +77,18 @@ pub struct XeStackModel {
     pub spec: DeviceSpec,
 }
 
+/// One mode's roofline prediction at a fixed (domain, shape) — the
+/// advisor-facing row of [`XeStackModel::mode_predictions`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModePrediction {
+    /// The compute mode priced.
+    pub mode: ComputeMode,
+    /// Modelled seconds of one GEMM call in that mode.
+    pub seconds: f64,
+    /// Modelled speedup over the `Standard` (FP32) baseline.
+    pub speedup_vs_fp32: f64,
+}
+
 impl XeStackModel {
     /// Creates a model for the given stack.
     pub fn new(spec: DeviceSpec) -> Self {
@@ -146,6 +158,29 @@ impl XeStackModel {
         let base = GemmDesc { domain, m, n, k, mode: ComputeMode::Standard };
         let alt = GemmDesc { domain, m, n, k, mode };
         self.gemm_seconds(&base) / self.gemm_seconds(&alt)
+    }
+
+    /// Roofline prediction for every mode on the escalation ladder at
+    /// one (domain, shape), ladder order. This is the join surface the
+    /// offline precision advisor (`profile advise`) prices candidate
+    /// modes against: each entry carries the full modelled call time
+    /// and its speedup over the FP32 baseline, so a consumer can pick
+    /// the cheapest mode among those an accuracy constraint allows.
+    pub fn mode_predictions(
+        &self,
+        domain: Domain,
+        m: usize,
+        n: usize,
+        k: usize,
+    ) -> Vec<ModePrediction> {
+        ComputeMode::ESCALATION_LADDER
+            .iter()
+            .map(|&mode| ModePrediction {
+                mode,
+                seconds: self.gemm_seconds(&GemmDesc { domain, m, n, k, mode }),
+                speedup_vs_fp32: self.gemm_speedup_vs_fp32(domain, m, n, k, mode),
+            })
+            .collect()
     }
 
     /// Modelled time of a streaming (mesh) kernel.
@@ -312,6 +347,29 @@ mod tests {
         // input bytes each, doubling total traffic for input-dominated
         // shapes.
         assert!((t1 / t0 - 2.0).abs() < 0.1, "bf16 traffic ratio {}", t1 / t0);
+    }
+
+    #[test]
+    fn mode_predictions_cover_the_ladder_consistently() {
+        let (m, n, k) = biggest_sweep_shape();
+        let preds = model().mode_predictions(Domain::Complex32, m, n, k);
+        assert_eq!(preds.len(), ComputeMode::ESCALATION_LADDER.len());
+        for (p, &mode) in preds.iter().zip(ComputeMode::ESCALATION_LADDER.iter()) {
+            assert_eq!(p.mode, mode);
+            assert!(p.seconds > 0.0 && p.seconds.is_finite());
+            // Internal consistency: speedup must equal the baseline's
+            // seconds over this mode's seconds.
+            let base = preds.iter().find(|p| p.mode == ComputeMode::Standard).unwrap();
+            assert!(
+                (p.speedup_vs_fp32 - base.seconds / p.seconds).abs() < 1e-12,
+                "{:?}: speedup {} vs ratio {}",
+                p.mode,
+                p.speedup_vs_fp32,
+                base.seconds / p.seconds
+            );
+        }
+        let std = preds.iter().find(|p| p.mode == ComputeMode::Standard).unwrap();
+        assert_eq!(std.speedup_vs_fp32, 1.0);
     }
 
     #[test]
